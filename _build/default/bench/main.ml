@@ -1,0 +1,161 @@
+(* Benchmark harness: regenerates every experiment table (E1-E8, one per
+   theorem of the paper — see DESIGN.md and EXPERIMENTS.md) and then runs
+   Bechamel timing benchmarks, one per algorithm family. *)
+
+open Bechamel
+open Toolkit
+
+(* --- timing benchmark fixtures ------------------------------------------ *)
+
+let fixture_uniform =
+  lazy (Workloads.Gen.uniform (Workloads.Rng.create 1001) ~n:40 ~m:4 ~k:5 ())
+
+let fixture_uniform_small =
+  lazy (Workloads.Gen.uniform (Workloads.Rng.create 1002) ~n:9 ~m:3 ~k:3 ())
+
+let fixture_unrelated =
+  lazy (Workloads.Gen.unrelated (Workloads.Rng.create 1003) ~n:20 ~m:4 ~k:4 ())
+
+let fixture_ra =
+  lazy
+    (Workloads.Gen.restricted_class_uniform (Workloads.Rng.create 1004) ~n:20
+       ~m:4 ~k:4 ())
+
+let fixture_cu =
+  lazy
+    (Workloads.Gen.class_uniform_ptimes (Workloads.Rng.create 1005) ~n:20 ~m:4
+       ~k:4 ())
+
+let tests =
+  Test.make_grouped ~name:"algorithms"
+    [
+      Test.make ~name:"list_scheduling n=40"
+        (Staged.stage (fun () ->
+             ignore (Algos.List_scheduling.schedule (Lazy.force fixture_uniform))));
+      Test.make ~name:"lpt_placeholders n=40"
+        (Staged.stage (fun () ->
+             ignore (Algos.Lpt.schedule (Lazy.force fixture_uniform))));
+      Test.make ~name:"exact_bnb n=9"
+        (Staged.stage (fun () ->
+             ignore (Algos.Exact.solve (Lazy.force fixture_uniform_small))));
+      Test.make ~name:"lp_um_feasible n=20"
+        (Staged.stage (fun () ->
+             let t = Lazy.force fixture_unrelated in
+             let guess = Core.Bounds.naive_upper_bound t /. 2.0 in
+             ignore (Algos.Lp_um.feasible t ~makespan:guess)));
+      Test.make ~name:"randomized_rounding n=20"
+        (Staged.stage
+           (let t = Lazy.force fixture_unrelated in
+            let bound = Algos.Lp_um.lower_bound t in
+            let rng = Workloads.Rng.create 7 in
+            fun () ->
+              ignore
+                (Algos.Randomized_rounding.round rng t
+                   bound.Algos.Lp_um.solution)));
+      Test.make ~name:"ra_2approx_probe n=20"
+        (Staged.stage
+           (let t = Lazy.force fixture_ra in
+            let guess = Core.Bounds.naive_upper_bound t in
+            fun () ->
+              ignore (Algos.Ra_class_uniform.schedule_for_guess t ~makespan:guess)));
+      Test.make ~name:"um_3approx_probe n=20"
+        (Staged.stage
+           (let t = Lazy.force fixture_cu in
+            let guess = Core.Bounds.naive_upper_bound t in
+            fun () ->
+              ignore (Algos.Um_class_uniform.schedule_for_guess t ~makespan:guess)));
+      Test.make ~name:"ptas_probe eps=1/2 n=9"
+        (Staged.stage
+           (let t = Lazy.force fixture_uniform_small in
+            let guess = Core.Bounds.naive_upper_bound t in
+            fun () ->
+              ignore
+                (Algos.Uniform_ptas.schedule_for_guess ~eps:0.5 t
+                   ~makespan:guess)));
+      Test.make ~name:"config_ip probe n=10 (identical)"
+        (Staged.stage
+           (let t =
+              Workloads.Gen.identical (Workloads.Rng.create 1006) ~n:10 ~m:3
+                ~k:3 ()
+            in
+            (* a tight guess keeps the configuration space realistic *)
+            let guess = 1.2 *. Core.Bounds.lower_bound t in
+            fun () -> ignore (Algos.Config_ip.feasible t ~makespan:guess)));
+      Test.make ~name:"splittable probe n=20"
+        (Staged.stage
+           (let t = Lazy.force fixture_ra in
+            let guess = Core.Bounds.naive_upper_bound t in
+            fun () ->
+              ignore (Algos.Splittable.schedule_for_guess t ~makespan:guess)));
+      Test.make ~name:"pseudoforest round K=20 m=30"
+        (Staged.stage
+           (let rng = Workloads.Rng.create 1007 in
+            let g =
+              Graphs.Pseudoforest.create ~num_classes:20 ~num_machines:30
+            in
+            (* random forest: attach each class to two random machines *)
+            for k = 0 to 19 do
+              Graphs.Pseudoforest.add_edge g ~cls:k
+                ~machine:(Workloads.Rng.int rng 30);
+              Graphs.Pseudoforest.add_edge g ~cls:k
+                ~machine:(Workloads.Rng.int rng 30)
+            done;
+            let g = if Graphs.Pseudoforest.is_pseudoforest g then g else g in
+            fun () ->
+              if Graphs.Pseudoforest.is_pseudoforest g then
+                ignore (Graphs.Pseudoforest.round g)));
+      Test.make ~name:"bounds n=40"
+        (Staged.stage (fun () ->
+             ignore (Core.Bounds.lower_bound (Lazy.force fixture_uniform))));
+      Test.make ~name:"simplex 60x60"
+        (Staged.stage
+           (let rng = Workloads.Rng.create 2024 in
+            let a =
+              Array.init 60 (fun _ ->
+                  Array.init 60 (fun _ -> Workloads.Rng.float rng))
+            in
+            let b = Array.init 60 (fun _ -> 30.0 +. Workloads.Rng.float rng) in
+            let c = Array.init 60 (fun _ -> Workloads.Rng.float rng -. 0.5) in
+            fun () -> ignore (Lp.Simplex.solve ~a ~b ~c ())));
+    ]
+
+let benchmark () =
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| "run" |])
+      Instance.monotonic_clock raw
+  in
+  let table = Stats.Table.create [ "benchmark"; "time/run" ] in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols ->
+      let ns =
+        match Analyze.OLS.estimates ols with
+        | Some (est :: _) -> est
+        | Some [] | None -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
+      Stats.Table.add_row table [ name; pretty ])
+    (List.sort compare !rows);
+  Stats.Table.print table
+
+let () =
+  print_endline "Scheduling on (Un-)Related Machines with Setup Times";
+  print_endline "reproduction experiment suite (see EXPERIMENTS.md)";
+  print_endline "";
+  Experiments.Registry.run_all ~jobs:(Parallel.Pool.default_jobs ()) ();
+  print_endline "=== timing benchmarks (Bechamel, monotonic clock) ===";
+  print_endline "";
+  benchmark ()

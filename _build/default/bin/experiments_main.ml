@@ -1,0 +1,16 @@
+(* Standalone experiment runner: `dune exec bin/experiments_main.exe`. *)
+
+let () =
+  match Sys.argv with
+  | [| _ |] -> Experiments.Registry.run_all ()
+  | [| _; "-j"; n |] ->
+      Experiments.Registry.run_all ~jobs:(int_of_string n) ()
+  | [| _; id |] -> (
+      match Experiments.Registry.find id with
+      | Some e -> Experiments.Registry.run_one e
+      | None ->
+          Printf.eprintf "unknown experiment %S (expected E1..E8, A1..A4)\n" id;
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: %s [-j JOBS | EXPERIMENT-ID]\n" Sys.argv.(0);
+      exit 1

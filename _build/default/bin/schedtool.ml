@@ -1,0 +1,306 @@
+(* schedtool — command-line interface to the library: generate instances,
+   compute bounds, solve with any algorithm, run experiments. *)
+
+open Cmdliner
+
+let read_instance path =
+  try Ok (Core.Instance_io.of_file path) with
+  | Core.Instance_io.Parse_error msg -> Error msg
+  | Sys_error msg -> Error msg
+
+(* --- gen ---------------------------------------------------------------- *)
+
+let gen_cmd =
+  let env_arg =
+    let doc =
+      "Environment: identical, uniform, unrelated, restricted (class-uniform \
+       restrictions) or cu-ptimes (class-uniform processing times)."
+    in
+    Arg.(value & opt string "uniform" & info [ "env" ] ~docv:"ENV" ~doc)
+  in
+  let n_arg = Arg.(value & opt int 12 & info [ "n"; "jobs" ] ~doc:"Number of jobs.") in
+  let m_arg = Arg.(value & opt int 4 & info [ "m"; "machines" ] ~doc:"Number of machines.") in
+  let k_arg = Arg.(value & opt int 3 & info [ "k"; "classes" ] ~doc:"Number of setup classes.") in
+  let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"RNG seed.") in
+  let size_arg =
+    Arg.(value & opt (pair float float) (1.0, 100.0)
+           & info [ "sizes" ] ~docv:"LO,HI" ~doc:"Job size range.")
+  in
+  let setup_arg =
+    Arg.(value & opt (pair float float) (5.0, 50.0)
+           & info [ "setups" ] ~docv:"LO,HI" ~doc:"Setup size range.")
+  in
+  let scale_arg =
+    Arg.(value & opt float 1.0
+           & info [ "setup-scale" ] ~docv:"X"
+               ~doc:"Multiply all setup sizes by $(docv) after generation.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the instance to $(docv) (default: stdout).")
+  in
+  let run env n m k seed size_range setup_range scale out =
+    let rng = Workloads.Rng.create seed in
+    let build () =
+      match env with
+      | "identical" ->
+          Ok (Workloads.Gen.identical rng ~n ~m ~k ~size_range ~setup_range ())
+      | "uniform" ->
+          Ok (Workloads.Gen.uniform rng ~n ~m ~k ~size_range ~setup_range ())
+      | "unrelated" ->
+          Ok (Workloads.Gen.unrelated rng ~n ~m ~k ~size_range ~setup_range ())
+      | "restricted" ->
+          Ok
+            (Workloads.Gen.restricted_class_uniform rng ~n ~m ~k ~size_range
+               ~setup_range ())
+      | "cu-ptimes" ->
+          Ok
+            (Workloads.Gen.class_uniform_ptimes rng ~n ~m ~k
+               ~ptime_range:size_range ~setup_range ())
+      | other -> Error (Printf.sprintf "unknown environment %S" other)
+    in
+    let build () = Result.map (fun t -> Core.Instance.scale_setups t scale) (build ()) in
+    match build () with
+    | Error msg -> `Error (false, msg)
+    | Ok instance -> (
+        let text = Core.Instance_io.to_string instance in
+        match out with
+        | None ->
+            print_string text;
+            `Ok ()
+        | Some path ->
+            Core.Instance_io.to_file path instance;
+            Printf.printf "wrote %s\n" path;
+            `Ok ())
+  in
+  let info = Cmd.info "gen" ~doc:"Generate a random instance." in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ env_arg $ n_arg $ m_arg $ k_arg $ seed_arg $ size_arg
+       $ setup_arg $ scale_arg $ out_arg))
+
+(* --- bounds -------------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INSTANCE"
+         ~doc:"Instance file (see Instance_io format).")
+
+let bounds_cmd =
+  let run path =
+    match read_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok t ->
+        Printf.printf "job bound      %g\n" (Core.Bounds.job_bound t);
+        Printf.printf "volume bound   %g\n" (Core.Bounds.volume_bound t);
+        Printf.printf "lower bound    %g\n" (Core.Bounds.lower_bound t);
+        Printf.printf "naive upper    %g\n" (Core.Bounds.naive_upper_bound t);
+        (try
+           let b = Algos.Lp_um.lower_bound t in
+           Printf.printf "LP lower bound %g (%d LP solves)\n"
+             b.Algos.Lp_um.lower b.Algos.Lp_um.probes
+         with Invalid_argument msg -> Printf.printf "LP lower bound n/a (%s)\n" msg);
+        `Ok ()
+  in
+  let info = Cmd.info "bounds" ~doc:"Print makespan bounds for an instance." in
+  Cmd.v info Term.(ret (const run $ file_arg))
+
+(* --- solve --------------------------------------------------------------- *)
+
+let solve_cmd =
+  let algo_arg =
+    let doc =
+      "Algorithm: greedy, lpt, oblivious-lpt, ptas, rounding, ra2, cu3, portfolio, exact."
+    in
+    Arg.(value & opt string "greedy" & info [ "algo"; "a" ] ~docv:"ALGO" ~doc)
+  in
+  let eps_arg =
+    Arg.(value & opt float 0.5 & info [ "eps" ] ~doc:"Accuracy for the PTAS.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized algorithms.")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the full schedule.")
+  in
+  let gantt_arg =
+    Arg.(value & flag & info [ "gantt" ] ~doc:"Print an ASCII Gantt chart.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
+           ~doc:"Write the schedule to $(docv).")
+  in
+  let run algo eps seed verbose gantt save path =
+    match read_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok t -> (
+        let solve () =
+          match algo with
+          | "greedy" -> Ok (Algos.List_scheduling.schedule t)
+          | "lpt" -> Ok (Algos.Lpt.schedule t)
+          | "oblivious-lpt" -> Ok (Algos.Lpt.setup_oblivious t)
+          | "ptas" -> Ok (Algos.Uniform_ptas.schedule ~eps t)
+          | "rounding" ->
+              Ok (fst (Algos.Randomized_rounding.schedule
+                         (Workloads.Rng.create seed) t))
+          | "ra2" -> Ok (Algos.Ra_class_uniform.schedule t)
+          | "cu3" -> Ok (Algos.Um_class_uniform.schedule t)
+          | "portfolio" ->
+              let report = Algos.Portfolio.run ~seed t in
+              Printf.printf "winner: %s\n" report.Algos.Portfolio.winner;
+              List.iter
+                (fun (name, ms) -> Printf.printf "  %-18s %g\n" name ms)
+                report.Algos.Portfolio.all;
+              Ok report.Algos.Portfolio.best
+          | "exact" ->
+              let outcome = Algos.Exact.solve t in
+              if not outcome.Algos.Exact.optimal then
+                Printf.eprintf "warning: node limit hit, result may be suboptimal\n";
+              Ok outcome.Algos.Exact.result
+          | other -> Error (Printf.sprintf "unknown algorithm %S" other)
+        in
+        match (try solve () with Invalid_argument m -> Error m) with
+        | Error msg -> `Error (false, msg)
+        | Ok r ->
+            Printf.printf "makespan %g\n" r.Algos.Common.makespan;
+            if verbose then
+              Format.printf "%a@." Core.Schedule.pp r.Algos.Common.schedule;
+            if gantt then
+              Format.printf "%a@." (Core.Timeline.pp_gantt t)
+                r.Algos.Common.schedule;
+            Option.iter
+              (fun out ->
+                Core.Schedule_io.to_file out r.Algos.Common.schedule;
+                Printf.printf "wrote %s\n" out)
+              save;
+            `Ok ())
+  in
+  let info = Cmd.info "solve" ~doc:"Schedule an instance with a chosen algorithm." in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ algo_arg $ eps_arg $ seed_arg $ verbose_arg $ gantt_arg
+       $ save_arg $ file_arg))
+
+(* --- verify ---------------------------------------------------------------- *)
+
+let verify_cmd =
+  let sched_arg =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"SCHEDULE"
+           ~doc:"Schedule file (see Schedule_io format).")
+  in
+  let run path sched_path =
+    match read_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok t -> (
+        match Core.Schedule_io.of_file t sched_path with
+        | exception Core.Schedule_io.Parse_error msg ->
+            Printf.printf "INVALID: %s\n" msg;
+            `Error (false, msg)
+        | sched ->
+            Printf.printf "valid schedule\n";
+            Printf.printf "makespan %g (lower bound %g)\n"
+              (Core.Schedule.makespan sched)
+              (Core.Bounds.lower_bound t);
+            Printf.printf "setups paid: %d\n" (Core.Schedule.num_setups sched);
+            Format.printf "%a@." (Core.Timeline.pp_gantt t) sched;
+            `Ok ())
+  in
+  let info =
+    Cmd.info "verify" ~doc:"Validate a schedule against an instance."
+  in
+  Cmd.v info Term.(ret (const run $ file_arg $ sched_arg))
+
+(* --- compare ---------------------------------------------------------------- *)
+
+let compare_cmd =
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed for randomized algorithms.")
+  in
+  let exact_arg =
+    Arg.(value & flag & info [ "exact" ] ~doc:"Also run branch and bound.")
+  in
+  let run seed exact path =
+    match read_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok t ->
+        let table = Stats.Table.create [ "algorithm"; "makespan"; "setups" ] in
+        let row name (r : Algos.Common.result) =
+          Stats.Table.add_row table
+            [
+              name;
+              Printf.sprintf "%g" r.Algos.Common.makespan;
+              string_of_int (Core.Schedule.num_setups r.Algos.Common.schedule);
+            ]
+        in
+        let attempt name f = try row name (f ()) with Invalid_argument _ -> () in
+        attempt "greedy" (fun () -> Algos.List_scheduling.schedule t);
+        attempt "lpt" (fun () -> Algos.Lpt.schedule t);
+        attempt "oblivious-lpt" (fun () -> Algos.Lpt.setup_oblivious t);
+        attempt "ptas eps=1/2" (fun () -> Algos.Uniform_ptas.schedule ~eps:0.5 t);
+        attempt "rounding" (fun () ->
+            fst (Algos.Randomized_rounding.schedule (Workloads.Rng.create seed) t));
+        attempt "ra2" (fun () -> Algos.Ra_class_uniform.schedule t);
+        attempt "cu3" (fun () -> Algos.Um_class_uniform.schedule t);
+        if exact then
+          attempt "exact" (fun () -> (Algos.Exact.solve t).Algos.Exact.result);
+        Printf.printf "lower bound %g\n\n" (Core.Bounds.lower_bound t);
+        Stats.Table.print table;
+        `Ok ()
+  in
+  let info =
+    Cmd.info "compare"
+      ~doc:"Run every applicable algorithm on an instance and compare."
+  in
+  Cmd.v info Term.(ret (const run $ seed_arg $ exact_arg $ file_arg))
+
+(* --- experiments ----------------------------------------------------------- *)
+
+let experiments_cmd =
+  let id_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID"
+           ~doc:"Experiment id (E1..E8, A1..A4); omit to run all.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1 & info [ "j"; "jobs" ]
+           ~doc:"Worker domains for running all experiments in parallel.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ]
+           ~doc:"Emit the table as CSV (single experiment only).")
+  in
+  let debug_arg =
+    Arg.(value & flag & info [ "debug" ]
+           ~doc:"Enable solver debug logging on stderr.")
+  in
+  let run jobs csv debug id =
+    if debug then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Debug)
+    end;
+    match id with
+    | None ->
+        if csv then `Error (false, "--csv needs a single experiment id")
+        else begin
+          Experiments.Registry.run_all ~jobs ();
+          `Ok ()
+        end
+    | Some id -> (
+        match Experiments.Registry.find id with
+        | Some e ->
+            if csv then
+              print_string (Stats.Table.to_csv (e.Experiments.Exp_common.run ()))
+            else Experiments.Registry.run_one e;
+            `Ok ()
+        | None -> `Error (false, Printf.sprintf "unknown experiment %S" id))
+  in
+  let info = Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments." in
+  Cmd.v info Term.(ret (const run $ jobs_arg $ csv_arg $ debug_arg $ id_arg))
+
+let main =
+  let doc = "scheduling with setup times on (un-)related machines" in
+  let info = Cmd.info "schedtool" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [ gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd; experiments_cmd ]
+
+let () = exit (Cmd.eval main)

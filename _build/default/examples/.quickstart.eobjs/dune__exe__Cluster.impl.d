@@ -1,0 +1,1 @@
+examples/cluster.ml: Algos Core Format Printf Workloads

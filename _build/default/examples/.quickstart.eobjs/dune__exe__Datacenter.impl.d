@@ -1,0 +1,1 @@
+examples/datacenter.ml: Algos Array Core Format Printf Workloads

@@ -1,0 +1,1 @@
+examples/factory.ml: Algos Array Core Format Printf Workloads

@@ -1,0 +1,1 @@
+examples/hardness.ml: Core List Printf Setcover Workloads

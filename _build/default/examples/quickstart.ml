@@ -1,0 +1,51 @@
+(* Quickstart: build an instance through the public API, schedule it with
+   two algorithms and inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* Four jobs in two setup classes on two uniformly related machines.
+     Machine 1 is twice as fast; switching a machine to a new class costs
+     the class's setup time (scaled by the machine speed). *)
+  let instance =
+    Core.Instance.uniform ~speeds:[| 1.0; 2.0 |]
+      ~sizes:[| 4.0; 2.0; 6.0; 2.0 |]
+      ~job_class:[| 0; 0; 1; 1 |]
+      ~setups:[| 3.0; 1.0 |]
+  in
+  Format.printf "%a@\n" Core.Instance.pp instance;
+
+  Printf.printf "lower bound on OPT: %g\n"
+    (Core.Bounds.lower_bound instance);
+  Printf.printf "naive upper bound:  %g\n\n"
+    (Core.Bounds.naive_upper_bound instance);
+
+  (* Greedy baseline: assign each job where it finishes first. *)
+  let greedy = Algos.List_scheduling.schedule instance in
+  Printf.printf "greedy list scheduling: makespan %g\n"
+    greedy.Algos.Common.makespan;
+
+  (* Lemma 2.1: LPT after replacing small jobs with setup-sized
+     placeholders — a 4.74-approximation in O(n log n). *)
+  let lpt = Algos.Lpt.schedule instance in
+  Printf.printf "LPT with placeholders:  makespan %g\n"
+    lpt.Algos.Common.makespan;
+
+  (* The Section 2 PTAS at eps = 1/2. *)
+  let ptas = Algos.Uniform_ptas.schedule ~eps:0.5 instance in
+  Printf.printf "PTAS (eps = 1/2):       makespan %g\n"
+    ptas.Algos.Common.makespan;
+
+  (* The portfolio runs everything applicable and polishes the winner. *)
+  let report = Algos.Portfolio.run instance in
+  Printf.printf "portfolio (%s):        makespan %g\n"
+    report.Algos.Portfolio.winner
+    report.Algos.Portfolio.best.Algos.Common.makespan;
+
+  (* Exact optimum by branch and bound, for reference. *)
+  let exact = Algos.Exact.solve instance in
+  Printf.printf "exact optimum:          makespan %g\n\n"
+    exact.Algos.Exact.result.Algos.Common.makespan;
+
+  Format.printf "optimal schedule:@\n%a@."
+    Core.Schedule.pp exact.Algos.Exact.result.Algos.Common.schedule

@@ -1,0 +1,1 @@
+lib/algos/batch_lpt.ml: Array Common Core

@@ -1,0 +1,1 @@
+lib/algos/common.ml: Array Core Float Printf

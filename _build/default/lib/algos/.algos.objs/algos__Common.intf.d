@@ -1,0 +1,1 @@
+lib/algos/common.mli: Core

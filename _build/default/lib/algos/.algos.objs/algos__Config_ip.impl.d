@@ -1,0 +1,1 @@
+lib/algos/config_ip.ml: Array Common Core Float Hashtbl List Lp Option Printf Ptas_dp

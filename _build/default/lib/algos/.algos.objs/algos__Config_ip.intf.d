@@ -1,0 +1,1 @@
+lib/algos/config_ip.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/exact.ml: Array Atomic Common Core Float Fun List List_scheduling Logs

@@ -1,0 +1,1 @@
+lib/algos/exact.mli: Atomic Common Core

@@ -1,0 +1,1 @@
+lib/algos/exact_ilp.ml: Array Common Core Float Fun List List_scheduling Lp Printf

@@ -1,0 +1,1 @@
+lib/algos/exact_ilp.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/exact_parallel.ml: Atomic Common Core Exact Fun List List_scheduling Parallel

@@ -1,0 +1,1 @@
+lib/algos/exact_parallel.mli: Common Core Parallel

@@ -1,0 +1,1 @@
+lib/algos/list_scheduling.ml: Array Common Core Printf

@@ -1,0 +1,1 @@
+lib/algos/list_scheduling.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/local_search.ml: Array Common Core Float Hashtbl List Option

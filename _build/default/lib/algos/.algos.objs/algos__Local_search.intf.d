@@ -1,0 +1,1 @@
+lib/algos/local_search.mli: Common Core

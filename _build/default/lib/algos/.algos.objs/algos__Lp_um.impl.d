@@ -1,0 +1,1 @@
+lib/algos/lp_um.ml: Array Core Logs Lp Printf

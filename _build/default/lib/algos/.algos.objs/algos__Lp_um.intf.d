@@ -1,0 +1,1 @@
+lib/algos/lp_um.mli: Core

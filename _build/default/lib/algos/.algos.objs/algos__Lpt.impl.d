@@ -1,0 +1,1 @@
+lib/algos/lpt.ml: Array Common Core Fun List

@@ -1,0 +1,1 @@
+lib/algos/lpt.mli: Common Core

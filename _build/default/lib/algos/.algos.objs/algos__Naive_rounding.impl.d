@@ -1,0 +1,1 @@
+lib/algos/naive_rounding.ml: Array Common Core Float List Relaxed_lp

@@ -1,0 +1,1 @@
+lib/algos/naive_rounding.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/portfolio.ml: Batch_lpt Common Core Exact List List_scheduling Local_search Lpt Ra_class_uniform Randomized_rounding Um_class_uniform Uniform_ptas Workloads

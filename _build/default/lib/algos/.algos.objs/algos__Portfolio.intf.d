@@ -1,0 +1,1 @@
+lib/algos/portfolio.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/ptas_dp.ml: Array Core Hashtbl List Option

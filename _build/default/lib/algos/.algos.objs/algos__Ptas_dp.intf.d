@@ -1,0 +1,1 @@
+lib/algos/ptas_dp.mli: Core

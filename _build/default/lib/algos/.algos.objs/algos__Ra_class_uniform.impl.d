@@ -1,0 +1,1 @@
+lib/algos/ra_class_uniform.ml: Array Common Core Float Fun Graphs List Relaxed_lp

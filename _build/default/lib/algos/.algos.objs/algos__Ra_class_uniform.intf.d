@@ -1,0 +1,1 @@
+lib/algos/ra_class_uniform.mli: Common Core

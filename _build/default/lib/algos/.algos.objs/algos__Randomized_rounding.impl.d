@@ -1,0 +1,1 @@
+lib/algos/randomized_rounding.ml: Array Common Core Float List Lp_um Workloads

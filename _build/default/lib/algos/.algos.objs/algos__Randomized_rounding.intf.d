@@ -1,0 +1,1 @@
+lib/algos/randomized_rounding.mli: Common Core Lp_um Workloads

@@ -1,0 +1,1 @@
+lib/algos/relaxed_lp.ml: Array Float Graphs Lp Printf

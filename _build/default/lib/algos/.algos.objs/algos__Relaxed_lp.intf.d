@@ -1,0 +1,1 @@
+lib/algos/relaxed_lp.mli: Graphs

@@ -1,0 +1,1 @@
+lib/algos/relaxed_schedule.ml: Array Core Float Fun Hashtbl List Option Queue Speed_groups

@@ -1,0 +1,1 @@
+lib/algos/relaxed_schedule.mli: Core

@@ -1,0 +1,1 @@
+lib/algos/simplify.ml: Array Core Float Fun List

@@ -1,0 +1,1 @@
+lib/algos/simplify.mli: Core

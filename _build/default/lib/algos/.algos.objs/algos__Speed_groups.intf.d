@@ -1,0 +1,1 @@
+lib/algos/speed_groups.mli:

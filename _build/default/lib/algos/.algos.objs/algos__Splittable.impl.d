@@ -1,0 +1,1 @@
+lib/algos/splittable.ml: Array Core Float Fun Graphs List Relaxed_lp

@@ -1,0 +1,1 @@
+lib/algos/splittable.mli: Core

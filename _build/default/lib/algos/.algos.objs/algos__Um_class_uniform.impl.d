@@ -1,0 +1,1 @@
+lib/algos/um_class_uniform.ml: Array Common Core Fun Graphs List Relaxed_lp

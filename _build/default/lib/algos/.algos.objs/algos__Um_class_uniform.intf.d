@@ -1,0 +1,1 @@
+lib/algos/um_class_uniform.mli: Common Core

@@ -1,0 +1,1 @@
+lib/algos/uniform_ptas.ml: Common Core Option Ptas_dp Simplify

@@ -1,0 +1,1 @@
+lib/algos/uniform_ptas.mli: Common Core

@@ -1,0 +1,42 @@
+let schedule instance =
+  let speeds =
+    match instance.Core.Instance.env with
+    | Core.Instance.Identical ->
+        Array.make (Core.Instance.num_machines instance) 1.0
+    | Core.Instance.Uniform speeds -> Array.copy speeds
+    | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+        invalid_arg "Batch_lpt: requires identical or uniform machines"
+  in
+  let kk = Core.Instance.num_classes instance in
+  let macro =
+    Array.init kk (fun k ->
+        let vol = Core.Instance.class_size instance k in
+        if Core.Instance.jobs_of_class instance k = [] then 0.0
+        else vol +. instance.Core.Instance.setups.(k))
+  in
+  (* LPT over macro-jobs: largest first onto the machine finishing it
+     first. *)
+  let order = Array.init kk (fun k -> k) in
+  Array.sort (fun a b -> compare (macro.(b), a) (macro.(a), b)) order;
+  let m = Array.length speeds in
+  let load = Array.make m 0.0 in
+  let home = Array.make kk 0 in
+  Array.iter
+    (fun k ->
+      if macro.(k) > 0.0 then begin
+        let best = ref 0 and best_finish = ref infinity in
+        for i = 0 to m - 1 do
+          let finish = load.(i) +. (macro.(k) /. speeds.(i)) in
+          if finish < !best_finish then begin
+            best := i;
+            best_finish := finish
+          end
+        done;
+        load.(!best) <- !best_finish;
+        home.(k) <- !best
+      end)
+    order;
+  let assignment =
+    Array.map (fun k -> home.(k)) instance.Core.Instance.job_class
+  in
+  Common.result_of_assignment instance assignment

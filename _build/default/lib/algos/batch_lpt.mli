@@ -1,0 +1,14 @@
+(** Wholesale class batching — the other natural heuristic from the OR
+    literature on setup times, used as an additional baseline.
+
+    Each class becomes one indivisible macro-job of size
+    [s_k + Σ_{j∈k} p_j], and the macro-jobs are scheduled by plain LPT on
+    the uniform machines. Setup cost is minimal (exactly one setup per
+    class) but a large class can dominate a machine, so — unlike
+    Lemma 2.1's placeholder transformation, which splits classes at setup
+    granularity — this carries no constant approximation factor. The E7
+    comparison shows where each batching extreme wins. *)
+
+val schedule : Core.Instance.t -> Common.result
+(** Raises [Invalid_argument] unless the environment is identical or
+    uniformly related. *)

@@ -1,0 +1,55 @@
+type result = { schedule : Core.Schedule.t; makespan : float }
+
+let result_of_assignment instance assignment =
+  let schedule = Core.Schedule.make instance assignment in
+  { schedule; makespan = Core.Schedule.makespan schedule }
+
+module Load_tracker = struct
+  type t = {
+    instance : Core.Instance.t;
+    loads : float array;
+    has_class : bool array array; (* machine x class *)
+    assignment : int array; (* -1 = unassigned *)
+  }
+
+  let create instance =
+    {
+      instance;
+      loads = Array.make (Core.Instance.num_machines instance) 0.0;
+      has_class =
+        Array.make_matrix
+          (Core.Instance.num_machines instance)
+          (Core.Instance.num_classes instance)
+          false;
+      assignment = Array.make (Core.Instance.num_jobs instance) (-1);
+    }
+
+  let load t i = t.loads.(i)
+
+  let cost_increase t ~machine ~job =
+    let p = Core.Instance.ptime t.instance machine job in
+    let k = t.instance.Core.Instance.job_class.(job) in
+    if t.has_class.(machine).(k) then p
+    else p +. Core.Instance.setup_time t.instance machine k
+
+  let add t ~machine ~job =
+    if t.assignment.(job) >= 0 then
+      invalid_arg "Load_tracker.add: job already assigned";
+    let delta = cost_increase t ~machine ~job in
+    if delta = infinity then
+      invalid_arg "Load_tracker.add: job not eligible on machine";
+    t.loads.(machine) <- t.loads.(machine) +. delta;
+    t.has_class.(machine).(t.instance.Core.Instance.job_class.(job)) <- true;
+    t.assignment.(job) <- machine
+
+  let makespan t = Array.fold_left Float.max 0.0 t.loads
+
+  let assignment t =
+    Array.iteri
+      (fun j i ->
+        if i < 0 then
+          invalid_arg
+            (Printf.sprintf "Load_tracker.assignment: job %d unassigned" j))
+      t.assignment;
+    Array.copy t.assignment
+end

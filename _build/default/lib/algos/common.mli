@@ -1,0 +1,31 @@
+(** Shared plumbing for the scheduling algorithms. *)
+
+type result = { schedule : Core.Schedule.t; makespan : float }
+
+val result_of_assignment : Core.Instance.t -> int array -> result
+(** Validates the assignment (see {!Core.Schedule.make}) and computes the
+    makespan. *)
+
+(** Incremental setup-aware load accounting for greedy algorithms. *)
+module Load_tracker : sig
+  type t
+
+  val create : Core.Instance.t -> t
+
+  val load : t -> int -> float
+  (** Current load of a machine. *)
+
+  val cost_increase : t -> machine:int -> job:int -> float
+  (** Processing time of the job on the machine plus its class's setup time
+      if the machine does not yet hold that class ([infinity] if
+      ineligible). *)
+
+  val add : t -> machine:int -> job:int -> unit
+  (** Assign the job. Raises [Invalid_argument] if already assigned or
+      ineligible. *)
+
+  val makespan : t -> float
+
+  val assignment : t -> int array
+  (** Raises [Invalid_argument] if some job is still unassigned. *)
+end

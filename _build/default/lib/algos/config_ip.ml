@@ -1,0 +1,216 @@
+let speeds_of instance =
+  match instance.Core.Instance.env with
+  | Core.Instance.Identical ->
+      Array.make (Core.Instance.num_machines instance) 1.0
+  | Core.Instance.Uniform speeds -> Array.copy speeds
+  | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+      invalid_arg "Config_ip: requires identical or uniform machines"
+
+let require_identical instance = ignore (speeds_of instance)
+
+(* Configurations for a machine of the given size budget. *)
+let configurations_for_budget ?(config_limit = 50_000) instance ~budget:t =
+  let types = Array.of_list (Ptas_dp.item_types instance) in
+  let ntypes = Array.length types in
+  let type_class = Array.map (fun (k, _, _) -> k) types in
+  let type_size = Array.map (fun (_, p, _) -> p) types in
+  let counts = Array.map (fun (_, _, jobs) -> List.length jobs) types in
+  let setups = instance.Core.Instance.setups in
+  let eps = 1e-9 in
+  let chosen = Array.make ntypes 0 in
+  let class_open = Array.make (Core.Instance.num_classes instance) 0 in
+  let configs = ref [] in
+  let nconfigs = ref 0 in
+  (* The DFS visits every feasible (not only maximal) configuration, so cap
+     the total leaf count as well as the kept ones. *)
+  let visits = ref 0 in
+  (* Cost of adding one item of [ty] given the current class openings. *)
+  let marginal ty =
+    type_size.(ty)
+    +. if class_open.(type_class.(ty)) > 0 then 0.0 else setups.(type_class.(ty))
+  in
+  let maximal used =
+    let blocked = ref true in
+    for ty = 0 to ntypes - 1 do
+      if chosen.(ty) < counts.(ty) && used +. marginal ty <= t +. eps then
+        blocked := false
+    done;
+    !blocked
+  in
+  let rec enumerate ty used =
+    if ty = ntypes then begin
+      incr visits;
+      if !visits > 50 * config_limit then
+        failwith "Config_ip: configuration enumeration exceeded its budget";
+      if maximal used then begin
+        incr nconfigs;
+        if !nconfigs > config_limit then
+          failwith "Config_ip: configuration limit exceeded";
+        configs := Array.copy chosen :: !configs
+      end
+    end
+    else begin
+      let setup_cost =
+        if class_open.(type_class.(ty)) > 0 then 0.0
+        else setups.(type_class.(ty))
+      in
+      let max_fit =
+        if t -. used -. setup_cost < -.eps then 0
+        else if type_size.(ty) <= 0.0 then counts.(ty)
+        else
+          max 0
+            (min counts.(ty)
+               (int_of_float
+                  (floor ((t -. used -. setup_cost +. eps) /. type_size.(ty)))))
+      in
+      for c = max_fit downto 0 do
+        chosen.(ty) <- c;
+        if c > 0 then
+          class_open.(type_class.(ty)) <- class_open.(type_class.(ty)) + 1;
+        let used' =
+          used
+          +. (float_of_int c *. type_size.(ty))
+          +. (if c > 0 then setup_cost else 0.0)
+        in
+        enumerate (ty + 1) used';
+        if c > 0 then
+          class_open.(type_class.(ty)) <- class_open.(type_class.(ty)) - 1;
+        chosen.(ty) <- 0
+      done
+    end
+  in
+  enumerate 0 0.0;
+  !configs
+
+let configurations ?config_limit instance ~makespan =
+  require_identical instance;
+  (* budget in size units for a speed-v machine is makespan·v; the
+     canonical entry point reports the speed-1 (identical) budget *)
+  configurations_for_budget ?config_limit instance ~budget:makespan
+
+type outcome = { result : Common.result; optimal : bool }
+
+let feasible ?config_limit ?(node_limit = 200_000) instance ~makespan:t =
+  let speeds = speeds_of instance in
+  let types = Array.of_list (Ptas_dp.item_types instance) in
+  let ntypes = Array.length types in
+  let counts = Array.map (fun (_, _, jobs) -> List.length jobs) types in
+  (* one configuration family per distinct speed; machines of equal speed
+     are interchangeable, which is the symmetry this solver exploits *)
+  let speed_groups = Hashtbl.create 8 in
+  Array.iteri
+    (fun i v ->
+      let machines = Option.value ~default:[] (Hashtbl.find_opt speed_groups v) in
+      Hashtbl.replace speed_groups v (i :: machines))
+    speeds;
+  let groups =
+    Hashtbl.fold (fun v machines acc -> (v, machines) :: acc) speed_groups []
+    |> List.sort compare
+  in
+  let lp = Lp.create () in
+  (* zv: (config vector, machines of this speed group, variable) *)
+  let zv = ref [] in
+  List.iter
+    (fun (v, machines) ->
+      let budget = t *. v in
+      let configs =
+        configurations_for_budget ?config_limit instance ~budget
+      in
+      let cap = float_of_int (List.length machines) in
+      let terms = ref [] in
+      List.iteri
+        (fun idx c ->
+          let z =
+            Lp.add_var ~obj:1.0 ~ub:cap lp (Printf.sprintf "z_%g_%d" v idx)
+          in
+          terms := (1.0, z) :: !terms;
+          zv := (c, machines, z) :: !zv)
+        configs;
+      if !terms <> [] then Lp.add_constraint lp !terms Lp.Le cap)
+    groups;
+  let zv = !zv in
+  let uncoverable = ref false in
+  for ty = 0 to ntypes - 1 do
+    if counts.(ty) > 0 && not (List.exists (fun (c, _, _) -> c.(ty) > 0) zv)
+    then uncoverable := true
+  done;
+  if !uncoverable || zv = [] then None
+  else begin
+    for ty = 0 to ntypes - 1 do
+      if counts.(ty) > 0 then
+        Lp.add_constraint lp
+          (List.filter_map
+             (fun (c, _, z) ->
+               if c.(ty) > 0 then Some (float_of_int c.(ty), z) else None)
+             zv)
+          Lp.Ge
+          (float_of_int counts.(ty))
+    done;
+    match Lp.Mip.solve ~node_limit lp ~integer:(List.map (fun (_, _, z) -> z) zv) with
+    | Lp.Mip.No_proof -> failwith "Config_ip: node limit exceeded"
+    | Lp.Mip.Infeasible -> None
+    | Lp.Mip.Optimal { values; _ } ->
+        (* instantiate machines per speed group from configuration counts *)
+        let remaining = Array.map (fun (_, _, jobs) -> ref jobs) types in
+        let assignment = Array.make (Core.Instance.num_jobs instance) (-1) in
+        let cursor = Hashtbl.create 8 in
+        List.iter
+          (fun (v, machines) -> Hashtbl.replace cursor v machines)
+          groups;
+        List.iter
+          (fun (c, machines, z) ->
+            let v = speeds.(List.hd machines) in
+            let q = int_of_float (Float.round values.(Lp.var_index z)) in
+            for _ = 1 to q do
+              match Hashtbl.find cursor v with
+              | [] -> () (* capacity row prevents this *)
+              | machine :: rest ->
+                  Hashtbl.replace cursor v rest;
+                  for ty = 0 to ntypes - 1 do
+                    for _ = 1 to c.(ty) do
+                      match !(remaining.(ty)) with
+                      | [] -> () (* surplus capacity: covering over-counts *)
+                      | j :: rest ->
+                          assignment.(j) <- machine;
+                          remaining.(ty) := rest
+                    done
+                  done
+            done)
+          zv;
+        Some (Common.result_of_assignment instance assignment)
+  end
+
+let solve ?config_limit ?node_limit ?(rel_tol = 1e-4) instance =
+  let (_ : float array) = speeds_of instance in
+  let lo = Core.Bounds.lower_bound instance in
+  let hi = Core.Bounds.naive_upper_bound instance in
+  let probe t = feasible ?config_limit ?node_limit instance ~makespan:t in
+  let integral =
+    instance.Core.Instance.env = Core.Instance.Identical
+    && Array.for_all Float.is_integer instance.Core.Instance.sizes
+    && Array.for_all Float.is_integer instance.Core.Instance.setups
+  in
+  if integral then begin
+    let rec bisect lo hi best =
+      if hi - lo <= 1 then best
+      else begin
+        let mid = (lo + hi) / 2 in
+        match probe (float_of_int mid) with
+        | Some r -> bisect lo mid r
+        | None -> bisect mid hi best
+      end
+    in
+    let lo_i = int_of_float (ceil lo) - 1 in
+    let hi_i = int_of_float (ceil hi) in
+    match probe (float_of_int hi_i) with
+    | Some start -> { result = bisect lo_i hi_i start; optimal = true }
+    | None ->
+        (* the naive bound is always achievable; reaching here means the
+           limits fired inside the probe, which raises instead *)
+        assert false
+  end
+  else begin
+    match Core.Binary_search.min_feasible ~lo ~hi ~rel_tol probe with
+    | Some (_, result) -> { result; optimal = false }
+    | None -> assert false
+  end

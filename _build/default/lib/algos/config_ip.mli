@@ -1,0 +1,47 @@
+(** Configuration-IP solver for identical machines.
+
+    The lineage the paper cites for its strongest setup-time PTAS results
+    (Jansen–Klein–Maack–Rau, "Empowering the Configuration-IP"): instead
+    of assigning jobs, enumerate {e machine configurations} — maximal
+    multisets of (class, size) item types whose total size plus setups
+    fits the makespan guess — and decide with an integer program how many
+    machines run each configuration:
+
+    {v
+      Σ_c z_c <= m            (machines available)
+      Σ_c z_c · c_ty >= n_ty  (every item type covered)
+      z_c ∈ Z≥0
+    v}
+
+    Maximality of the enumerated configurations makes the covering form
+    complete (surplus capacity is simply left idle), and keeps the
+    enumeration small. Feasibility probes plug into the usual integer
+    bisection. Identical machines get one configuration family; uniformly
+    related machines get one family per distinct speed (machines of equal
+    speed are interchangeable — the symmetry this solver exploits and the
+    assignment ILP does not). *)
+
+val configurations :
+  ?config_limit:int -> Core.Instance.t -> makespan:float -> int array list
+(** The maximal feasible configurations as vectors over the instance's
+    item types (in {!Ptas_dp.num_item_types} order). Raises [Failure] if
+    more than [config_limit] (default [50_000]) configurations arise. *)
+
+val feasible :
+  ?config_limit:int ->
+  ?node_limit:int ->
+  Core.Instance.t ->
+  makespan:float ->
+  Common.result option
+(** A schedule of makespan [<= makespan], or [None] if the configuration
+    IP proves none exists. Raises [Invalid_argument] on restricted /
+    unrelated environments; [Failure] on enumeration/node-limit blowup. *)
+
+type outcome = { result : Common.result; optimal : bool }
+
+val solve :
+  ?config_limit:int -> ?node_limit:int -> ?rel_tol:float ->
+  Core.Instance.t -> outcome
+(** Integer bisection over the guess (exact for integral identical
+    instances; tolerance-bounded otherwise, since uniform speeds make the
+    optimum non-integral). *)

@@ -1,0 +1,174 @@
+type outcome = { result : Common.result; optimal : bool; nodes : int }
+
+let log_src = Logs.Src.create "algos.exact" ~doc:"assignment branch and bound"
+
+module Log = (val Logs.src_log log_src)
+
+type search_result = {
+  best_assignment : int array option;
+  best_makespan : float;
+  search_nodes : int;
+  complete : bool;
+}
+
+(* Core depth-first search. [fixed] pre-assigns jobs (excluded from
+   branching); [shared] is the incumbent makespan, possibly updated
+   concurrently by other domains — reads prune, improvements are published
+   with a CAS min-update and recorded locally. *)
+let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let kk = Core.Instance.num_classes instance in
+  let job_class = instance.Core.Instance.job_class in
+  let min_p =
+    Array.init n (fun j ->
+        let best = ref infinity in
+        for i = 0 to m - 1 do
+          let p = Core.Instance.ptime instance i j in
+          if p < !best then best := p
+        done;
+        !best)
+  in
+  Array.iter
+    (fun p -> if p = infinity then invalid_arg "Exact: job eligible nowhere")
+    min_p;
+  let is_fixed = Array.make n false in
+  List.iter (fun (j, _) -> is_fixed.(j) <- true) fixed;
+  (* Branch order over the free jobs: non-increasing minimum processing
+     time puts the most constrained jobs first. *)
+  let order =
+    Array.of_list
+      (List.sort
+         (fun a b -> compare (min_p.(b), a) (min_p.(a), b))
+         (List.filter (fun j -> not is_fixed.(j)) (List.init n Fun.id)))
+  in
+  let free = Array.length order in
+  let suffix_min_work = Array.make (free + 1) 0.0 in
+  for idx = free - 1 downto 0 do
+    suffix_min_work.(idx) <- suffix_min_work.(idx + 1) +. min_p.(order.(idx))
+  done;
+  let speed_sum = ref 0.0 in
+  for i = 0 to m - 1 do
+    speed_sum := !speed_sum +. Core.Instance.speed instance i
+  done;
+  let identical = instance.Core.Instance.env = Core.Instance.Identical in
+  let loads = Array.make m 0.0 in
+  let has_class = Array.make_matrix m kk false in
+  let used = Array.make m false in
+  let assignment = Array.make n (-1) in
+  (* Apply the fixed prefix. *)
+  let fixed_max = ref 0.0 in
+  List.iter
+    (fun (j, i) ->
+      if assignment.(j) >= 0 then invalid_arg "Exact: job fixed twice";
+      if not (Core.Instance.job_eligible instance i j) then
+        invalid_arg "Exact: fixed job not eligible on its machine";
+      let k = job_class.(j) in
+      let setup =
+        if has_class.(i).(k) then 0.0
+        else Core.Instance.setup_time instance i k
+      in
+      loads.(i) <- loads.(i) +. Core.Instance.ptime instance i j +. setup;
+      has_class.(i).(k) <- true;
+      used.(i) <- true;
+      assignment.(j) <- i;
+      if loads.(i) > !fixed_max then fixed_max := loads.(i))
+    fixed;
+  let best_assignment = ref None in
+  let best_makespan = ref infinity in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  let eps = 1e-9 in
+  (* CAS min-update; returns true if we published an improvement. *)
+  let publish value =
+    let rec go () =
+      let current = Atomic.get shared in
+      if value >= current -. eps then false
+      else if Atomic.compare_and_set shared current value then true
+      else go ()
+    in
+    go ()
+  in
+  let rec branch idx current_max =
+    if !nodes >= node_limit then exhausted := true
+    else begin
+      incr nodes;
+      if idx = free then begin
+        if publish current_max then begin
+          best_makespan := current_max;
+          best_assignment := Some (Array.copy assignment)
+        end
+      end
+      else begin
+        let incumbent = Atomic.get shared in
+        let placed = Array.fold_left ( +. ) 0.0 loads in
+        let volume = (placed +. suffix_min_work.(idx)) /. !speed_sum in
+        if Float.max current_max volume < incumbent -. eps then begin
+          let j = order.(idx) in
+          let k = job_class.(j) in
+          let first_empty_done = ref false in
+          let i = ref 0 in
+          while !i < m && not !exhausted do
+            let machine = !i in
+            let skip =
+              identical && (not used.(machine)) && !first_empty_done
+            in
+            if not skip then begin
+              if identical && not used.(machine) then first_empty_done := true;
+              let p = Core.Instance.ptime instance machine j in
+              if p < infinity then begin
+                let setup =
+                  if has_class.(machine).(k) then 0.0
+                  else Core.Instance.setup_time instance machine k
+                in
+                if setup < infinity then begin
+                  let new_load = loads.(machine) +. p +. setup in
+                  if new_load < Atomic.get shared -. eps then begin
+                    let was_used = used.(machine) in
+                    let had_class = has_class.(machine).(k) in
+                    loads.(machine) <- new_load;
+                    has_class.(machine).(k) <- true;
+                    used.(machine) <- true;
+                    assignment.(j) <- machine;
+                    branch (idx + 1) (Float.max current_max new_load);
+                    assignment.(j) <- -1;
+                    loads.(machine) <- new_load -. p -. setup;
+                    has_class.(machine).(k) <- had_class;
+                    used.(machine) <- was_used
+                  end
+                end
+              end
+            end;
+            incr i
+          done
+        end
+      end
+    end
+  in
+  branch 0 !fixed_max;
+  Log.debug (fun f ->
+      f "n=%d m=%d fixed=%d: %d nodes%s" n m (List.length fixed) !nodes
+        (if !exhausted then " (node limit)" else ""));
+  {
+    best_assignment = !best_assignment;
+    best_makespan = !best_makespan;
+    search_nodes = !nodes;
+    complete = not !exhausted;
+  }
+
+let solve ?node_limit instance =
+  let greedy = List_scheduling.schedule instance in
+  let shared = Atomic.make greedy.Common.makespan in
+  let sr = search ?node_limit ~shared instance in
+  let result =
+    match sr.best_assignment with
+    | Some a -> Common.result_of_assignment instance a
+    | None -> greedy
+  in
+  { result; optimal = sr.complete; nodes = sr.search_nodes }
+
+let makespan ?node_limit instance =
+  let outcome = solve ?node_limit instance in
+  if not outcome.optimal then
+    failwith "Exact.makespan: node limit reached before proving optimality";
+  outcome.result.Common.makespan

@@ -1,0 +1,46 @@
+(** Exact makespan minimization by branch and bound.
+
+    Ground truth for the approximation-ratio experiments. Jobs are branched
+    in non-increasing size order over all machines, with best-first
+    incumbent from list scheduling, volume-based pruning and empty-machine
+    symmetry breaking on identical machines. Exponential in the worst case
+    — intended for instances with up to roughly 15 jobs. *)
+
+type outcome = {
+  result : Common.result;
+  optimal : bool;  (** false if the node limit was hit first *)
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+val solve : ?node_limit:int -> Core.Instance.t -> outcome
+(** [node_limit] defaults to 20 million. Raises [Invalid_argument] if some
+    job is eligible on no machine. *)
+
+val makespan : ?node_limit:int -> Core.Instance.t -> float
+(** Shorthand: [(solve t).result.makespan]; raises [Failure] if optimality
+    was not proven within the node limit. *)
+
+(** {1 Low-level search}
+
+    Building block shared with {!Exact_parallel}. *)
+
+type search_result = {
+  best_assignment : int array option;
+      (** an assignment strictly better than the initial incumbent, if the
+          search found one *)
+  best_makespan : float;  (** its makespan ([infinity] when [None]) *)
+  search_nodes : int;
+  complete : bool;
+}
+
+val search :
+  ?node_limit:int ->
+  ?fixed:(int * int) list ->
+  shared:float Atomic.t ->
+  Core.Instance.t ->
+  search_result
+(** Depth-first branch and bound over the non-[fixed] jobs, starting from
+    the given [(job, machine)] pre-assignments. [shared] holds the
+    incumbent makespan: it is read for pruning on every node and updated
+    with a CAS min whenever a better schedule completes, so several
+    searches can run concurrently against the same incumbent. *)

@@ -1,0 +1,149 @@
+type outcome = { result : Common.result; optimal : bool }
+
+(* Build and solve the 0/1 feasibility program for a fixed guess. *)
+let probe ?(node_limit = 200_000) instance ~makespan:t =
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let kk = Core.Instance.num_classes instance in
+  let job_class = instance.Core.Instance.job_class in
+  let lp = Lp.create () in
+  let xv = Array.make_matrix m n None in
+  let yv = Array.make_matrix m kk None in
+  let class_count = Array.make kk 0 in
+  Array.iter (fun k -> class_count.(k) <- class_count.(k) + 1) job_class;
+  for i = 0 to m - 1 do
+    for k = 0 to kk - 1 do
+      if Core.Instance.setup_time instance i k <= t && class_count.(k) > 0 then
+        yv.(i).(k) <- Some (Lp.add_var ~ub:1.0 lp (Printf.sprintf "y%d_%d" i k))
+    done;
+    for j = 0 to n - 1 do
+      let p = Core.Instance.ptime instance i j in
+      if p <= t && yv.(i).(job_class.(j)) <> None then
+        xv.(i).(j) <- Some (Lp.add_var ~ub:1.0 lp (Printf.sprintf "x%d_%d" i j))
+    done
+  done;
+  let assignable = ref true in
+  for j = 0 to n - 1 do
+    let terms = ref [] in
+    for i = 0 to m - 1 do
+      match xv.(i).(j) with Some v -> terms := (1.0, v) :: !terms | None -> ()
+    done;
+    if !terms = [] then assignable := false
+    else Lp.add_constraint lp !terms Lp.Eq 1.0
+  done;
+  if not !assignable then Some None (* provably infeasible *)
+  else begin
+    for i = 0 to m - 1 do
+      (* (1) machine load *)
+      let terms = ref [] in
+      for j = 0 to n - 1 do
+        match xv.(i).(j) with
+        | Some v -> terms := (Core.Instance.ptime instance i j, v) :: !terms
+        | None -> ()
+      done;
+      for k = 0 to kk - 1 do
+        match yv.(i).(k) with
+        | Some v -> terms := (Core.Instance.setup_time instance i k, v) :: !terms
+        | None -> ()
+      done;
+      if !terms <> [] then Lp.add_constraint lp !terms Lp.Le t;
+      (* (4) aggregated: Σ_{j∈k} x_ij <= |J_k| y_ik *)
+      for k = 0 to kk - 1 do
+        match yv.(i).(k) with
+        | None -> ()
+        | Some y ->
+            let terms = ref [ (-.float_of_int class_count.(k), y) ] in
+            for j = 0 to n - 1 do
+              if job_class.(j) = k then
+                match xv.(i).(j) with
+                | Some x -> terms := (1.0, x) :: !terms
+                | None -> ()
+            done;
+            if List.length !terms > 1 then
+              Lp.add_constraint lp !terms Lp.Le 0.0
+      done
+    done;
+    let integer =
+      List.concat_map
+        (fun row -> List.filter_map Fun.id (Array.to_list row))
+        (Array.to_list xv @ Array.to_list yv)
+    in
+    match Lp.Mip.solve ~node_limit lp ~integer with
+    | Lp.Mip.No_proof -> None (* caller translates to Node_limit *)
+    | Lp.Mip.Infeasible -> Some None
+    | Lp.Mip.Optimal { values; _ } ->
+        let assignment = Array.make n (-1) in
+        for j = 0 to n - 1 do
+          for i = 0 to m - 1 do
+            match xv.(i).(j) with
+            | Some v ->
+                if values.(Lp.var_index v) > 0.5 && assignment.(j) < 0 then
+                  assignment.(j) <- i
+            | None -> ()
+          done
+        done;
+        Some (Some (Common.result_of_assignment instance assignment))
+  end
+
+let feasible ?node_limit instance ~makespan =
+  match probe ?node_limit instance ~makespan with
+  | None -> failwith "Exact_ilp.feasible: node limit reached"
+  | Some answer -> answer
+
+let is_integral instance =
+  let ok = ref true in
+  let check v = if v < infinity && Float.round v <> v then ok := false in
+  for i = 0 to Core.Instance.num_machines instance - 1 do
+    for j = 0 to Core.Instance.num_jobs instance - 1 do
+      check (Core.Instance.ptime instance i j)
+    done;
+    for k = 0 to Core.Instance.num_classes instance - 1 do
+      check (Core.Instance.setup_time instance i k)
+    done
+  done;
+  !ok
+
+let solve ?(node_limit = 200_000) ?(rel_tol = 1e-4) instance =
+  let limited = ref false in
+  let run_probe t =
+    match probe ~node_limit instance ~makespan:t with
+    | None ->
+        limited := true;
+        None
+    | Some answer -> answer
+  in
+  let lo = Core.Bounds.lower_bound instance in
+  let hi = Core.Bounds.naive_upper_bound instance in
+  if hi = infinity then invalid_arg "Exact_ilp.solve: job eligible nowhere";
+  if is_integral instance then begin
+    (* integer bisection: OPT is an integer in [ceil lo, ceil hi] *)
+    let rec bisect lo hi best =
+      (* invariant: OPT > lo (infeasible), feasible witness at hi = best *)
+      if hi - lo <= 1 then best
+      else begin
+        let mid = (lo + hi) / 2 in
+        match run_probe (float_of_int mid) with
+        | Some r -> bisect lo mid r
+        | None -> bisect mid hi best
+      end
+    in
+    let lo_i = int_of_float (ceil lo) - 1 in
+    let hi_i = int_of_float (ceil hi) in
+    (* the naive upper bound is integrally achievable *)
+    let start =
+      match run_probe (float_of_int hi_i) with
+      | Some r -> r
+      | None -> List_scheduling.schedule instance
+    in
+    let result = bisect lo_i hi_i start in
+    { result; optimal = not !limited }
+  end
+  else begin
+    match
+      Core.Binary_search.min_feasible ~lo ~hi ~rel_tol (fun t -> run_probe t)
+    with
+    | Some (_, result) -> { result; optimal = false }
+    | None ->
+        (* hi is integrally achievable, so only node limits get here *)
+        { result = List_scheduling.schedule instance; optimal = false }
+  end

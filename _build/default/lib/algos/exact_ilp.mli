@@ -1,0 +1,27 @@
+(** Exact scheduling via the integer program ILP-UM itself.
+
+    The complement to {!Exact}'s assignment enumeration: feasibility of a
+    makespan guess [T] is decided by branch and bound on the 0/1 program
+    (constraints (1)–(5), with (4) in the aggregated form
+    [Σ_{j∈k} x_ij <= |J_k|·y_ik]), and the guess is binary-searched. When
+    every processing and setup time is integral — true for all generated
+    workloads — the optimum is an integer and the search is exact;
+    otherwise the result is within the given relative tolerance. *)
+
+type outcome = {
+  result : Common.result;
+  optimal : bool;
+      (** true iff no MIP node limit fired and the instance was integral,
+          so the integer bisection closed the gap exactly *)
+}
+
+val feasible :
+  ?node_limit:int -> Core.Instance.t -> makespan:float -> Common.result option
+(** One probe: a schedule of makespan [<= makespan], or [None] if the MIP
+    proves none exists. Raises [Failure] if the node limit fires (neither
+    answer would be trustworthy). *)
+
+val solve :
+  ?node_limit:int -> ?rel_tol:float -> Core.Instance.t -> outcome
+(** [node_limit] (default [200_000]) applies per probe; [rel_tol]
+    (default [1e-4]) only matters for non-integral instances. *)

@@ -1,0 +1,81 @@
+type outcome = {
+  result : Common.result;
+  optimal : bool;
+  nodes : int;
+  subtrees : int;
+}
+
+(* Root prefixes to explore in parallel. On identical machines the first
+   job's machine choices are symmetric, so we fix job0 to machine 0 and
+   split on the second job; elsewhere we split on the first job. *)
+let root_prefixes instance =
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let eligible j =
+    List.filter
+      (fun i -> Core.Instance.job_eligible instance i j)
+      (List.init m Fun.id)
+  in
+  let identical = instance.Core.Instance.env = Core.Instance.Identical in
+  if n = 0 then [ [] ]
+  else if identical then
+    if n = 1 then [ [ (0, 0) ] ]
+    else begin
+      (* job 1 goes to machine 0 (same as job 0) or to one fresh machine;
+         on identical machines every other empty machine is symmetric *)
+      let shared = [ (0, 0); (1, 0) ] in
+      if m > 1 then [ shared; [ (0, 0); (1, 1) ] ] else [ shared ]
+    end
+  else List.map (fun i -> [ (0, i) ]) (eligible 0)
+
+let solve ?node_limit ?pool instance =
+  let greedy = List_scheduling.schedule instance in
+  let shared = Atomic.make greedy.Common.makespan in
+  let prefixes = root_prefixes instance in
+  let run_in pool =
+    Parallel.Pool.map pool
+      (fun fixed ->
+        match Exact.search ?node_limit ~fixed ~shared instance with
+        | sr -> Ok sr
+        | exception Invalid_argument msg -> Error msg)
+      prefixes
+  in
+  let results =
+    match pool with
+    | Some pool -> run_in pool
+    | None ->
+        let pool = Parallel.Pool.create (Parallel.Pool.default_jobs ()) in
+        Fun.protect
+          ~finally:(fun () -> Parallel.Pool.shutdown pool)
+          (fun () -> run_in pool)
+  in
+  let results =
+    List.map
+      (function
+        | Ok sr -> sr
+        | Error msg ->
+            (* a prefix can be invalid only if the instance itself is *)
+            invalid_arg msg)
+      results
+  in
+  let best =
+    List.fold_left
+      (fun acc sr ->
+        match (acc, sr.Exact.best_assignment) with
+        | None, Some a -> Some (a, sr.Exact.best_makespan)
+        | Some (_, bm), Some a when sr.Exact.best_makespan < bm ->
+            Some (a, sr.Exact.best_makespan)
+        | acc, _ -> acc)
+      None results
+  in
+  let result =
+    match best with
+    | Some (a, _) -> Common.result_of_assignment instance a
+    | None -> greedy
+  in
+  {
+    result;
+    optimal = List.for_all (fun sr -> sr.Exact.complete) results;
+    nodes = List.fold_left (fun acc sr -> acc + sr.Exact.search_nodes) 0 results;
+    subtrees = List.length prefixes;
+  }

@@ -1,0 +1,28 @@
+(** Parallel exact branch and bound (OCaml 5 domains).
+
+    The search tree is split at the root: the first job in branch order is
+    fixed to each of its eligible machines and the resulting subtrees are
+    explored concurrently on a {!Parallel.Pool}, sharing a single atomic
+    incumbent so every domain prunes with the globally best makespan found
+    so far. On identical machines the first job's choices are symmetric,
+    so the split happens on the first {e two} jobs instead.
+
+    Results are identical to {!Exact.solve} — only wall-clock time and the
+    node-visit order differ. *)
+
+type outcome = {
+  result : Common.result;
+  optimal : bool;  (** false if any subtree hit the node limit *)
+  nodes : int;  (** total nodes over all subtrees *)
+  subtrees : int;  (** root branches explored in parallel *)
+}
+
+val solve :
+  ?node_limit:int ->
+  ?pool:Parallel.Pool.t ->
+  Core.Instance.t ->
+  outcome
+(** [node_limit] (default 20 million) applies per subtree. Without [pool]
+    a temporary pool of {!Parallel.Pool.default_jobs} domains is created
+    and shut down. Raises [Invalid_argument] if some job is eligible on no
+    machine. *)

@@ -1,0 +1,51 @@
+type order = Input | Longest_first | By_class
+
+let min_ptime instance j =
+  let best = ref infinity in
+  for i = 0 to Core.Instance.num_machines instance - 1 do
+    let p = Core.Instance.ptime instance i j in
+    if p < !best then best := p
+  done;
+  !best
+
+let job_order instance order =
+  let n = Core.Instance.num_jobs instance in
+  let jobs = Array.init n (fun j -> j) in
+  (match order with
+  | Input -> ()
+  | Longest_first ->
+      let key = Array.init n (fun j -> min_ptime instance j) in
+      Array.sort (fun a b -> compare (key.(b), a) (key.(a), b)) jobs
+  | By_class ->
+      let volume =
+        Array.init (Core.Instance.num_classes instance) (fun k ->
+            Core.Instance.class_size instance k)
+      in
+      let key j =
+        let k = instance.Core.Instance.job_class.(j) in
+        (* sort by class volume (desc), then class id, then size desc *)
+        (-.volume.(k), k, -.instance.Core.Instance.sizes.(j))
+      in
+      Array.sort (fun a b -> compare (key a) (key b)) jobs);
+  jobs
+
+let schedule ?(order = By_class) instance =
+  let tracker = Common.Load_tracker.create instance in
+  let jobs = job_order instance order in
+  Array.iter
+    (fun j ->
+      let best = ref (-1) and best_load = ref infinity in
+      for i = 0 to Core.Instance.num_machines instance - 1 do
+        let delta = Common.Load_tracker.cost_increase tracker ~machine:i ~job:j in
+        let completion = Common.Load_tracker.load tracker i +. delta in
+        if completion < !best_load then begin
+          best := i;
+          best_load := completion
+        end
+      done;
+      if !best < 0 then
+        invalid_arg
+          (Printf.sprintf "List_scheduling: job %d is eligible nowhere" j);
+      Common.Load_tracker.add tracker ~machine:!best ~job:j)
+    jobs;
+  Common.result_of_assignment instance (Common.Load_tracker.assignment tracker)

@@ -1,0 +1,16 @@
+(** Setup-aware greedy list scheduling.
+
+    The natural baseline heuristic for every machine environment: jobs are
+    considered in a fixed order and each goes to the machine where it
+    completes earliest, counting the class setup if the machine does not
+    yet hold the job's class. *)
+
+type order =
+  | Input  (** jobs in index order *)
+  | Longest_first  (** non-increasing minimum processing time *)
+  | By_class  (** classes grouped together (largest class volume first),
+                  sizes non-increasing within a class — usually the
+                  strongest variant because it avoids scattering setups *)
+
+val schedule : ?order:order -> Core.Instance.t -> Common.result
+(** Raises [Invalid_argument] if some job is eligible on no machine. *)

@@ -1,0 +1,151 @@
+type stats = { result : Common.result; moves : int; swaps : int }
+
+(* Mutable view of a schedule with O(1) incremental load edits. *)
+type state = {
+  instance : Core.Instance.t;
+  assignment : int array;
+  loads : float array;
+  class_count : int array array; (* machine x class: jobs present *)
+}
+
+let build instance schedule =
+  if not (Core.Schedule.is_valid instance schedule) then
+    invalid_arg "Local_search: schedule does not belong to the instance";
+  let m = Core.Instance.num_machines instance in
+  let kk = Core.Instance.num_classes instance in
+  let assignment = Core.Schedule.assignment schedule in
+  let loads = Array.make m 0.0 in
+  let class_count = Array.make_matrix m kk 0 in
+  Array.iteri
+    (fun j i ->
+      let k = instance.Core.Instance.job_class.(j) in
+      loads.(i) <- loads.(i) +. Core.Instance.ptime instance i j;
+      if class_count.(i).(k) = 0 then
+        loads.(i) <- loads.(i) +. Core.Instance.setup_time instance i k;
+      class_count.(i).(k) <- class_count.(i).(k) + 1)
+    assignment;
+  { instance; assignment; loads; class_count }
+
+(* Load of machine [i] after removing the listed jobs and adding the
+   others; job lists are tiny (1-2 elements). *)
+let load_after st i ~remove ~add =
+  let inst = st.instance in
+  let k_of j = inst.Core.Instance.job_class.(j) in
+  let delta_count = Hashtbl.create 4 in
+  let bump k d =
+    Hashtbl.replace delta_count k (d + Option.value ~default:0 (Hashtbl.find_opt delta_count k))
+  in
+  let load = ref st.loads.(i) in
+  List.iter
+    (fun j ->
+      load := !load -. Core.Instance.ptime inst i j;
+      bump (k_of j) (-1))
+    remove;
+  List.iter
+    (fun j ->
+      load := !load +. Core.Instance.ptime inst i j;
+      bump (k_of j) 1)
+    add;
+  Hashtbl.iter
+    (fun k d ->
+      let before = st.class_count.(i).(k) in
+      let after = before + d in
+      if before > 0 && after = 0 then
+        load := !load -. Core.Instance.setup_time inst i k
+      else if before = 0 && after > 0 then
+        load := !load +. Core.Instance.setup_time inst i k)
+    delta_count;
+  !load
+
+let apply_move st j target =
+  let inst = st.instance in
+  let source = st.assignment.(j) in
+  let k = inst.Core.Instance.job_class.(j) in
+  st.loads.(source) <- load_after st source ~remove:[ j ] ~add:[];
+  st.class_count.(source).(k) <- st.class_count.(source).(k) - 1;
+  st.loads.(target) <- load_after st target ~remove:[] ~add:[ j ];
+  st.class_count.(target).(k) <- st.class_count.(target).(k) + 1;
+  st.assignment.(j) <- target
+
+let makespan_if st changed =
+  (* max load with the (machine, new load) substitutions in [changed] *)
+  let value i =
+    match List.assoc_opt i changed with
+    | Some l -> l
+    | None -> st.loads.(i)
+  in
+  let worst = ref 0.0 in
+  for i = 0 to Array.length st.loads - 1 do
+    let l = value i in
+    if l > !worst then worst := l
+  done;
+  !worst
+
+let improve ?(max_steps = 10_000) instance schedule =
+  let st = build instance schedule in
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let eps = 1e-9 in
+  let moves = ref 0 and swaps = ref 0 in
+  let continue = ref true in
+  let steps = ref 0 in
+  while !continue && !steps < max_steps do
+    incr steps;
+    let current = Array.fold_left Float.max 0.0 st.loads in
+    (* best improving action this sweep *)
+    let best = ref None in
+    let consider quality action =
+      match !best with
+      | Some (q, _) when q <= quality +. eps -> ()
+      | _ -> if quality < current -. eps then best := Some (quality, action)
+    in
+    (* moves *)
+    for j = 0 to n - 1 do
+      let source = st.assignment.(j) in
+      for target = 0 to m - 1 do
+        if target <> source && Core.Instance.job_eligible instance target j
+        then begin
+          let ls = load_after st source ~remove:[ j ] ~add:[] in
+          let lt = load_after st target ~remove:[] ~add:[ j ] in
+          let q = makespan_if st [ (source, ls); (target, lt) ] in
+          consider q (`Move (j, target))
+        end
+      done
+    done;
+    (* swaps *)
+    for j1 = 0 to n - 1 do
+      for j2 = j1 + 1 to n - 1 do
+        let i1 = st.assignment.(j1) and i2 = st.assignment.(j2) in
+        if
+          i1 <> i2
+          && Core.Instance.job_eligible instance i2 j1
+          && Core.Instance.job_eligible instance i1 j2
+        then begin
+          let l1 = load_after st i1 ~remove:[ j1 ] ~add:[ j2 ] in
+          let l2 = load_after st i2 ~remove:[ j2 ] ~add:[ j1 ] in
+          let q = makespan_if st [ (i1, l1); (i2, l2) ] in
+          consider q (`Swap (j1, j2))
+        end
+      done
+    done;
+    match !best with
+    | None -> continue := false
+    | Some (_, `Move (j, target)) ->
+        apply_move st j target;
+        incr moves
+    | Some (_, `Swap (j1, j2)) ->
+        let i1 = st.assignment.(j1) and i2 = st.assignment.(j2) in
+        apply_move st j1 i2;
+        apply_move st j2 i1;
+        incr swaps
+  done;
+  {
+    result = Common.result_of_assignment instance st.assignment;
+    moves = !moves;
+    swaps = !swaps;
+  }
+
+let polish ?max_steps instance (r : Common.result) =
+  let improved = improve ?max_steps instance r.Common.schedule in
+  if improved.result.Common.makespan < r.Common.makespan then improved.result
+  else r

@@ -1,0 +1,29 @@
+(** Local-search polishing of schedules.
+
+    Classic OR-style post-processing orthogonal to the paper's guarantees:
+    starting from any schedule, repeatedly apply the best improving move
+    until none exists. Neighborhoods:
+
+    - {e move}: relocate one job to another machine;
+    - {e swap}: exchange two jobs between machines.
+
+    Both evaluate loads with full setup accounting (moving the last job of
+    a class off a machine also removes the setup), so the search exploits
+    exactly the structure that makes the problem hard. The result is never
+    worse than the input; guarantees carried by the input schedule are
+    preserved. *)
+
+type stats = {
+  result : Common.result;
+  moves : int;  (** improving relocations applied *)
+  swaps : int;  (** improving exchanges applied *)
+}
+
+val improve : ?max_steps:int -> Core.Instance.t -> Core.Schedule.t -> stats
+(** Steepest-descent until a local optimum or [max_steps] (default 10_000)
+    improvements. Raises [Invalid_argument] if the schedule does not
+    belong to the instance. *)
+
+val polish : ?max_steps:int -> Core.Instance.t -> Common.result -> Common.result
+(** Convenience wrapper: [improve] on a result, keeping the better of the
+    two (they are equal at a local optimum by construction). *)

@@ -1,0 +1,121 @@
+type fractional = {
+  makespan : float;
+  x : float array array;
+  y : float array array;
+}
+
+let log_src = Logs.Src.create "algos.lp_um" ~doc:"ILP-UM relaxation"
+
+module Log = (val Logs.src_log log_src)
+
+let feasible instance ~makespan:t =
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let kk = Core.Instance.num_classes instance in
+  let job_class = instance.Core.Instance.job_class in
+  let lp = Lp.create () in
+  (* Variables only for pairs that could appear in a schedule of makespan
+     t: p_ij <= t (constraint (5)) and s_ik <= t (implied by (1)). *)
+  let xv = Array.make_matrix m n None in
+  let yv = Array.make_matrix m kk None in
+  for i = 0 to m - 1 do
+    for k = 0 to kk - 1 do
+      if Core.Instance.setup_time instance i k <= t then
+        yv.(i).(k) <-
+          Some (Lp.add_var ~ub:1.0 lp (Printf.sprintf "y_%d_%d" i k))
+    done;
+    for j = 0 to n - 1 do
+      let p = Core.Instance.ptime instance i j in
+      if p <= t && yv.(i).(job_class.(j)) <> None then
+        xv.(i).(j) <- Some (Lp.add_var lp (Printf.sprintf "x_%d_%d" i j))
+    done
+  done;
+  (* (2): every job fully assigned *)
+  let assignable = ref true in
+  for j = 0 to n - 1 do
+    let terms = ref [] in
+    for i = 0 to m - 1 do
+      match xv.(i).(j) with
+      | Some v -> terms := (1.0, v) :: !terms
+      | None -> ()
+    done;
+    if !terms = [] then assignable := false
+    else Lp.add_constraint lp !terms Lp.Eq 1.0
+  done;
+  if not !assignable then None
+  else begin
+    (* (1): machine loads *)
+    for i = 0 to m - 1 do
+      let terms = ref [] in
+      for j = 0 to n - 1 do
+        match xv.(i).(j) with
+        | Some v -> terms := (Core.Instance.ptime instance i j, v) :: !terms
+        | None -> ()
+      done;
+      for k = 0 to kk - 1 do
+        match yv.(i).(k) with
+        | Some v ->
+            terms := (Core.Instance.setup_time instance i k, v) :: !terms
+        | None -> ()
+      done;
+      if !terms <> [] then Lp.add_constraint lp !terms Lp.Le t
+    done;
+    (* (4): setups dominate assignments *)
+    for i = 0 to m - 1 do
+      for j = 0 to n - 1 do
+        match xv.(i).(j) with
+        | Some x -> (
+            match yv.(i).(job_class.(j)) with
+            | Some y -> Lp.add_constraint lp [ (1.0, y); (-1.0, x) ] Lp.Ge 0.0
+            | None -> assert false (* x exists only when y does *))
+        | None -> ()
+      done
+    done;
+    match Lp.solve lp with
+    | Lp.Optimal sol ->
+        let x =
+          Array.init m (fun i ->
+              Array.init n (fun j ->
+                  match xv.(i).(j) with
+                  | Some v -> Lp.value sol v
+                  | None -> 0.0))
+        in
+        let y =
+          Array.init m (fun i ->
+              Array.init kk (fun k ->
+                  match yv.(i).(k) with
+                  | Some v -> Lp.value sol v
+                  | None -> 0.0))
+        in
+        Some { makespan = t; x; y }
+    | Lp.Infeasible -> None
+    | Lp.Unbounded -> assert false (* feasibility problem, zero objective *)
+    | Lp.Aborted -> None
+  end
+
+type bound = { lower : float; solution : fractional; probes : int }
+
+let lower_bound ?(rel_tol = 0.02) instance =
+  let lo = Core.Bounds.lower_bound instance in
+  let hi = Core.Bounds.naive_upper_bound instance in
+  if hi = infinity then invalid_arg "Lp_um.lower_bound: job eligible nowhere";
+  let probes = ref 0 in
+  let max_infeasible = ref lo in
+  let probe t =
+    incr probes;
+    let answer = feasible instance ~makespan:t in
+    Log.debug (fun f ->
+        f "probe %d: T=%g %s" !probes t
+          (match answer with Some _ -> "feasible" | None -> "infeasible"));
+    (match answer with
+    | None -> if t > !max_infeasible then max_infeasible := t
+    | Some _ -> ());
+    answer
+  in
+  match Core.Binary_search.min_feasible ~lo ~hi ~rel_tol probe with
+  | Some (_, sol) ->
+      { lower = !max_infeasible; solution = sol; probes = !probes }
+  | None ->
+      (* The naive upper bound is achievable integrally, so the LP cannot
+         be infeasible there. *)
+      assert false

@@ -1,0 +1,124 @@
+let approximation_factor = 3.0 *. (1.0 +. (1.0 /. sqrt 3.0))
+
+let speeds_of instance =
+  match instance.Core.Instance.env with
+  | Core.Instance.Identical ->
+      Array.make (Core.Instance.num_machines instance) 1.0
+  | Core.Instance.Uniform speeds -> Array.copy speeds
+  | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+      invalid_arg "Lpt: requires identical or uniformly related machines"
+
+(* Classic LPT for uniform machines on abstract items: sort by
+   non-increasing size and put each item on the machine where it finishes
+   first. Returns the machine of each item. *)
+let lpt_items speeds sizes =
+  let m = Array.length speeds in
+  let order = Array.init (Array.length sizes) (fun idx -> idx) in
+  Array.sort (fun a b -> compare (sizes.(b), a) (sizes.(a), b)) order;
+  let load = Array.make m 0.0 in
+  let home = Array.make (Array.length sizes) (-1) in
+  Array.iter
+    (fun item ->
+      let best = ref 0 and best_finish = ref infinity in
+      for i = 0 to m - 1 do
+        let finish = load.(i) +. (sizes.(item) /. speeds.(i)) in
+        if finish < !best_finish then begin
+          best := i;
+          best_finish := finish
+        end
+      done;
+      load.(!best) <- !best_finish;
+      home.(item) <- !best)
+    order;
+  home
+
+let setup_oblivious instance =
+  let speeds = speeds_of instance in
+  let home = lpt_items speeds instance.Core.Instance.sizes in
+  Common.result_of_assignment instance home
+
+(* Items of the transformed instance: either a real (large) job or a
+   placeholder standing for a bundle of small jobs of one class. *)
+type item = Real of int | Placeholder of int (* class *)
+
+let schedule instance =
+  let speeds = speeds_of instance in
+  let n = Core.Instance.num_jobs instance in
+  let kk = Core.Instance.num_classes instance in
+  let sizes = instance.Core.Instance.sizes in
+  let setups = instance.Core.Instance.setups in
+  let job_class = instance.Core.Instance.job_class in
+  (* Split each class's jobs into small (p_j < s_k) and large. *)
+  let small_of_class = Array.make kk [] in
+  let items = ref [] in
+  for j = n - 1 downto 0 do
+    let k = job_class.(j) in
+    if sizes.(j) < setups.(k) then
+      small_of_class.(k) <- j :: small_of_class.(k)
+    else items := Real j :: !items
+  done;
+  let placeholder_count = Array.make kk 0 in
+  for k = 0 to kk - 1 do
+    let total =
+      List.fold_left (fun acc j -> acc +. sizes.(j)) 0.0 small_of_class.(k)
+    in
+    if total > 0.0 then begin
+      let count = int_of_float (ceil (total /. setups.(k))) in
+      placeholder_count.(k) <- count;
+      for _ = 1 to count do
+        items := Placeholder k :: !items
+      done
+    end
+    else if small_of_class.(k) <> [] then begin
+      (* zero-size small jobs: keep one placeholder so they have a home *)
+      placeholder_count.(k) <- 1;
+      items := Placeholder k :: !items
+    end
+  done;
+  let items = Array.of_list !items in
+  let item_sizes =
+    Array.map
+      (fun it ->
+        match it with Real j -> sizes.(j) | Placeholder k -> setups.(k))
+      items
+  in
+  let home = lpt_items speeds item_sizes in
+  (* Map back: real jobs keep their machine; small jobs greedily fill the
+     capacity reserved by their class's placeholders (over-packing each
+     machine by at most one job, cf. Lemma 2.3's argument). *)
+  let assignment = Array.make n (-1) in
+  let capacity = Array.make_matrix (Core.Instance.num_machines instance) kk 0.0 in
+  Array.iteri
+    (fun idx it ->
+      match it with
+      | Real j -> assignment.(j) <- home.(idx)
+      | Placeholder k ->
+          capacity.(home.(idx)).(k) <-
+            capacity.(home.(idx)).(k) +. setups.(k))
+    items;
+  for k = 0 to kk - 1 do
+    if small_of_class.(k) <> [] then begin
+      let machines_with_capacity =
+        List.filter
+          (fun i -> capacity.(i).(k) > 0.0)
+          (List.init (Core.Instance.num_machines instance) Fun.id)
+      in
+      let rec fill jobs machines used =
+        match (jobs, machines) with
+        | [], _ -> ()
+        | j :: rest, [ i ] ->
+            (* last machine absorbs the remainder *)
+            assignment.(j) <- i;
+            fill rest machines (used +. sizes.(j))
+        | j :: rest, i :: more ->
+            if used < capacity.(i).(k) then begin
+              assignment.(j) <- i;
+              fill rest machines (used +. sizes.(j))
+            end
+            else fill jobs more 0.0
+        | _ :: _, [] -> assert false (* placeholders reserve enough room *)
+      in
+      fill small_of_class.(k) machines_with_capacity 0.0
+    end
+  done;
+  Common.result_of_assignment instance assignment

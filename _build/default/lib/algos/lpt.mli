@@ -1,0 +1,22 @@
+(** LPT with setup placeholders (Lemma 2.1).
+
+    For uniformly related machines, replace each class's jobs smaller than
+    its setup size with placeholder jobs of exactly the setup size, run the
+    classic LPT rule ignoring classes and setups, then swap the
+    placeholders back for the actual small jobs and account for setups.
+    Lemma 2.1 shows this is a [3·(1 + 1/√3) ≈ 4.74]-approximation; since
+    LPT itself is a [(1 + 1/√3)]-approximation for uniform machines
+    (Kovács), the whole pipeline runs in [O(n log n)]. *)
+
+val approximation_factor : float
+(** [3 · (1 + 1/√3)]. *)
+
+val schedule : Core.Instance.t -> Common.result
+(** Lemma 2.1's algorithm. Raises [Invalid_argument] unless the instance
+    has identical or uniformly related machines. *)
+
+val setup_oblivious : Core.Instance.t -> Common.result
+(** Baseline for the setup-dominance experiment: plain LPT on the real
+    jobs, ignoring setups during placement (they still count in the
+    resulting makespan). No approximation guarantee — degrades as setups
+    grow, which is exactly what experiment E8 demonstrates. *)

@@ -1,0 +1,17 @@
+(** Ablation comparator for the Section 3.3 roundings: round the
+    LP-RelaxedRA solution {e without} the pseudo-forest machinery by
+    simply assigning every class entirely to its largest-fraction machine.
+
+    This destroys the per-machine "one fractional class" structure of
+    Lemma 3.8, so no constant factor holds — a machine can be the argmax
+    of many classes at once. The ablation experiment A2 measures how much
+    the proper rounding buys. *)
+
+val schedule_for_guess :
+  Core.Instance.t -> makespan:float -> Common.result option
+(** Same LP and probe semantics as {!Ra_class_uniform.schedule_for_guess},
+    but with argmax rounding instead of Lemma 3.8. Requires class-uniform
+    restrictions. *)
+
+val schedule : ?rel_tol:float -> Core.Instance.t -> Common.result
+(** Dual-approximation driver around the naive probe. *)

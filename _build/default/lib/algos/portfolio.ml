@@ -1,0 +1,66 @@
+type report = {
+  best : Common.result;
+  winner : string;
+  all : (string * float) list;
+}
+
+let run ?(seed = 1) ?(eps = 0.5) ?(include_exact = false) instance =
+  for j = 0 to Core.Instance.num_jobs instance - 1 do
+    if Core.Instance.eligible_machines instance j = [] then
+      invalid_arg "Portfolio.run: job eligible nowhere"
+  done;
+  let candidates :
+      (string * (Core.Instance.t -> Common.result)) list =
+    [
+      ("greedy", fun t -> List_scheduling.schedule t);
+      ("greedy-longest", List_scheduling.schedule ~order:List_scheduling.Longest_first);
+      ("lpt-placeholders", Lpt.schedule);
+      ("batch-lpt", Batch_lpt.schedule);
+      ("ptas", fun t -> Uniform_ptas.schedule ~eps t);
+      ( "rounding",
+        fun t ->
+          fst (Randomized_rounding.schedule (Workloads.Rng.create seed) t) );
+      ("ra-2approx", fun t -> Ra_class_uniform.schedule t);
+      ("cu-3approx", fun t -> Um_class_uniform.schedule t);
+    ]
+    @
+    if include_exact then
+      [
+        ( "exact-budgeted",
+          fun t -> (Exact.solve ~node_limit:2_000_000 t).Exact.result );
+      ]
+    else []
+  in
+  let attempts =
+    List.filter_map
+      (fun (name, algo) ->
+        match algo instance with
+        | r -> Some (name, r)
+        | exception Invalid_argument _ -> None)
+      candidates
+  in
+  match attempts with
+  | [] -> assert false (* greedy applies to every environment *)
+  | first :: rest ->
+      let winner, best =
+        List.fold_left
+          (fun ((_, b) as acc) ((_, r) as cand) ->
+            if r.Common.makespan < b.Common.makespan then cand else acc)
+          first rest
+      in
+      (* final polish: local search never hurts and often trims a bit *)
+      let polished = Local_search.polish instance best in
+      let winner =
+        if polished.Common.makespan < best.Common.makespan -. 1e-12 then
+          winner ^ "+local-search"
+        else winner
+      in
+      {
+        best = polished;
+        winner;
+        all =
+          (winner, polished.Common.makespan)
+          :: List.filter
+               (fun (n, _) -> n <> winner)
+               (List.map (fun (n, r) -> (n, r.Common.makespan)) attempts);
+      }

@@ -1,0 +1,29 @@
+(** Best-of portfolio: run every algorithm that applies to the instance's
+    environment and keep the best schedule.
+
+    The paper's algorithms have incomparable strengths — greedy wins on
+    easy average cases, Lemma 2.1 under setup dominance, the LP roundings
+    carry the guarantees — so the portfolio inherits the best guarantee
+    among its members {e and} the best typical case, at the cost of
+    running them all; the winner gets a final {!Local_search} polish
+    (which can only improve it). This is the entry point a downstream
+    user should reach for first. *)
+
+type report = {
+  best : Common.result;
+  winner : string;  (** name of the winning algorithm *)
+  all : (string * float) list;  (** every attempted algorithm's makespan *)
+}
+
+val run :
+  ?seed:int ->
+  ?eps:float ->
+  ?include_exact:bool ->
+  Core.Instance.t ->
+  report
+(** [seed] feeds the randomized rounding (default 1); [eps] the PTAS
+    (default 0.5). [include_exact] (default false) adds branch and bound
+    with a modest node budget — the incumbent it returns is valid even
+    when optimality is not proven. Algorithms whose preconditions fail are
+    skipped silently. Raises [Invalid_argument] if some job is eligible
+    nowhere (no algorithm can help then). *)

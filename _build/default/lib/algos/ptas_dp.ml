@@ -1,0 +1,148 @@
+let speeds_of instance =
+  match instance.Core.Instance.env with
+  | Core.Instance.Identical ->
+      Array.make (Core.Instance.num_machines instance) 1.0
+  | Core.Instance.Uniform speeds -> Array.copy speeds
+  | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+      invalid_arg "Ptas_dp: requires identical or uniform machines"
+
+(* Group jobs into item types: identical (class, size) pairs. Returns the
+   types sorted by size descending and, per type, the list of job ids. *)
+let item_types instance =
+  let n = Core.Instance.num_jobs instance in
+  let tbl = Hashtbl.create 16 in
+  for j = n - 1 downto 0 do
+    let key = (instance.Core.Instance.job_class.(j), instance.Core.Instance.sizes.(j)) in
+    let jobs = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+    Hashtbl.replace tbl key (j :: jobs)
+  done;
+  let types = Hashtbl.fold (fun (k, p) jobs acc -> (k, p, jobs) :: acc) tbl [] in
+  List.sort (fun (_, p1, _) (_, p2, _) -> compare p2 p1) types
+
+let num_item_types instance = List.length (item_types instance)
+
+let feasible instance ~makespan:t =
+  let speeds = speeds_of instance in
+  let m = Array.length speeds in
+  let types = Array.of_list (item_types instance) in
+  let ntypes = Array.length types in
+  let type_class = Array.map (fun (k, _, _) -> k) types in
+  let type_size = Array.map (fun (_, p, _) -> p) types in
+  let type_jobs = Array.map (fun (_, _, jobs) -> Array.of_list jobs) types in
+  let counts0 = Array.map Array.length type_jobs in
+  (* quick rejects *)
+  let order = Array.init m (fun i -> i) in
+  Array.sort (fun a b -> compare (speeds.(b), a) (speeds.(a), b)) order;
+  let fastest = speeds.(order.(0)) in
+  let reject = ref false in
+  Array.iteri
+    (fun ty p ->
+      if counts0.(ty) > 0 then begin
+        let setup = instance.Core.Instance.setups.(type_class.(ty)) in
+        if p +. setup > t *. fastest +. 1e-9 then reject := true
+      end)
+    type_size;
+  if !reject then None
+  else begin
+    (* Remaining capacity after machine position idx (suffix sums). *)
+    let suffix_capacity = Array.make (m + 1) 0.0 in
+    for idx = m - 1 downto 0 do
+      suffix_capacity.(idx) <- suffix_capacity.(idx + 1) +. (t *. speeds.(order.(idx)))
+    done;
+    let total_size counts =
+      let s = ref 0.0 in
+      Array.iteri (fun ty c -> s := !s +. (float_of_int c *. type_size.(ty))) counts;
+      !s
+    in
+    let failed = Hashtbl.create 4096 in
+    (* Enumerate the ways machine [idx] can take items from [counts]; on
+       each complete choice, recurse to the next machine. Returns the
+       chosen counts per machine on success. *)
+    let eps = 1e-9 in
+    let rec solve idx counts =
+      if Array.for_all (fun c -> c = 0) counts then Some []
+      else if idx = m then None
+      else if total_size counts > suffix_capacity.(idx) +. eps then None
+      else begin
+        let key = (idx, Array.to_list counts) in
+        if Hashtbl.mem failed key then None
+        else begin
+          let budget = t *. speeds.(order.(idx)) in
+          let chosen = Array.make ntypes 0 in
+          let class_used = Array.make (Core.Instance.num_classes instance) 0 in
+          (* DFS over types; larger counts first to pack greedily. *)
+          let rec pick ty used =
+            if ty = ntypes then begin
+              let remaining = Array.mapi (fun t' c -> c - chosen.(t')) counts in
+              match solve (idx + 1) remaining with
+              | Some rest -> Some (Array.copy chosen :: rest)
+              | None -> None
+            end
+            else begin
+              let k = type_class.(ty) in
+              (* the budget is in size units (load·v_i <= t·v_i), so the
+                 setup contributes its base size s_k *)
+              let setup =
+                if class_used.(k) > 0 then 0.0
+                else instance.Core.Instance.setups.(k)
+              in
+              let p = type_size.(ty) in
+              (* c = 0 is always allowed; c >= 1 requires the setup plus
+                 c items to fit the remaining budget *)
+              let max_fit =
+                if budget -. used -. setup < -.eps then 0
+                else if p <= 0.0 then counts.(ty)
+                else
+                  max 0
+                    (min counts.(ty)
+                       (int_of_float
+                          (floor ((budget -. used -. setup +. eps) /. p))))
+              in
+              let rec try_count c =
+                if c < 0 then None
+                else begin
+                  chosen.(ty) <- c;
+                  if c > 0 then class_used.(k) <- class_used.(k) + 1;
+                  let used' =
+                    used +. (float_of_int c *. p) +. (if c > 0 then setup else 0.0)
+                  in
+                  let res = pick (ty + 1) used' in
+                  if c > 0 then class_used.(k) <- class_used.(k) - 1;
+                  chosen.(ty) <- 0;
+                  match res with Some _ -> res | None -> try_count (c - 1)
+                end
+              in
+              try_count max_fit
+            end
+          in
+          match pick 0 0.0 with
+          | Some allocation ->
+              Some allocation
+          | None ->
+              Hashtbl.replace failed key ();
+              None
+        end
+      end
+    in
+    match solve 0 (Array.copy counts0) with
+    | None -> None
+    | Some allocations ->
+        (* allocations.(idx).(ty) = items of type ty on machine order.(idx) *)
+        let assignment = Array.make (Core.Instance.num_jobs instance) (-1) in
+        let cursor = Array.make ntypes 0 in
+        List.iteri
+          (fun idx alloc ->
+            Array.iteri
+              (fun ty c ->
+                for _ = 1 to c do
+                  assignment.(type_jobs.(ty).(cursor.(ty))) <- order.(idx);
+                  cursor.(ty) <- cursor.(ty) + 1
+                done)
+              alloc)
+          allocations;
+        (* any leftover would be a bug: solve only succeeds at zero vector *)
+        Array.iteri
+          (fun ty c -> assert (cursor.(ty) = c))
+          counts0;
+        Some (Core.Schedule.make instance assignment)
+  end

@@ -1,0 +1,26 @@
+(** Exact feasibility check for a makespan guess on identical/uniform
+    instances, via a memoized dynamic program over multiplicity vectors.
+
+    After the {!Simplify} pipeline, the instance has few distinct
+    (class, size) pairs; jobs are interchangeable within a pair. The DP
+    walks machines from fastest to slowest, enumerating for each machine
+    the sub-multisets (plus implied class setups) that fit into
+    [target · v_i], and memoizes the set of remaining multiplicity vectors
+    already proven infeasible. This replaces the paper's group-passing
+    program with the same state compression minus the hand-off machinery
+    (see the substitution note in DESIGN.md); on the rounded instance it is
+    exact, which preserves the PTAS guarantee. *)
+
+val feasible : Core.Instance.t -> makespan:float -> Core.Schedule.t option
+(** A schedule with [load_i <= makespan · v_i] for every machine, or [None]
+    if none exists. Exponential in the number of distinct (class, size)
+    pairs; intended for the small rounded instances the PTAS produces.
+    Raises [Invalid_argument] on non-identical/uniform environments. *)
+
+val num_item_types : Core.Instance.t -> int
+(** Distinct (class, size) pairs — the DP's vector dimension; exposed so
+    callers and tests can estimate cost beforehand. *)
+
+val item_types : Core.Instance.t -> (int * float * int list) list
+(** The underlying grouping: [(class, size, jobs)] triples sorted by size
+    descending. Shared with the configuration-IP solver ({!Config_ip}). *)

@@ -1,0 +1,24 @@
+(** The 2-approximation for restricted assignment with class-uniform
+    restrictions (Section 3.3.1, Theorem 3.10).
+
+    Preconditions: every job of a class has the same eligible machine set
+    [M_k] and the same processing time on all of them (identical or
+    restricted environment). For a guess [T], solve LP-RelaxedRA, round its
+    vertex solution along the pseudo-forest (Lemma 3.8), move the workload
+    of each class's single cut machine [i⁻_k] to a kept machine [i⁺_k],
+    and greedily fill each reserved slot with the class's actual jobs —
+    each machine gains at most one setup plus one job beyond its slot,
+    i.e. at most [T] (Lemma 3.9), for a total of [2T]. *)
+
+val guarantee : float
+(** 2.0 *)
+
+val schedule_for_guess : Core.Instance.t -> makespan:float -> Common.result option
+(** One dual-approximation probe: a schedule of makespan [<= 2·guess], or
+    [None] if LP-RelaxedRA is infeasible at the guess (certifying that no
+    schedule of makespan [<= guess] exists). *)
+
+val schedule : ?rel_tol:float -> Core.Instance.t -> Common.result
+(** Full pipeline with binary search over the guess ([rel_tol] defaults to
+    0.02). Raises [Invalid_argument] if the instance is not a
+    restricted-assignment instance with class-uniform restrictions. *)

@@ -1,0 +1,82 @@
+type stats = {
+  lp_makespan : float;
+  lp_lower : float;
+  iterations : int;
+  fallback_jobs : int;
+  lp_probes : int;
+}
+
+let round ?(c = 3.0) rng instance (frac : Lp_um.fractional) =
+  let n = Core.Instance.num_jobs instance in
+  let m = Core.Instance.num_machines instance in
+  let kk = Core.Instance.num_classes instance in
+  let job_class = instance.Core.Instance.job_class in
+  let jobs_of_class = Array.make kk [] in
+  for j = n - 1 downto 0 do
+    jobs_of_class.(job_class.(j)) <- j :: jobs_of_class.(job_class.(j))
+  done;
+  let iterations = max 1 (int_of_float (ceil (c *. log (float_of_int (max 2 n))))) in
+  let assignment = Array.make n (-1) in
+  let unassigned = ref n in
+  for _h = 1 to iterations do
+    if !unassigned > 0 then
+      for i = 0 to m - 1 do
+        for k = 0 to kk - 1 do
+          let y = frac.Lp_um.y.(i).(k) in
+          if y > 1e-12 && Workloads.Rng.float rng < y then
+            (* machine i pays a setup for class k this round *)
+            List.iter
+              (fun j ->
+                if assignment.(j) < 0 then begin
+                  let p = Float.min 1.0 (frac.Lp_um.x.(i).(j) /. y) in
+                  if p > 0.0 && Workloads.Rng.float rng < p then begin
+                    assignment.(j) <- i;
+                    decr unassigned
+                  end
+                end)
+              jobs_of_class.(k)
+        done
+      done
+  done;
+  (* Fallback (step 3 of the paper): cheapest machine per leftover job. *)
+  let fallback_jobs = ref 0 in
+  for j = 0 to n - 1 do
+    if assignment.(j) < 0 then begin
+      incr fallback_jobs;
+      let best = ref (-1) and best_p = ref infinity in
+      for i = 0 to m - 1 do
+        if Core.Instance.job_eligible instance i j then begin
+          let p = Core.Instance.ptime instance i j in
+          if p < !best_p then begin
+            best := i;
+            best_p := p
+          end
+        end
+      done;
+      if !best < 0 then
+        invalid_arg "Randomized_rounding: job eligible nowhere";
+      assignment.(j) <- !best
+    end
+  done;
+  (* Duplicate assignments/setups (step 4) are impossible here: we record
+     only the first machine per job, and [Schedule] counts each class once
+     per machine. *)
+  let result = Common.result_of_assignment instance assignment in
+  ( result,
+    {
+      lp_makespan = frac.Lp_um.makespan;
+      lp_lower = frac.Lp_um.makespan;
+      iterations;
+      fallback_jobs = !fallback_jobs;
+      lp_probes = 0;
+    } )
+
+let schedule ?c ?rel_tol rng instance =
+  let bound = Lp_um.lower_bound ?rel_tol instance in
+  let result, stats = round ?c rng instance bound.Lp_um.solution in
+  ( result,
+    {
+      stats with
+      lp_probes = bound.Lp_um.probes;
+      lp_lower = bound.Lp_um.lower;
+    } )

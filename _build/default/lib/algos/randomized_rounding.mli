@@ -1,0 +1,39 @@
+(** Randomized rounding for unrelated machines (Section 3.1, Theorem 3.3).
+
+    Starting from an optimal fractional solution of the ILP-UM relaxation
+    at guess [T], run [⌈c·ln n⌉] rounds: set up class [k] on machine [i]
+    with probability [y*_ik]; under a setup, assign each job [j] of the
+    class with probability [x*_ij / y*_ik]. Jobs assigned several times
+    keep their first machine; jobs never assigned fall back to
+    [argmin_i p_ij]. The result is an
+    [O(T (log n + log m))]-approximation with high probability, which the
+    paper shows is optimal up to constants unless [NP ⊆ RP]. *)
+
+type stats = {
+  lp_makespan : float;  (** the guess [T] the fractional solution used *)
+  lp_lower : float;
+      (** certified lower bound on the optimum (largest LP-infeasible
+          probe); equals [lp_makespan] when rounding a caller-supplied
+          fractional solution *)
+  iterations : int;  (** rounding rounds performed *)
+  fallback_jobs : int;  (** jobs assigned by the argmin fallback *)
+  lp_probes : int;  (** LP solves spent in the binary search *)
+}
+
+val round :
+  ?c:float ->
+  Workloads.Rng.t ->
+  Core.Instance.t ->
+  Lp_um.fractional ->
+  Common.result * stats
+(** Round a given fractional solution ([c] defaults to 3, the constant in
+    the iteration count [⌈c·ln n⌉]). *)
+
+val schedule :
+  ?c:float ->
+  ?rel_tol:float ->
+  Workloads.Rng.t ->
+  Core.Instance.t ->
+  Common.result * stats
+(** Full pipeline: binary-search the smallest LP-feasible guess
+    ({!Lp_um.lower_bound}), then round it. *)

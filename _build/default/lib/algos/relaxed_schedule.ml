@@ -1,0 +1,350 @@
+type ctx = {
+  instance : Core.Instance.t;
+  eps : float;
+  makespan : float;
+  sg : Speed_groups.t;
+  speeds : float array;
+  upper_group : int array; (* machine -> g with i ∈ M_g \ M_{g+1} *)
+  job_group : int array;
+  fringe : bool array;
+  g_min : int; (* smallest machine group (upper index) *)
+  g_max : int; (* largest machine group (upper index), the paper's G *)
+}
+
+let make_ctx ~eps ~makespan instance =
+  let speeds =
+    match instance.Core.Instance.env with
+    | Core.Instance.Identical ->
+        Array.make (Core.Instance.num_machines instance) 1.0
+    | Core.Instance.Uniform speeds -> Array.copy speeds
+    | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+        invalid_arg "Relaxed_schedule: requires identical or uniform machines"
+  in
+  let vmin = Array.fold_left Float.min infinity speeds in
+  let sg = Speed_groups.create ~eps ~makespan ~vmin in
+  (* a machine's two groups are consecutive; its space is accounted at the
+     upper one (i ∈ M_g \ M_{g+1} exactly for the upper index) *)
+  let upper_group =
+    Array.map (fun v -> snd (Speed_groups.groups_of_speed sg v)) speeds
+  in
+  let n = Core.Instance.num_jobs instance in
+  let fringe = Array.make n false in
+  let job_group = Array.make n 0 in
+  for j = 0 to n - 1 do
+    let k = instance.Core.Instance.job_class.(j) in
+    let setup = instance.Core.Instance.setups.(k) in
+    let size = instance.Core.Instance.sizes.(j) in
+    if setup > 0.0 && Speed_groups.is_fringe_job sg ~setup ~size then begin
+      fringe.(j) <- true;
+      job_group.(j) <- Speed_groups.native_group sg ~size
+    end
+    else if setup > 0.0 then job_group.(j) <- Speed_groups.core_group sg ~setup
+    else begin
+      (* zero setup: the class imposes no structure; treat as fringe *)
+      fringe.(j) <- true;
+      job_group.(j) <- Speed_groups.native_group sg ~size
+    end
+  done;
+  let g_min = Array.fold_left min max_int (Array.map Fun.id upper_group) in
+  let g_max = Array.fold_left max min_int (Array.map Fun.id upper_group) in
+  {
+    instance;
+    eps;
+    makespan;
+    sg;
+    speeds;
+    upper_group;
+    job_group;
+    fringe;
+    g_min;
+    g_max;
+  }
+
+let job_group ctx j = ctx.job_group.(j)
+let is_fringe ctx j = ctx.fringe.(j)
+
+type t = { home : int option array }
+
+let machine_in_group ctx i g =
+  let v = ctx.speeds.(i) in
+  Speed_groups.group_lo ctx.sg g <= v && v < Speed_groups.group_hi ctx.sg g
+
+let of_schedule ctx schedule =
+  let n = Core.Instance.num_jobs ctx.instance in
+  let home = Array.make n None in
+  for j = 0 to n - 1 do
+    let i = Core.Schedule.machine_of schedule j in
+    if machine_in_group ctx i ctx.job_group.(j) then home.(j) <- Some i
+  done;
+  { home }
+
+let relaxed_loads ctx t =
+  let m = Core.Instance.num_machines ctx.instance in
+  let kk = Core.Instance.num_classes ctx.instance in
+  let inst = ctx.instance in
+  let load = Array.make m 0.0 in
+  let core_setup = Array.make_matrix m kk false in
+  Array.iteri
+    (fun j homed ->
+      match homed with
+      | None -> ()
+      | Some i ->
+          load.(i) <- load.(i) +. Core.Instance.ptime inst i j;
+          if not ctx.fringe.(j) then begin
+            let k = inst.Core.Instance.job_class.(j) in
+            if not core_setup.(i).(k) then begin
+              core_setup.(i).(k) <- true;
+              load.(i) <- load.(i) +. Core.Instance.setup_time inst i k
+            end
+          end)
+    t.home;
+  load
+
+(* Fractional volume per group: job sizes, plus one setup size per class
+   whose core group is g, that has no fringe job at all, and that has at
+   least one fractional core job. *)
+let fractional_weights ctx t =
+  let inst = ctx.instance in
+  let kk = Core.Instance.num_classes inst in
+  let weights = Hashtbl.create 8 in
+  let bump g w =
+    Hashtbl.replace weights g (w +. Option.value ~default:0.0 (Hashtbl.find_opt weights g))
+  in
+  Array.iteri
+    (fun j homed ->
+      if homed = None then bump ctx.job_group.(j) inst.Core.Instance.sizes.(j))
+    t.home;
+  let class_has_fringe = Array.make kk false in
+  Array.iteri
+    (fun j f -> if f then class_has_fringe.(inst.Core.Instance.job_class.(j)) <- true)
+    ctx.fringe;
+  for k = 0 to kk - 1 do
+    if (not class_has_fringe.(k)) && inst.Core.Instance.setups.(k) > 0.0 then begin
+      let has_fractional_core =
+        List.exists
+          (fun j -> (not ctx.fringe.(j)) && t.home.(j) = None)
+          (Core.Instance.jobs_of_class inst k)
+      in
+      if has_fractional_core then
+        bump
+          (Speed_groups.core_group ctx.sg ~setup:inst.Core.Instance.setups.(k))
+          inst.Core.Instance.setups.(k)
+    end
+  done;
+  weights
+
+(* Space condition. Free space is measured in size units (A_i·v_i) because
+   W_g is a volume of job sizes. *)
+let space_condition_holds ctx t =
+  let loads = relaxed_loads ctx t in
+  let weights = fractional_weights ctx t in
+  let free_at = Hashtbl.create 8 in
+  Array.iteri
+    (fun i g ->
+      let a =
+        Float.max 0.0 ((ctx.makespan *. ctx.speeds.(i)) -. (loads.(i) *. ctx.speeds.(i)))
+      in
+      Hashtbl.replace free_at g
+        (a +. Option.value ~default:0.0 (Hashtbl.find_opt free_at g)))
+    ctx.upper_group;
+  let w g = Option.value ~default:0.0 (Hashtbl.find_opt weights g) in
+  let a g = Option.value ~default:0.0 (Hashtbl.find_opt free_at g) in
+  (* everything at group indices <= g_min - 2 is released in the first
+     step; W_{G-1} and W_G must be empty *)
+  let eps = 1e-6 in
+  let lowest_weight_group =
+    Hashtbl.fold (fun g _ acc -> min g acc) weights ctx.g_min
+  in
+  (* W_G = W_{G-1} = 0, and nothing may sit above the fastest group either *)
+  let ok =
+    ref
+      (Hashtbl.fold
+         (fun g wg acc -> acc && (g <= ctx.g_max - 2 || wg <= eps))
+         weights true)
+  in
+  let r = ref 0.0 in
+  for g = ctx.g_min to ctx.g_max do
+    let released =
+      if g = ctx.g_min then begin
+        let sum = ref 0.0 in
+        for g' = lowest_weight_group - 2 to g - 2 do
+          sum := !sum +. w g'
+        done;
+        !sum
+      end
+      else w (g - 2)
+    in
+    r := Float.max 0.0 (!r +. released -. a g)
+  done;
+  if !r > eps then ok := false;
+  !ok
+
+let is_valid ctx t =
+  let ok = ref true in
+  Array.iteri
+    (fun j homed ->
+      match homed with
+      | None -> ()
+      | Some i ->
+          if not (machine_in_group ctx i ctx.job_group.(j)) then ok := false)
+    t.home;
+  let loads = relaxed_loads ctx t in
+  Array.iter
+    (fun l -> if l > (ctx.makespan *. 1.000001) +. 1e-9 then ok := false)
+    loads;
+  !ok && space_condition_holds ctx t
+
+(* --- Direction 2: the constructive conversion --------------------------- *)
+
+type item = { jobs : int list; size : float (* job sizes + container setup *) }
+
+let to_schedule ctx t =
+  if not (is_valid ctx t) then
+    invalid_arg "Relaxed_schedule.to_schedule: invalid relaxed schedule";
+  let inst = ctx.instance in
+  let n = Core.Instance.num_jobs inst in
+  let kk = Core.Instance.num_classes inst in
+  let assignment = Array.make n (-1) in
+  Array.iteri
+    (fun j homed -> match homed with Some i -> assignment.(j) <- i | None -> ())
+    t.home;
+  (* machine loads in size units during the greedy fill *)
+  let loads = relaxed_loads ctx t in
+  let load_size = Array.mapi (fun i l -> l *. ctx.speeds.(i)) loads in
+  let class_has_fringe = Array.make kk false in
+  Array.iteri
+    (fun j f -> if f then class_has_fringe.(inst.Core.Instance.job_class.(j)) <- true)
+    ctx.fringe;
+  (* fractional jobs by group *)
+  let by_group = Hashtbl.create 8 in
+  Array.iteri
+    (fun j homed ->
+      if homed = None then begin
+        let g = ctx.job_group.(j) in
+        Hashtbl.replace by_group g
+          (j :: Option.value ~default:[] (Hashtbl.find_opt by_group g))
+      end)
+    t.home;
+  let lowest_group =
+    Hashtbl.fold (fun g _ acc -> min g acc) by_group ctx.g_min
+  in
+  let postponed_f1 = ref [] in (* (class, jobs) to piggyback on fringe jobs *)
+  let sequence = Queue.create () in
+  let release jobs =
+    (* partition this batch into F1 / F2 (containers) / F3 *)
+    let fringe_jobs, core_jobs = List.partition (fun j -> ctx.fringe.(j)) jobs in
+    let by_class = Hashtbl.create 8 in
+    List.iter
+      (fun j ->
+        let k = inst.Core.Instance.job_class.(j) in
+        Hashtbl.replace by_class k
+          (j :: Option.value ~default:[] (Hashtbl.find_opt by_class k)))
+      core_jobs;
+    (* containers and F1 first, then fringe F3, then big core groups sorted
+       by class, mirroring the proof's sequence order *)
+    Hashtbl.iter
+      (fun k jobs_k ->
+        let total =
+          List.fold_left (fun acc j -> acc +. inst.Core.Instance.sizes.(j)) 0.0 jobs_k
+        in
+        let s_k = inst.Core.Instance.setups.(k) in
+        if s_k > 0.0 && total <= s_k /. ctx.eps then begin
+          if class_has_fringe.(k) then postponed_f1 := (k, jobs_k) :: !postponed_f1
+          else Queue.add { jobs = jobs_k; size = total +. s_k } sequence
+        end)
+      by_class;
+    List.iter
+      (fun j ->
+        Queue.add { jobs = [ j ]; size = inst.Core.Instance.sizes.(j) } sequence)
+      fringe_jobs;
+    let big_core =
+      Hashtbl.fold
+        (fun k jobs_k acc ->
+          let total =
+            List.fold_left (fun acc j -> acc +. inst.Core.Instance.sizes.(j)) 0.0 jobs_k
+          in
+          let s_k = inst.Core.Instance.setups.(k) in
+          if s_k = 0.0 || total > s_k /. ctx.eps then (k, jobs_k) :: acc else acc)
+        by_class []
+      |> List.sort compare
+    in
+    List.iter
+      (fun (_, jobs_k) ->
+        List.iter
+          (fun j ->
+            Queue.add { jobs = [ j ]; size = inst.Core.Instance.sizes.(j) } sequence)
+          jobs_k)
+      big_core
+  in
+  (* walk the machine groups slowest to fastest *)
+  for g = ctx.g_min to ctx.g_max do
+    let released =
+      if g = ctx.g_min then
+        List.concat_map
+          (fun g' -> Option.value ~default:[] (Hashtbl.find_opt by_group g'))
+          (List.init
+             (max 0 (g - 2 - (lowest_group - 2) + 1))
+             (fun idx -> lowest_group - 2 + idx))
+      else Option.value ~default:[] (Hashtbl.find_opt by_group (g - 2))
+    in
+    release released;
+    for i = 0 to Core.Instance.num_machines inst - 1 do
+      if ctx.upper_group.(i) = g then begin
+        let budget = ctx.makespan *. ctx.speeds.(i) in
+        while (not (Queue.is_empty sequence)) && load_size.(i) <= budget do
+          let item = Queue.pop sequence in
+          List.iter (fun j -> assignment.(j) <- i) item.jobs;
+          load_size.(i) <- load_size.(i) +. item.size
+        done
+      end
+    done
+  done;
+  (* anything left fits nowhere by the space condition; place defensively
+     on the fastest machine rather than fail *)
+  if not (Queue.is_empty sequence) then begin
+    let fastest = ref 0 in
+    Array.iteri
+      (fun i v -> if v > ctx.speeds.(!fastest) then fastest := i)
+      ctx.speeds;
+    Queue.iter
+      (fun item -> List.iter (fun j -> assignment.(j) <- !fastest) item.jobs)
+      sequence;
+    Queue.clear sequence
+  end;
+  (* F1: piggyback each class's small fractional core jobs on a machine
+     that hosts a fringe job of the class *)
+  List.iter
+    (fun (k, jobs_k) ->
+      let host = ref (-1) and host_load = ref infinity in
+      for j = 0 to n - 1 do
+        if
+          ctx.fringe.(j)
+          && inst.Core.Instance.job_class.(j) = k
+          && assignment.(j) >= 0
+        then begin
+          let i = assignment.(j) in
+          if load_size.(i) < !host_load then begin
+            host := i;
+            host_load := load_size.(i)
+          end
+        end
+      done;
+      let i =
+        if !host >= 0 then !host
+        else begin
+          (* no placed fringe job (all of k's fringe jobs fractional and
+             swallowed elsewhere is impossible — they are in F3 — but stay
+             defensive): cheapest machine *)
+          let best = ref 0 in
+          Array.iteri
+            (fun i' l -> if l < load_size.(!best) then best := i' else ignore l)
+            load_size;
+          !best
+        end
+      in
+      List.iter (fun j -> assignment.(j) <- i) jobs_k;
+      load_size.(i) <-
+        load_size.(i)
+        +. List.fold_left (fun acc j -> acc +. inst.Core.Instance.sizes.(j)) 0.0 jobs_k)
+    !postponed_f1;
+  Core.Schedule.make inst assignment

@@ -1,0 +1,59 @@
+(** Relaxed schedules (Section 2, Lemma 2.8) — the paper's central
+    technical object for the PTAS.
+
+    In a relaxed schedule the jobs split into {e integral} jobs, assigned
+    to machines of their native group (fringe jobs) or their class's core
+    group (core jobs), and {e fractional} jobs, which are only accounted
+    for as volume: the {e relaxed load} [L'_i] counts integral jobs plus
+    setups for core classes only (fringe setups are ignored), and the
+    {e space condition} demands that each group's fractional volume [W_g]
+    (plus one setup per fringe-free class with fractional core jobs) fits
+    into the leftover space [A_i = max(0, T·v_i - L'_i)] of machines two
+    or more groups up, via the reduced accumulated load recursion
+    [R_g = max(0, R_{g-1} + W_{g-2} - Σ A_i)] with
+    [R_G = W_G = W_{G-1} = 0].
+
+    Lemma 2.8: a makespan-[T] schedule induces a valid relaxed schedule,
+    and a valid relaxed schedule converts back to a real schedule of
+    makespan [(1+O(ε))·T]. {!to_schedule} implements the proof's
+    construction: per-group release of fractional jobs, the
+    F1/F2/F3 partition (piggyback on a fringe job / setup container /
+    direct greedy), and the small-item greedy sequence fill.
+
+    This module operates on {e simplified} instances (the output of
+    {!Simplify}) with identical or uniform machines. *)
+
+type ctx
+(** Group structure of an instance at a fixed accuracy and makespan
+    guess. *)
+
+val make_ctx : eps:float -> makespan:float -> Core.Instance.t -> ctx
+(** Raises [Invalid_argument] for non-identical/uniform environments or
+    out-of-range parameters. *)
+
+val job_group : ctx -> int -> int
+(** Native group (fringe job) or the class's core group (core job). *)
+
+val is_fringe : ctx -> int -> bool
+(** Fringe job: size at least [s_k/δ]. *)
+
+type t = { home : int option array }
+(** [home.(j) = Some i]: job [j] is integral on machine [i]; [None]:
+    fractional. *)
+
+val of_schedule : ctx -> Core.Schedule.t -> t
+(** Direction 1 of Lemma 2.8: keep exactly the jobs sitting on a machine
+    of their group; everything else becomes fractional. *)
+
+val relaxed_loads : ctx -> t -> float array
+(** [L'_i] (time units): integral processing plus setups of integral core
+    classes. *)
+
+val is_valid : ctx -> t -> bool
+(** Group membership of every integral job, [L'_i <= T·v_i], and the space
+    condition. *)
+
+val to_schedule : ctx -> t -> Core.Schedule.t
+(** Direction 2 of Lemma 2.8 (the constructive step). Raises
+    [Invalid_argument] if the relaxed schedule is not valid. The result's
+    makespan is [(1+O(ε))·T]; the tests bound it by [(1+ε)^4·T]. *)

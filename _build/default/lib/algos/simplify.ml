@@ -1,0 +1,162 @@
+type t = {
+  simplified : Core.Instance.t;
+  target : float;
+  eps : float;
+  (* reconstruction data *)
+  original : Core.Instance.t;
+  machine_map : int array; (* simplified machine -> original machine *)
+  kept_jobs : int array; (* simplified job index -> original job, for the
+                            non-placeholder prefix *)
+  small_jobs : int list array; (* class -> original small jobs replaced *)
+  placeholder_size : float array; (* class -> ε·s_k before rounding *)
+}
+
+(* Gálvez-style rounding: t -> 2^e + ⌈(t - 2^e)/(ε·2^e)⌉·ε·2^e, e = ⌊log t⌋.
+   Rounds up by a factor of at most (1+ε). *)
+let round_size eps v =
+  if v <= 0.0 then v
+  else begin
+    let e = Float.of_int (int_of_float (floor (Float.log2 v))) in
+    let base = 2.0 ** e in
+    let step = eps *. base in
+    base +. (ceil ((v -. base) /. step) *. step)
+  end
+
+let round_speed_down eps ~vmin v =
+  let k = floor (log (v /. vmin) /. log (1.0 +. eps)) in
+  vmin *. ((1.0 +. eps) ** k)
+
+let simplify ~eps ~makespan:t0 instance =
+  if not (eps > 0.0 && eps <= 0.5) then
+    invalid_arg "Simplify: eps must be in (0, 1/2]";
+  if not (t0 > 0.0) then invalid_arg "Simplify: makespan must be positive";
+  let speeds =
+    match instance.Core.Instance.env with
+    | Core.Instance.Identical ->
+        Array.make (Core.Instance.num_machines instance) 1.0
+    | Core.Instance.Uniform speeds -> Array.copy speeds
+    | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+        invalid_arg "Simplify: requires identical or uniform machines"
+  in
+  let n = Core.Instance.num_jobs instance in
+  let kk = Core.Instance.num_classes instance in
+  (* Step 1a: drop slow machines. *)
+  let vmax = Array.fold_left Float.max 0.0 speeds in
+  let m = Array.length speeds in
+  let threshold = eps *. vmax /. float_of_int m in
+  let machine_map =
+    Array.of_list
+      (List.filter (fun i -> speeds.(i) >= threshold) (List.init m Fun.id))
+  in
+  let kept_speeds = Array.map (fun i -> speeds.(i)) machine_map in
+  let vmin = Array.fold_left Float.min infinity kept_speeds in
+  (* Step 1b: raise tiny sizes. *)
+  let floor_size = eps *. vmin *. t0 /. float_of_int (n + kk) in
+  let sizes1 =
+    Array.map (fun p -> Float.max p floor_size) instance.Core.Instance.sizes
+  in
+  let setups1 =
+    Array.map (fun s -> Float.max s floor_size) instance.Core.Instance.setups
+  in
+  (* Step 2: placeholders for small jobs. *)
+  let job_class = instance.Core.Instance.job_class in
+  let small_jobs = Array.make kk [] in
+  let kept = ref [] in
+  for j = n - 1 downto 0 do
+    let k = job_class.(j) in
+    if sizes1.(j) <= eps *. setups1.(k) then
+      small_jobs.(k) <- j :: small_jobs.(k)
+    else kept := j :: !kept
+  done;
+  let kept_jobs = Array.of_list !kept in
+  let placeholder_size = Array.map (fun s -> eps *. s) setups1 in
+  let placeholder_count =
+    Array.init kk (fun k ->
+        let total =
+          List.fold_left (fun acc j -> acc +. sizes1.(j)) 0.0 small_jobs.(k)
+        in
+        if total = 0.0 then if small_jobs.(k) = [] then 0 else 1
+        else int_of_float (ceil (total /. placeholder_size.(k))))
+  in
+  (* Step 3: rounding. *)
+  let sizes2 =
+    Array.append
+      (Array.map (fun j -> round_size eps sizes1.(j)) kept_jobs)
+      (Array.concat
+         (List.init kk (fun k ->
+              Array.make placeholder_count.(k)
+                (round_size eps placeholder_size.(k)))))
+  in
+  let class2 =
+    Array.append
+      (Array.map (fun j -> job_class.(j)) kept_jobs)
+      (Array.concat
+         (List.init kk (fun k -> Array.make placeholder_count.(k) k)))
+  in
+  let setups2 = Array.map (round_size eps) setups1 in
+  let speeds2 = Array.map (round_speed_down eps ~vmin) kept_speeds in
+  let simplified =
+    Core.Instance.uniform ~speeds:speeds2 ~sizes:sizes2 ~job_class:class2
+      ~setups:setups2
+  in
+  let target = ((1.0 +. eps) ** 5.0) *. t0 in
+  {
+    simplified;
+    target;
+    eps;
+    original = instance;
+    machine_map;
+    kept_jobs;
+    small_jobs;
+    placeholder_size;
+  }
+
+let simplified t = t.simplified
+let target t = t.target
+
+let reconstruct t schedule =
+  let n = Core.Instance.num_jobs t.original in
+  let kk = Core.Instance.num_classes t.original in
+  let assignment = Array.make n (-1) in
+  let n_kept = Array.length t.kept_jobs in
+  (* Kept jobs: direct mapping through the machine permutation. *)
+  for sj = 0 to n_kept - 1 do
+    assignment.(t.kept_jobs.(sj)) <-
+      t.machine_map.(Core.Schedule.machine_of schedule sj)
+  done;
+  (* Placeholders reserve capacity per (machine, class); greedily pour the
+     actual small jobs back in, over-packing by at most one job each. *)
+  let m_orig = Core.Instance.num_machines t.original in
+  let capacity = Array.make_matrix m_orig kk 0.0 in
+  let n_simpl = Core.Instance.num_jobs t.simplified in
+  for sj = n_kept to n_simpl - 1 do
+    let k = t.simplified.Core.Instance.job_class.(sj) in
+    let i = t.machine_map.(Core.Schedule.machine_of schedule sj) in
+    capacity.(i).(k) <- capacity.(i).(k) +. t.placeholder_size.(k)
+  done;
+  for k = 0 to kk - 1 do
+    if t.small_jobs.(k) <> [] then begin
+      let machines =
+        List.filter
+          (fun i -> capacity.(i).(k) > 0.0)
+          (List.init m_orig Fun.id)
+      in
+      let sizes = t.original.Core.Instance.sizes in
+      let rec fill jobs machines used =
+        match (jobs, machines) with
+        | [], _ -> ()
+        | j :: rest, [ i ] ->
+            assignment.(j) <- i;
+            fill rest machines (used +. sizes.(j))
+        | j :: rest, i :: more ->
+            if used < capacity.(i).(k) then begin
+              assignment.(j) <- i;
+              fill rest machines (used +. sizes.(j))
+            end
+            else fill jobs more 0.0
+        | _ :: _, [] -> assert false (* placeholders reserve enough room *)
+      in
+      fill t.small_jobs.(k) machines 0.0
+    end
+  done;
+  Core.Schedule.make t.original assignment

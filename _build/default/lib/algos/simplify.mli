@@ -1,0 +1,37 @@
+(** The PTAS simplification pipeline for uniform machines (Section 2,
+    Lemmas 2.2–2.4), parameterized by the accuracy [ε] and the current
+    makespan guess [T]:
+
+    + drop machines slower than [ε·vmax/m] (their total capacity fits on a
+      fastest machine), and raise job/setup sizes below
+      [ε·vmin·T/(n+K)] to that threshold  — Lemma 2.2;
+    + replace each class's jobs of size [<= ε·s_k] by
+      [⌈(Σ sizes)/(ε·s_k)⌉] placeholder jobs of size exactly [ε·s_k]
+      — Lemma 2.3;
+    + round job and setup sizes up to the grid
+      [2^e + i·ε·2^e] (Gálvez et al.) and machine speeds down to powers of
+      [(1+ε)·vmin] — Lemma 2.4.
+
+    Chaining the lemmas: a schedule of makespan [T] for the original
+    instance yields one of makespan [(1+ε)^5·T] for the simplified
+    instance, and a schedule of makespan [T'] for the simplified instance
+    converts back to one of makespan [(1+ε)·T'] for the original. *)
+
+type t
+
+val simplified : t -> Core.Instance.t
+
+val target : t -> float
+(** The inflated bound [(1+ε)^5·T] that the simplified instance must be
+    checked against. *)
+
+val simplify : eps:float -> makespan:float -> Core.Instance.t -> t
+(** Raises [Invalid_argument] unless the environment is identical or
+    uniform, [0 < eps <= 1/2] and [makespan > 0]. *)
+
+val reconstruct : t -> Core.Schedule.t -> Core.Schedule.t
+(** Map a schedule of the simplified instance back to the original
+    instance: placeholders are swapped for the actual small jobs
+    (over-packing each machine by at most one job per class), removed
+    machines come back empty, and rounded sizes/speeds revert — total
+    makespan inflation at most [(1+ε)]. *)

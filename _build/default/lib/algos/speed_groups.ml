@@ -1,0 +1,80 @@
+type t = { eps : float; delta : float; gamma : float; makespan : float; vmin : float }
+
+let create ~eps ~makespan ~vmin =
+  if not (eps > 0.0 && eps <= 0.5) then
+    invalid_arg "Speed_groups.create: eps must be in (0, 1/2]";
+  if not (makespan > 0.0) then
+    invalid_arg "Speed_groups.create: makespan must be positive";
+  if not (vmin > 0.0) then
+    invalid_arg "Speed_groups.create: vmin must be positive";
+  { eps; delta = eps *. eps; gamma = eps ** 3.0; makespan; vmin }
+
+let delta t = t.delta
+let gamma t = t.gamma
+
+let group_lo t g = t.vmin /. (t.gamma ** float_of_int (g - 1))
+let group_hi t g = t.vmin /. (t.gamma ** float_of_int (g + 1))
+
+let groups_of_speed t v =
+  if v < t.vmin then
+    invalid_arg "Speed_groups.groups_of_speed: speed below vmin";
+  (* v in group g iff v̌_g <= v < v̂_g iff g-1 <= log_{1/γ}(v/vmin) < g+1.
+     With x = log_{1/γ}(v/vmin) the valid groups are g ∈ (x-1, x+1], i.e.
+     two consecutive integers. Compute via floats, then verify. *)
+  let x = log (v /. t.vmin) /. log (1.0 /. t.gamma) in
+  let in_group g = group_lo t g <= v && v < group_hi t g in
+  let candidates =
+    List.filter in_group
+      [
+        int_of_float (floor x) - 1;
+        int_of_float (floor x);
+        int_of_float (floor x) + 1;
+        int_of_float (floor x) + 2;
+      ]
+  in
+  match candidates with
+  | [ g1; g2 ] when g2 = g1 + 1 -> (g1, g2)
+  | _ -> assert false (* overlap structure guarantees exactly two *)
+
+let size_category t ~speed p =
+  if p < t.eps *. speed *. t.makespan then `Small
+  else if p <= speed *. t.makespan then `Big
+  else `Huge
+
+let is_core_job t ~setup ~size =
+  t.eps *. setup <= size && size < setup /. t.delta
+
+let is_fringe_job t ~setup ~size = size >= setup /. t.delta
+
+let is_core_machine t ~setup ~speed =
+  setup <= t.makespan *. speed && t.makespan *. speed < setup /. t.gamma
+
+let is_fringe_machine t ~setup ~speed = t.makespan *. speed >= setup /. t.gamma
+
+(* Smallest g in a small candidate window satisfying both inequalities. *)
+let smallest_group_satisfying lo_ok hi_ok hint =
+  let x = int_of_float (floor hint) in
+  let rec scan g limit =
+    if limit = 0 then assert false
+    else if lo_ok g && hi_ok g then g
+    else scan (g + 1) (limit - 1)
+  in
+  scan (x - 3) 8
+
+let native_group t ~size =
+  if not (size > 0.0) then invalid_arg "Speed_groups.native_group: size <= 0";
+  (* smallest group containing every speed for which the size is big:
+     v̌_g <= p/T and p/(ε·T) < v̂_g *)
+  let lo_ok g = group_lo t g *. t.makespan <= size in
+  let hi_ok g = size < t.eps *. group_hi t g *. t.makespan in
+  let hint = log (size /. (t.vmin *. t.makespan)) /. log (1.0 /. t.gamma) in
+  smallest_group_satisfying lo_ok hi_ok hint
+
+let core_group t ~setup =
+  if not (setup > 0.0) then invalid_arg "Speed_groups.core_group: setup <= 0";
+  (* smallest group containing every possible core-machine speed of the
+     class: v̌_g <= s_k/T and s_k/(γ·T) <= v̂_g *)
+  let lo_ok g = group_lo t g *. t.makespan <= setup in
+  let hi_ok g = setup <= t.gamma *. group_hi t g *. t.makespan in
+  let hint = log (setup /. (t.vmin *. t.makespan)) /. log (1.0 /. t.gamma) in
+  smallest_group_satisfying lo_ok hi_ok hint

@@ -1,0 +1,66 @@
+(** Structural definitions of the Section 2 PTAS: threshold parameters,
+    core/fringe jobs and machines, size categories and speed groups.
+
+    With accuracy [ε], the paper sets [δ = ε²] and [γ = ε³] and, for a
+    makespan bound [T]:
+
+    - the {e core jobs} of class [k] are those with size
+      [ε·s_k <= p < s_k/δ]; bigger jobs are {e fringe jobs};
+    - the {e core machines} of class [k] satisfy [s_k <= T·v_i < s_k/γ];
+      faster ones are {e fringe machines};
+    - a size [p] is {e small} for speed [v] if [p < ε·v·T], {e big} if
+      [ε·v·T <= p <= v·T] and {e huge} beyond;
+    - {e group} [g] is the speed interval [[v̌_g, v̂_g)] with
+      [v̌_g = vmin/γ^(g-1)] and [v̂_g = vmin/γ^(g+1)] — consecutive groups
+      overlap so that every speed lies in exactly two groups;
+    - the {e native group} of a job and the {e core group} of a class are
+      the smallest groups containing {e every} speed for which the job is
+      big (resp. every possible core-machine speed of the class). The
+      paper states the shorthand inequalities [ε·v̌_g·T <= p < v̂_g·T]
+      (resp. [v̌_g·T <= s_k < v̂_g·T]); we implement the containment
+      property directly because it is what the surrounding arguments
+      (e.g. Remark 2.7) actually use.
+
+    These predicates drive the tests that validate Remarks 2.5–2.7; the
+    runnable PTAS itself uses the simplification pipeline plus an exact
+    solve of the rounded instance (see DESIGN.md for the substitution
+    note). *)
+
+type t
+
+val create : eps:float -> makespan:float -> vmin:float -> t
+(** Raises [Invalid_argument] unless [0 < eps <= 1/2], [makespan > 0],
+    [vmin > 0]. *)
+
+val delta : t -> float
+val gamma : t -> float
+
+val group_lo : t -> int -> float
+(** [v̌_g]. *)
+
+val group_hi : t -> int -> float
+(** [v̂_g]. *)
+
+val groups_of_speed : t -> float -> int * int
+(** The two consecutive groups containing a speed. *)
+
+val size_category : t -> speed:float -> float -> [ `Small | `Big | `Huge ]
+
+val is_core_job : t -> setup:float -> size:float -> bool
+(** [ε·s_k <= p < s_k/δ]. (Sizes below [ε·s_k] do not occur in simplified
+    instances.) *)
+
+val is_fringe_job : t -> setup:float -> size:float -> bool
+(** [p >= s_k/δ]. *)
+
+val is_core_machine : t -> setup:float -> speed:float -> bool
+val is_fringe_machine : t -> setup:float -> speed:float -> bool
+
+val native_group : t -> size:float -> int
+(** Smallest group [g] with [v̌_g·T <= p] and [p < ε·v̂_g·T], i.e. the
+    smallest group containing all speeds for which [p] is big. *)
+
+val core_group : t -> setup:float -> int
+(** Smallest group [g] with [v̌_g·T <= s_k] and [s_k <= γ·v̂_g·T], i.e. the
+    smallest group containing all possible core-machine speeds of the
+    class. *)

@@ -1,0 +1,44 @@
+(** The splittable-class model (Correa et al. [5], the source of
+    LP-RelaxedRA).
+
+    Section 3.3's LP "is identical to the LP given in [5]", where a class's
+    workload may be divided arbitrarily across machines and every machine
+    processing a positive fraction pays the class's full setup. This module
+    solves that model directly: binary-search the guess, take a vertex of
+    LP-RelaxedRA, round it along the pseudo-forest (Lemma 3.8) and emit the
+    resulting {e fractional} schedule — no job granularity is lost, so the
+    per-machine bound of Lemma 3.9 applies verbatim and the result is a
+    2-approximation for the splittable problem.
+
+    Comparing this to {!Ra_class_uniform}/{!Um_class_uniform} isolates what
+    the greedy slot-filling step pays for indivisible jobs. *)
+
+type piece = {
+  machine : int;
+  cls : int;
+  fraction : float;  (** share of the class's workload, in (0, 1] *)
+}
+
+type t = {
+  pieces : piece list;
+  makespan : float;
+  guess : float;  (** the accepted dual-approximation guess [T] *)
+}
+
+val loads : Core.Instance.t -> piece list -> float array
+(** Per-machine load of a fractional schedule: workload shares plus one
+    setup per (machine, class) with positive fraction. *)
+
+val is_valid : Core.Instance.t -> piece list -> bool
+(** Fractions positive, every class's fractions sum to 1, and every piece
+    sits on a machine where the class is eligible. *)
+
+val schedule_for_guess : Core.Instance.t -> makespan:float -> t option
+(** One probe: a fractional schedule of makespan [<= 2·guess], or [None]
+    if LP-RelaxedRA is infeasible at the guess. *)
+
+val schedule : ?rel_tol:float -> Core.Instance.t -> t
+(** Full pipeline. Supports identical machines, restricted assignment with
+    class-uniform restrictions, and unrelated machines with class-uniform
+    processing times (the environments where "the class's workload on
+    machine i" is well defined); raises [Invalid_argument] otherwise. *)

@@ -1,0 +1,22 @@
+(** The 3-approximation for unrelated machines with class-uniform
+    processing times (Section 3.3.2, Theorem 3.11).
+
+    Precondition: on every machine, all jobs of a class take the same time.
+    Same pipeline as {!Ra_class_uniform} with two changes: the LP filter is
+    constraint (16) ([x̄_ik = 0] if [s_ik + p_ik > T]), and a cut machine
+    [i⁻_k] is handled by the ½-threshold rule — if [x̄ > ½] the whole class
+    moves onto [i⁻_k] (cost [<= 2T]); otherwise its fraction is
+    redistributed by doubling the kept fractions. Greedy filling then adds
+    at most one setup plus one job, [<= T] by (16), per machine: [3T]
+    total. The paper also notes a matching lower bound of 2 (unless P=NP). *)
+
+val guarantee : float
+(** 3.0 *)
+
+val schedule_for_guess : Core.Instance.t -> makespan:float -> Common.result option
+(** One dual-approximation probe: a schedule of makespan [<= 3·guess] or
+    [None] (LP infeasible at the guess). *)
+
+val schedule : ?rel_tol:float -> Core.Instance.t -> Common.result
+(** Full pipeline with binary search. Raises [Invalid_argument] if
+    processing times are not class-uniform. *)

@@ -1,0 +1,32 @@
+let schedule_for_guess ~eps instance ~makespan:t =
+  let simp = Simplify.simplify ~eps ~makespan:t instance in
+  match
+    Ptas_dp.feasible (Simplify.simplified simp) ~makespan:(Simplify.target simp)
+  with
+  | None -> None
+  | Some sched ->
+      let original = Simplify.reconstruct simp sched in
+      Some
+        {
+          Common.schedule = original;
+          makespan = Core.Schedule.makespan original;
+        }
+
+let schedule ?rel_tol ~eps instance =
+  (match instance.Core.Instance.env with
+  | Core.Instance.Identical | Core.Instance.Uniform _ -> ()
+  | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+      invalid_arg "Uniform_ptas: requires identical or uniform machines");
+  if not (eps > 0.0 && eps <= 0.5) then
+    invalid_arg "Uniform_ptas: eps must be in (0, 1/2]";
+  let rel_tol = Option.value ~default:(eps /. 4.0) rel_tol in
+  let lo = Core.Bounds.lower_bound instance in
+  let hi = Core.Bounds.naive_upper_bound instance in
+  match
+    Core.Binary_search.min_feasible ~lo ~hi ~rel_tol (fun t ->
+        schedule_for_guess ~eps instance ~makespan:t)
+  with
+  | Some (_, result) -> result
+  | None ->
+      (* The naive upper bound is integrally achievable, hence feasible. *)
+      assert false

@@ -1,0 +1,22 @@
+(** The PTAS for uniformly related machines with setup times (Section 2).
+
+    Dual approximation: binary search over makespan guesses [T]; each probe
+    simplifies the instance (Lemmas 2.2–2.4 via {!Simplify}) and decides
+    feasibility of the simplified instance at [(1+ε)^5·T] exactly
+    ({!Ptas_dp}). A successful probe reconstructs a schedule of makespan at
+    most [(1+ε)^6·T] for the original instance; a failed probe certifies
+    that no schedule of makespan [T] exists. The returned schedule is a
+    [(1+O(ε))]-approximation.
+
+    Running time grows steeply as [ε] shrinks (the rounded instance keeps
+    [Θ(log_{1+ε})] distinct sizes); intended for small instances and
+    [ε >= 1/4], which experiment E2 uses. *)
+
+val schedule_for_guess :
+  eps:float -> Core.Instance.t -> makespan:float -> Common.result option
+(** One dual-approximation probe at a fixed guess. *)
+
+val schedule : ?rel_tol:float -> eps:float -> Core.Instance.t -> Common.result
+(** Full pipeline. [rel_tol] defaults to [eps/4]. Raises
+    [Invalid_argument] unless the environment is identical or uniform and
+    [0 < eps <= 1/2]. *)

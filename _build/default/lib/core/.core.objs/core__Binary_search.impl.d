@@ -1,0 +1,1 @@
+lib/core/binary_search.ml: Float

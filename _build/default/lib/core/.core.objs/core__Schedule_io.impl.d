@@ -1,0 +1,1 @@
+lib/core/schedule_io.ml: Array Buffer Fun List Printf Schedule String

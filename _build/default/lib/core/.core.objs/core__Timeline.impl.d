@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Array Buffer Bytes Float Format Hashtbl Instance List Option Printf Schedule String

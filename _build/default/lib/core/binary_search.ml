@@ -1,0 +1,42 @@
+let check ~lo ~hi ~rel_tol =
+  if lo < 0.0 then invalid_arg "Binary_search: lo must be >= 0";
+  if hi < lo then invalid_arg "Binary_search: hi must be >= lo";
+  if not (rel_tol > 0.0) then invalid_arg "Binary_search: rel_tol must be > 0"
+
+(* Multiplicative convergence: stop once hi <= (1 + rel_tol) * max lo eps.
+   The small absolute floor keeps the search finite when lo = 0. *)
+let converged ~rel_tol lo hi = hi <= (1.0 +. rel_tol) *. Float.max lo 1e-12
+
+let min_feasible ~lo ~hi ~rel_tol probe =
+  check ~lo ~hi ~rel_tol;
+  (* A zero lower bound would force ~60 arithmetic halvings before the
+     absolute floor kicks in; a tiny positive floor keeps the search
+     geometric without affecting the approximation guarantee. *)
+  let lo = if lo > 0.0 then lo else hi *. 1e-9 in
+  match probe hi with
+  | None -> None
+  | Some w ->
+      let rec go lo hi best_t best_w =
+        if converged ~rel_tol lo hi then Some (best_t, best_w)
+        else
+          let mid =
+            if lo > 0.0 then sqrt (lo *. hi) else (lo +. hi) /. 2.0
+          in
+          match probe mid with
+          | Some w -> go lo mid mid w
+          | None -> go mid hi best_t best_w
+      in
+      go lo hi hi w
+
+let probes ~lo ~hi ~rel_tol =
+  check ~lo ~hi ~rel_tol;
+  let lo = if lo > 0.0 then lo else hi *. 1e-9 in
+  let rec count lo hi acc =
+    if converged ~rel_tol lo hi then acc
+    else
+      let mid = if lo > 0.0 then sqrt (lo *. hi) else (lo +. hi) /. 2.0 in
+      (* Feasible answers shrink the interval fastest; infeasible ones give
+         the same recursion depth, so either branch has equal count. *)
+      count lo mid (acc + 1)
+  in
+  count lo hi 1

@@ -1,0 +1,25 @@
+(** Dual-approximation driver (Hochbaum–Shmoys framework).
+
+    Nearly every algorithm in the paper is phrased as: given a makespan
+    guess [T], either build a schedule of makespan [≤ α·T] or certify that
+    no schedule of makespan [T] exists. Binary search over [T] then yields
+    an [α(1+tol)]-approximation. This module provides that search. *)
+
+val min_feasible :
+  lo:float ->
+  hi:float ->
+  rel_tol:float ->
+  (float -> 'a option) ->
+  (float * 'a) option
+(** [min_feasible ~lo ~hi ~rel_tol probe] assumes [probe] is monotone:
+    if [probe t = Some _] and [t' >= t] then [probe t' = Some _]. It
+    returns [Some (t, w)] where [t] is within a factor [1 + rel_tol] of the
+    smallest feasible guess in [[lo, hi]] and [w = probe t]-witness, or
+    [None] if even [hi] is infeasible. The witness returned is the one
+    produced at the final (smallest successful) probe.
+
+    Raises [Invalid_argument] if [lo < 0], [hi < lo] or [rel_tol <= 0]. *)
+
+val probes : lo:float -> hi:float -> rel_tol:float -> int
+(** Number of probe evaluations [min_feasible] performs in the worst case
+    (useful for tests and cost estimates). *)

@@ -1,0 +1,217 @@
+exception Parse_error of string
+
+let float_to_text x = if x = infinity then "inf" else Printf.sprintf "%.17g" x
+
+let row_to_text row = String.concat " " (Array.to_list (Array.map float_to_text row))
+
+let to_string (t : Instance.t) =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  let env_name =
+    match t.Instance.env with
+    | Instance.Identical -> "identical"
+    | Instance.Uniform _ -> "uniform"
+    | Instance.Restricted _ -> "restricted"
+    | Instance.Unrelated _ -> "unrelated"
+  in
+  add "# setup-scheduling instance";
+  add "env %s" env_name;
+  add "machines %d" (Instance.num_machines t);
+  add "classes %d" (Instance.num_classes t);
+  add "setups %s" (row_to_text t.Instance.setups);
+  add "jobs %d" (Instance.num_jobs t);
+  (match t.Instance.env with
+  | Instance.Unrelated _ -> ()
+  | Instance.Identical | Instance.Uniform _ | Instance.Restricted _ ->
+      add "sizes %s" (row_to_text t.Instance.sizes));
+  add "job_class %s"
+    (String.concat " " (Array.to_list (Array.map string_of_int t.Instance.job_class)));
+  (match t.Instance.env with
+  | Instance.Identical -> ()
+  | Instance.Uniform speeds -> add "speeds %s" (row_to_text speeds)
+  | Instance.Restricted eligible ->
+      add "eligible";
+      Array.iter
+        (fun row ->
+          add "%s"
+            (String.concat " "
+               (Array.to_list (Array.map (fun b -> if b then "1" else "0") row))))
+        eligible
+  | Instance.Unrelated p ->
+      add "ptimes";
+      Array.iter (fun row -> add "%s" (row_to_text row)) p;
+      (match t.Instance.setup_matrix with
+      | None -> ()
+      | Some s ->
+          add "setup_matrix";
+          Array.iter (fun row -> add "%s" (row_to_text row)) s));
+  Buffer.contents buf
+
+(* Parsing ------------------------------------------------------------- *)
+
+type line = { num : int; words : string list }
+
+let fail line fmt =
+  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+
+let tokenize text =
+  String.split_on_char '\n' text
+  |> List.mapi (fun idx l -> (idx + 1, l))
+  |> List.filter_map (fun (num, l) ->
+         let l =
+           match String.index_opt l '#' with
+           | Some i -> String.sub l 0 i
+           | None -> l
+         in
+         let words =
+           String.split_on_char ' ' l
+           |> List.concat_map (String.split_on_char '\t')
+           |> List.filter (fun w -> w <> "" && w <> "\r")
+         in
+         if words = [] then None else Some { num; words })
+
+let parse_float line w =
+  match String.lowercase_ascii w with
+  | "inf" | "+inf" | "infinity" -> infinity
+  | _ -> (
+      match float_of_string_opt w with
+      | Some x -> x
+      | None -> fail line "expected a number, got %S" w)
+
+let parse_int line w =
+  match int_of_string_opt w with
+  | Some x -> x
+  | None -> fail line "expected an integer, got %S" w
+
+let parse_float_row expected line =
+  let row = Array.of_list (List.map (parse_float line.num) line.words) in
+  if Array.length row <> expected then
+    fail line.num "expected %d values, got %d" expected (Array.length row);
+  row
+
+let of_string text =
+  let lines = tokenize text in
+  let env = ref None in
+  let machines = ref None in
+  let classes = ref None in
+  let jobs = ref None in
+  let setups = ref None in
+  let sizes = ref None in
+  let job_class = ref None in
+  let speeds = ref None in
+  let eligible = ref None in
+  let ptimes = ref None in
+  let setup_matrix = ref None in
+  let need_int name r line rest =
+    match rest with
+    | [ w ] -> r := Some (parse_int line.num w)
+    | _ -> fail line.num "%s expects exactly one integer" name
+  in
+  let get name r =
+    match !r with
+    | Some v -> v
+    | None -> raise (Parse_error (Printf.sprintf "missing %s declaration" name))
+  in
+  let take_rows count remaining what =
+    let rec go count remaining acc =
+      if count = 0 then (List.rev acc, remaining)
+      else
+        match remaining with
+        | [] -> raise (Parse_error (Printf.sprintf "unexpected end of input in %s block" what))
+        | line :: rest -> go (count - 1) rest (line :: acc)
+    in
+    go count remaining []
+  in
+  let rec consume = function
+    | [] -> ()
+    | line :: rest -> (
+        match line.words with
+        | "env" :: [ e ] ->
+            (match e with
+            | "identical" | "uniform" | "restricted" | "unrelated" -> env := Some e
+            | _ -> fail line.num "unknown env %S" e);
+            consume rest
+        | "machines" :: r ->
+            need_int "machines" machines line r;
+            consume rest
+        | "classes" :: r ->
+            need_int "classes" classes line r;
+            consume rest
+        | "jobs" :: r ->
+            need_int "jobs" jobs line r;
+            consume rest
+        | "setups" :: r ->
+            setups := Some (parse_float_row (get "classes" classes) { line with words = r });
+            consume rest
+        | "sizes" :: r ->
+            sizes := Some (parse_float_row (get "jobs" jobs) { line with words = r });
+            consume rest
+        | "job_class" :: r ->
+            let n = get "jobs" jobs in
+            if List.length r <> n then fail line.num "job_class expects %d entries" n;
+            job_class := Some (Array.of_list (List.map (parse_int line.num) r));
+            consume rest
+        | "speeds" :: r ->
+            speeds := Some (parse_float_row (get "machines" machines) { line with words = r });
+            consume rest
+        | [ "eligible" ] ->
+            let m = get "machines" machines and n = get "jobs" jobs in
+            let rows, rest = take_rows m rest "eligible" in
+            let parse_row l =
+              if List.length l.words <> n then fail l.num "eligible rows need %d flags" n;
+              Array.of_list
+                (List.map
+                   (fun w ->
+                     match w with
+                     | "0" -> false
+                     | "1" -> true
+                     | _ -> fail l.num "eligible flags must be 0 or 1, got %S" w)
+                   l.words)
+            in
+            eligible := Some (Array.of_list (List.map parse_row rows));
+            consume rest
+        | [ "ptimes" ] ->
+            let m = get "machines" machines and n = get "jobs" jobs in
+            let rows, rest = take_rows m rest "ptimes" in
+            ptimes := Some (Array.of_list (List.map (parse_float_row n) rows));
+            consume rest
+        | [ "setup_matrix" ] ->
+            let m = get "machines" machines and kk = get "classes" classes in
+            let rows, rest = take_rows m rest "setup_matrix" in
+            setup_matrix := Some (Array.of_list (List.map (parse_float_row kk) rows));
+            consume rest
+        | w :: _ -> fail line.num "unknown keyword %S" w
+        | [] -> consume rest)
+  in
+  consume lines;
+  let env = get "env" env in
+  let setups = get "setups" setups in
+  let job_class = get "job_class" job_class in
+  try
+    match env with
+    | "identical" ->
+        Instance.identical ~num_machines:(get "machines" machines)
+          ~sizes:(get "sizes" sizes) ~job_class ~setups
+    | "uniform" ->
+        Instance.uniform ~speeds:(get "speeds" speeds) ~sizes:(get "sizes" sizes)
+          ~job_class ~setups
+    | "restricted" ->
+        Instance.restricted ~eligible:(get "eligible" eligible)
+          ~sizes:(get "sizes" sizes) ~job_class ~setups
+    | "unrelated" ->
+        Instance.unrelated ?setup_matrix:!setup_matrix ~p:(get "ptimes" ptimes)
+          ~job_class ~setups ()
+    | _ -> assert false
+  with Invalid_argument msg -> raise (Parse_error msg)
+
+let to_file path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string t))
+
+let of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string (really_input_string ic len))

@@ -1,0 +1,29 @@
+(** Plain-text serialization of instances.
+
+    The format is line-oriented; [#] starts a comment. Keywords:
+
+    {v
+    env identical|uniform|restricted|unrelated
+    machines <m>            # required for identical/unrelated
+    classes <K>
+    setups s_0 ... s_{K-1}
+    jobs <n>
+    sizes p_0 ... p_{n-1}          # not used by env unrelated
+    job_class k_0 ... k_{n-1}
+    speeds v_0 ... v_{m-1}         # env uniform only
+    eligible                       # env restricted: m lines of n 0/1 flags
+    ptimes                         # env unrelated: m lines of n floats
+    setup_matrix                   # env unrelated, optional: m lines of K floats
+    v}
+
+    [inf] (case-insensitive) denotes infinity in [ptimes]/[setup_matrix]. *)
+
+exception Parse_error of string
+(** Raised with a human-readable message (including a line number) when the
+    input is malformed. *)
+
+val to_string : Instance.t -> string
+val of_string : string -> Instance.t
+
+val to_file : string -> Instance.t -> unit
+val of_file : string -> Instance.t

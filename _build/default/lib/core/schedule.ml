@@ -1,0 +1,111 @@
+type t = { instance : Instance.t; assignment : int array }
+
+let check_range instance assignment =
+  let m = Instance.num_machines instance in
+  if Array.length assignment <> Instance.num_jobs instance then
+    invalid_arg "Schedule: assignment length must equal number of jobs";
+  Array.iteri
+    (fun j i ->
+      if i < 0 || i >= m then
+        invalid_arg
+          (Printf.sprintf "Schedule: job %d assigned to machine %d (m = %d)" j
+             i m))
+    assignment
+
+let unsafe_make instance assignment =
+  check_range instance assignment;
+  { instance; assignment = Array.copy assignment }
+
+let make instance assignment =
+  check_range instance assignment;
+  Array.iteri
+    (fun j i ->
+      if not (Instance.job_eligible instance i j) then
+        invalid_arg
+          (Printf.sprintf "Schedule: job %d is not eligible on machine %d" j i))
+    assignment;
+  { instance; assignment = Array.copy assignment }
+
+let assignment t = Array.copy t.assignment
+let machine_of t j = t.assignment.(j)
+
+let jobs_of_machine t i =
+  let acc = ref [] in
+  for j = Array.length t.assignment - 1 downto 0 do
+    if t.assignment.(j) = i then acc := j :: !acc
+  done;
+  !acc
+
+let classes_of_machine t i =
+  let inst = t.instance in
+  let present = Array.make (Instance.num_classes inst) false in
+  Array.iteri
+    (fun j mach -> if mach = i then present.(inst.Instance.job_class.(j)) <- true)
+    t.assignment;
+  let acc = ref [] in
+  for k = Array.length present - 1 downto 0 do
+    if present.(k) then acc := k :: !acc
+  done;
+  !acc
+
+let loads t =
+  let inst = t.instance in
+  let m = Instance.num_machines inst in
+  let kk = Instance.num_classes inst in
+  let load = Array.make m 0.0 in
+  let has_setup = Array.make_matrix m kk false in
+  Array.iteri
+    (fun j i ->
+      load.(i) <- load.(i) +. Instance.ptime inst i j;
+      let k = inst.Instance.job_class.(j) in
+      if not has_setup.(i).(k) then begin
+        has_setup.(i).(k) <- true;
+        load.(i) <- load.(i) +. Instance.setup_time inst i k
+      end)
+    t.assignment;
+  load
+
+let load t i = (loads t).(i)
+let makespan t = Array.fold_left Float.max 0.0 (loads t)
+
+let num_setups t =
+  let inst = t.instance in
+  let m = Instance.num_machines inst in
+  let kk = Instance.num_classes inst in
+  let has_setup = Array.make_matrix m kk false in
+  Array.iteri
+    (fun j i -> has_setup.(i).(inst.Instance.job_class.(j)) <- true)
+    t.assignment;
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun a b -> if b then a + 1 else a) acc row)
+    0 has_setup
+
+let is_valid instance t =
+  Instance.num_jobs instance = Array.length t.assignment
+  && Instance.num_machines instance = Instance.num_machines t.instance
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun j i -> if not (Instance.job_eligible instance i j) then ok := false)
+    t.assignment;
+  !ok
+
+let pp ppf t =
+  let m = Instance.num_machines t.instance in
+  let load = loads t in
+  Format.fprintf ppf "@[<v>schedule (makespan %g):@," (makespan t);
+  for i = 0 to m - 1 do
+    let jobs = jobs_of_machine t i in
+    let classes = classes_of_machine t i in
+    Format.fprintf ppf "machine %d: load %g, classes [%a], jobs [%a]@," i
+      load.(i)
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         Format.pp_print_int)
+      classes
+      (Format.pp_print_list
+         ~pp_sep:(fun f () -> Format.pp_print_string f "; ")
+         Format.pp_print_int)
+      jobs
+  done;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,47 @@
+(** Schedules: job-to-machine assignments with setup-aware load accounting.
+
+    A schedule for an instance is a total assignment [σ : jobs → machines].
+    Machine order within a machine is irrelevant for the makespan because a
+    machine batches all jobs of a class behind a single setup. *)
+
+type t
+
+val make : Instance.t -> int array -> t
+(** [make instance assignment] validates that [assignment] maps every job to
+    an in-range machine on which the job is eligible.
+    Raises [Invalid_argument] otherwise. The array is copied. *)
+
+val unsafe_make : Instance.t -> int array -> t
+(** Like {!make}, without eligibility checks (the array is still copied and
+    range-checked). Used by algorithms that establish validity themselves. *)
+
+val assignment : t -> int array
+(** A copy of the underlying assignment. *)
+
+val machine_of : t -> int -> int
+(** Machine of a job. *)
+
+val jobs_of_machine : t -> int -> int list
+(** Jobs on a machine, in increasing job order. *)
+
+val classes_of_machine : t -> int -> int list
+(** Distinct classes with at least one job on the machine, increasing. *)
+
+val load : t -> int -> float
+(** [load t i] = total processing time of the jobs on machine [i] plus one
+    setup time per distinct class present on [i]. *)
+
+val loads : t -> float array
+(** Load of every machine. *)
+
+val makespan : t -> float
+
+val num_setups : t -> int
+(** Total number of setups paid across all machines. *)
+
+val is_valid : Instance.t -> t -> bool
+(** Does the schedule assign every job of [instance] to an eligible
+    machine? Also checks that the schedule was built for an instance of the
+    same dimensions. *)
+
+val pp : Format.formatter -> t -> unit

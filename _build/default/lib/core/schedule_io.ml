@@ -1,0 +1,57 @@
+exception Parse_error of string
+
+let to_string schedule =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "# setup-scheduling schedule\nschedule\nassignment";
+  Array.iter
+    (fun i ->
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int i))
+    (Schedule.assignment schedule);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let of_string instance text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map (fun l ->
+           match String.index_opt l '#' with
+           | Some i -> String.sub l 0 i
+           | None -> l)
+    |> List.concat_map (fun l -> [ String.trim l ])
+    |> List.filter (fun l -> l <> "")
+  in
+  let assignment = ref None in
+  List.iter
+    (fun line ->
+      match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+      | [ "schedule" ] -> ()
+      | "assignment" :: rest ->
+          let parse w =
+            match int_of_string_opt w with
+            | Some v -> v
+            | None -> raise (Parse_error (Printf.sprintf "bad machine id %S" w))
+          in
+          assignment := Some (Array.of_list (List.map parse rest))
+      | w :: _ -> raise (Parse_error (Printf.sprintf "unknown keyword %S" w))
+      | [] -> ())
+    lines;
+  match !assignment with
+  | None -> raise (Parse_error "missing assignment line")
+  | Some a -> (
+      try Schedule.make instance a
+      with Invalid_argument msg -> raise (Parse_error msg))
+
+let to_file path schedule =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string schedule))
+
+let of_file instance path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      of_string instance (really_input_string ic len))

@@ -1,0 +1,17 @@
+(** Plain-text serialization of schedules.
+
+    Format (line-oriented, [#] comments):
+
+    {v
+    schedule
+    assignment i_0 i_1 ... i_{n-1}
+    v} *)
+
+exception Parse_error of string
+
+val to_string : Schedule.t -> string
+val of_string : Instance.t -> string -> Schedule.t
+(** Validates against the instance (job count, eligibility). *)
+
+val to_file : string -> Schedule.t -> unit
+val of_file : Instance.t -> string -> Schedule.t

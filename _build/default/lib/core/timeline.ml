@@ -1,0 +1,94 @@
+type event = {
+  start : float;
+  finish : float;
+  kind : [ `Setup of int | `Job of int ];
+}
+
+let of_schedule instance schedule =
+  let m = Instance.num_machines instance in
+  Array.init m (fun i ->
+      let jobs = Schedule.jobs_of_machine schedule i in
+      let by_class = Hashtbl.create 8 in
+      List.iter
+        (fun j ->
+          let k = instance.Instance.job_class.(j) in
+          let old = Option.value ~default:[] (Hashtbl.find_opt by_class k) in
+          Hashtbl.replace by_class k (j :: old))
+        jobs;
+      let classes = List.sort compare (Schedule.classes_of_machine schedule i) in
+      let clock = ref 0.0 in
+      let events = ref [] in
+      List.iter
+        (fun k ->
+          let setup = Instance.setup_time instance i k in
+          events :=
+            { start = !clock; finish = !clock +. setup; kind = `Setup k }
+            :: !events;
+          clock := !clock +. setup;
+          let batch = List.rev (Hashtbl.find by_class k) in
+          List.iter
+            (fun j ->
+              let p = Instance.ptime instance i j in
+              events :=
+                { start = !clock; finish = !clock +. p; kind = `Job j }
+                :: !events;
+              clock := !clock +. p)
+            batch)
+        classes;
+      List.rev !events)
+
+let to_csv instance schedule =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "machine,kind,id,start,finish\n";
+  Array.iteri
+    (fun i events ->
+      List.iter
+        (fun e ->
+          let kind, id =
+            match e.kind with `Setup k -> ("setup", k) | `Job j -> ("job", j)
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "%d,%s,%d,%.17g,%.17g\n" i kind id e.start
+               e.finish))
+        events)
+    (of_schedule instance schedule);
+  Buffer.contents buf
+
+let class_glyph k =
+  let alphabet = "abcdefghijklmnopqrstuvwxyz0123456789" in
+  alphabet.[k mod String.length alphabet]
+
+let pp_gantt instance ppf schedule =
+  let lanes = of_schedule instance schedule in
+  let horizon =
+    Array.fold_left
+      (fun acc events ->
+        List.fold_left (fun acc e -> Float.max acc e.finish) acc events)
+      0.0 lanes
+  in
+  let width = 60 in
+  let scale t =
+    if horizon <= 0.0 then 0
+    else int_of_float (Float.round (t /. horizon *. float_of_int width))
+  in
+  Format.fprintf ppf "@[<v>time 0 .. %g (each column ~ %g)@," horizon
+    (horizon /. float_of_int width);
+  Array.iteri
+    (fun i events ->
+      let lane = Bytes.make width '.' in
+      List.iter
+        (fun e ->
+          let a = scale e.start and b = max (scale e.start + 1) (scale e.finish) in
+          let glyph =
+            match e.kind with
+            | `Setup _ -> '#'
+            | `Job j -> class_glyph instance.Instance.job_class.(j)
+          in
+          for c = a to min (width - 1) (b - 1) do
+            Bytes.set lane c glyph
+          done)
+        events;
+      Format.fprintf ppf "m%-2d |%s| %g@," i (Bytes.to_string lane)
+        (Schedule.load schedule i))
+    lanes;
+  Format.fprintf ppf "(# = setup, letters = job classes)@]"

@@ -1,0 +1,28 @@
+(** Concrete per-machine timelines for a schedule.
+
+    A schedule only fixes the job→machine assignment; the model lets every
+    machine process each of its classes as one contiguous batch (setup
+    first, then the class's jobs back to back), which is what realizes the
+    load [Σ p + Σ setups]. This module materializes that batch order into
+    explicit events with start/end times — for Gantt rendering, export, and
+    tests that the load accounting matches an executable timeline. *)
+
+type event = {
+  start : float;
+  finish : float;
+  kind : [ `Setup of int  (** class *) | `Job of int  (** job id *) ];
+}
+
+val of_schedule : Instance.t -> Schedule.t -> event list array
+(** One event list per machine, in execution order: classes in increasing
+    class id, each preceded by its setup; jobs within a class in increasing
+    job id. The last event of machine [i] finishes exactly at
+    [Schedule.load schedule i]. *)
+
+val to_csv : Instance.t -> Schedule.t -> string
+(** One CSV row per event: [machine,kind,id,start,finish] where kind is
+    [setup] (id = class) or [job]. For spreadsheet/plotting export. *)
+
+val pp_gantt : Instance.t -> Format.formatter -> Schedule.t -> unit
+(** ASCII Gantt chart: one row per machine, time flowing right, [#] for
+    setup time and letters/digits cycling per class for processing time. *)

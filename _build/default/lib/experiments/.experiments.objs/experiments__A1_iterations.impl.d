@@ -1,0 +1,1 @@
+lib/experiments/a1_iterations.ml: Algos Array Exp_common List Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/a1_iterations.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/a2_pseudoforest.ml: Algos Array Exp_common List Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/a2_pseudoforest.mli: Exp_common

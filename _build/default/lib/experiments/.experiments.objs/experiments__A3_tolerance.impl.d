@@ -1,0 +1,1 @@
+lib/experiments/a3_tolerance.ml: Algos Array Core Exp_common List Printf Stats Workloads

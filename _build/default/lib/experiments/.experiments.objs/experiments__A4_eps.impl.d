@@ -1,0 +1,1 @@
+lib/experiments/a4_eps.ml: Algos Array Exp_common List Printf Stats Workloads

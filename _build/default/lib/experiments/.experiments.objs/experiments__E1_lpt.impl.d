@@ -1,0 +1,1 @@
+lib/experiments/e1_lpt.ml: Algos Array Exp_common List Printf Stats Workloads

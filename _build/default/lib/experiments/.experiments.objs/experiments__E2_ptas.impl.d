@@ -1,0 +1,1 @@
+lib/experiments/e2_ptas.ml: Algos Array Exp_common List Printf Stats Workloads

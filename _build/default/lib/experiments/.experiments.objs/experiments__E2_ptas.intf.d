@@ -1,0 +1,1 @@
+lib/experiments/e2_ptas.mli: Exp_common

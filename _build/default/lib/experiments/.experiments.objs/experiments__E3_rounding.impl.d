@@ -1,0 +1,1 @@
+lib/experiments/e3_rounding.ml: Algos Array Core Exp_common Float List Printf Stats Workloads

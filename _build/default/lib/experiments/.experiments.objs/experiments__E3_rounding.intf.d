@@ -1,0 +1,1 @@
+lib/experiments/e3_rounding.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/e4_gap.ml: Core Exp_common List Printf Setcover Stats

@@ -1,0 +1,1 @@
+lib/experiments/e4_gap.mli: Exp_common

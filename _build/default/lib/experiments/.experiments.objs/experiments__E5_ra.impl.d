@@ -1,0 +1,1 @@
+lib/experiments/e5_ra.ml: Algos Array Exp_common List Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e6_um.ml: Algos Array Exp_common List Printf Stats Workloads

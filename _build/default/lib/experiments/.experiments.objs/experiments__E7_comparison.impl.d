@@ -1,0 +1,1 @@
+lib/experiments/e7_comparison.ml: Algos Array Core Exp_common List Option Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/e8_crossover.ml: Algos Array Core Exp_common List Printf Stats Workloads

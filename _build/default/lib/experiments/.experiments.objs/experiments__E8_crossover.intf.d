@@ -1,0 +1,1 @@
+lib/experiments/e8_crossover.mli: Exp_common

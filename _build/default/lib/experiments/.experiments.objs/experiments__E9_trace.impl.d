@@ -1,0 +1,1 @@
+lib/experiments/e9_trace.ml: Algos Array Core Exp_common List Printf Stats Workloads

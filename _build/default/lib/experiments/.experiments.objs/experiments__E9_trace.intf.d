@@ -1,0 +1,1 @@
+lib/experiments/e9_trace.mli: Exp_common

@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Algos Float Hashtbl Stats Unix Workloads

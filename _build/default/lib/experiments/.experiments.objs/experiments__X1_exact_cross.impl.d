@@ -1,0 +1,1 @@
+lib/experiments/x1_exact_cross.ml: Algos Array Exp_common Float List Printf Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/x1_exact_cross.mli: Exp_common

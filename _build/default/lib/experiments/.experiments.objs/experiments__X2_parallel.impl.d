@@ -1,0 +1,1 @@
+lib/experiments/x2_parallel.ml: Algos Array Exp_common Float Fun List Parallel Printf Stats Workloads

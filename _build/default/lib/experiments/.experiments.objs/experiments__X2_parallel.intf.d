@@ -1,0 +1,1 @@
+lib/experiments/x2_parallel.mli: Exp_common

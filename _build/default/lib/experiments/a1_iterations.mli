@@ -1,0 +1,4 @@
+(** See the module comment in the implementation and the per-experiment
+    index in DESIGN.md. *)
+
+val experiment : Exp_common.t

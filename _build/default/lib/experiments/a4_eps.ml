@@ -1,0 +1,69 @@
+(* A4 — ablation: the PTAS accuracy parameter. Shrinking ε tightens the
+   guarantee (1+ε)^6(1+ε/4) but grows the rounded instance's size grid and
+   hence the DP state space. We sweep ε on a fixed instance pool and
+   report ratio, guarantee, item types after simplification, and time. *)
+
+let trials = 6
+let n = 8
+let m = 3
+let k = 2
+let epsilons = [ 0.5; 0.375; 0.25; 0.125 ]
+
+let run () =
+  let rng = Exp_common.rng_for "A4" in
+  let table =
+    Stats.Table.create
+      [
+        "eps"; "guarantee"; "mean ratio"; "max ratio"; "mean item types";
+        "mean time (s)";
+      ]
+  in
+  let pool =
+    List.init trials (fun _ ->
+        let t = Workloads.Gen.uniform rng ~n ~m ~k () in
+        (t, Exp_common.exact_opt t))
+  in
+  List.iter
+    (fun eps ->
+      let ratios = ref [] and times = ref [] and types = ref [] in
+      List.iter
+        (fun (t, opt) ->
+          match opt with
+          | None -> ()
+          | Some opt ->
+              let r, secs =
+                Exp_common.time_it (fun () ->
+                    Algos.Uniform_ptas.schedule ~eps t)
+              in
+              let simp =
+                Algos.Simplify.simplify ~eps ~makespan:opt t
+              in
+              types :=
+                float_of_int
+                  (Algos.Ptas_dp.num_item_types (Algos.Simplify.simplified simp))
+                :: !types;
+              times := secs :: !times;
+              ratios := Exp_common.ratio r.Algos.Common.makespan opt :: !ratios)
+        pool;
+      let rs = Array.of_list !ratios in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.3f" eps;
+          Printf.sprintf "%.3f" (((1.0 +. eps) ** 6.0) *. (1.0 +. (eps /. 4.0)));
+          Printf.sprintf "%.3f" (Stats.mean rs);
+          Printf.sprintf "%.3f" (Stats.maximum rs);
+          Printf.sprintf "%.1f" (Stats.mean (Array.of_list !types));
+          Printf.sprintf "%.4f" (Stats.mean (Array.of_list !times));
+        ])
+    epsilons;
+  table
+
+let experiment =
+  {
+    Exp_common.id = "A4";
+    title = "Ablation: PTAS accuracy parameter";
+    claim =
+      "smaller eps tightens the guarantee but grows the rounded size grid \
+       and the DP cost";
+    run;
+  }

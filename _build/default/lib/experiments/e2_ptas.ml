@@ -1,0 +1,54 @@
+(* E2 — Section 2: the PTAS for uniform machines achieves (1+O(ε))·OPT,
+   with running time growing as ε shrinks. We measure both the ratio
+   against the exact optimum and the CPU time per instance. *)
+
+let trials = 8
+
+let configs = [ (0.5, 6, 2, 2); (0.5, 8, 3, 2); (0.25, 6, 2, 2); (0.25, 8, 3, 2) ]
+
+let run () =
+  let rng = Exp_common.rng_for "E2" in
+  let table =
+    Stats.Table.create
+      [
+        "eps"; "n"; "m"; "trials"; "mean ratio"; "max ratio"; "guarantee";
+        "mean time (s)";
+      ]
+  in
+  List.iter
+    (fun (eps, n, m, k) ->
+      let ratios = ref [] and times = ref [] in
+      for _ = 1 to trials do
+        let t = Workloads.Gen.uniform rng ~n ~m ~k () in
+        match Exp_common.exact_opt t with
+        | None -> ()
+        | Some opt ->
+            let r, secs =
+              Exp_common.time_it (fun () -> Algos.Uniform_ptas.schedule ~eps t)
+            in
+            ratios := Exp_common.ratio r.Algos.Common.makespan opt :: !ratios;
+            times := secs :: !times
+      done;
+      let rs = Array.of_list !ratios and ts = Array.of_list !times in
+      let guarantee = ((1.0 +. eps) ** 6.0) *. (1.0 +. (eps /. 4.0)) in
+      Stats.Table.add_row table
+        [
+          Printf.sprintf "%.2f" eps;
+          string_of_int n;
+          string_of_int m;
+          string_of_int (Array.length rs);
+          Printf.sprintf "%.3f" (Stats.mean rs);
+          Printf.sprintf "%.3f" (Stats.maximum rs);
+          Printf.sprintf "%.3f" guarantee;
+          Printf.sprintf "%.4f" (Stats.mean ts);
+        ])
+    configs;
+  table
+
+let experiment =
+  {
+    Exp_common.id = "E2";
+    title = "PTAS for uniformly related machines";
+    claim = "Section 2: makespan <= (1+O(eps)) * OPT; cost grows with 1/eps";
+    run;
+  }

@@ -1,0 +1,46 @@
+(* E6 — Theorem 3.11: the variant with constraint (16) and the ½-threshold
+   rule is a 3-approximation for unrelated machines with class-uniform
+   processing times. Ratios are measured against the exact optimum. *)
+
+let trials = 8
+
+let configs = [ (8, 3, 2); (10, 3, 3); (12, 4, 4) ]
+
+let run () =
+  let rng = Exp_common.rng_for "E6" in
+  let table =
+    Stats.Table.create
+      [ "n"; "m"; "K"; "trials"; "mean ratio"; "max ratio"; "paper bound" ]
+  in
+  List.iter
+    (fun (n, m, k) ->
+      let ratios = ref [] in
+      for _ = 1 to trials do
+        let t = Workloads.Gen.class_uniform_ptimes rng ~n ~m ~k () in
+        match Exp_common.exact_opt t with
+        | None -> ()
+        | Some opt ->
+            let r = Algos.Um_class_uniform.schedule t in
+            ratios := Exp_common.ratio r.Algos.Common.makespan opt :: !ratios
+      done;
+      let rs = Array.of_list !ratios in
+      Stats.Table.add_row table
+        [
+          string_of_int n;
+          string_of_int m;
+          string_of_int k;
+          string_of_int (Array.length rs);
+          Printf.sprintf "%.3f" (Stats.mean rs);
+          Printf.sprintf "%.3f" (Stats.maximum rs);
+          Printf.sprintf "%.3f" Algos.Um_class_uniform.guarantee;
+        ])
+    configs;
+  table
+
+let experiment =
+  {
+    Exp_common.id = "E6";
+    title = "Unrelated machines with class-uniform processing times";
+    claim = "Theorem 3.11: 3-approximation (and no better than 2 unless P=NP)";
+    run;
+  }

@@ -1,0 +1,25 @@
+type t = {
+  id : string;
+  title : string;
+  claim : string;
+  run : unit -> Stats.Table.t;
+}
+
+let master_seed = 20260704
+
+let rng_for id =
+  let h = Hashtbl.hash id in
+  Workloads.Rng.create (master_seed + h)
+
+let ratio x y = if Float.abs y < 1e-12 then infinity else x /. y
+
+let exact_opt ?(node_limit = 5_000_000) instance =
+  let outcome = Algos.Exact.solve ~node_limit instance in
+  if outcome.Algos.Exact.optimal then
+    Some outcome.Algos.Exact.result.Algos.Common.makespan
+  else None
+
+let time_it f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)

@@ -1,0 +1,26 @@
+(** Experiment harness plumbing: the experiment record, shared ratio
+    helpers and deterministic seeding. *)
+
+type t = {
+  id : string;  (** e.g. "E1" *)
+  title : string;
+  claim : string;  (** the paper's bound this experiment checks *)
+  run : unit -> Stats.Table.t;
+}
+
+val master_seed : int
+(** Every experiment derives its RNG from this; change it to re-run the
+    whole suite on fresh draws. *)
+
+val rng_for : string -> Workloads.Rng.t
+(** Deterministic per-experiment generator ([master_seed] + id hash). *)
+
+val ratio : float -> float -> float
+(** [ratio x y = x /. y], guarding tiny denominators. *)
+
+val exact_opt : ?node_limit:int -> Core.Instance.t -> float option
+(** Optimum makespan if branch and bound proves it within the limit. *)
+
+val time_it : (unit -> 'a) -> 'a * float
+(** Result and elapsed wall-clock seconds (correct under the parallel
+    runner, unlike CPU time). *)

@@ -1,0 +1,51 @@
+let all =
+  [
+    E1_lpt.experiment;
+    E2_ptas.experiment;
+    E3_rounding.experiment;
+    E4_gap.experiment;
+    E5_ra.experiment;
+    E6_um.experiment;
+    E7_comparison.experiment;
+    E8_crossover.experiment;
+    E9_trace.experiment;
+    A1_iterations.experiment;
+    A2_pseudoforest.experiment;
+    A3_tolerance.experiment;
+    A4_eps.experiment;
+    X1_exact_cross.experiment;
+    X2_parallel.experiment;
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.find_opt (fun e -> String.uppercase_ascii e.Exp_common.id = id) all
+
+let print_result e table secs =
+  Printf.printf "=== %s: %s ===\n" e.Exp_common.id e.Exp_common.title;
+  Printf.printf "claim: %s\n\n" e.Exp_common.claim;
+  Stats.Table.print table;
+  Printf.printf "(%.2f s)\n\n%!" secs
+
+let run_one e =
+  let table, secs = Exp_common.time_it e.Exp_common.run in
+  print_result e table secs
+
+let run_all ?(jobs = 1) () =
+  if jobs <= 1 then List.iter run_one all
+  else begin
+    (* Experiments are independent and internally seeded, so parallel
+       execution is bit-identical to sequential; only compute in parallel,
+       print in order. *)
+    let pool = Parallel.Pool.create jobs in
+    Fun.protect
+      ~finally:(fun () -> Parallel.Pool.shutdown pool)
+      (fun () ->
+        let results =
+          Parallel.Pool.map pool
+            (fun e -> Exp_common.time_it e.Exp_common.run)
+            all
+        in
+        List.iter2 (fun e (table, secs) -> print_result e table secs) all
+          results)
+  end

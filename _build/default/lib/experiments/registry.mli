@@ -1,0 +1,16 @@
+(** All experiments of the reproduction: the theorem experiments E1-E8 in
+    paper order, followed by the ablations A1-A4. *)
+
+val all : Exp_common.t list
+
+val find : string -> Exp_common.t option
+(** Lookup by id (case-insensitive), e.g. ["E3"] or ["A2"]. *)
+
+val run_one : Exp_common.t -> unit
+(** Print header, claim, table and wall time to stdout. *)
+
+val run_all : ?jobs:int -> unit -> unit
+(** Run every experiment and print its table, in registry order. With
+    [jobs > 1], tables are computed on a {!Parallel.Pool} — output is
+    bit-identical to the sequential run because every experiment seeds its
+    own RNG. *)

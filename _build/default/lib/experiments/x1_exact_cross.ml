@@ -1,0 +1,81 @@
+(* X1 — infrastructure validation: three independent exact solvers (job
+   assignment branch & bound, ILP-UM via MIP, configuration IP) must agree
+   on the optimum. Any disagreement would indicate a bug in one of the
+   three very different code paths, so this experiment doubles as the
+   repository's strongest self-check; the timing columns show how
+   differently they scale. *)
+
+let trials = 3
+
+let configs =
+  [ ("identical", 8, 3, 3); ("identical", 9, 3, 3); ("unrelated", 8, 3, 3) ]
+
+let run () =
+  let rng = Exp_common.rng_for "X1" in
+  let table =
+    Stats.Table.create
+      [
+        "env"; "n"; "m"; "K"; "agree"; "B&B (ms)"; "ILP (ms)"; "config-IP (ms)";
+      ]
+  in
+  List.iter
+    (fun (env, n, m, k) ->
+      let agree = ref true in
+      let t_bnb = ref [] and t_ilp = ref [] and t_cfg = ref [] in
+      for _ = 1 to trials do
+        let t =
+          match env with
+          | "identical" -> Workloads.Gen.identical rng ~n ~m ~k ()
+          | _ -> Workloads.Gen.unrelated rng ~n ~m ~k ()
+        in
+        let bnb, secs_bnb = Exp_common.time_it (fun () -> Algos.Exact.solve t) in
+        t_bnb := secs_bnb :: !t_bnb;
+        let reference = bnb.Algos.Exact.result.Algos.Common.makespan in
+        let ilp, secs_ilp =
+          Exp_common.time_it (fun () -> Algos.Exact_ilp.solve t)
+        in
+        t_ilp := secs_ilp :: !t_ilp;
+        if
+          ilp.Algos.Exact_ilp.optimal
+          && Float.abs
+               (ilp.Algos.Exact_ilp.result.Algos.Common.makespan -. reference)
+             > 1e-6
+        then agree := false;
+        if env = "identical" then begin
+          let cfg, secs_cfg =
+            Exp_common.time_it (fun () -> Algos.Config_ip.solve t)
+          in
+          t_cfg := secs_cfg :: !t_cfg;
+          if
+            Float.abs
+              (cfg.Algos.Config_ip.result.Algos.Common.makespan -. reference)
+            > 1e-6
+          then agree := false
+        end
+      done;
+      let ms xs =
+        match xs with
+        | [] -> "-"
+        | _ -> Printf.sprintf "%.1f" (1000.0 *. Stats.mean (Array.of_list xs))
+      in
+      Stats.Table.add_row table
+        [
+          env;
+          string_of_int n;
+          string_of_int m;
+          string_of_int k;
+          (if !agree then "yes" else "NO");
+          ms !t_bnb;
+          ms !t_ilp;
+          ms !t_cfg;
+        ])
+    configs;
+  table
+
+let experiment =
+  {
+    Exp_common.id = "X1";
+    title = "Exact-solver cross-validation (B&B vs ILP-UM vs configuration IP)";
+    claim = "three independent exact code paths agree on every instance";
+    run;
+  }

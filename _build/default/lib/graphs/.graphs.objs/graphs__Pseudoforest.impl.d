@@ -1,0 +1,1 @@
+lib/graphs/pseudoforest.ml: Array Hashtbl List Option Queue Union_find

@@ -1,0 +1,208 @@
+type edge = { cls : int; machine : int; mutable removed : bool }
+
+type t = {
+  num_classes : int;
+  num_machines : int;
+  mutable edge_list : edge list; (* newest first *)
+  mutable nedges : int;
+  seen : (int * int, unit) Hashtbl.t;
+}
+
+exception Not_pseudoforest
+
+let create ~num_classes ~num_machines =
+  if num_classes < 0 || num_machines < 0 then
+    invalid_arg "Pseudoforest.create: negative dimension";
+  { num_classes; num_machines; edge_list = []; nedges = 0; seen = Hashtbl.create 16 }
+
+let add_edge t ~cls ~machine =
+  if cls < 0 || cls >= t.num_classes then
+    invalid_arg "Pseudoforest.add_edge: class out of range";
+  if machine < 0 || machine >= t.num_machines then
+    invalid_arg "Pseudoforest.add_edge: machine out of range";
+  if not (Hashtbl.mem t.seen (cls, machine)) then begin
+    Hashtbl.add t.seen (cls, machine) ();
+    t.edge_list <- { cls; machine; removed = false } :: t.edge_list;
+    t.nedges <- t.nedges + 1
+  end
+
+let num_edges t = t.nedges
+
+let edges t =
+  List.rev_map (fun e -> (e.cls, e.machine)) t.edge_list
+
+(* Node encoding: classes are [0 .. K-1], machines are [K .. K+m-1]. *)
+let nnodes t = t.num_classes + t.num_machines
+let machine_node t i = t.num_classes + i
+let is_class_node t v = v < t.num_classes
+
+let edge_array t = Array.of_list (List.rev t.edge_list)
+
+let adjacency t edges =
+  let adj = Array.make (nnodes t) [] in
+  Array.iteri
+    (fun id e ->
+      let u = e.cls and v = machine_node t e.machine in
+      adj.(u) <- (v, id) :: adj.(u);
+      adj.(v) <- (u, id) :: adj.(v))
+    edges;
+  adj
+
+let component_stats t edges =
+  let uf = Union_find.create (nnodes t) in
+  Array.iter (fun e -> ignore (Union_find.union uf e.cls (machine_node t e.machine))) edges;
+  let node_count = Hashtbl.create 16 and edge_count = Hashtbl.create 16 in
+  let bump tbl key =
+    Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+  in
+  let touched = Array.make (nnodes t) false in
+  Array.iter
+    (fun e ->
+      touched.(e.cls) <- true;
+      touched.(machine_node t e.machine) <- true)
+    edges;
+  for v = 0 to nnodes t - 1 do
+    if touched.(v) then bump node_count (Union_find.find uf v)
+  done;
+  Array.iter (fun e -> bump edge_count (Union_find.find uf e.cls)) edges;
+  (uf, node_count, edge_count)
+
+let is_pseudoforest t =
+  let edges = edge_array t in
+  let _, node_count, edge_count = component_stats t edges in
+  Hashtbl.fold
+    (fun root ec ok -> ok && ec <= Hashtbl.find node_count root)
+    edge_count true
+
+let components t =
+  let edges = edge_array t in
+  let uf, _, _ = component_stats t edges in
+  let touched = Array.make (nnodes t) false in
+  Array.iter
+    (fun e ->
+      touched.(e.cls) <- true;
+      touched.(machine_node t e.machine) <- true)
+    edges;
+  let by_root = Hashtbl.create 16 in
+  for v = nnodes t - 1 downto 0 do
+    if touched.(v) then begin
+      let root = Union_find.find uf v in
+      let cs, ms = Option.value ~default:([], []) (Hashtbl.find_opt by_root root) in
+      if is_class_node t v then Hashtbl.replace by_root root (v :: cs, ms)
+      else Hashtbl.replace by_root root (cs, (v - t.num_classes) :: ms)
+    end
+  done;
+  Hashtbl.fold (fun _ comp acc -> comp :: acc) by_root []
+
+let round t =
+  let edges = edge_array t in
+  Array.iter (fun e -> e.removed <- false) edges;
+  let _, node_count, edge_count = component_stats t edges in
+  Hashtbl.iter
+    (fun root ec ->
+      if ec > Hashtbl.find node_count root then raise Not_pseudoforest)
+    edge_count;
+  let adj = adjacency t edges in
+  let n = nnodes t in
+  (* Peel leaves to expose the (unique per component) cycles. *)
+  let degree = Array.make n 0 in
+  Array.iteri (fun v ns -> degree.(v) <- List.length ns) adj;
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if degree.(v) = 1 then Queue.add v queue
+  done;
+  let on_cycle = Array.make n true in
+  for v = 0 to n - 1 do
+    if degree.(v) = 0 then on_cycle.(v) <- false
+  done;
+  let peeled = Array.make n false in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    if not peeled.(v) then begin
+      peeled.(v) <- true;
+      on_cycle.(v) <- false;
+      List.iter
+        (fun (u, _) ->
+          if not peeled.(u) then begin
+            degree.(u) <- degree.(u) - 1;
+            if degree.(u) = 1 then Queue.add u queue
+          end)
+        adj.(v)
+    end
+  done;
+  (* Walk each cycle and delete alternate edges, starting with an edge that
+     leaves a class node. *)
+  let cycle_visited = Array.make n false in
+  let kept_cycle_roots = ref [] in
+  for start = 0 to n - 1 do
+    if on_cycle.(start) && (not cycle_visited.(start)) && is_class_node t start
+    then begin
+      (* Collect the node sequence of this cycle beginning at [start]. *)
+      let seq = ref [ start ] in
+      cycle_visited.(start) <- true;
+      let rec walk v =
+        let next =
+          List.find_opt
+            (fun (u, _) -> on_cycle.(u) && not cycle_visited.(u))
+            adj.(v)
+        in
+        match next with
+        | Some (u, _) ->
+            cycle_visited.(u) <- true;
+            seq := u :: !seq;
+            walk u
+        | None -> ()
+      in
+      walk start;
+      let cycle = Array.of_list (List.rev !seq) in
+      let len = Array.length cycle in
+      (* Remove edges (cycle.(0), cycle.(1)), (cycle.(2), cycle.(3)), ... *)
+      let find_edge u v =
+        match List.find_opt (fun (w, _) -> w = v) adj.(u) with
+        | Some (_, id) -> id
+        | None -> raise Not_pseudoforest
+      in
+      for s = 0 to len - 1 do
+        let u = cycle.(s) and v = cycle.((s + 1) mod len) in
+        let id = find_edge u v in
+        if s mod 2 = 0 then edges.(id).removed <- true
+        else begin
+          (* Kept former-cycle edge: remember its class endpoint as the
+             mandatory root of the tree it ends up in. *)
+          let cls_end = if is_class_node t u then u else v in
+          kept_cycle_roots := cls_end :: !kept_cycle_roots
+        end
+      done
+    end
+  done;
+  (* Root every tree of the remaining forest at a class node (preferring
+     the recorded cycle roots), orient away from the root and keep exactly
+     the class->machine edges. *)
+  let visited = Array.make n false in
+  let kept = ref [] in
+  let bfs root =
+    if not visited.(root) then begin
+      visited.(root) <- true;
+      let q = Queue.create () in
+      Queue.add root q;
+      while not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        List.iter
+          (fun (u, id) ->
+            if (not edges.(id).removed) && not visited.(u) then begin
+              visited.(u) <- true;
+              if is_class_node t v then
+                kept := (edges.(id).cls, edges.(id).machine) :: !kept;
+              Queue.add u q
+            end)
+          adj.(v)
+      done
+    end
+  in
+  List.iter bfs !kept_cycle_roots;
+  for v = 0 to t.num_classes - 1 do
+    if adj.(v) <> [] then bfs v
+  done;
+  (* Remaining unvisited nodes can only be machine nodes in machine-only
+     components, which have no edges; nothing to keep there. *)
+  List.rev !kept

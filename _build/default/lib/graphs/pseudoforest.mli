@@ -1,0 +1,48 @@
+(** Bipartite pseudo-forest rounding (Lemma 3.8 of the paper, after Correa
+    et al.).
+
+    The support graph of a vertex solution of LP-RelaxedRA — class nodes on
+    one side, machine nodes on the other, one edge per strictly fractional
+    variable — is a pseudo-forest: every connected component contains at
+    most one cycle. The rounding selects a subset [E~] of the edges such
+    that
+
+    + every machine is incident to at most one edge of [E~], and
+    + every class loses at most one of its edges (i.e. at most one incident
+      edge is outside [E~]).
+
+    Construction: break each component's unique cycle by deleting alternate
+    edges (starting with an edge leaving a class node), root every
+    resulting tree at a class node (preferring a class incident to a kept
+    former-cycle edge), orient edges away from the root, and keep exactly
+    the class→machine oriented edges. *)
+
+type t
+
+val create : num_classes:int -> num_machines:int -> t
+
+val add_edge : t -> cls:int -> machine:int -> unit
+(** Adds an undirected edge; duplicate edges are ignored. Raises
+    [Invalid_argument] on out-of-range endpoints. *)
+
+val num_edges : t -> int
+
+val edges : t -> (int * int) list
+(** All [(cls, machine)] edges, in insertion order. *)
+
+val is_pseudoforest : t -> bool
+(** Does every connected component satisfy [#edges <= #nodes]? *)
+
+val components : t -> (int list * int list) list
+(** Connected components as [(classes, machines)] pairs; isolated nodes are
+    omitted. *)
+
+exception Not_pseudoforest
+
+val round : t -> (int * int) list
+(** The kept edge set [E~] as [(cls, machine)] pairs, satisfying the two
+    properties above. Additionally, every class of positive degree keeps at
+    least one edge provided its degree is at least 2 (which holds for
+    support graphs of LP-RelaxedRA vertices: a class with a fractional
+    assignment has at least two fractional edges).
+    Raises [Not_pseudoforest] if some component has two or more cycles. *)

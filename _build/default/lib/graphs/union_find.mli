@@ -1,0 +1,15 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+val create : int -> t
+(** [create n] builds [n] singleton sets [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of an element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merge two sets; returns [false] if they were already merged. *)
+
+val same : t -> int -> int -> bool
+val num_sets : t -> int

@@ -1,0 +1,1 @@
+lib/lp/lp.ml: Mip Model Simplex

@@ -1,0 +1,3 @@
+module Simplex = Simplex
+module Mip = Mip
+include Model

@@ -1,0 +1,11 @@
+(** Linear programming for the reproduction: the model builder (included
+    below), the raw standard-form solver ({!Simplex}) and a small 0/1
+    branch-and-bound MIP layer ({!Mip}). *)
+
+module Simplex = Simplex
+(** The underlying standard-form solver. *)
+
+module Mip = Mip
+(** 0/1 mixed-integer solving by LP-based branch and bound. *)
+
+include module type of struct include Model end

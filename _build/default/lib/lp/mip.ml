@@ -1,0 +1,80 @@
+type outcome =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | No_proof
+
+let log_src = Logs.Src.create "lp.mip" ~doc:"branch-and-bound MIP"
+
+module Log = (val Logs.src_log log_src)
+
+let solve ?(node_limit = 100_000) ?(eps = 1e-6) ?(maximize = false) lp
+    ~integer =
+  let integer = Array.of_list integer in
+  Array.iter
+    (fun v ->
+      let lb, ub = Model.var_bounds lp v in
+      if lb = neg_infinity || ub = infinity then
+        invalid_arg "Mip.solve: integer variables must have finite bounds")
+    integer;
+  let sign = if maximize then -1.0 else 1.0 in
+  let best_obj = ref infinity in
+  (* signed: minimize sign*obj *)
+  let best_values = ref None in
+  let nodes = ref 0 in
+  let exhausted = ref false in
+  (* Depth-first, branching on the most fractional integer variable by
+     splitting its bounds at floor/ceil; the "round up" child first, which
+     satisfies covering constraints sooner. *)
+  let rec branch fixings =
+    if !nodes >= node_limit then exhausted := true
+    else begin
+      incr nodes;
+      match Model.solve ~maximize ~overrides:fixings lp with
+      | Model.Infeasible -> ()
+      | Model.Unbounded ->
+          (* relaxations of bounded MIPs can only be unbounded if the model
+             itself is; treat as no-improvement *)
+          ()
+      | Model.Aborted -> exhausted := true
+      | Model.Optimal sol ->
+          let obj = sign *. Model.objective_value sol in
+          if obj < !best_obj -. 1e-9 then begin
+            (* most fractional integer variable *)
+            let pick = ref None and dist = ref eps in
+            Array.iter
+              (fun v ->
+                let x = Model.value sol v in
+                let frac = Float.abs (x -. Float.round x) in
+                if frac > !dist then begin
+                  dist := frac;
+                  pick := Some (v, x)
+                end)
+              integer;
+            match !pick with
+            | None ->
+                (* integral: new incumbent (snap the integer entries) *)
+                best_obj := obj;
+                let values = Model.values sol in
+                Array.iter
+                  (fun v ->
+                    let idx = Model.var_index v in
+                    values.(idx) <- Float.round values.(idx))
+                  integer;
+                best_values := Some values
+            | Some (v, x) ->
+                branch ((v, (ceil x, infinity)) :: fixings);
+                branch ((v, (neg_infinity, floor x)) :: fixings)
+          end
+    end
+  in
+  branch [];
+  Log.debug (fun f ->
+      f "explored %d nodes (%s)" !nodes
+        (if !exhausted then "node limit hit" else "complete"));
+  match !best_values with
+  | Some values ->
+      if !exhausted then
+        (* an incumbent exists but optimality was not proven *)
+        No_proof
+      else Optimal { objective = sign *. !best_obj; values }
+  | None -> if !exhausted then No_proof else Infeasible

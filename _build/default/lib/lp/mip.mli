@@ -1,0 +1,31 @@
+(** Small mixed-integer solver: LP-based branch and bound on top of the
+    model builder.
+
+    Intended for the exact side of the reproduction — ILP-UM itself
+    ({!Algos.Exact_ilp}) and the configuration IP for identical machines
+    ({!Algos.Config_ip}). Depth-first branch and bound: solve the LP
+    relaxation, branch on the most fractional integer-marked variable by
+    splitting its domain at floor/ceil (ceiling child first), prune by LP
+    infeasibility and objective bound.
+
+    Integer-marked variables must have finite bounds (termination). *)
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+      (** [values] indexed by variable creation order; integer-marked
+          entries are exact integers. *)
+  | Infeasible
+  | No_proof  (** node limit reached before the search completed *)
+
+val solve :
+  ?node_limit:int ->
+  ?eps:float ->
+  ?maximize:bool ->
+  Model.t ->
+  integer:Model.var list ->
+  outcome
+(** [solve lp ~integer] optimizes the model subject to the listed
+    variables being integral. [node_limit] defaults to [100_000]; [eps]
+    (integrality tolerance) to [1e-6]. The model must not be mutated
+    concurrently. Raises [Invalid_argument] if an integer-marked variable
+    has an infinite bound. *)

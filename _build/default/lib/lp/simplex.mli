@@ -1,0 +1,32 @@
+(** Dense two-phase primal simplex on standard-form programs.
+
+    Solves [min c·x] subject to [A x = b], [x >= 0] where [b >= 0] is not
+    required (rows are normalized internally). Phase 1 minimizes the sum of
+    artificial variables (slack columns that can serve as an initial basis
+    are used directly); phase 2 optimizes [c]. Dantzig pricing with a
+    switch to Bland's rule after a run of degenerate pivots guarantees
+    termination.
+
+    Optimal solutions are {e basic}, i.e. vertices of the polyhedron — a
+    property the pseudo-forest rounding of Section 3.3 relies on. *)
+
+type outcome =
+  | Optimal of { objective : float; x : float array; basis : int array }
+      (** [basis] holds the column index of the basic variable of each row
+          (columns [>= n] are slacks/artificials). *)
+  | Infeasible
+  | Unbounded
+  | Iteration_limit
+
+val solve :
+  ?max_iters:int ->
+  ?eps:float ->
+  a:float array array ->
+  b:float array ->
+  c:float array ->
+  unit ->
+  outcome
+(** [solve ~a ~b ~c ()] with [a] of shape [m×n], [b] of length [m], [c] of
+    length [n]. Input arrays are not modified. [eps] (default [1e-9]) is
+    the feasibility/optimality tolerance; [max_iters] defaults to
+    [200 * (m + n)]. Raises [Invalid_argument] on shape mismatches. *)

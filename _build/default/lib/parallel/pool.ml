@@ -1,0 +1,116 @@
+type task = Task of (unit -> unit) | Quit
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : task Queue.t;
+  mutable workers : unit Domain.t list;
+  size : int;
+  mutable alive : bool;
+}
+
+let worker_loop pool =
+  let rec loop () =
+    Mutex.lock pool.mutex;
+    while Queue.is_empty pool.queue do
+      Condition.wait pool.nonempty pool.mutex
+    done;
+    let task = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    match task with
+    | Quit -> ()
+    | Task f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+let create n =
+  if n < 1 then invalid_arg "Pool.create: need at least one domain";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      workers = [];
+      size = n;
+      alive = true;
+    }
+  in
+  pool.workers <-
+    List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = t.size
+
+(* Steal one task if available; returns false when the queue is empty. *)
+let try_run_one t =
+  Mutex.lock t.mutex;
+  let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  Mutex.unlock t.mutex;
+  match task with
+  | Some (Task f) ->
+      f ();
+      true
+  | Some Quit ->
+      (* only shutdown enqueues Quit, and run never overlaps shutdown;
+         put it back for a worker *)
+      Mutex.lock t.mutex;
+      Queue.push Quit t.queue;
+      Condition.signal t.nonempty;
+      Mutex.unlock t.mutex;
+      false
+  | None -> false
+
+let run t thunks =
+  if not t.alive then invalid_arg "Pool.run: pool was shut down";
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  let results = Array.make n None in
+  let remaining = Atomic.make n in
+  Mutex.lock t.mutex;
+  Array.iteri
+    (fun i thunk ->
+      let run_one () =
+        let outcome =
+          match thunk () with
+          | v -> Ok v
+          | exception e -> Error e
+        in
+        results.(i) <- Some outcome;
+        Atomic.decr remaining
+      in
+      Queue.push (Task run_one) t.queue)
+    thunks;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex;
+  (* The caller helps drain the queue, then spins briefly for stragglers
+     executing on workers. *)
+  while try_run_one t do
+    ()
+  done;
+  while Atomic.get remaining > 0 do
+    Domain.cpu_relax ()
+  done;
+  Array.to_list
+    (Array.map
+       (fun cell ->
+         match cell with
+         | Some (Ok v) -> v
+         | Some (Error e) -> raise e
+         | None -> assert false)
+       results)
+
+let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let shutdown t =
+  if t.alive then begin
+    t.alive <- false;
+    Mutex.lock t.mutex;
+    List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.mutex;
+    List.iter Domain.join t.workers
+  end
+
+let default_jobs () = min 8 (Domain.recommended_domain_count ())

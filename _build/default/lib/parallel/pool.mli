@@ -1,0 +1,37 @@
+(** Fixed-size domain pool for coarse-grained parallelism (OCaml 5
+    domains).
+
+    Used to run the independent experiments of the reproduction suite in
+    parallel: each experiment derives its own RNG from its id, so results
+    are bit-identical regardless of scheduling. The pool is deliberately
+    simple — a mutex-protected task queue drained by worker domains, with
+    the submitting domain joining the work while it waits — which is all
+    the harness needs.
+
+    Tasks must not themselves submit to the same pool (no nesting), and
+    anything they share must be thread-safe. *)
+
+type t
+
+val create : int -> t
+(** [create n] spawns [n - 1] worker domains ([n >= 1]; [create 1] is a
+    valid pool that runs everything on the caller). Raises
+    [Invalid_argument] if [n < 1]. *)
+
+val size : t -> int
+(** Total parallelism including the calling domain. *)
+
+val run : t -> (unit -> 'a) list -> 'a list
+(** Execute all thunks, in parallel, returning results in input order.
+    The first task exception (in input order) is re-raised after all
+    tasks have settled. Raises [Invalid_argument] if the pool was shut
+    down. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val shutdown : t -> unit
+(** Terminate the workers. Idempotent; the pool is unusable afterwards. *)
+
+val default_jobs : unit -> int
+(** A sensible parallelism level: [Domain.recommended_domain_count],
+    capped at 8. *)

@@ -1,0 +1,1 @@
+lib/setcover/cover.ml: Array Fun List Lp Printf

@@ -1,0 +1,1 @@
+lib/setcover/reduction.ml: Array Core Cover Float List Workloads

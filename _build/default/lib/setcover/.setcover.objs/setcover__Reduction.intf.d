@@ -1,0 +1,1 @@
+lib/setcover/reduction.mli: Core Cover Workloads

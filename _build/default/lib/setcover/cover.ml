@@ -1,0 +1,140 @@
+type t = { universe : int; sets : int array array }
+
+let make ~universe ~sets =
+  if universe <= 0 then invalid_arg "Cover: empty universe";
+  let sets =
+    Array.map
+      (fun s ->
+        Array.iter
+          (fun e ->
+            if e < 0 || e >= universe then
+              invalid_arg "Cover: element out of range")
+          s;
+        let sorted = Array.copy s in
+        Array.sort compare sorted;
+        let dedup = ref [] in
+        Array.iter
+          (fun e ->
+            match !dedup with
+            | e' :: _ when e' = e -> ()
+            | _ -> dedup := e :: !dedup)
+          sorted;
+        Array.of_list (List.rev !dedup))
+      sets
+  in
+  let covered = Array.make universe false in
+  Array.iter (fun s -> Array.iter (fun e -> covered.(e) <- true) s) sets;
+  if not (Array.for_all Fun.id covered) then
+    invalid_arg "Cover: sets do not cover the universe";
+  { universe; sets }
+
+let num_sets t = Array.length t.sets
+
+let covers t chosen =
+  let covered = Array.make t.universe false in
+  List.iter (fun s -> Array.iter (fun e -> covered.(e) <- true) t.sets.(s)) chosen;
+  Array.for_all Fun.id covered
+
+let greedy t =
+  let covered = Array.make t.universe false in
+  let remaining = ref t.universe in
+  let chosen = ref [] in
+  while !remaining > 0 do
+    let best = ref (-1) and best_gain = ref 0 in
+    Array.iteri
+      (fun s elems ->
+        let gain =
+          Array.fold_left
+            (fun acc e -> if covered.(e) then acc else acc + 1)
+            0 elems
+        in
+        if gain > !best_gain then begin
+          best := s;
+          best_gain := gain
+        end)
+      t.sets;
+    (* make guarantees full coverage, so a positive-gain set exists *)
+    assert (!best >= 0);
+    chosen := !best :: !chosen;
+    Array.iter
+      (fun e ->
+        if not covered.(e) then begin
+          covered.(e) <- true;
+          decr remaining
+        end)
+      t.sets.(!best)
+  done;
+  List.rev !chosen
+
+let exact t =
+  let m = num_sets t in
+  (* Branch on the lowest-index uncovered element: one of the sets
+     containing it must be chosen. *)
+  let sets_of_element = Array.make t.universe [] in
+  Array.iteri
+    (fun s elems ->
+      Array.iter (fun e -> sets_of_element.(e) <- s :: sets_of_element.(e)) elems)
+    t.sets;
+  let best = ref (greedy t) in
+  let best_size = ref (List.length !best) in
+  let covered = Array.make t.universe 0 in
+  let rec branch chosen size =
+    if size + 1 <= !best_size then begin
+      match Array.to_list covered |> List.find_index (fun c -> c = 0) with
+      | None ->
+          if size < !best_size then begin
+            best := chosen;
+            best_size := size
+          end
+      | Some e ->
+          List.iter
+            (fun s ->
+              Array.iter (fun e' -> covered.(e') <- covered.(e') + 1) t.sets.(s);
+              branch (s :: chosen) (size + 1);
+              Array.iter (fun e' -> covered.(e') <- covered.(e') - 1) t.sets.(s))
+            sets_of_element.(e)
+    end
+  in
+  ignore m;
+  branch [] 0;
+  List.sort compare !best
+
+let lp_value t =
+  let m = Lp.create () in
+  let z =
+    Array.init (num_sets t) (fun s ->
+        Lp.add_var ~obj:1.0 m (Printf.sprintf "z%d" s))
+  in
+  for e = 0 to t.universe - 1 do
+    let terms = ref [] in
+    Array.iteri
+      (fun s elems -> if Array.exists (fun e' -> e' = e) elems then terms := (1.0, z.(s)) :: !terms)
+      t.sets;
+    Lp.add_constraint m !terms Lp.Ge 1.0
+  done;
+  match Lp.solve m with
+  | Lp.Optimal sol ->
+      (Lp.objective_value sol, Array.map (fun v -> Lp.value sol v) z)
+  | Lp.Infeasible | Lp.Unbounded | Lp.Aborted ->
+      (* [make] guarantees coverage, so the LP is feasible and bounded. *)
+      assert false
+
+let gap_instance d =
+  if d < 2 then invalid_arg "Cover.gap_instance: need d >= 2";
+  if d > 20 then invalid_arg "Cover.gap_instance: d too large";
+  let n = (1 lsl d) - 1 in
+  (* element x (1-based bit pattern) is in set y iff <x, y> = 1 over F_2 *)
+  let dot x y =
+    let rec popcount v acc = if v = 0 then acc else popcount (v lsr 1) (acc + (v land 1)) in
+    popcount (x land y) 0 land 1
+  in
+  let sets =
+    Array.init n (fun yi ->
+        let y = yi + 1 in
+        let elems = ref [] in
+        for xi = n - 1 downto 0 do
+          if dot (xi + 1) y = 1 then elems := xi :: !elems
+        done;
+        Array.of_list !elems)
+  in
+  make ~universe:n ~sets

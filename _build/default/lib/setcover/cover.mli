@@ -1,0 +1,42 @@
+(** SetCover instances and solvers.
+
+    Substrate for the hardness side of the paper (Section 3.2): the
+    reduction of Theorem 3.5 maps SetCover instances to scheduling
+    instances, and the classic F_2^d construction provides instances with
+    integrality gap Θ(log N) that drive the gap experiment E4. *)
+
+type t = private {
+  universe : int;  (** elements are [0 .. universe-1] *)
+  sets : int array array;  (** each set lists its elements, sorted *)
+}
+
+val make : universe:int -> sets:int array array -> t
+(** Validates element ranges, sorts and dedups each set. Raises
+    [Invalid_argument] if an element is out of range or the sets do not
+    jointly cover the universe. *)
+
+val num_sets : t -> int
+
+val covers : t -> int list -> bool
+(** Do the given set indices cover the whole universe? *)
+
+val greedy : t -> int list
+(** Chvátal's greedy algorithm: repeatedly pick the set covering the most
+    uncovered elements. An [H_n]-approximation. *)
+
+val exact : t -> int list
+(** Minimum cover by branch and bound (exponential; fine for the small
+    instances the gap experiment uses). *)
+
+val lp_value : t -> float * float array
+(** Optimal value and weights of the fractional relaxation
+    [min Σ z_s  s.t.  Σ_{s ∋ e} z_s >= 1 for all e, z >= 0]. *)
+
+val gap_instance : int -> t
+(** [gap_instance d] is the classic integrality-gap family: the universe is
+    the nonzero vectors of [F_2^d] ([N = 2^d - 1] elements) and for every
+    nonzero [y] there is a set [S_y = { x | <x, y> = 1 }]. Its fractional
+    cover value is [< 2] while every integral cover needs at least [d]
+    sets, so the gap is [Ω(log N)].
+
+    Raises [Invalid_argument] if [d < 2]. *)

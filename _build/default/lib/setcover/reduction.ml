@@ -1,0 +1,90 @@
+type t = {
+  cover : Cover.t;
+  target : int;
+  num_classes : int;
+  perms : int array array;
+  instance : Core.Instance.t;
+}
+
+let build rng cover ~target =
+  let m = Cover.num_sets cover in
+  if target < 1 then invalid_arg "Reduction.build: target must be >= 1";
+  if m < 2 then invalid_arg "Reduction.build: need at least two sets";
+  let num_classes =
+    int_of_float
+      (Float.round
+         (ceil (float_of_int m /. float_of_int target *. (log (float_of_int m) /. log 2.0))))
+  in
+  let num_classes = max 1 num_classes in
+  let n_elems = cover.Cover.universe in
+  let perms = Array.init num_classes (fun _ -> Workloads.Rng.permutation rng m) in
+  (* membership.(s).(e) for O(1) eligibility lookups *)
+  let membership = Array.make_matrix m n_elems false in
+  Array.iteri
+    (fun s elems -> Array.iter (fun e -> membership.(s).(e) <- true) elems)
+    cover.Cover.sets;
+  let n = num_classes * n_elems in
+  let job_class = Array.init n (fun j -> j / n_elems) in
+  let p =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            let k = j / n_elems and e = j mod n_elems in
+            if membership.(perms.(k).(i)).(e) then 0.0 else infinity))
+  in
+  let setups = Array.make num_classes 1.0 in
+  let instance = Core.Instance.unrelated ~p ~job_class ~setups () in
+  { cover; target; num_classes; perms; instance }
+
+let inverse_perm perm =
+  let inv = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i s -> inv.(s) <- i) perm;
+  inv
+
+let schedule_from_cover t chosen =
+  if not (Cover.covers t.cover chosen) then
+    invalid_arg "Reduction.schedule_from_cover: not a cover";
+  let n_elems = t.cover.Cover.universe in
+  (* element -> first chosen set containing it *)
+  let set_of_element = Array.make n_elems (-1) in
+  List.iter
+    (fun s ->
+      Array.iter
+        (fun e -> if set_of_element.(e) < 0 then set_of_element.(e) <- s)
+        t.cover.Cover.sets.(s))
+    chosen;
+  let n = Core.Instance.num_jobs t.instance in
+  let inv = Array.map inverse_perm t.perms in
+  let assignment =
+    Array.init n (fun j ->
+        let k = j / n_elems and e = j mod n_elems in
+        inv.(k).(set_of_element.(e)))
+  in
+  Core.Schedule.make t.instance assignment
+
+let setups_makespan_bound t chosen =
+  let m = Cover.num_sets t.cover in
+  let in_cover = Array.make m false in
+  List.iter (fun s -> in_cover.(s) <- true) chosen;
+  let worst = ref 0 in
+  for i = 0 to m - 1 do
+    let count = ref 0 in
+    Array.iter (fun perm -> if in_cover.(perm.(i)) then incr count) t.perms;
+    if !count > !worst then worst := !count
+  done;
+  !worst
+
+let fractional_makespan_bound t z =
+  let m = Cover.num_sets t.cover in
+  if Array.length z <> m then
+    invalid_arg "Reduction.fractional_makespan_bound: weight vector size";
+  let worst = ref 0.0 in
+  for i = 0 to m - 1 do
+    let sum = ref 0.0 in
+    Array.iter (fun perm -> sum := !sum +. z.(perm.(i))) t.perms;
+    if !sum > !worst then worst := !sum
+  done;
+  !worst
+
+let integral_lower_bound t =
+  let c = List.length (Cover.exact t.cover) in
+  float_of_int (t.num_classes * c) /. float_of_int (Cover.num_sets t.cover)

@@ -1,0 +1,50 @@
+(** The randomized reduction of Theorem 3.5: SetCover → scheduling with
+    setup times on (restricted-assignment-style) unrelated machines.
+
+    Given a SetCover instance with [m] sets and a target cover size [t],
+    the reduction builds a scheduling instance with [m] machines and
+    [K = ceil (m/t · log2 m)] classes, all setup times 1. For each class
+    [k] a uniformly random permutation [π_k] maps machines to sets; class
+    [k] contains one job per universe element [e] with
+
+      [p_{i, j_e^k} = 0]  if [e ∈ S_{π_k(i)}],  [∞] otherwise.
+
+    A schedule's makespan is then essentially the maximum number of
+    setups any machine performs: Yes-instances (cover of size [t]) give
+    makespan [O(K·t/m + log m)] w.h.p., No-instances force [Ω(K·αt/m)]. *)
+
+type t = private {
+  cover : Cover.t;
+  target : int;  (** the parameter [t] *)
+  num_classes : int;
+  perms : int array array;  (** [perms.(k).(i)] = set handled by machine [i]
+                                for class [k] *)
+  instance : Core.Instance.t;
+}
+
+val build : Workloads.Rng.t -> Cover.t -> target:int -> t
+(** Raises [Invalid_argument] if [target < 1] or the SetCover instance has
+    fewer than 2 sets. *)
+
+val schedule_from_cover : t -> int list -> Core.Schedule.t
+(** Turn a (full) cover into the schedule the Yes-case of the theorem
+    constructs: machine [i] is set up for class [k] iff [π_k(i)] is in the
+    cover, and each job runs on such a machine. Raises [Invalid_argument]
+    if the sets do not cover the universe. *)
+
+val setups_makespan_bound : t -> int list -> int
+(** [max_i |{k : π_k(i) ∈ cover}|]: the makespan of
+    {!schedule_from_cover} (all setups are 1 and all eligible jobs have
+    size 0). *)
+
+val fractional_makespan_bound : t -> float array -> float
+(** [fractional_makespan_bound r z] for a feasible fractional cover [z]
+    (from {!Cover.lp_value}): the value [max_i Σ_k z_{π_k(i)}], which is
+    the makespan of a feasible fractional solution of the scheduling LP
+    relaxation ILP-UM — hence an upper bound on the LP optimum and a sound
+    denominator for integrality-gap measurements. *)
+
+val integral_lower_bound : t -> float
+(** [K · c / m] where [c] is the exact minimum cover size: every class
+    needs at least [c] setups, so some machine carries at least this many.
+    Valid lower bound on the optimal integral makespan. *)

@@ -1,0 +1,46 @@
+module Table = Table
+
+let nonempty name xs =
+  if Array.length xs = 0 then invalid_arg ("Stats." ^ name ^ ": empty input")
+
+let mean xs =
+  nonempty "mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let geomean xs =
+  nonempty "geomean" xs;
+  Array.iter
+    (fun x -> if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive entry")
+    xs;
+  exp (Array.fold_left (fun acc x -> acc +. log x) 0.0 xs /. float_of_int (Array.length xs))
+
+let stddev xs =
+  nonempty "stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let mu = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. mu) ** 2.0)) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let minimum xs =
+  nonempty "minimum" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let maximum xs =
+  nonempty "maximum" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let quantile xs q =
+  nonempty "quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0, 1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (floor pos) and hi = int_of_float (ceil pos) in
+  let frac = pos -. floor pos in
+  (sorted.(lo) *. (1.0 -. frac)) +. (sorted.(hi) *. frac)
+
+let median xs = quantile xs 0.5

@@ -1,0 +1,22 @@
+(** Summary statistics for experiment reporting. *)
+
+module Table = Table
+(** Re-export: aligned ASCII tables. *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on empty input. *)
+
+val geomean : float array -> float
+(** Geometric mean; all entries must be positive. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] for [q] in [[0, 1]], linear interpolation between order
+    statistics. *)
+
+val median : float array -> float

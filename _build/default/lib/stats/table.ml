@@ -1,0 +1,81 @@
+type t = { headers : string array; mutable rows : string array list }
+
+let create headers =
+  if headers = [] then invalid_arg "Table.create: need at least one column";
+  { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let row = Array.of_list cells in
+  if Array.length row <> Array.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let format_float ~decimals x =
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals x
+
+let add_float_row t ?(decimals = 3) cells =
+  add_row t (List.map (format_float ~decimals) cells)
+
+let num_rows t = List.length t.rows
+
+let looks_numeric s =
+  s <> ""
+  && String.for_all
+       (fun ch -> (ch >= '0' && ch <= '9') || ch = '.' || ch = '-' || ch = '+' || ch = 'e' || ch = 'x')
+       s
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let ncols = Array.length t.headers in
+  let width = Array.make ncols 0 in
+  let account row =
+    Array.iteri (fun c cell -> width.(c) <- max width.(c) (String.length cell)) row
+  in
+  account t.headers;
+  List.iter account rows;
+  let buf = Buffer.create 256 in
+  let render_row row =
+    Array.iteri
+      (fun c cell ->
+        let pad = width.(c) - String.length cell in
+        if c > 0 then Buffer.add_string buf "  ";
+        if looks_numeric cell then begin
+          Buffer.add_string buf (String.make pad ' ');
+          Buffer.add_string buf cell
+        end
+        else begin
+          Buffer.add_string buf cell;
+          if c < ncols - 1 then Buffer.add_string buf (String.make pad ' ')
+        end)
+      row;
+    Buffer.add_char buf '\n'
+  in
+  render_row t.headers;
+  Array.iteri
+    (fun c w ->
+      if c > 0 then Buffer.add_string buf "  ";
+      Buffer.add_string buf (String.make w '-'))
+    width;
+  Buffer.add_char buf '\n';
+  List.iter render_row rows;
+  Buffer.contents buf
+
+let csv_escape cell =
+  if String.exists (fun ch -> ch = ',' || ch = '"' || ch = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let to_csv t =
+  let buf = Buffer.create 256 in
+  let row cells =
+    Buffer.add_string buf
+      (String.concat "," (List.map csv_escape (Array.to_list cells)));
+    Buffer.add_char buf '\n'
+  in
+  row t.headers;
+  List.iter row (List.rev t.rows);
+  Buffer.contents buf
+
+let print t = print_string (to_string t)

@@ -1,0 +1,26 @@
+(** Aligned ASCII tables for the experiment harness. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the row width does not match the
+    headers. *)
+
+val add_float_row : t -> ?decimals:int -> float list -> unit
+(** Convenience: formats each float with the given precision (default 3);
+    infinities render as [inf]. *)
+
+val num_rows : t -> int
+
+val to_string : t -> string
+(** Render with column alignment, a header separator line, and single-space
+    column gaps. Numeric-looking cells are right-aligned. *)
+
+val to_csv : t -> string
+(** Comma-separated rendering (header first), with minimal quoting. *)
+
+val print : t -> unit
+(** [to_string] to stdout followed by a newline. *)

@@ -1,0 +1,1 @@
+lib/workloads/curated.ml: Array Core Fun List

@@ -1,0 +1,1 @@
+lib/workloads/curated.mli: Core

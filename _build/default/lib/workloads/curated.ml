@@ -1,0 +1,67 @@
+let graham_lpt_worst ~m =
+  if m < 2 then invalid_arg "Curated.graham_lpt_worst: need m >= 2";
+  (* sizes 2m-1, 2m-1, 2m-2, 2m-2, ..., m+1, m+1, then three of size m *)
+  let doubled =
+    List.concat_map
+      (fun s -> [ float_of_int s; float_of_int s ])
+      (List.init (m - 1) (fun i -> (2 * m) - 1 - i))
+  in
+  let sizes = Array.of_list (doubled @ [ float_of_int m; float_of_int m; float_of_int m ]) in
+  Core.Instance.identical ~num_machines:m ~sizes
+    ~job_class:(Array.make (Array.length sizes) 0)
+    ~setups:[| 0.0 |]
+
+let setup_trap ~m ~jobs_per_class =
+  if m < 1 || jobs_per_class < 1 then
+    invalid_arg "Curated.setup_trap: need m >= 1 and jobs_per_class >= 1";
+  let n = m * jobs_per_class in
+  Core.Instance.identical ~num_machines:m ~sizes:(Array.make n 1.0)
+    ~job_class:(Array.init n (fun j -> j / jobs_per_class))
+    ~setups:(Array.make m (float_of_int jobs_per_class))
+
+let dominant_class ~m =
+  if m < 2 then invalid_arg "Curated.dominant_class: need m >= 2";
+  let big = 4 * m in
+  let sizes = Array.append (Array.make big 1.0) (Array.make (m - 1) 4.0) in
+  let job_class =
+    Array.append (Array.make big 0) (Array.init (m - 1) (fun i -> i + 1))
+  in
+  Core.Instance.identical ~num_machines:m ~sizes ~job_class
+    ~setups:(Array.make m 1.0)
+
+let speed_ladder ~groups =
+  if groups < 1 || groups > 10 then
+    invalid_arg "Curated.speed_ladder: groups must be in [1, 10]";
+  let speeds = Array.init groups (fun g -> 8.0 ** float_of_int g) in
+  let sizes = Array.init groups (fun g -> 8.0 ** float_of_int g) in
+  let setups = Array.init groups (fun g -> (8.0 ** float_of_int g) /. 2.0) in
+  Core.Instance.uniform ~speeds ~sizes
+    ~job_class:(Array.init groups Fun.id)
+    ~setups
+
+(* Structural recognizers for the families whose optimum is pinned. *)
+
+let optimum (t : Core.Instance.t) =
+  let m = t.Core.Instance.num_machines in
+  match t.Core.Instance.env with
+  | Core.Instance.Identical
+    when t.Core.Instance.setups = [| 0.0 |]
+         && m >= 2
+         && t.Core.Instance.sizes
+            = (let reference = graham_lpt_worst ~m in
+               reference.Core.Instance.sizes) ->
+      Some (float_of_int (3 * m))
+  | Core.Instance.Identical
+    when Core.Instance.num_classes t = m
+         && Array.for_all (fun p -> p = 1.0) t.Core.Instance.sizes
+         && Array.length t.Core.Instance.sizes mod m = 0
+         &&
+         let jpc = Array.length t.Core.Instance.sizes / m in
+         Array.for_all (fun s -> s = float_of_int jpc) t.Core.Instance.setups
+         && t.Core.Instance.job_class
+            = Array.init (m * jpc) (fun j -> j / jpc) ->
+      let jpc = Array.length t.Core.Instance.sizes / m in
+      Some (float_of_int (2 * jpc))
+  | Core.Instance.Identical | Core.Instance.Uniform _
+  | Core.Instance.Restricted _ | Core.Instance.Unrelated _ ->
+      None

@@ -1,0 +1,37 @@
+(** Curated instance families with known structure.
+
+    Unlike {!Gen}'s random draws, these are deterministic constructions
+    whose optimal values or adversarial properties are known analytically;
+    tests and ablations use them to probe worst-case behaviour rather than
+    average-case noise. *)
+
+val graham_lpt_worst : m:int -> Core.Instance.t
+(** Graham's classic LPT worst case for identical machines, lifted to the
+    setup model with one zero-setup class: [2m+1] jobs of sizes
+    [2m-1, 2m-1, 2m-2, 2m-2, ..., m+1, m+1, m, m, m]. LPT achieves
+    [(4/3 - 1/(3m))·OPT] with [OPT = 3m]. Raises [Invalid_argument] if
+    [m < 2]. *)
+
+val setup_trap : m:int -> jobs_per_class:int -> Core.Instance.t
+(** The scatter trap of experiment E8, in purified form: [m] classes of
+    [jobs_per_class] unit jobs with setup [jobs_per_class] on [m]
+    identical machines. OPT assigns one class per machine
+    ([2·jobs_per_class]); any schedule splitting every class across all
+    machines pays [m] setups per machine. *)
+
+val dominant_class : m:int -> Core.Instance.t
+(** One class holding almost all volume ([4m] unit jobs, setup 1) plus
+    [m-1] singleton classes: distinguishes setup-granularity batching
+    (Lemma 2.1 placeholders) from wholesale batching ({!Algos.Batch_lpt}-
+    style), which parks the big class on one machine. *)
+
+val speed_ladder : groups:int -> Core.Instance.t
+(** Uniform machines whose speeds span [groups] powers of 8 — one machine
+    per speed [8^g] — with one matching job and class per rung. Exercises
+    the PTAS speed-group machinery across many groups. Raises
+    [Invalid_argument] if [groups < 1] or [groups > 10]. *)
+
+val optimum : Core.Instance.t -> float option
+(** Known optimal makespan for instances built by this module, when the
+    construction pins it down: [Some (3m)] for {!graham_lpt_worst},
+    [Some (2·jobs_per_class)] for {!setup_trap}, and [None] otherwise. *)

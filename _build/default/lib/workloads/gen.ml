@@ -1,0 +1,161 @@
+let check_common ~n ~m ~k =
+  if n < k then invalid_arg "Gen: need at least one job per class (n >= k)";
+  if m <= 0 || k <= 0 || n <= 0 then
+    invalid_arg "Gen: n, m, k must be positive"
+
+(* Integer-valued draw from a float range; keeps instances exact. *)
+let draw_size rng (lo, hi) =
+  Float.round (Rng.float_range rng lo hi)
+
+let job_classes rng ~n ~k =
+  Array.init n (fun j -> if j < k then j else Rng.int rng k)
+
+let sizes_and_setups rng ~n ~k ~size_range ~setup_range =
+  let sizes = Array.init n (fun _ -> draw_size rng size_range) in
+  let setups = Array.init k (fun _ -> draw_size rng setup_range) in
+  (sizes, setups)
+
+let identical rng ~n ~m ~k ?(size_range = (1.0, 100.0))
+    ?(setup_range = (5.0, 50.0)) () =
+  check_common ~n ~m ~k;
+  let sizes, setups = sizes_and_setups rng ~n ~k ~size_range ~setup_range in
+  let job_class = job_classes rng ~n ~k in
+  Core.Instance.identical ~num_machines:m ~sizes ~job_class ~setups
+
+let uniform rng ~n ~m ~k ?(size_range = (1.0, 100.0))
+    ?(setup_range = (5.0, 50.0)) ?(speed_range = (1.0, 4.0)) () =
+  check_common ~n ~m ~k;
+  let sizes, setups = sizes_and_setups rng ~n ~k ~size_range ~setup_range in
+  let job_class = job_classes rng ~n ~k in
+  let lo, hi = speed_range in
+  if not (lo > 0.0 && hi >= lo) then
+    invalid_arg "Gen.uniform: bad speed range";
+  let speeds =
+    Array.init m (fun _ -> exp (Rng.float_range rng (log lo) (log hi)))
+  in
+  (* Normalize so the slowest machine has speed exactly lo: keeps instances
+     comparable across draws. *)
+  let slowest = Array.fold_left Float.min infinity speeds in
+  let speeds = Array.map (fun v -> v *. lo /. slowest) speeds in
+  Core.Instance.uniform ~speeds ~sizes ~job_class ~setups
+
+let unrelated rng ~n ~m ~k ?(size_range = (1.0, 100.0))
+    ?(setup_range = (5.0, 50.0)) ?(machine_factor_range = (0.5, 2.0))
+    ?(noise = 0.25) ?(ineligible_prob = 0.0) () =
+  check_common ~n ~m ~k;
+  if ineligible_prob < 0.0 || ineligible_prob >= 1.0 then
+    invalid_arg "Gen.unrelated: ineligible_prob must be in [0, 1)";
+  let sizes, setups = sizes_and_setups rng ~n ~k ~size_range ~setup_range in
+  let job_class = job_classes rng ~n ~k in
+  let flo, fhi = machine_factor_range in
+  let factors =
+    Array.init m (fun _ -> exp (Rng.float_range rng (log flo) (log fhi)))
+  in
+  let jitter () = Rng.float_range rng (1.0 /. (1.0 +. noise)) (1.0 +. noise) in
+  let p =
+    Array.init m (fun i ->
+        Array.init n (fun j ->
+            if Rng.float rng < ineligible_prob then infinity
+            else Float.max 1.0 (Float.round (sizes.(j) *. factors.(i) *. jitter ()))))
+  in
+  (* guarantee each job a finite machine *)
+  for j = 0 to n - 1 do
+    let has_finite = ref false in
+    for i = 0 to m - 1 do
+      if p.(i).(j) < infinity then has_finite := true
+    done;
+    if not !has_finite then begin
+      let i = Rng.int rng m in
+      p.(i).(j) <- Float.max 1.0 (Float.round (sizes.(j) *. factors.(i)))
+    end
+  done;
+  let setup_matrix =
+    Array.init m (fun i ->
+        Array.init k (fun c ->
+            Float.max 1.0 (Float.round (setups.(c) *. factors.(i) *. jitter ()))))
+  in
+  Core.Instance.unrelated ~setup_matrix ~p ~job_class ~setups ()
+
+let restricted_class_uniform rng ~n ~m ~k ?(size_range = (1.0, 100.0))
+    ?(setup_range = (5.0, 50.0)) ?(min_eligible = 1) () =
+  check_common ~n ~m ~k;
+  if min_eligible < 1 || min_eligible > m then
+    invalid_arg "Gen.restricted_class_uniform: min_eligible out of range";
+  let sizes, setups = sizes_and_setups rng ~n ~k ~size_range ~setup_range in
+  let job_class = job_classes rng ~n ~k in
+  let class_machines =
+    Array.init k (fun _ ->
+        let count = min_eligible + Rng.int rng (m - min_eligible + 1) in
+        let perm = Rng.permutation rng m in
+        let set = Array.make m false in
+        for idx = 0 to count - 1 do
+          set.(perm.(idx)) <- true
+        done;
+        set)
+  in
+  let eligible =
+    Array.init m (fun i -> Array.init n (fun j -> class_machines.(job_class.(j)).(i)))
+  in
+  Core.Instance.restricted ~eligible ~sizes ~job_class ~setups
+
+let production_trace rng ~batches ~jobs_per_batch ~m ~k ?(zipf = 1.0)
+    ?(size_range = (1.0, 100.0)) ?(setup_range = (20.0, 80.0))
+    ?(speed_range = (1.0, 3.0)) () =
+  if batches < k then
+    invalid_arg "Gen.production_trace: need at least one batch per class";
+  if jobs_per_batch < 1 then
+    invalid_arg "Gen.production_trace: jobs_per_batch must be positive";
+  check_common ~n:(batches * jobs_per_batch) ~m ~k;
+  (* Zipf weights over classes *)
+  let weights =
+    Array.init k (fun rank -> 1.0 /. ((float_of_int (rank + 1)) ** zipf))
+  in
+  let total_weight = Array.fold_left ( +. ) 0.0 weights in
+  let draw_class () =
+    let x = Rng.float rng *. total_weight in
+    let rec pick cls acc =
+      if cls = k - 1 then cls
+      else if acc +. weights.(cls) >= x then cls
+      else pick (cls + 1) (acc +. weights.(cls))
+    in
+    pick 0 0.0
+  in
+  let n = batches * jobs_per_batch in
+  let sizes = Array.make n 0.0 in
+  let job_class = Array.make n 0 in
+  for b = 0 to batches - 1 do
+    let cls = if b < k then b else draw_class () in
+    (* correlated sizes within the run: jitter around a per-run mean *)
+    let mean = draw_size rng size_range in
+    for idx = 0 to jobs_per_batch - 1 do
+      let j = (b * jobs_per_batch) + idx in
+      job_class.(j) <- cls;
+      sizes.(j) <-
+        Float.max 1.0
+          (Float.round (mean *. Rng.float_range rng 0.7 1.3))
+    done
+  done;
+  let setups = Array.init k (fun _ -> draw_size rng setup_range) in
+  let lo, hi = speed_range in
+  if not (lo > 0.0 && hi >= lo) then
+    invalid_arg "Gen.production_trace: bad speed range";
+  let speeds =
+    Array.init m (fun _ -> exp (Rng.float_range rng (log lo) (log hi)))
+  in
+  let slowest = Array.fold_left Float.min infinity speeds in
+  let speeds = Array.map (fun v -> v *. lo /. slowest) speeds in
+  Core.Instance.uniform ~speeds ~sizes ~job_class ~setups
+
+let class_uniform_ptimes rng ~n ~m ~k ?(ptime_range = (1.0, 100.0))
+    ?(setup_range = (5.0, 50.0)) () =
+  check_common ~n ~m ~k;
+  let job_class = job_classes rng ~n ~k in
+  let setups = Array.init k (fun _ -> draw_size rng setup_range) in
+  let class_time =
+    Array.init m (fun _ -> Array.init k (fun _ -> draw_size rng ptime_range))
+  in
+  let p = Array.init m (fun i -> Array.init n (fun j -> class_time.(i).(job_class.(j)))) in
+  let setup_matrix =
+    Array.init m (fun _ -> Array.init k (fun c -> setups.(c)))
+  in
+  Core.Instance.unrelated ~setup_matrix ~p ~job_class ~setups ()

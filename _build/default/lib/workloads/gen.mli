@@ -1,0 +1,96 @@
+(** Random instance generators for the experiment suite.
+
+    All generators guarantee that every class has at least one job (the
+    first [k] jobs get classes [0..k-1]) and that every job is eligible on
+    at least one machine. Sizes are drawn as integers (represented as
+    floats) so that exact solvers and LP bounds stay numerically clean. *)
+
+val identical :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  ?size_range:float * float ->
+  ?setup_range:float * float ->
+  unit ->
+  Core.Instance.t
+
+val uniform :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  ?size_range:float * float ->
+  ?setup_range:float * float ->
+  ?speed_range:float * float ->
+  unit ->
+  Core.Instance.t
+(** Speeds are drawn log-uniformly from [speed_range] (default [(1, 4)]).
+    The slowest machine is normalized to speed exactly [fst speed_range]. *)
+
+val unrelated :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  ?size_range:float * float ->
+  ?setup_range:float * float ->
+  ?machine_factor_range:float * float ->
+  ?noise:float ->
+  ?ineligible_prob:float ->
+  unit ->
+  Core.Instance.t
+(** Machine-correlated unrelated instances:
+    [p_ij = round (p_j * f_i * u_ij)] where [f_i] is a machine factor and
+    [u_ij] a noise term in [[1/(1+noise), 1+noise]]. With probability
+    [ineligible_prob] an entry becomes infinite (at least one machine per
+    job stays finite). Setup times get the same treatment per (machine,
+    class). *)
+
+val restricted_class_uniform :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  ?size_range:float * float ->
+  ?setup_range:float * float ->
+  ?min_eligible:int ->
+  unit ->
+  Core.Instance.t
+(** Restricted assignment where all jobs of a class share one eligibility
+    set (Section 3.3.1's model): each class draws a uniformly random
+    machine subset of size in [[min_eligible, m]]. *)
+
+val production_trace :
+  Rng.t ->
+  batches:int ->
+  jobs_per_batch:int ->
+  m:int ->
+  k:int ->
+  ?zipf:float ->
+  ?size_range:float * float ->
+  ?setup_range:float * float ->
+  ?speed_range:float * float ->
+  unit ->
+  Core.Instance.t
+(** Realistic order-book structure on uniform machines: jobs arrive in
+    [batches] runs of [jobs_per_batch] jobs each; a run belongs to one
+    class, classes are drawn with Zipf([zipf], default 1.0) popularity
+    (a few hot product families, a long tail), and sizes within a run are
+    correlated (drawn around a per-run mean). The first [k] runs cover
+    each class once so no class is empty. Job indices follow arrival
+    order, which is what makes the [Input] order of
+    {!Algos.List_scheduling} meaningful on these instances. *)
+
+val class_uniform_ptimes :
+  Rng.t ->
+  n:int ->
+  m:int ->
+  k:int ->
+  ?ptime_range:float * float ->
+  ?setup_range:float * float ->
+  unit ->
+  Core.Instance.t
+(** Unrelated machines where all jobs of a class have equal processing time
+    on any fixed machine (Section 3.3.2's model): one random time per
+    (machine, class) pair. *)

@@ -1,0 +1,37 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Own implementation so that every experiment in the repository is
+    reproducible from a single integer seed, independent of the stdlib's
+    [Random] evolution across OCaml versions. SplitMix64 passes BigCrush
+    and is trivially splittable, which keeps parallel workload generation
+    deterministic. *)
+
+type t
+
+val create : int -> t
+(** Seed a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from (and advancing)
+    [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [[0, bound)]. Raises [Invalid_argument] if
+    [bound <= 0]. *)
+
+val float : t -> float
+(** Uniform in [[0, 1)]. *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] is uniform in [[lo, hi)]. *)
+
+val bool : t -> bool
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val permutation : t -> int -> int array
+(** A uniform random permutation of [[0, n)]. *)

@@ -1,0 +1,1 @@
+test/test_algos.ml: Alcotest Algos Array Core Float Fun List Option Parallel Printf QCheck QCheck_alcotest Workloads

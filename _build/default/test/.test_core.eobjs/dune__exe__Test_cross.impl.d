@@ -1,0 +1,1 @@
+test/test_cross.ml: Alcotest Algos Array Core Float List QCheck QCheck_alcotest Workloads

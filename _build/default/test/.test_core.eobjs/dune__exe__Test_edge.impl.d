@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Algos Array Core List Printf Workloads

@@ -1,0 +1,1 @@
+test/test_graphs.ml: Alcotest Graphs Hashtbl List Option QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Domain Fun List Parallel Printf Unix

@@ -1,0 +1,1 @@
+test/test_setcover.ml: Alcotest Array Core Fun List Printf Setcover Workloads

@@ -1,0 +1,1 @@
+test/test_timeline_io.ml: Alcotest Algos Array Astring Core Filename Float Format Fun List Printf String Sys Workloads

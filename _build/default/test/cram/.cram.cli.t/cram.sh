@@ -1,0 +1,10 @@
+  $ schedtool gen --env identical -n 4 -m 2 -k 2 --seed 3
+  $ schedtool gen --env uniform -n 6 -m 2 -k 2 --seed 5 -o inst.txt
+  $ schedtool bounds inst.txt
+  $ schedtool solve --algo exact --save best.sched inst.txt
+  $ schedtool verify inst.txt best.sched | head -3
+  $ schedtool compare --exact inst.txt
+  $ schedtool solve --algo bogus inst.txt
+  $ schedtool gen --env martian
+  $ schedtool experiments --csv E4 | head -3
+  $ schedtool solve -a portfolio inst.txt

@@ -1,0 +1,74 @@
+Generate a deterministic identical-machines instance:
+
+  $ schedtool gen --env identical -n 4 -m 2 -k 2 --seed 3
+  # setup-scheduling instance
+  env identical
+  machines 2
+  classes 2
+  setups 15 34
+  jobs 4
+  sizes 12 70 62 8
+  job_class 0 1 0 1
+
+Bounds on a generated instance:
+
+  $ schedtool gen --env uniform -n 6 -m 2 -k 2 --seed 5 -o inst.txt
+  wrote inst.txt
+  $ schedtool bounds inst.txt
+  job bound      57.4173
+  volume bound   102.009
+  lower bound    102.009
+  naive upper    244.72
+  LP lower bound 102.009 (7 LP solves)
+
+Exact solve and verification roundtrip:
+
+  $ schedtool solve --algo exact --save best.sched inst.txt
+  makespan 117.064
+  wrote best.sched
+  $ schedtool verify inst.txt best.sched | head -3
+  valid schedule
+  makespan 117.064 (lower bound 102.009)
+  setups paid: 3
+
+Comparing algorithms:
+
+  $ schedtool compare --exact inst.txt
+  lower bound 102.009
+  
+  algorithm      makespan  setups
+  -------------  --------  ------
+  greedy          131.001       4
+  lpt             131.001       4
+  oblivious-lpt       123       2
+  ptas eps=1/2    158.873       2
+  rounding            162       2
+  exact           117.064       3
+
+Error handling:
+
+  $ schedtool solve --algo bogus inst.txt
+  schedtool: unknown algorithm "bogus"
+  [124]
+  $ schedtool gen --env martian
+  schedtool: unknown environment "martian"
+  [124]
+
+CSV experiment export:
+
+  $ schedtool experiments --csv E4 | head -3
+  d,N=m,K,n jobs,frac UB,integral LB,greedy sched,certified gap,ln n + ln m
+  2,3,3,9,1.500,2.000,3,1.333,3.296
+  3,7,7,49,1.750,3.000,4,1.714,5.838
+
+Portfolio solve:
+
+  $ schedtool solve -a portfolio inst.txt
+  winner: greedy-longest
+    greedy-longest     123
+    greedy             131.001
+    lpt-placeholders   131.001
+    batch-lpt          123
+    ptas               158.873
+    rounding           162
+  makespan 123

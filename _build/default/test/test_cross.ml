@@ -1,0 +1,162 @@
+(* Cross-validation suite: independent implementations of the same
+   mathematical object must agree. These are the strongest correctness
+   tests in the repository because the compared code paths share almost
+   nothing (assignment search vs multiplicity DP vs LP/MIP). *)
+
+module I = Core.Instance
+
+let gen_params =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n = int_range 4 8 in
+    let* m = int_range 2 3 in
+    let* k = int_range 1 3 in
+    return (seed, n, m, k))
+
+(* Feasibility triple-check on identical machines: the exact optimum makes
+   a guess just below it infeasible and the optimum itself feasible, for
+   both the multiplicity DP and the configuration IP. *)
+let prop_feasibility_agree_identical =
+  QCheck.Test.make ~name:"DP and config-IP agree with B&B (identical)"
+    ~count:25 (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.identical rng ~n ~m ~k () in
+      let opt = Algos.Exact.makespan t in
+      let dp_at x = Algos.Ptas_dp.feasible t ~makespan:x <> None in
+      let cfg_at x = Algos.Config_ip.feasible t ~makespan:x <> None in
+      dp_at (opt +. 1e-6)
+      && cfg_at (opt +. 1e-6)
+      && (not (dp_at (opt -. 0.5)))
+      && not (cfg_at (opt -. 0.5)))
+
+let prop_feasibility_agree_uniform =
+  QCheck.Test.make ~name:"DP and config-IP agree with B&B (uniform)"
+    ~count:20 (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.uniform rng ~n ~m ~k () in
+      let opt = Algos.Exact.makespan t in
+      let dp_at x = Algos.Ptas_dp.feasible t ~makespan:x <> None in
+      let cfg_at x = Algos.Config_ip.feasible t ~makespan:x <> None in
+      dp_at (opt *. (1.0 +. 1e-9))
+      && cfg_at (opt *. (1.0 +. 1e-9))
+      && (not (dp_at (opt *. 0.99)))
+      && not (cfg_at (opt *. 0.99)))
+
+(* Three exact solvers, one optimum. *)
+let prop_exact_solvers_agree =
+  QCheck.Test.make ~name:"B&B, ILP and config-IP optima coincide" ~count:10
+    (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.identical rng ~n ~m ~k () in
+      let reference = Algos.Exact.makespan t in
+      let ilp = Algos.Exact_ilp.solve t in
+      let cfg = Algos.Config_ip.solve t in
+      (not ilp.Algos.Exact_ilp.optimal)
+      || Float.abs
+           (ilp.Algos.Exact_ilp.result.Algos.Common.makespan -. reference)
+         < 1e-6
+         && Float.abs
+              (cfg.Algos.Config_ip.result.Algos.Common.makespan -. reference)
+            < 1e-6)
+
+(* Parallel branch and bound must reproduce the sequential optimum. *)
+let prop_parallel_exact_agrees =
+  QCheck.Test.make ~name:"parallel B&B equals sequential B&B" ~count:20
+    (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t =
+        match seed mod 3 with
+        | 0 -> Workloads.Gen.identical rng ~n ~m ~k ()
+        | 1 -> Workloads.Gen.uniform rng ~n ~m ~k ()
+        | _ -> Workloads.Gen.unrelated rng ~n ~m ~k ()
+      in
+      let seq = Algos.Exact.solve t in
+      let par = Algos.Exact_parallel.solve t in
+      par.Algos.Exact_parallel.optimal
+      && Float.abs
+           (par.Algos.Exact_parallel.result.Algos.Common.makespan
+           -. seq.Algos.Exact.result.Algos.Common.makespan)
+         < 1e-9)
+
+(* LP bound <= splittable guess <= integral optimum-ish chain. *)
+let prop_relaxation_chain =
+  QCheck.Test.make ~name:"LP lower <= OPT and splittable guess <= OPT(1+tol)"
+    ~count:15 (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.restricted_class_uniform rng ~n ~m ~k () in
+      let opt = Algos.Exact.makespan t in
+      let lp = Algos.Lp_um.lower_bound t in
+      let frac = Algos.Splittable.schedule t in
+      lp.Algos.Lp_um.lower <= opt +. 1e-6
+      && frac.Algos.Splittable.guess <= (opt *. 1.03) +. 1e-6)
+
+(* The combinatorial bounds sandwich every algorithm's output. *)
+let prop_bounds_sandwich_everything =
+  QCheck.Test.make ~name:"lower bound <= every schedule <= naive upper"
+    ~count:20 (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.uniform rng ~n ~m ~k () in
+      let lb = Core.Bounds.lower_bound t in
+      let ub = Core.Bounds.naive_upper_bound t in
+      let opt = Algos.Exact.makespan t in
+      let greedy = (Algos.List_scheduling.schedule t).Algos.Common.makespan in
+      lb <= opt +. 1e-9 && opt <= greedy +. 1e-9 && opt <= ub +. 1e-9)
+
+(* Lemma 2.8 roundtrip as a property: on identical machines the optimal
+   schedule always induces a valid relaxed schedule, and converting back
+   stays within the lemma's factor. *)
+let prop_lemma_28_roundtrip =
+  QCheck.Test.make ~name:"Lemma 2.8 roundtrip within (1+eps)^4" ~count:20
+    (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.identical rng ~n ~m ~k () in
+      let eps = if seed mod 2 = 0 then 0.5 else 0.25 in
+      let exact = Algos.Exact.solve t in
+      let opt = exact.Algos.Exact.result.Algos.Common.makespan in
+      let ctx = Algos.Relaxed_schedule.make_ctx ~eps ~makespan:opt t in
+      let relaxed =
+        Algos.Relaxed_schedule.of_schedule ctx
+          exact.Algos.Exact.result.Algos.Common.schedule
+      in
+      Algos.Relaxed_schedule.is_valid ctx relaxed
+      &&
+      let back = Algos.Relaxed_schedule.to_schedule ctx relaxed in
+      Core.Schedule.makespan back <= (((1.0 +. eps) ** 4.0) *. opt) +. 1e-6)
+
+(* Schedule serialization roundtrips compose with the timeline. *)
+let prop_io_timeline_consistent =
+  QCheck.Test.make ~name:"io roundtrip preserves timeline horizon" ~count:20
+    (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = Workloads.Rng.create seed in
+      let t = Workloads.Gen.unrelated rng ~n ~m ~k () in
+      let r = Algos.List_scheduling.schedule t in
+      let s = r.Algos.Common.schedule in
+      let s' = Core.Schedule_io.of_string t (Core.Schedule_io.to_string s) in
+      let horizon sched =
+        Array.fold_left
+          (fun acc events ->
+            List.fold_left
+              (fun acc e -> Float.max acc e.Core.Timeline.finish)
+              acc events)
+          0.0
+          (Core.Timeline.of_schedule t sched)
+      in
+      Float.abs (horizon s -. horizon s') < 1e-9
+      && Float.abs (horizon s -. Core.Schedule.makespan s) < 1e-9)
+
+let () =
+  Alcotest.run "cross-validation"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_parallel_exact_agrees;
+            prop_feasibility_agree_identical;
+            prop_feasibility_agree_uniform;
+            prop_exact_solvers_agree;
+            prop_relaxation_chain;
+            prop_bounds_sandwich_everything;
+            prop_lemma_28_roundtrip;
+            prop_io_timeline_consistent;
+          ] );
+    ]

@@ -1,0 +1,224 @@
+(* Integration tests for the experiment harness: the registry, every
+   experiment's table shape, and — where the table carries a proven bound
+   column — that every measured ratio respects it. These literally execute
+   the reproduction (with its fixed seeds), so they double as regression
+   tests on the headline claims. *)
+
+let find_exn id = Option.get (Experiments.Registry.find id)
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Experiments.Exp_common.id) Experiments.Registry.all in
+  Alcotest.(check (list string)) "ids in order"
+    [
+      "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "A1"; "A2"; "A3";
+      "A4"; "X1"; "X2";
+    ]
+    ids
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds lowercase" true
+    (Experiments.Registry.find "e3" <> None);
+  Alcotest.(check bool) "unknown" true (Experiments.Registry.find "E99" = None)
+
+(* Parse a rendered table back into cells (columns separated by 2+ spaces). *)
+let parse_table table =
+  let text = Stats.Table.to_string table in
+  let lines = String.split_on_char '\n' text |> List.filter (( <> ) "") in
+  match lines with
+  | header :: _separator :: rows ->
+      let split line =
+        Str.split (Str.regexp "  +") line |> List.map String.trim
+      in
+      (split header, List.map split rows)
+  | _ -> Alcotest.fail "table too short"
+
+let column_values header rows name =
+  match List.find_index (( = ) name) header with
+  | None -> Alcotest.fail (Printf.sprintf "missing column %S" name)
+  | Some idx -> List.map (fun row -> List.nth row idx) rows
+
+let float_column header rows name =
+  List.map float_of_string (column_values header rows name)
+
+(* For E1/E5/E6: the measured max ratio must respect the bound column. *)
+let check_bounded id =
+  let e = find_exn id in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let maxima = float_column header rows "max ratio" in
+  let bounds = float_column header rows "paper bound" in
+  List.iter2
+    (fun mx bound ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %.3f <= %.3f" id mx bound)
+        true
+        (mx <= bound +. 1e-9))
+    maxima bounds;
+  Alcotest.(check bool) (id ^ " has rows") true (rows <> [])
+
+let test_e1_bound () = check_bounded "E1"
+let test_e5_bound () = check_bounded "E5"
+let test_e6_bound () = check_bounded "E6"
+
+let test_e2_bound () =
+  let e = find_exn "E2" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let maxima = float_column header rows "max ratio" in
+  let bounds = float_column header rows "guarantee" in
+  List.iter2
+    (fun mx g -> Alcotest.(check bool) "within guarantee" true (mx <= g))
+    maxima bounds
+
+let test_e3_normalized_flat () =
+  let e = find_exn "E3" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let normalized = float_column header rows "ratio/(ln n+ln m)" in
+  (* the theorem's shape: the normalized ratio is bounded by a small
+     constant on all sizes *)
+  List.iter
+    (fun v -> Alcotest.(check bool) "bounded constant" true (v < 1.5))
+    normalized
+
+let test_e4_gap_monotone () =
+  let e = find_exn "E4" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let gaps = float_column header rows "certified gap" in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a < b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "gap strictly grows with d" true (monotone gaps);
+  (* fractional value stays below 2 on the F_2^d family *)
+  let fracs = float_column header rows "frac UB" in
+  List.iter
+    (fun f -> Alcotest.(check bool) "fractional < 2" true (f < 2.0))
+    fracs
+
+let test_e7_exact_is_best () =
+  let e = find_exn "E7" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  ignore header;
+  (* every numeric cell is a ratio to OPT, hence >= 1 *)
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun idx cell ->
+          if idx > 0 && cell <> "-" then
+            Alcotest.(check bool) "ratio >= 1" true
+              (float_of_string cell >= 1.0 -. 1e-9))
+        row)
+    rows
+
+let test_e8_crossover_shape () =
+  let e = find_exn "E8" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let head_to_head = float_column header rows "oblivious/aware" in
+  (* at the largest setup scale the oblivious planner must lose clearly *)
+  let last = List.nth head_to_head (List.length head_to_head - 1) in
+  let first = List.hd head_to_head in
+  Alcotest.(check bool) "crossover appears" true (last > first +. 0.1);
+  Alcotest.(check bool) "never hugely below 1" true
+    (List.for_all (fun v -> v > 0.9) head_to_head)
+
+let test_e9_portfolio_wins () =
+  let e = find_exn "E9" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let portfolio = float_column header rows "portfolio" in
+  List.iter2
+    (fun p row ->
+      (* portfolio <= every member column (same instances, same LB) *)
+      List.iteri
+        (fun idx cell ->
+          if idx >= 4 then
+            Alcotest.(check bool) "portfolio is min" true
+              (p <= float_of_string cell +. 1e-9))
+        row)
+    portfolio rows
+
+let test_a1_fallback_shrinks () =
+  let e = find_exn "A1" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let fallbacks = float_column header rows "mean fallback jobs" in
+  let first = List.hd fallbacks in
+  let last = List.nth fallbacks (List.length fallbacks - 1) in
+  Alcotest.(check bool) "more rounds, fewer fallbacks" true (last <= first);
+  Alcotest.(check (float 1e-9)) "c=6 has none" 0.0 last
+
+let test_a2_proper_bounded () =
+  let e = find_exn "A2" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let proper_max = float_column header rows "lemma3.8 max" in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) "Lemma 3.8 rounding stays within 2(1+tol)" true
+        (v <= 2.0 *. 1.03))
+    proper_max
+
+let test_a3_probes_grow () =
+  let e = find_exn "A3" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let probes = float_column header rows "max probes" in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b && nondecreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "tighter tolerance costs more probes" true
+    (nondecreasing probes)
+
+let test_x1_all_agree () =
+  let e = find_exn "X1" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  List.iter
+    (fun cell -> Alcotest.(check string) "solvers agree" "yes" cell)
+    (column_values header rows "agree")
+
+let test_x2_agrees () =
+  let e = find_exn "X2" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  List.iter
+    (fun cell -> Alcotest.(check string) "optima agree" "yes" cell)
+    (column_values header rows "agree")
+
+let test_a4_types_grow () =
+  let e = find_exn "A4" in
+  let header, rows = parse_table (e.Experiments.Exp_common.run ()) in
+  let types = float_column header rows "mean item types" in
+  let first = List.hd types in
+  let last = List.nth types (List.length types - 1) in
+  Alcotest.(check bool) "smaller eps, finer grid" true (last >= first)
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "theorem experiments",
+        [
+          Alcotest.test_case "E1 respects 4.74" `Slow test_e1_bound;
+          Alcotest.test_case "E2 respects guarantee" `Slow test_e2_bound;
+          Alcotest.test_case "E3 normalized flat" `Slow
+            test_e3_normalized_flat;
+          Alcotest.test_case "E4 gap monotone" `Slow test_e4_gap_monotone;
+          Alcotest.test_case "E5 respects 2" `Slow test_e5_bound;
+          Alcotest.test_case "E6 respects 3" `Slow test_e6_bound;
+          Alcotest.test_case "E7 ratios >= 1" `Slow test_e7_exact_is_best;
+          Alcotest.test_case "E8 crossover" `Slow test_e8_crossover_shape;
+          Alcotest.test_case "E9 portfolio wins" `Slow test_e9_portfolio_wins;
+        ] );
+      ( "ablations",
+        [
+          Alcotest.test_case "A1 fallbacks shrink" `Slow
+            test_a1_fallback_shrinks;
+          Alcotest.test_case "A2 proper rounding bounded" `Slow
+            test_a2_proper_bounded;
+          Alcotest.test_case "A3 probes grow" `Slow test_a3_probes_grow;
+          Alcotest.test_case "A4 grid grows" `Slow test_a4_types_grow;
+        ] );
+      ( "cross validation",
+        [
+          Alcotest.test_case "X1 solvers agree" `Slow test_x1_all_agree;
+          Alcotest.test_case "X2 parallel agrees" `Slow test_x2_agrees;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Tests for union-find and the pseudo-forest rounding of Lemma 3.8. *)
+
+module Uf = Graphs.Union_find
+module Pf = Graphs.Pseudoforest
+
+let test_union_find_basic () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "initial sets" 5 (Uf.num_sets uf);
+  Alcotest.(check bool) "union" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "re-union" false (Uf.union uf 1 0);
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "different" false (Uf.same uf 0 2);
+  ignore (Uf.union uf 2 3);
+  ignore (Uf.union uf 1 3);
+  Alcotest.(check int) "sets after unions" 2 (Uf.num_sets uf);
+  Alcotest.(check bool) "transitive" true (Uf.same uf 0 2)
+
+let test_union_find_path_compression () =
+  let uf = Uf.create 100 in
+  for i = 0 to 98 do
+    ignore (Uf.union uf i (i + 1))
+  done;
+  Alcotest.(check int) "single set" 1 (Uf.num_sets uf);
+  Alcotest.(check int) "find stable" (Uf.find uf 0) (Uf.find uf 99)
+
+(* Lemma 3.8 property checks for a rounding result. *)
+let check_lemma_38 name graph kept =
+  let kept_tbl = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace kept_tbl e ()) kept;
+  (* property 1: each machine keeps at most one edge *)
+  let machine_deg = Hashtbl.create 16 in
+  List.iter
+    (fun (_, i) ->
+      let d = 1 + Option.value ~default:0 (Hashtbl.find_opt machine_deg i) in
+      Hashtbl.replace machine_deg i d;
+      Alcotest.(check bool) (name ^ ": machine keeps <= 1 edge") true (d <= 1))
+    kept;
+  (* property 2: each class loses at most one edge *)
+  let lost = Hashtbl.create 16 in
+  List.iter
+    (fun ((k, _) as e) ->
+      if not (Hashtbl.mem kept_tbl e) then begin
+        let d = 1 + Option.value ~default:0 (Hashtbl.find_opt lost k) in
+        Hashtbl.replace lost k d;
+        Alcotest.(check bool) (name ^ ": class loses <= 1 edge") true (d <= 1)
+      end)
+    (Pf.edges graph);
+  (* kept edges are a subset of the graph's edges *)
+  let all = Pf.edges graph in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) (name ^ ": kept edge exists") true
+        (List.mem e all))
+    kept
+
+let test_round_single_tree () =
+  (* star: class 0 connected to machines 0,1,2 -> everything kept *)
+  let g = Pf.create ~num_classes:1 ~num_machines:3 in
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:0 ~machine:1;
+  Pf.add_edge g ~cls:0 ~machine:2;
+  let kept = Pf.round g in
+  Alcotest.(check int) "all kept" 3 (List.length kept);
+  check_lemma_38 "star" g kept
+
+let test_round_path () =
+  (* path: m0 - c0 - m1 - c1 - m2: classes have degree 2 *)
+  let g = Pf.create ~num_classes:2 ~num_machines:3 in
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:0 ~machine:1;
+  Pf.add_edge g ~cls:1 ~machine:1;
+  Pf.add_edge g ~cls:1 ~machine:2;
+  let kept = Pf.round g in
+  check_lemma_38 "path" g kept;
+  (* every class of degree >= 2 keeps at least one edge *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "class keeps an edge" true
+        (List.exists (fun (k', _) -> k' = k) kept))
+    [ 0; 1 ]
+
+let test_round_cycle () =
+  (* 4-cycle c0 - m0 - c1 - m1 - c0 *)
+  let g = Pf.create ~num_classes:2 ~num_machines:2 in
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:1;
+  Pf.add_edge g ~cls:0 ~machine:1;
+  Alcotest.(check bool) "is pseudoforest" true (Pf.is_pseudoforest g);
+  let kept = Pf.round g in
+  check_lemma_38 "cycle" g kept;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "cycle class keeps an edge" true
+        (List.exists (fun (k', _) -> k' = k) kept))
+    [ 0; 1 ]
+
+let test_round_cycle_with_tail () =
+  (* 4-cycle plus a pending machine and a pending class *)
+  let g = Pf.create ~num_classes:3 ~num_machines:4 in
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:1;
+  Pf.add_edge g ~cls:0 ~machine:1;
+  Pf.add_edge g ~cls:0 ~machine:2 (* tail machine *);
+  Pf.add_edge g ~cls:2 ~machine:2 (* tail class, degree 2 *);
+  Pf.add_edge g ~cls:2 ~machine:3;
+  let kept = Pf.round g in
+  check_lemma_38 "cycle+tail" g kept;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "class keeps an edge" true
+        (List.exists (fun (k', _) -> k' = k) kept))
+    [ 0; 1; 2 ]
+
+let test_round_multiple_components () =
+  let g = Pf.create ~num_classes:4 ~num_machines:6 in
+  (* component A: cycle *)
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:0;
+  Pf.add_edge g ~cls:1 ~machine:1;
+  Pf.add_edge g ~cls:0 ~machine:1;
+  (* component B: tree *)
+  Pf.add_edge g ~cls:2 ~machine:2;
+  Pf.add_edge g ~cls:2 ~machine:3;
+  Pf.add_edge g ~cls:3 ~machine:3;
+  Pf.add_edge g ~cls:3 ~machine:4;
+  let kept = Pf.round g in
+  check_lemma_38 "two components" g kept;
+  Alcotest.(check int) "two components found" 2 (List.length (Pf.components g))
+
+let test_not_pseudoforest () =
+  (* K_{2,3} has two independent cycles *)
+  let g = Pf.create ~num_classes:2 ~num_machines:3 in
+  for i = 0 to 2 do
+    Pf.add_edge g ~cls:0 ~machine:i;
+    Pf.add_edge g ~cls:1 ~machine:i
+  done;
+  Alcotest.(check bool) "detected" false (Pf.is_pseudoforest g);
+  Alcotest.(check bool) "round raises" true
+    (try
+       ignore (Pf.round g);
+       false
+     with Pf.Not_pseudoforest -> true)
+
+let test_duplicate_edges_ignored () =
+  let g = Pf.create ~num_classes:1 ~num_machines:1 in
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Pf.add_edge g ~cls:0 ~machine:0;
+  Alcotest.(check int) "deduped" 1 (Pf.num_edges g)
+
+let test_edge_validation () =
+  let g = Pf.create ~num_classes:1 ~num_machines:1 in
+  Alcotest.(check bool) "range checked" true
+    (try
+       Pf.add_edge g ~cls:1 ~machine:0;
+       false
+     with Invalid_argument _ -> true)
+
+(* Property: random pseudoforests always round to a set satisfying the two
+   Lemma 3.8 properties. We generate random forests plus at most one extra
+   edge per component (keeping the pseudoforest property), mimicking LP
+   support graphs where classes have degree >= 2. *)
+let random_pseudoforest_gen =
+  QCheck.Gen.(
+    let* k = int_range 2 6 in
+    let* m = int_range 2 8 in
+    let* edge_picks = list_size (int_range 1 20) (pair (int_bound (k - 1)) (int_bound (m - 1))) in
+    return (k, m, edge_picks))
+
+let prop_random_round =
+  QCheck.Test.make ~name:"random graphs: rounding obeys Lemma 3.8" ~count:200
+    (QCheck.make random_pseudoforest_gen)
+    (fun (k, m, picks) ->
+      (* Add edges one by one, keeping an edge only if the graph stays a
+         pseudoforest — mirrors how sparse LP support graphs look. *)
+      let acc = ref [] in
+      List.iter
+        (fun (c, i) ->
+          let trial = Pf.create ~num_classes:k ~num_machines:m in
+          List.iter (fun (c', i') -> Pf.add_edge trial ~cls:c' ~machine:i') (List.rev !acc);
+          Pf.add_edge trial ~cls:c ~machine:i;
+          if Pf.is_pseudoforest trial then acc := (c, i) :: !acc)
+        picks;
+      let g = Pf.create ~num_classes:k ~num_machines:m in
+      List.iter (fun (c, i) -> Pf.add_edge g ~cls:c ~machine:i) (List.rev !acc);
+      let kept = Pf.round g in
+      let kept_tbl = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace kept_tbl e ()) kept;
+      let ok = ref true in
+      (* property 1 *)
+      let machine_deg = Hashtbl.create 16 in
+      List.iter
+        (fun (_, i) ->
+          let d = 1 + Option.value ~default:0 (Hashtbl.find_opt machine_deg i) in
+          Hashtbl.replace machine_deg i d;
+          if d > 1 then ok := false)
+        kept;
+      (* property 2 *)
+      let lost = Hashtbl.create 16 in
+      List.iter
+        (fun ((c, _) as e) ->
+          if not (Hashtbl.mem kept_tbl e) then begin
+            let d = 1 + Option.value ~default:0 (Hashtbl.find_opt lost c) in
+            Hashtbl.replace lost c d;
+            if d > 1 then ok := false
+          end)
+        (Pf.edges g);
+      !ok)
+
+let () =
+  Alcotest.run "graphs"
+    [
+      ( "union find",
+        [
+          Alcotest.test_case "basic" `Quick test_union_find_basic;
+          Alcotest.test_case "path compression" `Quick
+            test_union_find_path_compression;
+        ] );
+      ( "pseudoforest",
+        [
+          Alcotest.test_case "single tree" `Quick test_round_single_tree;
+          Alcotest.test_case "path" `Quick test_round_path;
+          Alcotest.test_case "cycle" `Quick test_round_cycle;
+          Alcotest.test_case "cycle with tail" `Quick
+            test_round_cycle_with_tail;
+          Alcotest.test_case "multiple components" `Quick
+            test_round_multiple_components;
+          Alcotest.test_case "not pseudoforest" `Quick test_not_pseudoforest;
+          Alcotest.test_case "duplicate edges" `Quick
+            test_duplicate_edges_ignored;
+          Alcotest.test_case "edge validation" `Quick test_edge_validation;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_round ] );
+    ]

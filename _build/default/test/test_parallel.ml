@@ -1,0 +1,130 @@
+(* Tests for the domain pool. *)
+
+module P = Parallel.Pool
+
+let test_single_domain_pool () =
+  let pool = P.create 1 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      Alcotest.(check int) "size" 1 (P.size pool);
+      Alcotest.(check (list int)) "runs in order" [ 1; 4; 9 ]
+        (P.map pool (fun x -> x * x) [ 1; 2; 3 ]))
+
+let test_results_in_order () =
+  let pool = P.create 4 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let inputs = List.init 50 Fun.id in
+      (* unequal task durations scramble completion order *)
+      let out =
+        P.map pool
+          (fun x ->
+            let spin = (x * 7919) mod 997 in
+            let acc = ref 0 in
+            for i = 1 to spin * 100 do
+              acc := !acc + i
+            done;
+            ignore !acc;
+            x * 2)
+          inputs
+      in
+      Alcotest.(check (list int)) "order preserved"
+        (List.map (fun x -> x * 2) inputs)
+        out)
+
+let test_empty_run () =
+  let pool = P.create 2 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () -> Alcotest.(check (list int)) "empty" [] (P.run pool []))
+
+let test_actually_parallel () =
+  (* with 4 domains, 4 concurrent busy-loops should take well under 4x one
+     loop's time; assert conservatively on a correctness-adjacent signal:
+     all tasks observe distinct domains at least once *)
+  let pool = P.create 4 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let ids =
+        P.run pool
+          (List.init 8 (fun _ () ->
+               Unix.sleepf 0.02;
+               Domain.self ()))
+      in
+      let distinct = List.sort_uniq compare ids in
+      Alcotest.(check bool) "used several domains" true
+        (List.length distinct >= 2))
+
+let test_exception_propagates () =
+  let pool = P.create 3 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "raises" true
+        (try
+           ignore
+             (P.run pool
+                [
+                  (fun () -> 1);
+                  (fun () -> failwith "boom");
+                  (fun () -> 3);
+                ]);
+           false
+         with Failure msg -> msg = "boom");
+      (* pool still usable after an exception *)
+      Alcotest.(check (list int)) "still alive" [ 5 ]
+        (P.run pool [ (fun () -> 5) ]))
+
+let test_shutdown_semantics () =
+  let pool = P.create 2 in
+  P.shutdown pool;
+  P.shutdown pool (* idempotent *);
+  Alcotest.(check bool) "run after shutdown rejected" true
+    (try
+       ignore (P.run pool [ (fun () -> 1) ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_create_validation () =
+  Alcotest.(check bool) "zero rejected" true
+    (try
+       ignore (P.create 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_many_batches () =
+  let pool = P.create 3 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      for batch = 1 to 20 do
+        let out = P.map pool (fun x -> x + batch) [ 1; 2; 3; 4; 5 ] in
+        Alcotest.(check (list int))
+          (Printf.sprintf "batch %d" batch)
+          [ 1 + batch; 2 + batch; 3 + batch; 4 + batch; 5 + batch ]
+          out
+      done)
+
+let test_default_jobs () =
+  let j = P.default_jobs () in
+  Alcotest.(check bool) "sane" true (j >= 1 && j <= 8)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "single domain" `Quick test_single_domain_pool;
+          Alcotest.test_case "order preserved" `Quick test_results_in_order;
+          Alcotest.test_case "empty run" `Quick test_empty_run;
+          Alcotest.test_case "actually parallel" `Quick test_actually_parallel;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "shutdown" `Quick test_shutdown_semantics;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+          Alcotest.test_case "many batches" `Quick test_many_batches;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        ] );
+    ]

@@ -1,0 +1,213 @@
+(* Tests for the SetCover substrate and the Theorem 3.5 reduction. *)
+
+module C = Setcover.Cover
+module R = Setcover.Reduction
+
+let simple_cover () =
+  C.make ~universe:4
+    ~sets:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |]; [| 0; 1; 2; 3 |] |]
+
+let test_make_validation () =
+  let bad name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "element out of range" (fun () ->
+      C.make ~universe:2 ~sets:[| [| 0; 5 |] |]);
+  bad "not covering" (fun () -> C.make ~universe:3 ~sets:[| [| 0; 1 |] |]);
+  bad "empty universe" (fun () -> C.make ~universe:0 ~sets:[||]);
+  (* duplicates are deduped *)
+  let t = C.make ~universe:2 ~sets:[| [| 0; 0; 1; 1; 0 |] |] in
+  Alcotest.(check int) "deduped" 2 (Array.length t.C.sets.(0))
+
+let test_covers () =
+  let t = simple_cover () in
+  Alcotest.(check bool) "full set covers" true (C.covers t [ 3 ]);
+  Alcotest.(check bool) "partial" false (C.covers t [ 0 ]);
+  Alcotest.(check bool) "pair covers" true (C.covers t [ 0; 2 ])
+
+let test_greedy () =
+  let t = simple_cover () in
+  let chosen = C.greedy t in
+  Alcotest.(check bool) "covers" true (C.covers t chosen);
+  (* the full set dominates: greedy picks exactly it *)
+  Alcotest.(check (list int)) "picks the big set" [ 3 ] chosen
+
+let test_exact_minimum () =
+  let t = simple_cover () in
+  Alcotest.(check int) "minimum is 1" 1 (List.length (C.exact t));
+  let no_big =
+    C.make ~universe:4 ~sets:[| [| 0; 1 |]; [| 1; 2 |]; [| 2; 3 |] |]
+  in
+  let best = C.exact no_big in
+  Alcotest.(check int) "minimum is 2" 2 (List.length best);
+  Alcotest.(check bool) "covers" true (C.covers no_big best)
+
+let test_exact_never_worse_than_greedy () =
+  let rng = Workloads.Rng.create 3 in
+  for _ = 1 to 20 do
+    let universe = 4 + Workloads.Rng.int rng 5 in
+    let nsets = 3 + Workloads.Rng.int rng 5 in
+    let sets =
+      Array.init nsets (fun _ ->
+          let size = 1 + Workloads.Rng.int rng universe in
+          Array.init size (fun _ -> Workloads.Rng.int rng universe))
+    in
+    (* ensure coverage with one catch-all set *)
+    let sets = Array.append sets [| Array.init universe Fun.id |] in
+    let t = C.make ~universe ~sets in
+    let g = C.greedy t and e = C.exact t in
+    Alcotest.(check bool) "exact <= greedy" true
+      (List.length e <= List.length g);
+    Alcotest.(check bool) "greedy covers" true (C.covers t g);
+    Alcotest.(check bool) "exact covers" true (C.covers t e)
+  done
+
+let test_lp_value_bounds () =
+  let t = simple_cover () in
+  let v, z = C.lp_value t in
+  Alcotest.(check bool) "lp <= integral optimum" true
+    (v <= float_of_int (List.length (C.exact t)) +. 1e-7);
+  Alcotest.(check bool) "weights nonneg" true
+    (Array.for_all (fun w -> w >= -1e-9) z);
+  (* fractional cover constraint spot check: element 0 *)
+  let cover0 = z.(0) +. z.(3) in
+  Alcotest.(check bool) "element 0 covered" true (cover0 >= 1.0 -. 1e-6)
+
+let test_gap_instance_structure () =
+  let d = 3 in
+  let t = C.gap_instance d in
+  let n = (1 lsl d) - 1 in
+  Alcotest.(check int) "universe 2^d - 1" n t.C.universe;
+  Alcotest.(check int) "one set per nonzero y" n (C.num_sets t);
+  (* each set S_y has exactly 2^(d-1) elements *)
+  Array.iter
+    (fun s ->
+      Alcotest.(check int) "set size 2^(d-1)" (1 lsl (d - 1)) (Array.length s))
+    t.C.sets
+
+let test_gap_instance_gap () =
+  (* integral optimum >= d while the fractional value is < 2 *)
+  List.iter
+    (fun d ->
+      let t = C.gap_instance d in
+      let frac, _ = C.lp_value t in
+      let integral = List.length (C.exact t) in
+      Alcotest.(check bool) "fractional < 2" true (frac < 2.0 +. 1e-6);
+      Alcotest.(check bool)
+        (Printf.sprintf "integral >= d = %d" d)
+        true (integral >= d))
+    [ 2; 3; 4 ]
+
+(* --- Reduction (Theorem 3.5) ------------------------------------------- *)
+
+let test_reduction_dimensions () =
+  let rng = Workloads.Rng.create 17 in
+  let cover = C.gap_instance 3 in
+  let r = R.build rng cover ~target:3 in
+  let m = C.num_sets cover in
+  Alcotest.(check int) "machines = sets" m
+    (Core.Instance.num_machines r.R.instance);
+  (* K = ceil(m/t * log2 m) = ceil(7/3 * log2 7) = ceil(6.55) = 7 *)
+  Alcotest.(check int) "classes" 7 r.R.num_classes;
+  Alcotest.(check int) "jobs = K * N" (7 * 7)
+    (Core.Instance.num_jobs r.R.instance);
+  (* all setups are 1 *)
+  for i = 0 to m - 1 do
+    for k = 0 to r.R.num_classes - 1 do
+      Alcotest.(check (float 1e-12)) "unit setup" 1.0
+        (Core.Instance.setup_time r.R.instance i k)
+    done
+  done
+
+let test_reduction_eligibility_matches_membership () =
+  let rng = Workloads.Rng.create 19 in
+  let cover = simple_cover () in
+  let r = R.build rng cover ~target:1 in
+  let n_elems = cover.C.universe in
+  for k = 0 to r.R.num_classes - 1 do
+    for e = 0 to n_elems - 1 do
+      let j = (k * n_elems) + e in
+      for i = 0 to C.num_sets cover - 1 do
+        let s = r.R.perms.(k).(i) in
+        let member = Array.exists (fun e' -> e' = e) cover.C.sets.(s) in
+        let p = Core.Instance.ptime r.R.instance i j in
+        Alcotest.(check bool)
+          (Printf.sprintf "job (%d,%d) on machine %d" k e i)
+          member (p = 0.0)
+      done
+    done
+  done
+
+let test_reduction_schedule_from_cover () =
+  let rng = Workloads.Rng.create 23 in
+  let cover = simple_cover () in
+  let r = R.build rng cover ~target:1 in
+  let sched = R.schedule_from_cover r [ 3 ] in
+  Alcotest.(check bool) "valid schedule" true
+    (Core.Schedule.is_valid r.R.instance sched);
+  (* cover size 1: every class needs exactly 1 setup; max load equals the
+     bound reported by setups_makespan_bound *)
+  let bound = R.setups_makespan_bound r [ 3 ] in
+  Alcotest.(check (float 1e-9)) "makespan = setup count" (float_of_int bound)
+    (Core.Schedule.makespan sched);
+  Alcotest.(check bool) "rejects non-cover" true
+    (try
+       ignore (R.schedule_from_cover r [ 0 ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_reduction_bounds_consistent () =
+  let rng = Workloads.Rng.create 29 in
+  let cover = C.gap_instance 3 in
+  let r = R.build rng cover ~target:3 in
+  let _, z = C.lp_value cover in
+  let frac = R.fractional_makespan_bound r z in
+  let integral_lb = R.integral_lower_bound r in
+  let greedy_sched = R.setups_makespan_bound r (C.greedy cover) in
+  Alcotest.(check bool) "fractional bound positive" true (frac > 0.0);
+  Alcotest.(check bool) "integral lb <= constructed" true
+    (integral_lb <= float_of_int greedy_sched +. 1e-9)
+
+let test_reduction_validation () =
+  let rng = Workloads.Rng.create 1 in
+  let cover = simple_cover () in
+  Alcotest.(check bool) "bad target" true
+    (try
+       ignore (R.build rng cover ~target:0);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "setcover"
+    [
+      ( "cover",
+        [
+          Alcotest.test_case "validation" `Quick test_make_validation;
+          Alcotest.test_case "covers" `Quick test_covers;
+          Alcotest.test_case "greedy" `Quick test_greedy;
+          Alcotest.test_case "exact minimum" `Quick test_exact_minimum;
+          Alcotest.test_case "exact vs greedy" `Quick
+            test_exact_never_worse_than_greedy;
+          Alcotest.test_case "lp value" `Quick test_lp_value_bounds;
+        ] );
+      ( "gap instance",
+        [
+          Alcotest.test_case "structure" `Quick test_gap_instance_structure;
+          Alcotest.test_case "integrality gap" `Quick test_gap_instance_gap;
+        ] );
+      ( "reduction",
+        [
+          Alcotest.test_case "dimensions" `Quick test_reduction_dimensions;
+          Alcotest.test_case "eligibility" `Quick
+            test_reduction_eligibility_matches_membership;
+          Alcotest.test_case "schedule from cover" `Quick
+            test_reduction_schedule_from_cover;
+          Alcotest.test_case "bounds consistent" `Quick
+            test_reduction_bounds_consistent;
+          Alcotest.test_case "validation" `Quick test_reduction_validation;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* Tests for summary statistics and table rendering. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "singleton" 7.0 (Stats.mean [| 7.0 |])
+
+let test_geomean () =
+  check_float "geomean" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  Alcotest.(check bool) "rejects nonpositive" true
+    (try
+       ignore (Stats.geomean [| 1.0; 0.0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_stddev () =
+  check_float "known" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  check_float "singleton" 0.0 (Stats.stddev [| 5.0 |])
+
+let test_min_max () =
+  check_float "min" 1.0 (Stats.minimum [| 3.0; 1.0; 2.0 |]);
+  check_float "max" 3.0 (Stats.maximum [| 3.0; 1.0; 2.0 |])
+
+let test_quantile () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0; 5.0 |] in
+  check_float "median" 3.0 (Stats.median xs);
+  check_float "q0" 1.0 (Stats.quantile xs 0.0);
+  check_float "q1" 5.0 (Stats.quantile xs 1.0);
+  check_float "q25" 2.0 (Stats.quantile xs 0.25);
+  check_float "interpolated" 2.5 (Stats.median [| 1.0; 2.0; 3.0; 4.0 |])
+
+let test_empty_rejected () =
+  List.iter
+    (fun (name, f) ->
+      Alcotest.(check bool) name true
+        (try
+           ignore (f [||]);
+           false
+         with Invalid_argument _ -> true))
+    [
+      ("mean", Stats.mean);
+      ("stddev", Stats.stddev);
+      ("min", Stats.minimum);
+      ("max", Stats.maximum);
+      ("median", Stats.median);
+    ]
+
+let test_quantile_validation () =
+  Alcotest.(check bool) "q out of range" true
+    (try
+       ignore (Stats.quantile [| 1.0 |] 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_rendering () =
+  let t = Stats.Table.create [ "name"; "value" ] in
+  Stats.Table.add_row t [ "alpha"; "1.5" ];
+  Stats.Table.add_row t [ "b"; "22.25" ];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check int) "rows" 2 (Stats.Table.num_rows t);
+  Alcotest.(check bool) "contains header" true
+    (Astring.String.is_infix ~affix:"name" s);
+  Alcotest.(check bool) "separator line" true
+    (Astring.String.is_infix ~affix:"-----" s);
+  (* numeric cells are right-aligned: "22.25" ends its column *)
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "line count" 5 (List.length lines)
+
+let test_table_float_row () =
+  let t = Stats.Table.create [ "a"; "b" ] in
+  Stats.Table.add_float_row t ~decimals:2 [ 1.0; infinity ];
+  let s = Stats.Table.to_string t in
+  Alcotest.(check bool) "formats floats" true
+    (Astring.String.is_infix ~affix:"1.00" s);
+  Alcotest.(check bool) "formats inf" true
+    (Astring.String.is_infix ~affix:"inf" s)
+
+let test_table_csv () =
+  let t = Stats.Table.create [ "a"; "b" ] in
+  Stats.Table.add_row t [ "x,y"; "1.5" ];
+  Stats.Table.add_row t [ "q\"uote"; "2" ];
+  let csv = Stats.Table.to_csv t in
+  Alcotest.(check string) "csv output" "a,b\n\"x,y\",1.5\n\"q\"\"uote\",2\n" csv
+
+let test_table_validation () =
+  let t = Stats.Table.create [ "a"; "b" ] in
+  Alcotest.(check bool) "wrong width" true
+    (try
+       Stats.Table.add_row t [ "only one" ];
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "empty headers" true
+    (try
+       ignore (Stats.Table.create []);
+       false
+     with Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "stddev" `Quick test_stddev;
+          Alcotest.test_case "min max" `Quick test_min_max;
+          Alcotest.test_case "quantile" `Quick test_quantile;
+          Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+          Alcotest.test_case "quantile validation" `Quick
+            test_quantile_validation;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "rendering" `Quick test_table_rendering;
+          Alcotest.test_case "float row" `Quick test_table_float_row;
+          Alcotest.test_case "csv" `Quick test_table_csv;
+          Alcotest.test_case "validation" `Quick test_table_validation;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+(* Tests for Timeline (batch materialization + Gantt) and Schedule_io. *)
+
+module I = Core.Instance
+module S = Core.Schedule
+module T = Core.Timeline
+
+let fixture () =
+  I.uniform ~speeds:[| 1.0; 2.0 |]
+    ~sizes:[| 4.0; 2.0; 6.0; 2.0 |]
+    ~job_class:[| 0; 0; 1; 1 |]
+    ~setups:[| 3.0; 1.0 |]
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_timeline_matches_loads () =
+  let t = fixture () in
+  let s = S.make t [| 0; 1; 1; 0 |] in
+  let lanes = T.of_schedule t s in
+  Array.iteri
+    (fun i events ->
+      let finish =
+        List.fold_left (fun acc e -> Float.max acc e.T.finish) 0.0 events
+      in
+      check_float (Printf.sprintf "machine %d end = load" i) (S.load s i)
+        finish)
+    lanes
+
+let test_timeline_contiguous_and_ordered () =
+  let t = fixture () in
+  let s = S.make t [| 0; 0; 0; 0 |] in
+  let events = (T.of_schedule t s).(0) in
+  (* events must tile [0, load] with no gaps or overlaps *)
+  let rec check_chain clock = function
+    | [] -> clock
+    | e :: rest ->
+        check_float "no gap" clock e.T.start;
+        Alcotest.(check bool) "nonneg duration" true (e.T.finish >= e.T.start);
+        check_chain e.T.finish rest
+  in
+  let final = check_chain 0.0 events in
+  check_float "covers load" (S.load s 0) final;
+  (* each class appears as setup followed by its jobs *)
+  match events with
+  | { kind = `Setup 0; _ } :: { kind = `Job 0; _ } :: { kind = `Job 1; _ }
+    :: { kind = `Setup 1; _ } :: { kind = `Job 2; _ } :: { kind = `Job 3; _ }
+    :: [] ->
+      ()
+  | _ -> Alcotest.fail "unexpected event order"
+
+let test_timeline_every_job_once () =
+  let rng = Workloads.Rng.create 5 in
+  let t = Workloads.Gen.unrelated rng ~n:12 ~m:3 ~k:3 () in
+  let r = Algos.List_scheduling.schedule t in
+  let lanes = T.of_schedule t r.Algos.Common.schedule in
+  let seen = Array.make 12 0 in
+  Array.iter
+    (List.iter (fun e ->
+         match e.T.kind with `Job j -> seen.(j) <- seen.(j) + 1 | `Setup _ -> ()))
+    lanes;
+  Array.iteri
+    (fun j c -> Alcotest.(check int) (Printf.sprintf "job %d once" j) 1 c)
+    seen
+
+let test_timeline_setup_count () =
+  let t = fixture () in
+  let s = S.make t [| 0; 1; 0; 1 |] in
+  let lanes = T.of_schedule t s in
+  let setups =
+    Array.fold_left
+      (fun acc events ->
+        acc
+        + List.length
+            (List.filter
+               (fun e -> match e.T.kind with `Setup _ -> true | `Job _ -> false)
+               events))
+      0 lanes
+  in
+  Alcotest.(check int) "matches num_setups" (S.num_setups s) setups
+
+let test_gantt_renders () =
+  let t = fixture () in
+  let s = S.make t [| 0; 0; 1; 1 |] in
+  let out = Format.asprintf "%a" (T.pp_gantt t) s in
+  Alcotest.(check bool) "mentions machines" true
+    (Astring.String.is_infix ~affix:"m0" out
+    && Astring.String.is_infix ~affix:"m1" out);
+  Alcotest.(check bool) "has setup glyphs" true
+    (Astring.String.is_infix ~affix:"#" out)
+
+let test_gantt_empty_schedule () =
+  let t =
+    I.identical ~num_machines:2 ~sizes:[| 0.0 |] ~job_class:[| 0 |]
+      ~setups:[| 0.0 |]
+  in
+  let s = S.make t [| 0 |] in
+  (* horizon 0: must not crash or divide by zero *)
+  let out = Format.asprintf "%a" (T.pp_gantt t) s in
+  Alcotest.(check bool) "renders" true (String.length out > 0)
+
+let test_timeline_csv () =
+  let t = fixture () in
+  let s = S.make t [| 0; 0; 1; 1 |] in
+  let csv = T.to_csv t s in
+  let lines = String.split_on_char '\n' csv |> List.filter (( <> ) "") in
+  Alcotest.(check string) "header" "machine,kind,id,start,finish"
+    (List.hd lines);
+  (* 4 jobs + 2 setups = 6 event rows *)
+  Alcotest.(check int) "rows" 7 (List.length lines);
+  Alcotest.(check bool) "has setup rows" true
+    (List.exists (fun l -> Astring.String.is_infix ~affix:",setup," l) lines)
+
+(* --- Schedule_io -------------------------------------------------------- *)
+
+let test_schedule_io_roundtrip () =
+  let t = fixture () in
+  let s = S.make t [| 0; 1; 1; 0 |] in
+  let s' = Core.Schedule_io.of_string t (Core.Schedule_io.to_string s) in
+  Alcotest.(check (array int)) "assignment preserved" (S.assignment s)
+    (S.assignment s')
+
+let test_schedule_io_file_roundtrip () =
+  let t = fixture () in
+  let s = S.make t [| 1; 1; 1; 1 |] in
+  let path = Filename.temp_file "sched" ".sched" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Core.Schedule_io.to_file path s;
+      let s' = Core.Schedule_io.of_file t path in
+      check_float "makespan preserved" (S.makespan s) (S.makespan s'))
+
+let test_schedule_io_rejects_garbage () =
+  let t = fixture () in
+  let bad name text =
+    Alcotest.(check bool) name true
+      (try
+         ignore (Core.Schedule_io.of_string t text);
+         false
+       with Core.Schedule_io.Parse_error _ -> true)
+  in
+  bad "empty" "";
+  bad "bad keyword" "flurb 1 2\n";
+  bad "bad machine" "assignment 0 1 x 0\n";
+  bad "wrong length" "assignment 0 1\n";
+  bad "out of range" "assignment 0 1 9 0\n"
+
+let test_schedule_io_rejects_ineligible () =
+  let t =
+    I.restricted
+      ~eligible:[| [| true |]; [| false |] |]
+      ~sizes:[| 1.0 |] ~job_class:[| 0 |] ~setups:[| 1.0 |]
+  in
+  Alcotest.(check bool) "ineligible rejected" true
+    (try
+       ignore (Core.Schedule_io.of_string t "assignment 1\n");
+       false
+     with Core.Schedule_io.Parse_error _ -> true)
+
+let test_schedule_io_comments () =
+  let t = fixture () in
+  let s =
+    Core.Schedule_io.of_string t "# hello\nschedule\nassignment 0 0 1 1 # tail\n"
+  in
+  Alcotest.(check int) "parsed through comments" 1 (S.machine_of s 2)
+
+let () =
+  Alcotest.run "timeline-io"
+    [
+      ( "timeline",
+        [
+          Alcotest.test_case "matches loads" `Quick test_timeline_matches_loads;
+          Alcotest.test_case "contiguous ordered" `Quick
+            test_timeline_contiguous_and_ordered;
+          Alcotest.test_case "every job once" `Quick
+            test_timeline_every_job_once;
+          Alcotest.test_case "setup count" `Quick test_timeline_setup_count;
+          Alcotest.test_case "gantt renders" `Quick test_gantt_renders;
+          Alcotest.test_case "gantt empty" `Quick test_gantt_empty_schedule;
+          Alcotest.test_case "csv export" `Quick test_timeline_csv;
+        ] );
+      ( "schedule io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_schedule_io_roundtrip;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_schedule_io_file_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick
+            test_schedule_io_rejects_garbage;
+          Alcotest.test_case "rejects ineligible" `Quick
+            test_schedule_io_rejects_ineligible;
+          Alcotest.test_case "comments" `Quick test_schedule_io_comments;
+        ] );
+    ]

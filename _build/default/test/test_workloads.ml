@@ -1,0 +1,254 @@
+(* Tests for the RNG and the instance generators. *)
+
+module R = Workloads.Rng
+module G = Workloads.Gen
+
+(* --- RNG ----------------------------------------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = R.create 42 and b = R.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.int64 a) (R.int64 b)
+  done
+
+let test_rng_seeds_differ () =
+  let a = R.create 1 and b = R.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if R.int64 a = R.int64 b then incr same
+  done;
+  Alcotest.(check int) "streams differ" 0 !same
+
+let test_rng_int_range () =
+  let rng = R.create 7 in
+  for _ = 1 to 10_000 do
+    let v = R.int rng 10 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 10)
+  done;
+  Alcotest.(check bool) "bound validated" true
+    (try
+       ignore (R.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_rng_int_covers_range () =
+  let rng = R.create 9 in
+  let seen = Array.make 10 false in
+  for _ = 1 to 10_000 do
+    seen.(R.int rng 10) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_rng_float_range () =
+  let rng = R.create 13 in
+  for _ = 1 to 10_000 do
+    let v = R.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_float_mean () =
+  let rng = R.create 17 in
+  let sum = ref 0.0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    sum := !sum +. R.float rng
+  done;
+  let mean = !sum /. float_of_int trials in
+  Alcotest.(check bool) "mean near 1/2" true (Float.abs (mean -. 0.5) < 0.01)
+
+let test_rng_split_independent () =
+  let rng = R.create 21 in
+  let child = R.split rng in
+  let same = ref 0 in
+  for _ = 1 to 50 do
+    if R.int64 rng = R.int64 child then incr same
+  done;
+  Alcotest.(check int) "independent streams" 0 !same
+
+let test_rng_permutation () =
+  let rng = R.create 23 in
+  let p = R.permutation rng 20 in
+  let sorted = Array.copy p in
+  Array.sort compare sorted;
+  Alcotest.(check bool) "is a permutation" true
+    (Array.to_list sorted = List.init 20 Fun.id)
+
+let test_rng_shuffle_uniformish () =
+  (* position of element 0 after shuffling should hit every slot *)
+  let seen = Array.make 5 false in
+  let rng = R.create 29 in
+  for _ = 1 to 1000 do
+    let a = [| 0; 1; 2; 3; 4 |] in
+    R.shuffle rng a;
+    let idx = ref 0 in
+    Array.iteri (fun i v -> if v = 0 then idx := i) a;
+    seen.(!idx) <- true
+  done;
+  Alcotest.(check bool) "all positions reached" true (Array.for_all Fun.id seen)
+
+(* --- Generators ----------------------------------------------------------- *)
+
+let check_classes_nonempty t =
+  for k = 0 to Core.Instance.num_classes t - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "class %d nonempty" k)
+      true
+      (Core.Instance.jobs_of_class t k <> [])
+  done
+
+let check_all_jobs_eligible t =
+  for j = 0 to Core.Instance.num_jobs t - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "job %d eligible somewhere" j)
+      true
+      (Core.Instance.eligible_machines t j <> [])
+  done
+
+let test_gen_identical () =
+  let t = G.identical (R.create 1) ~n:10 ~m:3 ~k:4 () in
+  Alcotest.(check int) "jobs" 10 (Core.Instance.num_jobs t);
+  Alcotest.(check int) "machines" 3 (Core.Instance.num_machines t);
+  check_classes_nonempty t;
+  check_all_jobs_eligible t
+
+let test_gen_uniform_speeds () =
+  let t = G.uniform (R.create 2) ~n:8 ~m:5 ~k:2 ~speed_range:(1.0, 4.0) () in
+  match t.Core.Instance.env with
+  | Core.Instance.Uniform speeds ->
+      let mn = Array.fold_left Float.min infinity speeds in
+      Alcotest.(check (float 1e-9)) "slowest normalized" 1.0 mn;
+      Array.iter
+        (fun v ->
+          Alcotest.(check bool) "within range" true (v >= 1.0 && v <= 16.0))
+        speeds
+  | _ -> Alcotest.fail "expected uniform env"
+
+let test_gen_unrelated_eligibility () =
+  let t =
+    G.unrelated (R.create 3) ~n:12 ~m:4 ~k:3 ~ineligible_prob:0.5 ()
+  in
+  check_all_jobs_eligible t;
+  check_classes_nonempty t
+
+let test_gen_unrelated_integral_times () =
+  let t = G.unrelated (R.create 4) ~n:6 ~m:3 ~k:2 () in
+  for i = 0 to 2 do
+    for j = 0 to 5 do
+      let p = Core.Instance.ptime t i j in
+      if p < infinity then
+        Alcotest.(check (float 1e-9)) "integral" (Float.round p) p
+    done
+  done
+
+let test_gen_restricted_class_uniform () =
+  let t = G.restricted_class_uniform (R.create 5) ~n:10 ~m:4 ~k:3 () in
+  Alcotest.(check bool) "class uniform" true
+    (Core.Instance.restrict_class_uniform t);
+  check_all_jobs_eligible t
+
+let test_gen_class_uniform_ptimes () =
+  let t = G.class_uniform_ptimes (R.create 6) ~n:10 ~m:4 ~k:3 () in
+  Alcotest.(check bool) "class-uniform ptimes" true
+    (Core.Instance.class_uniform_ptimes t);
+  check_all_jobs_eligible t
+
+let test_gen_production_trace () =
+  let t =
+    G.production_trace (R.create 7) ~batches:8 ~jobs_per_batch:3 ~m:3 ~k:4 ()
+  in
+  Alcotest.(check int) "jobs" 24 (Core.Instance.num_jobs t);
+  check_classes_nonempty t;
+  check_all_jobs_eligible t;
+  (* batch structure: jobs within a run share a class *)
+  for b = 0 to 7 do
+    let k0 = t.Core.Instance.job_class.(b * 3) in
+    Alcotest.(check int) "run shares class" k0 t.Core.Instance.job_class.((b * 3) + 2)
+  done;
+  Alcotest.(check bool) "trace params validated" true
+    (try
+       ignore (G.production_trace (R.create 1) ~batches:2 ~jobs_per_batch:1 ~m:1 ~k:5 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_gen_validation () =
+  let bad name f =
+    Alcotest.(check bool) name true
+      (try
+         ignore (f ());
+         false
+       with Invalid_argument _ -> true)
+  in
+  bad "n < k" (fun () -> G.identical (R.create 1) ~n:2 ~m:1 ~k:3 ());
+  bad "zero machines" (fun () -> G.identical (R.create 1) ~n:2 ~m:0 ~k:1 ());
+  bad "bad ineligible prob" (fun () ->
+      G.unrelated (R.create 1) ~n:3 ~m:2 ~k:1 ~ineligible_prob:1.0 ());
+  bad "bad min_eligible" (fun () ->
+      G.restricted_class_uniform (R.create 1) ~n:3 ~m:2 ~k:1 ~min_eligible:5 ())
+
+let test_gen_deterministic () =
+  let t1 = G.uniform (R.create 77) ~n:6 ~m:3 ~k:2 () in
+  let t2 = G.uniform (R.create 77) ~n:6 ~m:3 ~k:2 () in
+  Alcotest.(check string) "same instance"
+    (Core.Instance_io.to_string t1)
+    (Core.Instance_io.to_string t2)
+
+(* property: generated instances always pass Instance validation (they are
+   built through the smart constructors) and have sane bounds *)
+let gen_params =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n = int_range 3 20 in
+    let* m = int_range 1 6 in
+    let* k = int_range 1 3 in
+    return (seed, n, m, k))
+
+let prop_bounds_sane =
+  QCheck.Test.make ~name:"bounds sane on generated instances" ~count:100
+    (QCheck.make gen_params) (fun (seed, n, m, k) ->
+      let rng = R.create seed in
+      let t =
+        match seed mod 4 with
+        | 0 -> G.identical rng ~n ~m ~k ()
+        | 1 -> G.uniform rng ~n ~m ~k ()
+        | 2 -> G.unrelated rng ~n ~m ~k ()
+        | _ -> G.restricted_class_uniform rng ~n ~m ~k ()
+      in
+      let lb = Core.Bounds.lower_bound t in
+      let ub = Core.Bounds.naive_upper_bound t in
+      lb >= 0.0 && lb <= ub +. 1e-9 && ub < infinity)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seeds differ" `Quick test_rng_seeds_differ;
+          Alcotest.test_case "int range" `Quick test_rng_int_range;
+          Alcotest.test_case "int covers range" `Quick test_rng_int_covers_range;
+          Alcotest.test_case "float range" `Quick test_rng_float_range;
+          Alcotest.test_case "float mean" `Quick test_rng_float_mean;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "permutation" `Quick test_rng_permutation;
+          Alcotest.test_case "shuffle" `Quick test_rng_shuffle_uniformish;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "identical" `Quick test_gen_identical;
+          Alcotest.test_case "uniform speeds" `Quick test_gen_uniform_speeds;
+          Alcotest.test_case "unrelated eligibility" `Quick
+            test_gen_unrelated_eligibility;
+          Alcotest.test_case "integral times" `Quick
+            test_gen_unrelated_integral_times;
+          Alcotest.test_case "restricted class uniform" `Quick
+            test_gen_restricted_class_uniform;
+          Alcotest.test_case "class uniform ptimes" `Quick
+            test_gen_class_uniform_ptimes;
+          Alcotest.test_case "production trace" `Quick
+            test_gen_production_trace;
+          Alcotest.test_case "validation" `Quick test_gen_validation;
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_bounds_sane ] );
+    ]
