@@ -158,4 +158,11 @@ let () =
   Experiments.Registry.run_all ~jobs:(Parallel.Pool.default_jobs ()) ();
   print_endline "=== timing benchmarks (Bechamel, monotonic clock) ===";
   print_endline "";
-  benchmark ()
+  (* counter deltas alongside the timings: how much solver work the
+     benchmark loop actually drove (pivot counts, B&B nodes, ...) *)
+  let before = Obs.Counter.snapshot () in
+  benchmark ();
+  print_endline "";
+  print_endline "=== solver counter deltas during timing benchmarks ===";
+  print_endline "";
+  Stats.Table.print (Obs.Report.delta_table ~before)

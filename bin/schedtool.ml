@@ -105,6 +105,47 @@ let bounds_cmd =
   let info = Cmd.info "bounds" ~doc:"Print makespan bounds for an instance." in
   Cmd.v info Term.(ret (const run $ file_arg))
 
+(* --- observability flags -------------------------------------------------- *)
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record solver spans and write a Chrome trace-event file to \
+           $(docv) (open in chrome://tracing or Perfetto).")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print solver counters (and wall time) after the run.")
+
+(* Returns a [finish] callback for the success path: stats footer first,
+   then the trace file. Its result is the command's result, so an
+   unwritable trace path surfaces as a CLI error, not a crash. *)
+let obs_setup trace =
+  if Option.is_some trace then Obs.Sink.enable ();
+  let before = Obs.Counter.snapshot () in
+  fun ~stats ->
+    if stats then begin
+      let table = Obs.Report.delta_table ~before in
+      if Stats.Table.num_rows table > 0 then begin
+        print_newline ();
+        Stats.Table.print table
+      end
+    end;
+    match trace with
+    | None -> `Ok ()
+    | Some file -> (
+        try
+          Obs.Trace.to_file file;
+          Printf.printf "wrote trace %s\n" file;
+          `Ok ()
+        with Sys_error msg ->
+          `Error (false, Printf.sprintf "cannot write trace: %s" msg))
+
 (* --- solve --------------------------------------------------------------- *)
 
 let solve_cmd =
@@ -130,10 +171,12 @@ let solve_cmd =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE"
            ~doc:"Write the schedule to $(docv).")
   in
-  let run algo eps seed verbose gantt save path =
+  let run algo eps seed verbose gantt save trace stats path =
     match read_instance path with
     | Error msg -> `Error (false, msg)
     | Ok t -> (
+        let finish = obs_setup trace in
+        let exact_outcome = ref None in
         let solve () =
           match algo with
           | "greedy" -> Ok (Algos.List_scheduling.schedule t)
@@ -154,15 +197,29 @@ let solve_cmd =
               Ok report.Algos.Portfolio.best
           | "exact" ->
               let outcome = Algos.Exact.solve t in
+              exact_outcome := Some outcome;
               if not outcome.Algos.Exact.optimal then
                 Printf.eprintf "warning: node limit hit, result may be suboptimal\n";
               Ok outcome.Algos.Exact.result
           | other -> Error (Printf.sprintf "unknown algorithm %S" other)
         in
-        match (try solve () with Invalid_argument m -> Error m) with
+        let outcome, secs =
+          Obs.Span.timed "schedtool.solve" (fun () ->
+              try solve () with Invalid_argument m -> Error m)
+        in
+        match outcome with
         | Error msg -> `Error (false, msg)
         | Ok r ->
             Printf.printf "makespan %g\n" r.Algos.Common.makespan;
+            if stats then begin
+              Printf.printf "wall time %.3f s\n" secs;
+              Option.iter
+                (fun (o : Algos.Exact.outcome) ->
+                  Printf.printf "nodes explored %d\n" o.Algos.Exact.nodes;
+                  Printf.printf "optimal %s\n"
+                    (if o.Algos.Exact.optimal then "yes" else "no"))
+                !exact_outcome
+            end;
             if verbose then
               Format.printf "%a@." Core.Schedule.pp r.Algos.Common.schedule;
             if gantt then
@@ -173,14 +230,14 @@ let solve_cmd =
                 Core.Schedule_io.to_file out r.Algos.Common.schedule;
                 Printf.printf "wrote %s\n" out)
               save;
-            `Ok ())
+            finish ~stats)
   in
   let info = Cmd.info "solve" ~doc:"Schedule an instance with a chosen algorithm." in
   Cmd.v info
     Term.(
       ret
         (const run $ algo_arg $ eps_arg $ seed_arg $ verbose_arg $ gantt_arg
-       $ save_arg $ file_arg))
+       $ save_arg $ trace_arg $ stats_arg $ file_arg))
 
 (* --- verify ---------------------------------------------------------------- *)
 
@@ -273,17 +330,18 @@ let experiments_cmd =
     Arg.(value & flag & info [ "debug" ]
            ~doc:"Enable solver debug logging on stderr.")
   in
-  let run jobs csv debug id =
+  let run jobs csv debug trace stats id =
     if debug then begin
       Logs.set_reporter (Logs.format_reporter ());
       Logs.set_level (Some Logs.Debug)
     end;
+    let finish = obs_setup trace in
     match id with
     | None ->
         if csv then `Error (false, "--csv needs a single experiment id")
         else begin
           Experiments.Registry.run_all ~jobs ();
-          `Ok ()
+          finish ~stats
         end
     | Some id -> (
         match Experiments.Registry.find id with
@@ -291,11 +349,15 @@ let experiments_cmd =
             if csv then
               print_string (Stats.Table.to_csv (e.Experiments.Exp_common.run ()))
             else Experiments.Registry.run_one e;
-            `Ok ()
+            finish ~stats
         | None -> `Error (false, Printf.sprintf "unknown experiment %S" id))
   in
   let info = Cmd.info "experiments" ~doc:"Run the paper-reproduction experiments." in
-  Cmd.v info Term.(ret (const run $ jobs_arg $ csv_arg $ debug_arg $ id_arg))
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ jobs_arg $ csv_arg $ debug_arg $ trace_arg $ stats_arg
+       $ id_arg))
 
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in

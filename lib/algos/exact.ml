@@ -4,6 +4,11 @@ let log_src = Logs.Src.create "algos.exact" ~doc:"assignment branch and bound"
 
 module Log = (val Logs.src_log log_src)
 
+let c_nodes = Obs.Counter.make "algos.exact.nodes"
+let c_prunes = Obs.Counter.make "algos.exact.prunes_bound"
+let c_incumbents = Obs.Counter.make "algos.exact.incumbent_updates"
+let c_symmetry = Obs.Counter.make "algos.exact.symmetry_cuts"
+
 type search_result = {
   best_assignment : int array option;
   best_makespan : float;
@@ -77,6 +82,9 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
   let best_assignment = ref None in
   let best_makespan = ref infinity in
   let nodes = ref 0 in
+  let prunes = ref 0 in
+  let incumbents = ref 0 in
+  let symmetry_cuts = ref 0 in
   let exhausted = ref false in
   let eps = 1e-9 in
   (* CAS min-update; returns true if we published an improvement. *)
@@ -95,6 +103,7 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
       incr nodes;
       if idx = free then begin
         if publish current_max then begin
+          incr incumbents;
           best_makespan := current_max;
           best_assignment := Some (Array.copy assignment)
         end
@@ -113,7 +122,8 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
             let skip =
               identical && (not used.(machine)) && !first_empty_done
             in
-            if not skip then begin
+            if skip then incr symmetry_cuts
+            else begin
               if identical && not used.(machine) then first_empty_done := true;
               let p = Core.Instance.ptime instance machine j in
               if p < infinity then begin
@@ -142,10 +152,15 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
             incr i
           done
         end
+        else incr prunes
       end
     end
   in
-  branch 0 !fixed_max;
+  Obs.Span.with_span "algos.exact.search" (fun () -> branch 0 !fixed_max);
+  Obs.Counter.add c_nodes !nodes;
+  Obs.Counter.add c_prunes !prunes;
+  Obs.Counter.add c_incumbents !incumbents;
+  Obs.Counter.add c_symmetry !symmetry_cuts;
   Log.debug (fun f ->
       f "n=%d m=%d fixed=%d: %d nodes%s" n m (List.length fixed) !nodes
         (if !exhausted then " (node limit)" else ""));
@@ -157,6 +172,7 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
   }
 
 let solve ?node_limit instance =
+  Obs.Span.with_span "algos.exact.solve" @@ fun () ->
   let greedy = List_scheduling.schedule instance in
   let shared = Atomic.make greedy.Common.makespan in
   let sr = search ?node_limit ~shared instance in

@@ -28,10 +28,14 @@ let root_prefixes instance =
     end
   else List.map (fun i -> [ (0, i) ]) (eligible 0)
 
+let c_subtrees = Obs.Counter.make "algos.exact.subtrees"
+
 let solve ?node_limit ?pool instance =
+  Obs.Span.with_span "algos.exact_parallel.solve" @@ fun () ->
   let greedy = List_scheduling.schedule instance in
   let shared = Atomic.make greedy.Common.makespan in
   let prefixes = root_prefixes instance in
+  Obs.Counter.add c_subtrees (List.length prefixes);
   let run_in pool =
     Parallel.Pool.map pool
       (fun fixed ->

@@ -7,8 +7,20 @@ let check ~lo ~hi ~rel_tol =
    The small absolute floor keeps the search finite when lo = 0. *)
 let converged ~rel_tol lo hi = hi <= (1.0 +. rel_tol) *. Float.max lo 1e-12
 
+let c_searches = Obs.Counter.make "core.binary_search.searches"
+let c_probes = Obs.Counter.make "core.binary_search.probes"
+
 let min_feasible ~lo ~hi ~rel_tol probe =
   check ~lo ~hi ~rel_tol;
+  Obs.Counter.incr c_searches;
+  let nprobes = ref 0 in
+  let probe t =
+    incr nprobes;
+    probe t
+  in
+  (* flush even when the probe raises, e.g. a solver iteration limit *)
+  Fun.protect ~finally:(fun () -> Obs.Counter.add c_probes !nprobes)
+  @@ fun () ->
   (* A zero lower bound would force ~60 arithmetic halvings before the
      absolute floor kicks in; a tiny positive floor keeps the search
      geometric without affecting the approximation guarantee. *)

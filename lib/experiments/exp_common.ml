@@ -19,7 +19,4 @@ let exact_opt ?(node_limit = 5_000_000) instance =
     Some outcome.Algos.Exact.result.Algos.Common.makespan
   else None
 
-let time_it f =
-  let start = Unix.gettimeofday () in
-  let result = f () in
-  (result, Unix.gettimeofday () -. start)
+let time_it ?(label = "experiment") f = Obs.Span.timed label f

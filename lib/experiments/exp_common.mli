@@ -21,6 +21,8 @@ val ratio : float -> float -> float
 val exact_opt : ?node_limit:int -> Core.Instance.t -> float option
 (** Optimum makespan if branch and bound proves it within the limit. *)
 
-val time_it : (unit -> 'a) -> 'a * float
+val time_it : ?label:string -> (unit -> 'a) -> 'a * float
 (** Result and elapsed wall-clock seconds (correct under the parallel
-    runner, unlike CPU time). *)
+    runner, unlike CPU time). Implemented as {!Obs.Span.timed}, so each
+    timed section also shows up as a span named [label] (default
+    ["experiment"]) when tracing is enabled. *)

@@ -27,25 +27,46 @@ let print_result e table secs =
   Stats.Table.print table;
   Printf.printf "(%.2f s)\n\n%!" secs
 
+(* Metrics footer: which solver counters the run moved, from a snapshot
+   taken just before it. *)
+let print_metrics_footer ~title before =
+  let table = Obs.Report.delta_table ~before in
+  if Stats.Table.num_rows table > 0 then begin
+    Printf.printf "%s\n" title;
+    Stats.Table.print table;
+    print_newline ();
+    flush stdout
+  end
+
 let run_one e =
-  let table, secs = Exp_common.time_it e.Exp_common.run in
-  print_result e table secs
+  let before = Obs.Counter.snapshot () in
+  let table, secs =
+    Exp_common.time_it ~label:("exp:" ^ e.Exp_common.id) e.Exp_common.run
+  in
+  print_result e table secs;
+  print_metrics_footer ~title:("solver counters for " ^ e.Exp_common.id) before
 
 let run_all ?(jobs = 1) () =
   if jobs <= 1 then List.iter run_one all
   else begin
     (* Experiments are independent and internally seeded, so parallel
        execution is bit-identical to sequential; only compute in parallel,
-       print in order. *)
+       print in order. Counters from concurrent experiments interleave, so
+       the footer is printed once, aggregated over the whole suite. *)
+    let before = Obs.Counter.snapshot () in
     let pool = Parallel.Pool.create jobs in
     Fun.protect
       ~finally:(fun () -> Parallel.Pool.shutdown pool)
       (fun () ->
         let results =
           Parallel.Pool.map pool
-            (fun e -> Exp_common.time_it e.Exp_common.run)
+            (fun e ->
+              Exp_common.time_it ~label:("exp:" ^ e.Exp_common.id)
+                e.Exp_common.run)
             all
         in
         List.iter2 (fun e (table, secs) -> print_result e table secs) all
-          results)
+          results);
+    print_metrics_footer ~title:"solver counters (all experiments, aggregate)"
+      before
   end

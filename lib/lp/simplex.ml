@@ -4,6 +4,12 @@ type outcome =
   | Unbounded
   | Iteration_limit
 
+let c_solves = Obs.Counter.make "lp.simplex.solves"
+let c_phase1_iters = Obs.Counter.make "lp.simplex.phase1_iters"
+let c_phase2_iters = Obs.Counter.make "lp.simplex.phase2_iters"
+let c_degenerate = Obs.Counter.make "lp.simplex.degenerate_pivots"
+let c_bland = Obs.Counter.make "lp.simplex.bland_switches"
+
 (* Internal mutable state: the tableau is kept in canonical form (basis
    columns are unit vectors) together with a reduced-cost row [z]. All hot
    loops use unsafe accesses; shapes are validated once in [solve]. *)
@@ -97,7 +103,18 @@ let leaving st j =
 
 type phase_result = P_optimal | P_unbounded | P_iterations
 
-let run_phase st ~max_iters =
+(* Per-phase pivot statistics, accumulated locally and flushed to the
+   process-wide counters once per [solve] so the pivot loop never touches
+   shared memory. *)
+type phase_counts = {
+  mutable iters : int;
+  mutable degen : int;
+  mutable bland : int;
+}
+
+let fresh_counts () = { iters = 0; degen = 0; bland = 0 }
+
+let run_phase st ~max_iters ~counts =
   let degenerate_run = ref 0 in
   let rec go iters =
     if iters > max_iters then P_iterations
@@ -108,7 +125,12 @@ let run_phase st ~max_iters =
         let r = leaving st j in
         if r < 0 then P_unbounded
         else begin
-          if st.rhs.(r) <= st.eps then incr degenerate_run
+          counts.iters <- counts.iters + 1;
+          if st.rhs.(r) <= st.eps then begin
+            incr degenerate_run;
+            counts.degen <- counts.degen + 1;
+            if !degenerate_run = 51 then counts.bland <- counts.bland + 1
+          end
           else degenerate_run := 0;
           pivot st r j;
           go (iters + 1)
@@ -148,6 +170,17 @@ let set_costs st cost =
   done
 
 let solve ?max_iters ?(eps = 1e-9) ~a ~b ~c () =
+  Obs.Span.with_span "lp.simplex.solve" @@ fun () ->
+  let p1 = fresh_counts () and p2 = fresh_counts () in
+  (* single exit point for the counter flush *)
+  let flush result =
+    Obs.Counter.incr c_solves;
+    Obs.Counter.add c_phase1_iters p1.iters;
+    Obs.Counter.add c_phase2_iters p2.iters;
+    Obs.Counter.add c_degenerate (p1.degen + p2.degen);
+    Obs.Counter.add c_bland (p1.bland + p2.bland);
+    result
+  in
   let m = Array.length a in
   let n = Array.length c in
   if Array.length b <> m then invalid_arg "Simplex.solve: |b| must equal rows";
@@ -223,21 +256,22 @@ let solve ?max_iters ?(eps = 1e-9) ~a ~b ~c () =
     if !nart = 0 then P_optimal
     else begin
       set_costs st phase1_cost;
-      run_phase st ~max_iters
+      run_phase st ~max_iters ~counts:p1
     end
   in
   match outcome with
-  | P_iterations -> Iteration_limit
+  | P_iterations -> flush Iteration_limit
   | P_unbounded ->
       (* The phase-1 objective is bounded below by 0; reaching this branch
          means numerical breakdown. *)
-      Iteration_limit
+      flush Iteration_limit
   | P_optimal ->
       let feas_tol =
         eps *. float_of_int (m + 1)
         *. Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 1.0 b
       in
-      if !nart > 0 && objective_value st phase1_cost > feas_tol then Infeasible
+      if !nart > 0 && objective_value st phase1_cost > feas_tol then
+        flush Infeasible
       else begin
         (* Drive basic artificials out where possible; rows where no
            original column has a nonzero entry are redundant and keep their
@@ -260,9 +294,9 @@ let solve ?max_iters ?(eps = 1e-9) ~a ~b ~c () =
           st.banned.(t) <- true
         done;
         set_costs st c;
-        match run_phase st ~max_iters with
-        | P_iterations -> Iteration_limit
-        | P_unbounded -> Unbounded
+        match run_phase st ~max_iters ~counts:p2 with
+        | P_iterations -> flush Iteration_limit
+        | P_unbounded -> flush Unbounded
         | P_optimal ->
             let x = Array.make n 0.0 in
             for r = 0 to m - 1 do
@@ -273,5 +307,7 @@ let solve ?max_iters ?(eps = 1e-9) ~a ~b ~c () =
             for t = 0 to n - 1 do
               objective := !objective +. (c.(t) *. x.(t))
             done;
-            Optimal { objective = !objective; x; basis = Array.copy st.basis }
+            flush
+              (Optimal
+                 { objective = !objective; x; basis = Array.copy st.basis })
       end

@@ -1,0 +1,49 @@
+type t = { name : string; cell : int Atomic.t }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 64
+let registry_mutex = Mutex.create ()
+
+let make name =
+  Mutex.lock registry_mutex;
+  let t =
+    match Hashtbl.find_opt registry name with
+    | Some t -> t
+    | None ->
+        let t = { name; cell = Atomic.make 0 } in
+        Hashtbl.add registry name t;
+        t
+  in
+  Mutex.unlock registry_mutex;
+  t
+
+let name t = t.name
+let value t = Atomic.get t.cell
+let incr t = ignore (Atomic.fetch_and_add t.cell 1)
+let add t n = if n <> 0 then ignore (Atomic.fetch_and_add t.cell n)
+let reset t = Atomic.set t.cell 0
+
+let find name =
+  Mutex.lock registry_mutex;
+  let r = Hashtbl.find_opt registry name in
+  Mutex.unlock registry_mutex;
+  r
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let entries =
+    Hashtbl.fold (fun name t acc -> (name, Atomic.get t.cell) :: acc) registry []
+  in
+  Mutex.unlock registry_mutex;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) entries
+
+let delta ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      let b = Option.value ~default:0 (List.assoc_opt name before) in
+      if v <> b then Some (name, v - b) else None)
+    after
+
+let reset_all () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter (fun _ t -> Atomic.set t.cell 0) registry;
+  Mutex.unlock registry_mutex

@@ -1,0 +1,16 @@
+(** Process-wide named gauges: last-write-wins float cells, interned by
+    name like {!Counter}. Used for derived, low-rate measurements such as
+    a pool's busy fraction at shutdown. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+val set : t -> float -> unit
+val value : t -> float
+
+val snapshot : unit -> (string * float) list
+(** All gauges that have been set at least once, sorted by name. *)
+
+val reset_all : unit -> unit
+(** Return every gauge to the unset state (dropped from [snapshot]). *)

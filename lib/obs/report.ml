@@ -1,0 +1,33 @@
+let to_table () =
+  let table = Stats.Table.create [ "kind"; "metric"; "value" ] in
+  List.iter
+    (fun (name, v) ->
+      if v <> 0 then
+        Stats.Table.add_row table [ "counter"; name; string_of_int v ])
+    (Counter.snapshot ());
+  List.iter
+    (fun (name, v) ->
+      Stats.Table.add_row table [ "gauge"; name; Printf.sprintf "%.3f" v ])
+    (Gauge.snapshot ());
+  List.iter
+    (fun (s : Span.summary) ->
+      Stats.Table.add_row table
+        [
+          "span";
+          s.name;
+          Printf.sprintf "%d call%s, %.3f s" s.count
+            (if s.count = 1 then "" else "s")
+            s.total_s;
+        ])
+    (Span.summarize (Sink.events ()));
+  table
+
+let delta_table ~before =
+  let table = Stats.Table.create [ "counter"; "delta" ] in
+  List.iter
+    (fun (name, d) ->
+      Stats.Table.add_row table [ name; Printf.sprintf "%+d" d ])
+    (Counter.delta ~before ~after:(Counter.snapshot ()));
+  table
+
+let print () = Stats.Table.print (to_table ())

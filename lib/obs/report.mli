@@ -1,0 +1,14 @@
+(** Plain-text metrics summaries on top of {!Stats.Table}. *)
+
+val to_table : unit -> Stats.Table.t
+(** Snapshot of every nonzero counter, every set gauge, and per-name span
+    aggregates (count and total seconds), as a three-column
+    [kind | metric | value] table. *)
+
+val delta_table : before:(string * int) list -> Stats.Table.t
+(** Counters that moved since the [before] snapshot (from
+    {!Counter.snapshot}), as a [counter | delta] table. The experiment
+    runner prints this as its per-experiment metrics footer. *)
+
+val print : unit -> unit
+(** [to_table] to stdout. *)

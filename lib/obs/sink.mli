@@ -1,0 +1,39 @@
+(** Global recording switch and per-domain event buffers.
+
+    The sink is the single gate for all span/trace recording: when
+    disabled (the default) [emit] is a single atomic load and no
+    allocation, so instrumented hot paths cost nothing measurable.
+    Counters ({!Counter}) are deliberately {e not} gated — they are plain
+    atomic adds, flushed in batches by the instrumented layers.
+
+    Events are buffered per domain (a [Domain.DLS] slot that registers
+    itself in a global list on first use), so recording never takes a
+    lock on the hot path. Merging ([events]) and [clear] walk every
+    domain's buffer and must only be called from quiescent points — after
+    [Parallel.Pool] work has settled, as the CLI and the test suite do. *)
+
+type phase = Begin | End | Instant
+
+type event = {
+  name : string;
+  phase : phase;
+  ts_us : float;  (** absolute timestamp, microseconds since the epoch *)
+  domain : int;  (** id of the recording domain *)
+}
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val now_us : unit -> float
+(** Wall-clock microseconds (the timestamp base used for all events). *)
+
+val emit : name:string -> phase:phase -> unit
+(** Record one event on the calling domain's buffer; no-op when the sink
+    is disabled. *)
+
+val events : unit -> event list
+(** All recorded events across every domain, in timestamp order. *)
+
+val clear : unit -> unit
+(** Drop all buffered events (every domain). *)

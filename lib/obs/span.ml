@@ -1,0 +1,43 @@
+let with_span name f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    Sink.emit ~name ~phase:Sink.Begin;
+    Fun.protect ~finally:(fun () -> Sink.emit ~name ~phase:Sink.End) f
+  end
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = with_span name f in
+  (r, Unix.gettimeofday () -. t0)
+
+let instant name = Sink.emit ~name ~phase:Sink.Instant
+
+type summary = { name : string; count : int; total_s : float }
+
+let summarize events =
+  let totals : (string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let stacks : (int, (string * float) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Sink.event) ->
+      match e.phase with
+      | Sink.Begin ->
+          let stack =
+            Option.value ~default:[] (Hashtbl.find_opt stacks e.domain)
+          in
+          Hashtbl.replace stacks e.domain ((e.name, e.ts_us) :: stack)
+      | Sink.End -> (
+          match Hashtbl.find_opt stacks e.domain with
+          | Some ((name, t0) :: rest) when name = e.name ->
+              Hashtbl.replace stacks e.domain rest;
+              let count, total =
+                Option.value ~default:(0, 0.0) (Hashtbl.find_opt totals name)
+              in
+              Hashtbl.replace totals name (count + 1, total +. (e.ts_us -. t0))
+          | _ -> () (* unbalanced End: drop *))
+      | Sink.Instant -> ())
+    events;
+  Hashtbl.fold
+    (fun name (count, total) acc ->
+      { name; count; total_s = total /. 1e6 } :: acc)
+    totals []
+  |> List.sort (fun a b -> String.compare a.name b.name)

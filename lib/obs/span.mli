@@ -1,0 +1,27 @@
+(** Nestable timed scopes.
+
+    A span is a Begin/End event pair on the calling domain's buffer;
+    nesting is implied by event order per domain, exactly the model of
+    the Chrome trace-event format that {!Trace} emits. When the sink is
+    disabled, [with_span] is one atomic load plus the call to [f]. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], bracketing it with Begin/End events when
+    the sink is enabled. The End event is emitted even if [f] raises. *)
+
+val timed : string -> (unit -> 'a) -> 'a * float
+(** [timed name f] is [with_span name f] that additionally measures and
+    returns the elapsed wall-clock seconds — measured whether or not the
+    sink is enabled, so callers can rely on it for reporting. *)
+
+val instant : string -> unit
+(** Record a zero-duration instant event (a vertical mark in the trace
+    viewer); no-op when the sink is disabled. *)
+
+type summary = { name : string; count : int; total_s : float }
+(** Aggregate of all completed spans of one name. *)
+
+val summarize : Sink.event list -> summary list
+(** Pair Begin/End events per domain (unbalanced events are dropped) and
+    aggregate count and total duration per span name, sorted by name.
+    Durations of nested same-name spans both count, as in a flame graph. *)

@@ -1,0 +1,273 @@
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_string () =
+  let events = Sink.events () in
+  let t0 = match events with [] -> 0.0 | e :: _ -> e.Sink.ts_us in
+  let buf = Buffer.create (256 + (96 * List.length events)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  List.iteri
+    (fun i (e : Sink.event) ->
+      if i > 0 then Buffer.add_char buf ',';
+      let ph, extra =
+        match e.phase with
+        | Sink.Begin -> ("B", "")
+        | Sink.End -> ("E", "")
+        | Sink.Instant -> ("i", ",\"s\":\"t\"")
+      in
+      Printf.bprintf buf
+        "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+        (escape e.name) ph (e.ts_us -. t0) e.domain extra)
+    events;
+  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  Buffer.contents buf
+
+let to_file path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ()))
+
+(* --- validation: a minimal JSON reader, enough to self-check the sink
+   format without an external dependency. --- *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = Some c then advance ()
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      value
+    end
+    else fail ("expected " ^ word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some '/' -> Buffer.add_char buf '/'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some ('b' | 'f') -> Buffer.add_char buf ' '; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then fail "truncated \\u escape";
+              (* keep the raw escape; validation only needs structure *)
+              Buffer.add_string buf (String.sub s !pos 4);
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected , or } in object"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ] in array"
+          in
+          elements []
+        end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let validate_string text =
+  match parse_json text with
+  | exception Bad msg -> Error msg
+  | Obj fields -> (
+      match List.assoc_opt "traceEvents" fields with
+      | Some (Arr events) -> (
+          (* per-tid stacks: every E must close the innermost open B *)
+          let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+          let check_event ev =
+            match ev with
+            | Obj f -> (
+                let str k =
+                  match List.assoc_opt k f with
+                  | Some (Str s) -> Ok s
+                  | _ -> Error (Printf.sprintf "missing string key %S" k)
+                in
+                let num k =
+                  match List.assoc_opt k f with
+                  | Some (Num v) -> Ok v
+                  | _ -> Error (Printf.sprintf "missing numeric key %S" k)
+                in
+                match (str "name", str "ph", num "ts", num "pid", num "tid") with
+                | Ok name, Ok ph, Ok _, Ok _, Ok tid -> (
+                    let tid = int_of_float tid in
+                    let stack =
+                      Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+                    in
+                    match ph with
+                    | "B" ->
+                        Hashtbl.replace stacks tid (name :: stack);
+                        Ok ()
+                    | "E" -> (
+                        match stack with
+                        | top :: rest when top = name ->
+                            Hashtbl.replace stacks tid rest;
+                            Ok ()
+                        | top :: _ ->
+                            Error
+                              (Printf.sprintf
+                                 "E %S does not close innermost B %S on tid %d"
+                                 name top tid)
+                        | [] ->
+                            Error
+                              (Printf.sprintf "E %S with no open B on tid %d"
+                                 name tid))
+                    | "i" | "I" -> Ok ()
+                    | other -> Error (Printf.sprintf "unknown phase %S" other))
+                | Error e, _, _, _, _
+                | _, Error e, _, _, _
+                | _, _, Error e, _, _
+                | _, _, _, Error e, _
+                | _, _, _, _, Error e ->
+                    Error e)
+            | _ -> Error "trace event is not an object"
+          in
+          let rec all = function
+            | [] -> Ok ()
+            | ev :: rest -> (
+                match check_event ev with Ok () -> all rest | Error _ as e -> e)
+          in
+          match all events with
+          | Error e -> Error e
+          | Ok () ->
+              let unclosed =
+                Hashtbl.fold (fun _ stack acc -> acc + List.length stack) stacks 0
+              in
+              if unclosed > 0 then
+                Error (Printf.sprintf "%d B event(s) without matching E" unclosed)
+              else Ok (List.length events))
+      | Some _ -> Error "traceEvents is not an array"
+      | None -> Error "no traceEvents key")
+  | _ -> Error "top-level JSON value is not an object"
+
+let validate_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  validate_string text

@@ -1,0 +1,22 @@
+(** Chrome trace-event export of the sink's recorded events.
+
+    The emitted JSON loads directly in [chrome://tracing] and in Perfetto
+    (legacy trace-event format): one [B]/[E]/[i] record per event, with
+    the recording domain as [tid] so concurrent pool work renders as
+    parallel tracks. Timestamps are microseconds relative to the first
+    recorded event. *)
+
+val to_string : unit -> string
+(** Serialize everything recorded so far. *)
+
+val to_file : string -> unit
+(** [to_string] written to a file (truncates an existing file). *)
+
+val validate_string : string -> (int, string) result
+(** Self-check of the sink format used by the golden tests and the
+    [@obs-smoke] alias: parses the JSON with a minimal scanner, checks
+    the [traceEvents] array and the required keys of each record, and
+    verifies that Begin/End events pair up per [tid]. Returns the number
+    of trace events on success. *)
+
+val validate_file : string -> (int, string) result

@@ -1,4 +1,10 @@
-type task = Task of (unit -> unit) | Quit
+let c_tasks = Obs.Counter.make "pool.tasks"
+let c_queue_wait_us = Obs.Counter.make "pool.queue_wait_us"
+let c_task_run_us = Obs.Counter.make "pool.task_run_us"
+let c_rejected = Obs.Counter.make "pool.rejected_submissions"
+let g_busy = Obs.Gauge.make "pool.busy_fraction"
+
+type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
 
 type t = {
   mutex : Mutex.t;
@@ -7,9 +13,26 @@ type t = {
   mutable workers : unit Domain.t list;
   size : int;
   mutable alive : bool;
+  created_us : float;
+  (* per-domain busy time; slot 0 is the submitting domain, slots 1..n-1
+     the workers. Each slot is written only by its owning domain and read
+     after the workers are joined, so plain floats suffice. *)
+  busy_us : float array;
 }
 
-let worker_loop pool =
+(* Run one dequeued task on [slot], accounting queue wait and runtime. *)
+let execute pool slot f enqueued_us =
+  let start = Obs.Sink.now_us () in
+  Obs.Counter.add c_queue_wait_us (int_of_float (start -. enqueued_us));
+  Fun.protect
+    ~finally:(fun () ->
+      let stop = Obs.Sink.now_us () in
+      Obs.Counter.add c_task_run_us (int_of_float (stop -. start));
+      Obs.Counter.incr c_tasks;
+      pool.busy_us.(slot) <- pool.busy_us.(slot) +. (stop -. start))
+    (fun () -> Obs.Span.with_span "pool.task" f)
+
+let worker_loop pool slot =
   let rec loop () =
     Mutex.lock pool.mutex;
     while Queue.is_empty pool.queue do
@@ -19,8 +42,8 @@ let worker_loop pool =
     Mutex.unlock pool.mutex;
     match task with
     | Quit -> ()
-    | Task f ->
-        f ();
+    | Task { f; enqueued_us } ->
+        execute pool slot f enqueued_us;
         loop ()
   in
   loop ()
@@ -35,10 +58,13 @@ let create n =
       workers = [];
       size = n;
       alive = true;
+      created_us = Obs.Sink.now_us ();
+      busy_us = Array.make n 0.0;
     }
   in
   pool.workers <-
-    List.init (n - 1) (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+    List.init (n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop pool (i + 1)));
   pool
 
 let size t = t.size
@@ -49,8 +75,8 @@ let try_run_one t =
   let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
   Mutex.unlock t.mutex;
   match task with
-  | Some (Task f) ->
-      f ();
+  | Some (Task { f; enqueued_us }) ->
+      execute t 0 f enqueued_us;
       true
   | Some Quit ->
       (* only shutdown enqueues Quit, and run never overlaps shutdown;
@@ -63,11 +89,25 @@ let try_run_one t =
   | None -> false
 
 let run t thunks =
-  if not t.alive then invalid_arg "Pool.run: pool was shut down";
+  if not t.alive then begin
+    Obs.Counter.incr c_rejected;
+    let depth =
+      Mutex.lock t.mutex;
+      let d = Queue.length t.queue in
+      Mutex.unlock t.mutex;
+      d
+    in
+    invalid_arg
+      (Printf.sprintf
+         "Pool.run: submission rejected, pool (%d domains, queue depth %d) \
+          was already shut down"
+         t.size depth)
+  end;
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   let results = Array.make n None in
   let remaining = Atomic.make n in
+  let enqueued_us = Obs.Sink.now_us () in
   Mutex.lock t.mutex;
   Array.iteri
     (fun i thunk ->
@@ -80,7 +120,7 @@ let run t thunks =
         results.(i) <- Some outcome;
         Atomic.decr remaining
       in
-      Queue.push (Task run_one) t.queue)
+      Queue.push (Task { f = run_one; enqueued_us }) t.queue)
     thunks;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
@@ -103,6 +143,8 @@ let run t thunks =
 
 let map t f xs = run t (List.map (fun x () -> f x) xs)
 
+let domain_busy_s t = Array.map (fun us -> us /. 1e6) t.busy_us
+
 let shutdown t =
   if t.alive then begin
     t.alive <- false;
@@ -110,7 +152,13 @@ let shutdown t =
     List.iter (fun _ -> Queue.push Quit t.queue) t.workers;
     Condition.broadcast t.nonempty;
     Mutex.unlock t.mutex;
-    List.iter Domain.join t.workers
+    List.iter Domain.join t.workers;
+    t.workers <- [];
+    let lifetime = Obs.Sink.now_us () -. t.created_us in
+    if lifetime > 0.0 then begin
+      let busy = Array.fold_left ( +. ) 0.0 t.busy_us in
+      Obs.Gauge.set g_busy (busy /. (lifetime *. float_of_int t.size))
+    end
   end
 
 let default_jobs () = min 8 (Domain.recommended_domain_count ())

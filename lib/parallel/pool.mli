@@ -9,7 +9,14 @@
     the harness needs.
 
     Tasks must not themselves submit to the same pool (no nesting), and
-    anything they share must be thread-safe. *)
+    anything they share must be thread-safe.
+
+    The pool feeds the [obs] layer: counters [pool.tasks],
+    [pool.queue_wait_us], [pool.task_run_us] and
+    [pool.rejected_submissions] accumulate across all pools, tasks run
+    inside a ["pool.task"] span when tracing is enabled, and [shutdown]
+    publishes the pool's aggregate busy fraction to the
+    [pool.busy_fraction] gauge. *)
 
 type t
 
@@ -24,10 +31,16 @@ val size : t -> int
 val run : t -> (unit -> 'a) list -> 'a list
 (** Execute all thunks, in parallel, returning results in input order.
     The first task exception (in input order) is re-raised after all
-    tasks have settled. Raises [Invalid_argument] if the pool was shut
-    down. *)
+    tasks have settled. A submission to a shut-down pool bumps the
+    [pool.rejected_submissions] counter and raises [Invalid_argument]
+    with the pool size and queue depth in the message. *)
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+val domain_busy_s : t -> float array
+(** Per-domain cumulative task runtime in seconds (slot 0 is the
+    submitting domain, slots 1.. the workers). Only meaningful at a
+    quiescent point — between [run] calls or after [shutdown]. *)
 
 val shutdown : t -> unit
 (** Terminate the workers. Idempotent; the pool is unusable afterwards. *)

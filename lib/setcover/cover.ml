@@ -35,11 +35,16 @@ let covers t chosen =
   List.iter (fun s -> Array.iter (fun e -> covered.(e) <- true) t.sets.(s)) chosen;
   Array.for_all Fun.id covered
 
+let c_greedy_rounds = Obs.Counter.make "setcover.greedy_rounds"
+
 let greedy t =
+  Obs.Span.with_span "setcover.greedy" @@ fun () ->
   let covered = Array.make t.universe false in
   let remaining = ref t.universe in
+  let rounds = ref 0 in
   let chosen = ref [] in
   while !remaining > 0 do
+    incr rounds;
     let best = ref (-1) and best_gain = ref 0 in
     Array.iteri
       (fun s elems ->
@@ -64,6 +69,7 @@ let greedy t =
         end)
       t.sets.(!best)
   done;
+  Obs.Counter.add c_greedy_rounds !rounds;
   List.rev !chosen
 
 let exact t =

@@ -61,6 +61,33 @@ CSV experiment export:
   2,3,3,9,1.500,2.000,3,1.333,3.296
   3,7,7,49,1.750,3.000,4,1.714,5.838
 
+Observability: --stats prints the solve's nodes/optimality and the solver
+counter deltas; --trace writes a Chrome trace-event file (wall time is
+nondeterministic, so it is filtered out):
+
+  $ schedtool solve --algo exact --stats --trace trace.json inst.txt | grep -v "wall time"
+  makespan 117.064
+  nodes explored 23
+  optimal yes
+  
+  counter                        delta
+  -----------------------------  -----
+  algos.exact.incumbent_updates     +4
+  algos.exact.nodes                +23
+  wrote trace trace.json
+
+  $ grep -c '"ph":"B"' trace.json
+  3
+  $ grep -c '"ph":"E"' trace.json
+  3
+
+An unwritable trace path is a CLI error, not a crash (stderr only, so
+the message ordering is deterministic):
+
+  $ schedtool solve --algo exact --trace /nonexistent/t.json inst.txt 2>&1 >/dev/null
+  schedtool: cannot write trace: /nonexistent/t.json: No such file or directory
+  [124]
+
 Portfolio solve:
 
   $ schedtool solve -a portfolio inst.txt

@@ -1,0 +1,266 @@
+(* Tests for the obs observability layer: counters under domain
+   parallelism, span nesting/merge invariants, Chrome-trace golden
+   checks, and the pool's rejected-submission counter. *)
+
+module C = Obs.Counter
+module P = Parallel.Pool
+
+(* Every test that records events starts from a clean, disabled sink. *)
+let with_clean_sink f =
+  Obs.Sink.clear ();
+  Obs.Sink.disable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Sink.disable ();
+      Obs.Sink.clear ())
+    f
+
+let test_counter_basics () =
+  let c = C.make "test.basics" in
+  let c' = C.make "test.basics" in
+  C.reset c;
+  C.incr c;
+  C.add c' 41;
+  Alcotest.(check int) "interned by name" 42 (C.value c);
+  Alcotest.(check string) "name" "test.basics" (C.name c);
+  Alcotest.(check bool) "find" true (C.find "test.basics" <> None);
+  Alcotest.(check bool) "find unknown" true (C.find "test.nope" = None);
+  C.reset c;
+  Alcotest.(check int) "reset" 0 (C.value c)
+
+let test_counter_delta () =
+  let c = C.make "test.delta" in
+  C.reset c;
+  let before = C.snapshot () in
+  C.add c 7;
+  let moved = C.delta ~before ~after:(C.snapshot ()) in
+  Alcotest.(check (list (pair string int)))
+    "only the moved counter" [ ("test.delta", 7) ]
+    (List.filter (fun (n, _) -> n = "test.delta") moved);
+  Alcotest.(check bool) "unmoved counters absent" true
+    (not (List.exists (fun (n, _) -> n = "test.basics") moved))
+
+let test_counter_hammer () =
+  (* 4 domains x 64 tasks x 1000 increments: no lost updates. *)
+  let c = C.make "test.hammer" in
+  C.reset c;
+  let pool = P.create 4 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      ignore
+        (P.run pool
+           (List.init 64 (fun _ () ->
+                for _ = 1 to 1000 do
+                  C.incr c
+                done))));
+  Alcotest.(check int) "no lost updates" 64_000 (C.value c)
+
+let test_gauge () =
+  let g = Obs.Gauge.make "test.gauge" in
+  Obs.Gauge.set g 0.75;
+  Alcotest.(check (float 1e-9)) "value" 0.75 (Obs.Gauge.value g);
+  Alcotest.(check bool) "in snapshot" true
+    (List.mem_assoc "test.gauge" (Obs.Gauge.snapshot ()))
+
+let test_span_disabled () =
+  with_clean_sink (fun () ->
+      let r = Obs.Span.with_span "quiet" (fun () -> 7) in
+      Alcotest.(check int) "result" 7 r;
+      Alcotest.(check int) "no events recorded" 0
+        (List.length (Obs.Sink.events ())))
+
+let test_timed () =
+  with_clean_sink (fun () ->
+      let r, secs = Obs.Span.timed "timed" (fun () -> Unix.sleepf 0.01; 5) in
+      Alcotest.(check int) "result" 5 r;
+      Alcotest.(check bool) "elapsed measured while disabled" true
+        (secs >= 0.005);
+      Alcotest.(check int) "but nothing recorded" 0
+        (List.length (Obs.Sink.events ())))
+
+let test_span_nesting () =
+  with_clean_sink (fun () ->
+      Obs.Sink.enable ();
+      Obs.Span.with_span "outer" (fun () ->
+          Obs.Span.with_span "inner" (fun () -> ());
+          Obs.Span.with_span "inner" (fun () -> ()));
+      let events = Obs.Sink.events () in
+      Alcotest.(check int) "3 spans = 6 events" 6 (List.length events);
+      let names =
+        List.map
+          (fun (e : Obs.Sink.event) ->
+            ( e.Obs.Sink.name,
+              match e.Obs.Sink.phase with
+              | Obs.Sink.Begin -> "B"
+              | Obs.Sink.End -> "E"
+              | Obs.Sink.Instant -> "i" ))
+          events
+      in
+      Alcotest.(check (list (pair string string)))
+        "emission order respects nesting"
+        [
+          ("outer", "B");
+          ("inner", "B");
+          ("inner", "E");
+          ("inner", "B");
+          ("inner", "E");
+          ("outer", "E");
+        ]
+        names;
+      let summaries = Obs.Span.summarize events in
+      let find name =
+        List.find (fun (s : Obs.Span.summary) -> s.Obs.Span.name = name)
+          summaries
+      in
+      Alcotest.(check int) "inner count" 2 (find "inner").Obs.Span.count;
+      Alcotest.(check int) "outer count" 1 (find "outer").Obs.Span.count;
+      Alcotest.(check bool) "outer total >= inner total" true
+        ((find "outer").Obs.Span.total_s >= (find "inner").Obs.Span.total_s))
+
+let test_span_raise_still_closes () =
+  with_clean_sink (fun () ->
+      Obs.Sink.enable ();
+      (try Obs.Span.with_span "boom" (fun () -> failwith "x")
+       with Failure _ -> ());
+      match Obs.Sink.events () with
+      | [ b; e ] ->
+          Alcotest.(check bool) "B then E" true
+            (b.Obs.Sink.phase = Obs.Sink.Begin
+            && e.Obs.Sink.phase = Obs.Sink.End)
+      | evs ->
+          Alcotest.failf "expected exactly B/E, got %d events"
+            (List.length evs))
+
+let test_span_merge_across_domains () =
+  (* spans recorded on pool workers merge into one timeline, and the pool
+     itself contributes a "pool.task" span per task *)
+  with_clean_sink (fun () ->
+      Obs.Sink.enable ();
+      let pool = P.create 4 in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool)
+        (fun () ->
+          ignore
+            (P.run pool
+               (List.init 8 (fun i () ->
+                    Obs.Span.with_span "work" (fun () -> i * i)))));
+      let summaries = Obs.Span.summarize (Obs.Sink.events ()) in
+      let count name =
+        match
+          List.find_opt
+            (fun (s : Obs.Span.summary) -> s.Obs.Span.name = name)
+            summaries
+        with
+        | Some s -> s.Obs.Span.count
+        | None -> 0
+      in
+      Alcotest.(check int) "8 user spans" 8 (count "work");
+      Alcotest.(check int) "8 pool.task spans" 8 (count "pool.task");
+      (* busy accounting saw every task too *)
+      let busy = P.domain_busy_s pool in
+      Alcotest.(check bool) "busy time recorded" true
+        (Array.fold_left ( +. ) 0.0 busy >= 0.0))
+
+let test_trace_golden () =
+  with_clean_sink (fun () ->
+      Obs.Sink.enable ();
+      Obs.Span.with_span "a" (fun () ->
+          Obs.Span.with_span "b" (fun () -> ());
+          Obs.Span.instant "mark");
+      let text = Obs.Trace.to_string () in
+      (match Obs.Trace.validate_string text with
+      | Ok n -> Alcotest.(check int) "2 spans + 1 instant = 5 events" 5 n
+      | Error msg -> Alcotest.failf "trace did not validate: %s" msg);
+      (* file round-trip *)
+      let file = Filename.temp_file "test_obs" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Obs.Trace.to_file file;
+          match Obs.Trace.validate_file file with
+          | Ok n -> Alcotest.(check int) "file round-trip" 5 n
+          | Error msg -> Alcotest.failf "file did not validate: %s" msg))
+
+let test_trace_validator_rejects () =
+  let bad =
+    [
+      ("truncated", "{\"traceEvents\":[");
+      ("not an object", "[1,2,3]");
+      ("missing traceEvents", "{\"other\":1}");
+      ("events not an array", "{\"traceEvents\":3}");
+      ( "unbalanced span",
+        "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0}]}"
+      );
+      ( "mismatched close",
+        "{\"traceEvents\":[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"pid\":1,\"tid\":0},{\"name\":\"b\",\"ph\":\"E\",\"ts\":1,\"pid\":1,\"tid\":0}]}"
+      );
+    ]
+  in
+  List.iter
+    (fun (label, text) ->
+      match Obs.Trace.validate_string text with
+      | Ok _ -> Alcotest.failf "%s should not validate" label
+      | Error _ -> ())
+    bad
+
+let test_pool_rejected_counter () =
+  let c = C.make "pool.rejected_submissions" in
+  let before = C.value c in
+  let pool = P.create 2 in
+  P.shutdown pool;
+  (match P.run pool [ (fun () -> 1) ] with
+  | _ -> Alcotest.fail "run after shutdown should raise"
+  | exception Invalid_argument msg ->
+      Alcotest.(check bool) "message names the pool size" true
+        (Astring.String.is_infix ~affix:"2 domains" msg);
+      Alcotest.(check bool) "message names the queue depth" true
+        (Astring.String.is_infix ~affix:"queue depth" msg));
+  Alcotest.(check int) "counter bumped" (before + 1) (C.value c)
+
+let test_report_tables () =
+  let c = C.make "test.report" in
+  C.reset c;
+  let before = C.snapshot () in
+  C.add c 3;
+  let delta = Obs.Report.delta_table ~before in
+  Alcotest.(check bool) "delta table lists the counter" true
+    (Astring.String.is_infix ~affix:"test.report"
+       (Stats.Table.to_string delta));
+  let full = Stats.Table.to_string (Obs.Report.to_table ()) in
+  Alcotest.(check bool) "full table lists the counter" true
+    (Astring.String.is_infix ~affix:"test.report" full)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "delta" `Quick test_counter_delta;
+          Alcotest.test_case "4-domain hammer" `Quick test_counter_hammer;
+        ] );
+      ("gauge", [ Alcotest.test_case "set/get" `Quick test_gauge ]);
+      ( "span",
+        [
+          Alcotest.test_case "disabled = silent" `Quick test_span_disabled;
+          Alcotest.test_case "timed" `Quick test_timed;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "closes on raise" `Quick
+            test_span_raise_still_closes;
+          Alcotest.test_case "merge across domains" `Quick
+            test_span_merge_across_domains;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "golden round-trip" `Quick test_trace_golden;
+          Alcotest.test_case "validator rejects" `Quick
+            test_trace_validator_rejects;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "pool rejection counter" `Quick
+            test_pool_rejected_counter;
+          Alcotest.test_case "report tables" `Quick test_report_tables;
+        ] );
+    ]
