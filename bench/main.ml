@@ -151,6 +151,137 @@ let benchmark () =
     (List.sort compare !rows);
   Stats.Table.print table
 
+(* --- serving-layer benchmarks + machine-readable export ------------------ *)
+
+(* One record per benchmark, exported to BENCH_serve.json so the bench
+   trajectory is machine-readable across runs. *)
+type record = {
+  rec_name : string;
+  iterations : int;
+  wall_ns : float;  (** total for all iterations *)
+  counters : (string * int) list;  (** counter deltas over the loop *)
+}
+
+let measure ~name ~iterations f =
+  let before = Obs.Counter.snapshot () in
+  let t0 = Obs.Sink.now_us () in
+  for _ = 1 to iterations do
+    f ()
+  done;
+  let wall_ns = (Obs.Sink.now_us () -. t0) *. 1e3 in
+  let counters = Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ()) in
+  { rec_name = name; iterations; wall_ns; counters }
+
+let ns_per_iter r = r.wall_ns /. float_of_int r.iterations
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let records_to_json records =
+  let record_json r =
+    let counters =
+      r.counters
+      |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+      |> String.concat ", "
+    in
+    Printf.sprintf
+      "  {\"name\": \"%s\", \"iterations\": %d, \"wall_ns\": %.0f, \
+       \"ns_per_iter\": %.0f, \"counters\": {%s}}"
+      (json_escape r.rec_name) r.iterations r.wall_ns (ns_per_iter r) counters
+  in
+  "[\n" ^ String.concat ",\n" (List.map record_json records) ^ "\n]\n"
+
+let exact_request instance =
+  { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance }
+
+(* A server whose pool stays in this domain: handle_request never touches
+   the pool, so the bench does not want worker domains idling around. *)
+let fresh_server () =
+  Serve.Server.create { Serve.Server.default_config with jobs = 1 }
+
+let serve_benchmarks () =
+  (* near-equal sizes over many machines keep branch-and-bound honest:
+     ~50k nodes instead of the few hundred a loose instance prunes to *)
+  let inst12 =
+    Workloads.Gen.uniform (Workloads.Rng.create 3001) ~n:12 ~m:6 ~k:8
+      ~size_range:(40.0, 60.0) ()
+  in
+  let big =
+    Workloads.Gen.uniform (Workloads.Rng.create 3002) ~n:150 ~m:8 ~k:6 ()
+  in
+  let rng = Workloads.Rng.create 3003 in
+  let expect_hit name (response : Serve.Proto.response) =
+    match response with
+    | Serve.Proto.Reply r when r.Serve.Proto.cache_hit -> ()
+    | _ -> failwith (name ^ ": expected a cache hit")
+  in
+  (* cold path: a fresh server (empty cache) for every iteration, so each
+     request pays canonicalization plus the full exact solve *)
+  let cold =
+    measure ~name:"serve cold exact n=12" ~iterations:10 (fun () ->
+        let server = fresh_server () in
+        (match Serve.Server.handle_request server (exact_request inst12) with
+        | Serve.Proto.Reply r when not r.Serve.Proto.cache_hit -> ()
+        | _ -> failwith "cold: expected a cache miss");
+        Serve.Server.shutdown server)
+  in
+  (* hit path: one primed server answering random relabelings of the same
+     instance — every request canonicalizes, hits, and maps the cached
+     schedule back through its own labeling *)
+  let server = fresh_server () in
+  ignore (Serve.Server.handle_request server (exact_request inst12));
+  let hit =
+    measure ~name:"serve cache hit n=12" ~iterations:200 (fun () ->
+        let permuted = Serve.Canon.shuffle rng inst12 in
+        expect_hit "hit" (Serve.Server.handle_request server (exact_request permuted)))
+  in
+  Serve.Server.shutdown server;
+  let speedup = ns_per_iter cold /. ns_per_iter hit in
+  (* deadline pressure: 1 ms on a 150-job instance must degrade to the
+     fast path and still return a valid schedule, not blow the deadline *)
+  let deadline =
+    measure ~name:"serve deadline 1ms n=150" ~iterations:20 (fun () ->
+        match Serve.Dispatch.solve ~deadline_ms:1.0 big with
+        | Ok o ->
+            if not o.Serve.Dispatch.degraded then
+              failwith "deadline: expected degraded:true";
+            if not (Core.Schedule.is_valid big o.Serve.Dispatch.result.Algos.Common.schedule)
+            then failwith "deadline: degraded schedule is invalid"
+        | Error msg -> failwith ("deadline: " ^ msg))
+  in
+  let canon =
+    measure ~name:"canonicalize n=150" ~iterations:50 (fun () ->
+        ignore (Serve.Canon.key big))
+  in
+  let records = [ cold; hit; deadline; canon ] in
+  let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
+  List.iter
+    (fun r ->
+      let ns = ns_per_iter r in
+      let pretty =
+        if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else Printf.sprintf "%.2f us" (ns /. 1e3)
+      in
+      Stats.Table.add_row table
+        [ r.rec_name; string_of_int r.iterations; pretty ])
+    records;
+  Stats.Table.print table;
+  print_endline "";
+  Printf.printf "cache hit speedup over cold exact solve: %.1fx %s\n" speedup
+    (if speedup >= 10.0 then "(>= 10x: ok)" else "(below the 10x target!)");
+  print_endline "deadline 1ms on n=150: valid degraded:true schedule (checked)";
+  records
+
 let () =
   print_endline "Scheduling on (Un-)Related Machines with Setup Times";
   print_endline "reproduction experiment suite (see EXPERIMENTS.md)";
@@ -165,4 +296,13 @@ let () =
   print_endline "";
   print_endline "=== solver counter deltas during timing benchmarks ===";
   print_endline "";
-  Stats.Table.print (Obs.Report.delta_table ~before)
+  Stats.Table.print (Obs.Report.delta_table ~before);
+  print_endline "";
+  print_endline "=== serving layer (lib/serve) ===";
+  print_endline "";
+  let records = serve_benchmarks () in
+  let out = open_out "BENCH_serve.json" in
+  output_string out (records_to_json records);
+  close_out out;
+  print_endline "";
+  print_endline "wrote BENCH_serve.json"

@@ -124,7 +124,9 @@ let stats_arg =
 
 (* Returns a [finish] callback for the success path: stats footer first,
    then the trace file. Its result is the command's result, so an
-   unwritable trace path surfaces as a CLI error, not a crash. *)
+   unwritable trace path surfaces as a CLI error, not a crash. Footers go
+   to stderr so piped machine-readable stdout (CSV, schedules, the serve
+   protocol) stays clean. *)
 let obs_setup trace =
   if Option.is_some trace then Obs.Sink.enable ();
   let before = Obs.Counter.snapshot () in
@@ -132,8 +134,9 @@ let obs_setup trace =
     if stats then begin
       let table = Obs.Report.delta_table ~before in
       if Stats.Table.num_rows table > 0 then begin
-        print_newline ();
-        Stats.Table.print table
+        prerr_newline ();
+        prerr_string (Stats.Table.to_string table);
+        prerr_newline ()
       end
     end;
     match trace with
@@ -141,7 +144,7 @@ let obs_setup trace =
     | Some file -> (
         try
           Obs.Trace.to_file file;
-          Printf.printf "wrote trace %s\n" file;
+          Printf.eprintf "wrote trace %s\n" file;
           `Ok ()
         with Sys_error msg ->
           `Error (false, Printf.sprintf "cannot write trace: %s" msg))
@@ -212,11 +215,11 @@ let solve_cmd =
         | Ok r ->
             Printf.printf "makespan %g\n" r.Algos.Common.makespan;
             if stats then begin
-              Printf.printf "wall time %.3f s\n" secs;
+              Printf.eprintf "wall time %.3f s\n" secs;
               Option.iter
                 (fun (o : Algos.Exact.outcome) ->
-                  Printf.printf "nodes explored %d\n" o.Algos.Exact.nodes;
-                  Printf.printf "optimal %s\n"
+                  Printf.eprintf "nodes explored %d\n" o.Algos.Exact.nodes;
+                  Printf.eprintf "optimal %s\n"
                     (if o.Algos.Exact.optimal then "yes" else "no"))
                 !exact_outcome
             end;
@@ -359,10 +362,192 @@ let experiments_cmd =
         (const run $ jobs_arg $ csv_arg $ debug_arg $ trace_arg $ stats_arg
        $ id_arg))
 
+(* --- serve ------------------------------------------------------------- *)
+
+let serve_cmd =
+  let stdio_arg =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve one session over stdin/stdout (scriptable).")
+  in
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Listen on a Unix-domain socket at $(docv); each \
+                   connection is a session, handled concurrently.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 128
+         & info [ "cache-size" ] ~docv:"N"
+             ~doc:"Result cache capacity (canonicalized instances).")
+  in
+  let jobs_arg =
+    Arg.(value & opt (some int) None
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains for concurrent sessions (default: \
+                   auto).")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Default per-request time budget for requests that \
+                   name none.")
+  in
+  let run stdio socket cache_size jobs deadline trace stats =
+    let finish = obs_setup trace in
+    if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
+    else
+      let config =
+        {
+          Serve.Server.cache_capacity = cache_size;
+          default_deadline_ms = deadline;
+          jobs =
+            (match jobs with
+            | Some j -> max 1 j
+            | None -> Parallel.Pool.default_jobs ());
+        }
+      in
+      match (stdio, socket) with
+      | true, Some _ | false, None ->
+          `Error (false, "choose exactly one of --stdio or --socket PATH")
+      | true, None ->
+          let server = Serve.Server.create config in
+          Serve.Server.run_stdio server;
+          Serve.Server.shutdown server;
+          finish ~stats
+      | false, Some path -> (
+          let server = Serve.Server.create config in
+          let stop _ = Serve.Server.stop server in
+          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+          Printf.eprintf "serving on %s\n%!" path;
+          match Serve.Server.listen server ~path with
+          | () ->
+              Serve.Server.shutdown server;
+              finish ~stats
+          | exception Unix.Unix_error (err, _, _) ->
+              Serve.Server.shutdown server;
+              `Error
+                ( false,
+                  Printf.sprintf "cannot listen on %s: %s" path
+                    (Unix.error_message err) ))
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:"Run the scheduling service (see the wire format in README)."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
+       $ deadline_arg $ trace_arg $ stats_arg))
+
+(* --- loadgen ------------------------------------------------------------ *)
+
+let loadgen_cmd =
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Connect to a running $(b,schedtool serve --socket) at \
+                   $(docv).")
+  in
+  let count_arg =
+    Arg.(value & opt int 20
+         & info [ "n"; "requests" ] ~docv:"N" ~doc:"Number of requests.")
+  in
+  let solver_arg =
+    Arg.(value & opt (some string) None
+         & info [ "solver" ] ~docv:"S" ~doc:"Solver hint sent with each \
+                                             request.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline sent with each request.")
+  in
+  let permute_arg =
+    Arg.(value & flag
+         & info [ "permute" ]
+             ~doc:"Send a random relabeling of the instance each time \
+                   (exercises the canonicalizing cache).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Relabeling RNG seed.")
+  in
+  let run socket count solver deadline permute seed path =
+    match read_instance path with
+    | Error msg -> `Error (false, msg)
+    | Ok instance -> (
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX socket)
+           with e -> Unix.close fd; raise e);
+          fd
+        with
+        | exception Unix.Unix_error (err, _, _) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot connect to %s: %s" socket
+                  (Unix.error_message err) )
+        | fd ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            let rng = Workloads.Rng.create seed in
+            let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
+            let latencies_us = ref [] in
+            let last_makespan = ref nan in
+            for _ = 1 to count do
+              let inst =
+                if permute then Serve.Canon.shuffle rng instance else instance
+              in
+              let t0 = Obs.Sink.now_us () in
+              Serve.Proto.write_request oc
+                { Serve.Proto.solver; deadline_ms = deadline; instance = inst };
+              (match Serve.Proto.read_response ic with
+              | Ok (Some (Serve.Proto.Reply r)) ->
+                  if r.Serve.Proto.cache_hit then incr hits;
+                  if r.Serve.Proto.degraded then incr degraded;
+                  last_makespan := r.Serve.Proto.makespan
+              | Ok (Some (Serve.Proto.Error _)) | Ok None | Error _ ->
+                  incr errors);
+              latencies_us := (Obs.Sink.now_us () -. t0) :: !latencies_us
+            done;
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            let l = !latencies_us in
+            let n = List.length l in
+            let total = List.fold_left ( +. ) 0.0 l in
+            let mn = List.fold_left Float.min infinity l in
+            let mx = List.fold_left Float.max neg_infinity l in
+            Printf.printf "requests  %d\n" count;
+            Printf.printf "hits      %d\n" !hits;
+            Printf.printf "misses    %d\n" (count - !hits - !errors);
+            Printf.printf "errors    %d\n" !errors;
+            Printf.printf "degraded  %d\n" !degraded;
+            if n > 0 then begin
+              Printf.printf "latency us  mean %.0f  min %.0f  max %.0f\n"
+                (total /. float_of_int n) mn mx;
+              Printf.printf "last makespan %g\n" !last_makespan
+            end;
+            `Ok ())
+  in
+  let info =
+    Cmd.info "loadgen"
+      ~doc:"Replay an instance against a running serve socket and report \
+            hit rates and latency."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
+       $ permute_arg $ seed_arg $ file_arg))
+
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in
   let info = Cmd.info "schedtool" ~version:"1.0.0" ~doc in
   Cmd.group info
-    [ gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd; experiments_cmd ]
+    [
+      gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
+      experiments_cmd; serve_cmd; loadgen_cmd;
+    ]
 
 let () = exit (Cmd.eval main)

@@ -1,4 +1,14 @@
+type error = { line : int option; field : string option; message : string }
+
 exception Parse_error of string
+
+let error_to_string { line; field; message } =
+  String.concat ""
+    [
+      (match line with Some l -> Printf.sprintf "line %d: " l | None -> "");
+      (match field with Some f -> f ^ ": " | None -> "");
+      message;
+    ]
 
 let float_to_text x = if x = infinity then "inf" else Printf.sprintf "%.17g" x
 
@@ -49,10 +59,14 @@ let to_string (t : Instance.t) =
 
 (* Parsing ------------------------------------------------------------- *)
 
+(* Internal control flow: every malformed-input site raises [Err] with the
+   full structured error; [of_string_result] catches it at the boundary. *)
+exception Err of error
+
 type line = { num : int; words : string list }
 
-let fail line fmt =
-  Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "line %d: %s" line s))) fmt
+let fail ?line ?field fmt =
+  Printf.ksprintf (fun message -> raise (Err { line; field; message })) fmt
 
 let tokenize text =
   String.split_on_char '\n' text
@@ -70,26 +84,39 @@ let tokenize text =
          in
          if words = [] then None else Some { num; words })
 
-let parse_float line w =
+let parse_float ~line ~field w =
   match String.lowercase_ascii w with
   | "inf" | "+inf" | "infinity" -> infinity
   | _ -> (
       match float_of_string_opt w with
       | Some x -> x
-      | None -> fail line "expected a number, got %S" w)
+      | None -> fail ~line ~field "expected a number, got %S" w)
 
-let parse_int line w =
+let parse_int ~line ~field w =
   match int_of_string_opt w with
   | Some x -> x
-  | None -> fail line "expected an integer, got %S" w
+  | None -> fail ~line ~field "expected an integer, got %S" w
 
-let parse_float_row expected line =
-  let row = Array.of_list (List.map (parse_float line.num) line.words) in
+(* [nonneg] rejects negative entries right here, with the line and field
+   in hand; [allow_inf] is for ptimes/setup_matrix rows where [inf] means
+   "ineligible". *)
+let parse_float_row ~field ?(nonneg = false) ?(allow_inf = true) expected line =
+  let row =
+    Array.of_list (List.map (parse_float ~line:line.num ~field) line.words)
+  in
   if Array.length row <> expected then
-    fail line.num "expected %d values, got %d" expected (Array.length row);
+    fail ~line:line.num ~field "expected %d values, got %d" expected
+      (Array.length row);
+  Array.iteri
+    (fun idx x ->
+      if nonneg && not (x >= 0.0) then
+        fail ~line:line.num ~field "value %d is %g, must be >= 0" idx x;
+      if (not allow_inf) && x = infinity then
+        fail ~line:line.num ~field "value %d must be finite" idx)
+    row;
   row
 
-let of_string text =
+let parse ~text () =
   let lines = tokenize text in
   let env = ref None in
   let machines = ref None in
@@ -98,27 +125,30 @@ let of_string text =
   let setups = ref None in
   let sizes = ref None in
   let job_class = ref None in
+  let job_class_line = ref 0 in
   let speeds = ref None in
   let eligible = ref None in
   let ptimes = ref None in
   let setup_matrix = ref None in
   let need_int name r line rest =
     match rest with
-    | [ w ] -> r := Some (parse_int line.num w)
-    | _ -> fail line.num "%s expects exactly one integer" name
+    | [ w ] -> r := Some (parse_int ~line:line.num ~field:name w)
+    | _ -> fail ~line:line.num ~field:name "expects exactly one integer"
   in
-  let get name r =
+  let get ?line name r =
     match !r with
     | Some v -> v
-    | None -> raise (Parse_error (Printf.sprintf "missing %s declaration" name))
+    | None -> fail ?line ~field:name "missing %s declaration" name
   in
-  let take_rows count remaining what =
-    let rec go count remaining acc =
-      if count = 0 then (List.rev acc, remaining)
+  let take_rows ~header count remaining what =
+    let rec go k remaining acc =
+      if k = 0 then (List.rev acc, remaining)
       else
         match remaining with
-        | [] -> raise (Parse_error (Printf.sprintf "unexpected end of input in %s block" what))
-        | line :: rest -> go (count - 1) rest (line :: acc)
+        | [] ->
+            fail ~line:header.num ~field:what
+              "truncated block: expected %d rows, found %d" count (count - k)
+        | line :: rest -> go (k - 1) rest (line :: acc)
     in
     go count remaining []
   in
@@ -129,7 +159,7 @@ let of_string text =
         | "env" :: [ e ] ->
             (match e with
             | "identical" | "uniform" | "restricted" | "unrelated" -> env := Some e
-            | _ -> fail line.num "unknown env %S" e);
+            | _ -> fail ~line:line.num ~field:"env" "unknown env %S" e);
             consume rest
         | "machines" :: r ->
             need_int "machines" machines line r;
@@ -141,52 +171,95 @@ let of_string text =
             need_int "jobs" jobs line r;
             consume rest
         | "setups" :: r ->
-            setups := Some (parse_float_row (get "classes" classes) { line with words = r });
+            setups :=
+              Some
+                (parse_float_row ~field:"setups" ~nonneg:true ~allow_inf:false
+                   (get ~line:line.num "classes" classes)
+                   { line with words = r });
             consume rest
         | "sizes" :: r ->
-            sizes := Some (parse_float_row (get "jobs" jobs) { line with words = r });
+            sizes :=
+              Some
+                (parse_float_row ~field:"sizes" ~nonneg:true ~allow_inf:false
+                   (get ~line:line.num "jobs" jobs)
+                   { line with words = r });
             consume rest
         | "job_class" :: r ->
-            let n = get "jobs" jobs in
-            if List.length r <> n then fail line.num "job_class expects %d entries" n;
-            job_class := Some (Array.of_list (List.map (parse_int line.num) r));
+            let n = get ~line:line.num "jobs" jobs in
+            if List.length r <> n then
+              fail ~line:line.num ~field:"job_class" "expects %d entries" n;
+            job_class :=
+              Some
+                (Array.of_list
+                   (List.map (parse_int ~line:line.num ~field:"job_class") r));
+            job_class_line := line.num;
             consume rest
         | "speeds" :: r ->
-            speeds := Some (parse_float_row (get "machines" machines) { line with words = r });
+            speeds :=
+              Some
+                (parse_float_row ~field:"speeds" ~nonneg:true ~allow_inf:false
+                   (get ~line:line.num "machines" machines)
+                   { line with words = r });
             consume rest
         | [ "eligible" ] ->
-            let m = get "machines" machines and n = get "jobs" jobs in
-            let rows, rest = take_rows m rest "eligible" in
+            let m = get ~line:line.num "machines" machines
+            and n = get ~line:line.num "jobs" jobs in
+            let rows, rest = take_rows ~header:line m rest "eligible" in
             let parse_row l =
-              if List.length l.words <> n then fail l.num "eligible rows need %d flags" n;
+              if List.length l.words <> n then
+                fail ~line:l.num ~field:"eligible" "rows need %d flags" n;
               Array.of_list
                 (List.map
                    (fun w ->
                      match w with
                      | "0" -> false
                      | "1" -> true
-                     | _ -> fail l.num "eligible flags must be 0 or 1, got %S" w)
+                     | _ ->
+                         fail ~line:l.num ~field:"eligible"
+                           "flags must be 0 or 1, got %S" w)
                    l.words)
             in
             eligible := Some (Array.of_list (List.map parse_row rows));
             consume rest
         | [ "ptimes" ] ->
-            let m = get "machines" machines and n = get "jobs" jobs in
-            let rows, rest = take_rows m rest "ptimes" in
-            ptimes := Some (Array.of_list (List.map (parse_float_row n) rows));
+            let m = get ~line:line.num "machines" machines
+            and n = get ~line:line.num "jobs" jobs in
+            let rows, rest = take_rows ~header:line m rest "ptimes" in
+            ptimes :=
+              Some
+                (Array.of_list
+                   (List.map
+                      (fun l -> parse_float_row ~field:"ptimes" ~nonneg:true n l)
+                      rows));
             consume rest
         | [ "setup_matrix" ] ->
-            let m = get "machines" machines and kk = get "classes" classes in
-            let rows, rest = take_rows m rest "setup_matrix" in
-            setup_matrix := Some (Array.of_list (List.map (parse_float_row kk) rows));
+            let m = get ~line:line.num "machines" machines
+            and kk = get ~line:line.num "classes" classes in
+            let rows, rest = take_rows ~header:line m rest "setup_matrix" in
+            setup_matrix :=
+              Some
+                (Array.of_list
+                   (List.map
+                      (fun l ->
+                        parse_float_row ~field:"setup_matrix" ~nonneg:true kk l)
+                      rows));
             consume rest
-        | w :: _ -> fail line.num "unknown keyword %S" w
+        | w :: _ -> fail ~line:line.num "unknown keyword %S" w
         | [] -> consume rest)
   in
   consume lines;
   let env = get "env" env in
   let setups = get "setups" setups in
   let job_class = get "job_class" job_class in
+  (* Class ids are range-checked here rather than in the constructor so the
+     error carries the job_class line number. *)
+  let num_classes = get "classes" classes in
+  Array.iteri
+    (fun j k ->
+      if k < 0 || k >= num_classes then
+        fail ~line:!job_class_line ~field:"job_class"
+          "job %d has class %d out of range [0, %d)" j k num_classes)
+    job_class;
   try
     match env with
     | "identical" ->
@@ -202,7 +275,17 @@ let of_string text =
         Instance.unrelated ?setup_matrix:!setup_matrix ~p:(get "ptimes" ptimes)
           ~job_class ~setups ()
     | _ -> assert false
-  with Invalid_argument msg -> raise (Parse_error msg)
+  with Invalid_argument msg -> raise (Err { line = None; field = None; message = msg })
+
+let of_string_result text =
+  match parse ~text () with
+  | t -> Ok t
+  | exception Err e -> Error e
+
+let of_string text =
+  match of_string_result text with
+  | Ok t -> t
+  | Error e -> raise (Parse_error (error_to_string e))
 
 let to_file path t =
   let oc = open_out path in

@@ -18,12 +18,34 @@
 
     [inf] (case-insensitive) denotes infinity in [ptimes]/[setup_matrix]. *)
 
+type error = {
+  line : int option;  (** 1-based line of the offending input, when known *)
+  field : string option;
+      (** the keyword/block being parsed ([setups], [job_class], ...) *)
+  message : string;
+}
+(** Structured parse error. Every malformed input — truncated blocks,
+    negative times, out-of-range class ids, unknown keywords — is reported
+    through this record; the server layer renders it into protocol error
+    responses without string-grubbing. *)
+
+val error_to_string : error -> string
+(** ["line 4: setups: expected 3 values, got 2"]-style rendering. *)
+
 exception Parse_error of string
-(** Raised with a human-readable message (including a line number) when the
-    input is malformed. *)
+(** Raised by the exception-based entry points with [error_to_string] of
+    the underlying {!error}. *)
 
 val to_string : Instance.t -> string
+
+val of_string_result : string -> (Instance.t, error) result
+(** Total parsing entry point: never raises on malformed input. *)
+
 val of_string : string -> Instance.t
+(** [of_string_result] that raises {!Parse_error} on malformed input. *)
 
 val to_file : string -> Instance.t -> unit
+
 val of_file : string -> Instance.t
+(** Raises {!Parse_error} on malformed input and [Sys_error] on I/O
+    failure. *)

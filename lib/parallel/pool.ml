@@ -2,6 +2,7 @@ let c_tasks = Obs.Counter.make "pool.tasks"
 let c_queue_wait_us = Obs.Counter.make "pool.queue_wait_us"
 let c_task_run_us = Obs.Counter.make "pool.task_run_us"
 let c_rejected = Obs.Counter.make "pool.rejected_submissions"
+let c_task_errors = Obs.Counter.make "pool.task_errors"
 let g_busy = Obs.Gauge.make "pool.busy_fraction"
 
 type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
@@ -9,10 +10,14 @@ type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
 type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
+  idle : Condition.t;
   queue : task Queue.t;
   mutable workers : unit Domain.t list;
   size : int;
   mutable alive : bool;
+  (* queued-or-running [Task]s; guarded by [mutex]. [wait_idle] blocks on
+     [idle] until this drops to zero. *)
+  mutable in_flight : int;
   created_us : float;
   (* per-domain busy time; slot 0 is the submitting domain, slots 1..n-1
      the workers. Each slot is written only by its owning domain and read
@@ -29,7 +34,11 @@ let execute pool slot f enqueued_us =
       let stop = Obs.Sink.now_us () in
       Obs.Counter.add c_task_run_us (int_of_float (stop -. start));
       Obs.Counter.incr c_tasks;
-      pool.busy_us.(slot) <- pool.busy_us.(slot) +. (stop -. start))
+      pool.busy_us.(slot) <- pool.busy_us.(slot) +. (stop -. start);
+      Mutex.lock pool.mutex;
+      pool.in_flight <- pool.in_flight - 1;
+      if pool.in_flight = 0 then Condition.broadcast pool.idle;
+      Mutex.unlock pool.mutex)
     (fun () -> Obs.Span.with_span "pool.task" f)
 
 let worker_loop pool slot =
@@ -54,10 +63,12 @@ let create n =
     {
       mutex = Mutex.create ();
       nonempty = Condition.create ();
+      idle = Condition.create ();
       queue = Queue.create ();
       workers = [];
       size = n;
       alive = true;
+      in_flight = 0;
       created_us = Obs.Sink.now_us ();
       busy_us = Array.make n 0.0;
     }
@@ -88,7 +99,7 @@ let try_run_one t =
       false
   | None -> false
 
-let run t thunks =
+let check_alive t what =
   if not t.alive then begin
     Obs.Counter.incr c_rejected;
     let depth =
@@ -99,16 +110,20 @@ let run t thunks =
     in
     invalid_arg
       (Printf.sprintf
-         "Pool.run: submission rejected, pool (%d domains, queue depth %d) \
+         "Pool.%s: submission rejected, pool (%d domains, queue depth %d) \
           was already shut down"
-         t.size depth)
-  end;
+         what t.size depth)
+  end
+
+let run t thunks =
+  check_alive t "run";
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
   let results = Array.make n None in
   let remaining = Atomic.make n in
   let enqueued_us = Obs.Sink.now_us () in
   Mutex.lock t.mutex;
+  t.in_flight <- t.in_flight + n;
   Array.iteri
     (fun i thunk ->
       let run_one () =
@@ -142,6 +157,32 @@ let run t thunks =
        results)
 
 let map t f xs = run t (List.map (fun x () -> f x) xs)
+
+let submit t f =
+  check_alive t "submit";
+  (* A fire-and-forget task has nobody to re-raise to; an escaping
+     exception would silently kill the worker domain, so swallow it into
+     a counter instead. *)
+  let f () = try f () with _ -> Obs.Counter.incr c_task_errors in
+  let enqueued_us = Obs.Sink.now_us () in
+  Mutex.lock t.mutex;
+  t.in_flight <- t.in_flight + 1;
+  Queue.push (Task { f; enqueued_us }) t.queue;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.mutex;
+  (* No workers to pick the task up on a single-domain pool: run it now on
+     the caller, preserving fire-and-forget semantics observationally. *)
+  if t.workers = [] then
+    while try_run_one t do
+      ()
+    done
+
+let wait_idle t =
+  Mutex.lock t.mutex;
+  while t.in_flight > 0 do
+    Condition.wait t.idle t.mutex
+  done;
+  Mutex.unlock t.mutex
 
 let domain_busy_s t = Array.map (fun us -> us /. 1e6) t.busy_us
 

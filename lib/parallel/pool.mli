@@ -37,6 +37,20 @@ val run : t -> (unit -> 'a) list -> 'a list
 
 val map : t -> ('a -> 'b) -> 'a list -> 'b list
 
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue one task and return immediately. Used by the
+    serving layer to handle client sessions concurrently. An exception
+    escaping the task is swallowed into the [pool.task_errors] counter
+    (there is no caller to re-raise to). On a single-domain pool the task
+    runs synchronously on the caller before [submit] returns. Raises
+    [Invalid_argument] like {!run} if the pool was shut down. *)
+
+val wait_idle : t -> unit
+(** Block until every queued or running task (from {!run} or {!submit})
+    has finished. With concurrent submitters this is only a momentary
+    truth; servers call it after they stop accepting work to drain
+    in-flight sessions before {!shutdown}. *)
+
 val domain_busy_s : t -> float array
 (** Per-domain cumulative task runtime in seconds (slot 0 is the
     submitting domain, slots 1.. the workers). Only meaningful at a

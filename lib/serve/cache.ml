@@ -1,0 +1,71 @@
+let c_hits = Obs.Counter.make "serve.cache_hits"
+let c_misses = Obs.Counter.make "serve.cache_misses"
+let c_evictions = Obs.Counter.make "serve.cache_evictions"
+
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  mutex : Mutex.t;
+  capacity : int;
+  table : (string, 'a entry) Hashtbl.t;
+  (* access order, oldest first; stale pairs (whose stamp no longer
+     matches the table entry) are skipped during eviction *)
+  order : (string * int) Queue.t;
+  mutable tick : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  {
+    mutex = Mutex.create ();
+    capacity;
+    table = Hashtbl.create (2 * capacity);
+    order = Queue.create ();
+    tick = 0;
+  }
+
+let capacity t = t.capacity
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let length t = locked t (fun () -> Hashtbl.length t.table)
+
+let touch t key entry =
+  t.tick <- t.tick + 1;
+  entry.stamp <- t.tick;
+  Queue.push (key, t.tick) t.order
+
+let find t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.table key with
+      | Some entry ->
+          Obs.Counter.incr c_hits;
+          touch t key entry;
+          Some entry.value
+      | None ->
+          Obs.Counter.incr c_misses;
+          None)
+
+let evict_one t =
+  (* Pop until a queue pair still describes a live entry's most recent
+     access; that entry is the LRU. *)
+  let rec go () =
+    match Queue.take_opt t.order with
+    | None -> ()
+    | Some (key, stamp) -> (
+        match Hashtbl.find_opt t.table key with
+        | Some entry when entry.stamp = stamp ->
+            Hashtbl.remove t.table key;
+            Obs.Counter.incr c_evictions
+        | Some _ | None -> go ())
+  in
+  go ()
+
+let put t key value =
+  locked t (fun () ->
+      let entry = { value; stamp = 0 } in
+      Hashtbl.replace t.table key entry;
+      touch t key entry;
+      if Hashtbl.length t.table > t.capacity then evict_one t)

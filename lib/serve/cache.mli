@@ -1,0 +1,27 @@
+(** Size-bounded LRU result cache, keyed by canonical instance text.
+
+    Thread-safe: the server handles sessions concurrently on a
+    {!Parallel.Pool}, so every operation takes an internal mutex. Recency
+    is tracked with a lazily-pruned access queue, which keeps [find] and
+    [put] amortized O(1) without a hand-rolled linked list.
+
+    Feeds the obs layer: [serve.cache_hits], [serve.cache_misses] and
+    [serve.cache_evictions] accumulate across all caches. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] if [capacity < 1]. *)
+
+val capacity : 'a t -> int
+
+val length : 'a t -> int
+(** Number of live entries (<= capacity). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup, refreshing the entry's recency on a hit. Bumps
+    [serve.cache_hits] or [serve.cache_misses]. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or overwrite, evicting the least-recently-used entry when over
+    capacity (bumping [serve.cache_evictions]). *)

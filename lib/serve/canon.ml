@@ -1,0 +1,156 @@
+module I = Core.Instance
+
+type t = {
+  instance : Core.Instance.t;
+  job_perm : int array;
+  machine_perm : int array;
+  class_perm : int array;
+}
+
+(* Build the instance obtained by relabeling: new index [x] is old index
+   [perm.(x)] for jobs, machines and classes alike. *)
+let relabel inst ~job_perm ~machine_perm ~class_perm =
+  let n = I.num_jobs inst and m = I.num_machines inst in
+  let kk = I.num_classes inst in
+  let class_rank = Array.make kk 0 in
+  Array.iteri (fun kn ko -> class_rank.(ko) <- kn) class_perm;
+  let sizes = Array.init n (fun jn -> inst.I.sizes.(job_perm.(jn))) in
+  let job_class =
+    Array.init n (fun jn -> class_rank.(inst.I.job_class.(job_perm.(jn))))
+  in
+  let setups = Array.init kk (fun kn -> inst.I.setups.(class_perm.(kn))) in
+  let pick_matrix mat cols col_perm =
+    Array.init m (fun i ->
+        let row = mat.(machine_perm.(i)) in
+        Array.init cols (fun c -> row.(col_perm.(c))))
+  in
+  match inst.I.env with
+  | I.Identical -> I.identical ~num_machines:m ~sizes ~job_class ~setups
+  | I.Uniform speeds ->
+      let speeds = Array.init m (fun i -> speeds.(machine_perm.(i))) in
+      I.uniform ~speeds ~sizes ~job_class ~setups
+  | I.Restricted eligible ->
+      I.restricted ~eligible:(pick_matrix eligible n job_perm) ~sizes
+        ~job_class ~setups
+  | I.Unrelated p ->
+      let setup_matrix =
+        Option.map
+          (fun s -> pick_matrix s kk class_perm)
+          inst.I.setup_matrix
+      in
+      I.unrelated ?setup_matrix ~p:(pick_matrix p n job_perm) ~job_class
+        ~setups ()
+
+(* --- color refinement ---------------------------------------------------
+
+   Jobs, machines and classes each carry an integer color; one round
+   recomputes every entity's signature from its own scalar data and the
+   multiset of (neighbor color, edge weight) pairs, then replaces colors
+   by the dense rank of the signatures. Signatures are built from
+   isomorphism-invariant inputs only, so by induction the final colors are
+   invariant under relabeling. Including the entity's previous color in
+   its signature makes each round a refinement of the last, so the loop
+   reaches a fixpoint after at most n + m + K rounds. *)
+
+let rank_signatures sigs =
+  let sorted = Array.copy sigs in
+  Array.sort compare sorted;
+  let tbl = Hashtbl.create (Array.length sigs) in
+  let next = ref 0 in
+  Array.iter
+    (fun s ->
+      if not (Hashtbl.mem tbl s) then begin
+        Hashtbl.add tbl s !next;
+        incr next
+      end)
+    sorted;
+  Array.map (Hashtbl.find tbl) sigs
+
+let refine inst =
+  let n = I.num_jobs inst and m = I.num_machines inst in
+  let kk = I.num_classes inst in
+  let jc = ref (Array.make n 0) in
+  let mc = ref (Array.make m 0) in
+  let kc = ref (Array.make kk 0) in
+  let stable = ref false in
+  let rounds = ref 0 in
+  while (not !stable) && !rounds <= n + m + kk do
+    incr rounds;
+    let jc0 = !jc and mc0 = !mc and kc0 = !kc in
+    let job_sigs =
+      Array.init n (fun j ->
+          let by_machine =
+            List.sort compare
+              (List.init m (fun i -> (mc0.(i), I.ptime inst i j)))
+          in
+          (jc0.(j), kc0.(inst.I.job_class.(j)), inst.I.sizes.(j), by_machine))
+    in
+    let machine_sigs =
+      Array.init m (fun i ->
+          let by_job =
+            List.sort compare (List.init n (fun j -> (jc0.(j), I.ptime inst i j)))
+          in
+          let by_class =
+            List.sort compare
+              (List.init kk (fun k -> (kc0.(k), I.setup_time inst i k)))
+          in
+          (mc0.(i), I.speed inst i, by_job, by_class))
+    in
+    let class_sigs =
+      Array.init kk (fun k ->
+          let members =
+            List.sort compare
+              (List.filter_map
+                 (fun j ->
+                   if inst.I.job_class.(j) = k then Some jc0.(j) else None)
+                 (List.init n Fun.id))
+          in
+          let by_machine =
+            List.sort compare
+              (List.init m (fun i -> (mc0.(i), I.setup_time inst i k)))
+          in
+          (kc0.(k), inst.I.setups.(k), members, by_machine))
+    in
+    jc := rank_signatures job_sigs;
+    mc := rank_signatures machine_sigs;
+    kc := rank_signatures class_sigs;
+    stable := !jc = jc0 && !mc = mc0 && !kc = kc0
+  done;
+  (!jc, !mc, !kc)
+
+let sort_by_color colors =
+  let idx = Array.init (Array.length colors) Fun.id in
+  Array.sort
+    (fun a b ->
+      match compare colors.(a) colors.(b) with 0 -> compare a b | c -> c)
+    idx;
+  idx
+
+let canonicalize inst =
+  let jc, mc, kc = refine inst in
+  let job_perm = sort_by_color jc in
+  let machine_perm = sort_by_color mc in
+  let class_perm = sort_by_color kc in
+  let instance = relabel inst ~job_perm ~machine_perm ~class_perm in
+  { instance; job_perm; machine_perm; class_perm }
+
+let key inst = Core.Instance_io.to_string (canonicalize inst).instance
+
+let assignment_to_original t assignment =
+  let n = Array.length t.job_perm in
+  if Array.length assignment <> n then
+    invalid_arg
+      (Printf.sprintf
+         "Canon.assignment_to_original: %d entries for %d jobs"
+         (Array.length assignment) n);
+  let out = Array.make n (-1) in
+  for jc = 0 to n - 1 do
+    out.(t.job_perm.(jc)) <- t.machine_perm.(assignment.(jc))
+  done;
+  out
+
+let shuffle rng inst =
+  relabel inst
+    ~job_perm:(Workloads.Rng.permutation rng (I.num_jobs inst))
+    ~machine_perm:(Workloads.Rng.permutation rng (I.num_machines inst))
+    ~class_perm:(Workloads.Rng.permutation rng (I.num_classes inst))

@@ -1,0 +1,40 @@
+(** Instance canonicalization for the result cache.
+
+    Two requests that differ only by a relabeling of jobs, machines or
+    setup classes describe the same scheduling problem; the cache must
+    serve the second from the first's result. [canonicalize] computes a
+    normal form — a color-refinement pass over the effective
+    processing/setup times assigns each job, machine and class an
+    isomorphism-invariant rank, and entities are reordered by rank — plus
+    the permutations needed to translate a cached canonical schedule back
+    into the request's original labeling.
+
+    Entities that remain tied after refinement have identical refined
+    signatures; for the instance families produced by {!Workloads.Gen}
+    (and any instance without non-trivially isomorphic substructures) such
+    ties are true symmetries, so any tie order yields the same normal
+    form and relabeled instances canonicalize identically. *)
+
+type t = {
+  instance : Core.Instance.t;  (** the canonical form *)
+  job_perm : int array;  (** [job_perm.(jc)] = original index of canonical job [jc] *)
+  machine_perm : int array;
+  class_perm : int array;
+}
+
+val canonicalize : Core.Instance.t -> t
+
+val key : Core.Instance.t -> string
+(** Cache key: the canonical form serialized with {!Core.Instance_io}.
+    Relabelings of the same instance map to equal keys. *)
+
+val assignment_to_original : t -> int array -> int array
+(** [assignment_to_original t a] translates an assignment over the
+    canonical instance (canonical job -> canonical machine) into one over
+    the original instance. Raises [Invalid_argument] on a length
+    mismatch. *)
+
+val shuffle : Workloads.Rng.t -> Core.Instance.t -> Core.Instance.t
+(** A uniformly random relabeling of jobs, machines and classes — the
+    same problem in a different presentation. Used by the loadgen client
+    and the canonicalization property tests. *)

@@ -1,0 +1,220 @@
+let version = 1
+
+type request = {
+  solver : string option;
+  deadline_ms : float option;
+  instance : Core.Instance.t;
+}
+
+type reply = {
+  solver : string;
+  cache_hit : bool;
+  degraded : bool;
+  makespan : float;
+  elapsed_us : int;
+  assignment : int array;
+}
+
+type response = Reply of reply | Error of string
+
+let request_header = Printf.sprintf "request v%d" version
+let response_header = Printf.sprintf "response v%d" version
+
+let float_to_text x =
+  if x = infinity then "inf" else Printf.sprintf "%.17g" x
+
+(* --- frame reading ------------------------------------------------------ *)
+
+let input_line_opt ic = try Some (String.trim (input_line ic)) with End_of_file -> None
+
+(* First non-blank line, or None at EOF. *)
+let rec read_header ic =
+  match input_line_opt ic with
+  | None -> None
+  | Some "" -> read_header ic
+  | Some line -> Some line
+
+(* Body lines of the current frame, up to (excluding) the [end]
+   terminator. [Error] if the stream ends mid-frame. *)
+let read_body ic =
+  let rec go acc =
+    match input_line_opt ic with
+    | None -> Result.Error "truncated frame: missing \"end\" terminator"
+    | Some "end" -> Ok (List.rev acc)
+    | Some line -> go (line :: acc)
+  in
+  go []
+
+(* Skip the rest of a frame whose header was unacceptable, so the session
+   can resynchronize on the next frame. *)
+let drain_frame ic = ignore (read_body ic)
+
+(* --- requests ----------------------------------------------------------- *)
+
+let split_first line =
+  match String.index_opt line ' ' with
+  | None -> (line, "")
+  | Some i ->
+      ( String.sub line 0 i,
+        String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+
+let parse_request body =
+  let solver = ref None in
+  let deadline_ms = ref None in
+  let rec fields = function
+    | [] -> Result.Error "request has no instance block"
+    | line :: rest -> (
+        match split_first line with
+        | "instance", "" ->
+            let text = String.concat "\n" rest in
+            Result.map_error Core.Instance_io.error_to_string
+              (Result.map
+                 (fun instance ->
+                   { solver = !solver; deadline_ms = !deadline_ms; instance })
+                 (Core.Instance_io.of_string_result text))
+        | "solver", v when v <> "" ->
+            solver := Some v;
+            fields rest
+        | "deadline_ms", v -> (
+            match float_of_string_opt v with
+            | Some d when d >= 0.0 ->
+                deadline_ms := Some d;
+                fields rest
+            | Some _ | None ->
+                Result.Error
+                  (Printf.sprintf "deadline_ms: expected a number >= 0, got %S" v)
+        )
+        | "", _ -> fields rest
+        | key, _ ->
+            Result.Error (Printf.sprintf "unknown request field %S" key))
+  in
+  fields body
+
+let read_request ic =
+  match read_header ic with
+  | None -> Ok None
+  | Some header when header = request_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_request body with
+          | Ok req -> Ok (Some req)
+          | Result.Error _ as e -> e))
+  | Some header ->
+      drain_frame ic;
+      Result.Error
+        (Printf.sprintf "bad request header %S (expected %S)" header
+           request_header)
+
+let write_request oc (req : request) =
+  output_string oc request_header;
+  output_char oc '\n';
+  Option.iter (fun s -> Printf.fprintf oc "solver %s\n" s) req.solver;
+  Option.iter
+    (fun d -> Printf.fprintf oc "deadline_ms %s\n" (float_to_text d))
+    req.deadline_ms;
+  output_string oc "instance\n";
+  output_string oc (Core.Instance_io.to_string req.instance);
+  output_string oc "end\n";
+  flush oc
+
+(* --- responses ---------------------------------------------------------- *)
+
+let write_response oc response =
+  output_string oc response_header;
+  output_char oc '\n';
+  (match response with
+  | Error message ->
+      output_string oc "status error\n";
+      (* the message must stay a single line to preserve framing *)
+      let message =
+        String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) message
+      in
+      Printf.fprintf oc "error %s\n" message
+  | Reply r ->
+      output_string oc "status ok\n";
+      Printf.fprintf oc "solver %s\n" r.solver;
+      Printf.fprintf oc "cache %s\n" (if r.cache_hit then "hit" else "miss");
+      Printf.fprintf oc "degraded %b\n" r.degraded;
+      Printf.fprintf oc "makespan %g\n" r.makespan;
+      Printf.fprintf oc "elapsed_us %d\n" r.elapsed_us;
+      output_string oc "assignment";
+      Array.iter (fun i -> Printf.fprintf oc " %d" i) r.assignment;
+      output_char oc '\n');
+  output_string oc "end\n";
+  flush oc
+
+let parse_reply fields =
+  let find key = List.assoc_opt key fields in
+  let require key =
+    match find key with
+    | Some v -> Ok v
+    | None -> Result.Error (Printf.sprintf "response missing field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* solver = require "solver" in
+  let* cache = require "cache" in
+  let* cache_hit =
+    match cache with
+    | "hit" -> Ok true
+    | "miss" -> Ok false
+    | v -> Result.Error (Printf.sprintf "cache: expected hit|miss, got %S" v)
+  in
+  let* degraded_s = require "degraded" in
+  let* degraded =
+    match bool_of_string_opt degraded_s with
+    | Some b -> Ok b
+    | None ->
+        Result.Error (Printf.sprintf "degraded: expected a bool, got %S" degraded_s)
+  in
+  let* makespan_s = require "makespan" in
+  let* makespan =
+    match float_of_string_opt makespan_s with
+    | Some x -> Ok x
+    | None ->
+        Result.Error (Printf.sprintf "makespan: expected a number, got %S" makespan_s)
+  in
+  let* elapsed_s = require "elapsed_us" in
+  let* elapsed_us =
+    match int_of_string_opt elapsed_s with
+    | Some x -> Ok x
+    | None ->
+        Result.Error
+          (Printf.sprintf "elapsed_us: expected an integer, got %S" elapsed_s)
+  in
+  let* assignment_s = require "assignment" in
+  let* assignment =
+    let words =
+      String.split_on_char ' ' assignment_s |> List.filter (( <> ) "")
+    in
+    try Ok (Array.of_list (List.map int_of_string words))
+    with Failure _ -> Result.Error "assignment: expected integers"
+  in
+  Ok (Reply { solver; cache_hit; degraded; makespan; elapsed_us; assignment })
+
+let read_response ic =
+  match read_header ic with
+  | None -> Ok None
+  | Some header when header = response_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          let fields = List.map split_first body in
+          match List.assoc_opt "status" fields with
+          | Some "error" ->
+              Ok
+                (Some
+                   (Error
+                      (Option.value ~default:"unspecified error"
+                         (List.assoc_opt "error" fields))))
+          | Some "ok" -> (
+              match parse_reply fields with
+              | Ok r -> Ok (Some r)
+              | Result.Error _ as e -> e)
+          | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
+          | None -> Result.Error "response missing status"))
+  | Some header ->
+      drain_frame ic;
+      Result.Error
+        (Printf.sprintf "bad response header %S (expected %S)" header
+           response_header)

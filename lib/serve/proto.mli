@@ -1,0 +1,76 @@
+(** Versioned, line-delimited request/response wire format.
+
+    A session is a sequence of requests on one byte stream; the server
+    answers each with exactly one response. Both directions are plain
+    text, one field per line, framed by a versioned header line and a
+    bare [end] terminator, so sessions are scriptable with a heredoc and
+    cram-testable. Protocol version: {!version}.
+
+    Request:
+    {v
+    request v1
+    solver auto            # optional: auto|greedy|lpt|portfolio|exact
+    deadline_ms 50         # optional time budget
+    instance               # starts the inline instance block
+    env uniform            # ... Core.Instance_io text ...
+    end
+    v}
+
+    Response (success):
+    {v
+    response v1
+    status ok
+    solver exact
+    cache hit              # hit|miss
+    degraded false
+    makespan 117.06
+    elapsed_us 1834
+    assignment 0 1 1 0 2 1
+    end
+    v}
+
+    Response (error — malformed requests never crash the session):
+    {v
+    response v1
+    status error
+    error line 4: setups: expected 2 values, got 1
+    end
+    v}
+
+    Blank lines between requests are ignored; [#] comments are allowed
+    inside the instance block (they are part of the [Instance_io]
+    format). *)
+
+val version : int
+
+type request = {
+  solver : string option;
+  deadline_ms : float option;
+  instance : Core.Instance.t;
+}
+
+type reply = {
+  solver : string;
+  cache_hit : bool;
+  degraded : bool;
+  makespan : float;
+  elapsed_us : int;
+  assignment : int array;
+}
+
+type response = Reply of reply | Error of string
+
+val read_request : in_channel -> (request option, string) result
+(** Read one request. [Ok None] is clean end-of-stream (no request
+    started); [Error] is a malformed request — the stream is consumed up
+    to the request's [end] terminator (or EOF) so the session can
+    continue with the next request. *)
+
+val write_request : out_channel -> request -> unit
+(** Client side; flushes. *)
+
+val write_response : out_channel -> response -> unit
+(** Server side; flushes. *)
+
+val read_response : in_channel -> (response option, string) result
+(** Client side; [Ok None] on clean end-of-stream. *)

@@ -1,0 +1,157 @@
+let c_requests = Obs.Counter.make "serve.requests"
+let c_errors = Obs.Counter.make "serve.request_errors"
+
+type config = {
+  cache_capacity : int;
+  default_deadline_ms : float option;
+  jobs : int;
+}
+
+let default_config =
+  {
+    cache_capacity = 128;
+    default_deadline_ms = None;
+    jobs = Parallel.Pool.default_jobs ();
+  }
+
+(* Cached results live in canonical labeling; each hit is translated back
+   through the requesting instance's own permutations. *)
+type cached = { makespan : float; assignment : int array; solver : string }
+
+type t = {
+  config : config;
+  cache : cached Cache.t;
+  pool : Parallel.Pool.t;
+  stopping : bool Atomic.t;
+  mutable listen_fd : Unix.file_descr option;
+}
+
+let create config =
+  {
+    config;
+    cache = Cache.create ~capacity:config.cache_capacity;
+    pool = Parallel.Pool.create config.jobs;
+    stopping = Atomic.make false;
+    listen_fd = None;
+  }
+
+let handle_request t (req : Proto.request) =
+  Obs.Span.with_span "serve.request" @@ fun () ->
+  Obs.Counter.incr c_requests;
+  let start_us = Obs.Sink.now_us () in
+  let elapsed_us () = int_of_float (Obs.Sink.now_us () -. start_us) in
+  match Canon.canonicalize req.instance with
+  | exception Invalid_argument msg ->
+      Obs.Counter.incr c_errors;
+      Proto.Error msg
+  | canon -> (
+      let key = Core.Instance_io.to_string canon.Canon.instance in
+      match Cache.find t.cache key with
+      | Some hit ->
+          Proto.Reply
+            {
+              solver = hit.solver;
+              cache_hit = true;
+              degraded = false;
+              makespan = hit.makespan;
+              elapsed_us = elapsed_us ();
+              assignment = Canon.assignment_to_original canon hit.assignment;
+            }
+      | None -> (
+          let deadline_ms =
+            match req.deadline_ms with
+            | Some _ as d -> d
+            | None -> t.config.default_deadline_ms
+          in
+          match
+            Dispatch.solve ?deadline_ms ?hint:req.solver canon.Canon.instance
+          with
+          | Error msg ->
+              Obs.Counter.incr c_errors;
+              Proto.Error msg
+          | Ok outcome ->
+              let result = outcome.Dispatch.result in
+              let assignment =
+                Core.Schedule.assignment result.Algos.Common.schedule
+              in
+              if not outcome.Dispatch.degraded then
+                Cache.put t.cache key
+                  {
+                    makespan = result.Algos.Common.makespan;
+                    assignment;
+                    solver = outcome.Dispatch.solver;
+                  };
+              Proto.Reply
+                {
+                  solver = outcome.Dispatch.solver;
+                  cache_hit = false;
+                  degraded = outcome.Dispatch.degraded;
+                  makespan = result.Algos.Common.makespan;
+                  elapsed_us = elapsed_us ();
+                  assignment = Canon.assignment_to_original canon assignment;
+                }))
+
+let serve_channels t ic oc =
+  let rec loop () =
+    match Proto.read_request ic with
+    | Ok None -> ()
+    | Ok (Some req) ->
+        Proto.write_response oc (handle_request t req);
+        loop ()
+    | Error msg ->
+        Obs.Counter.incr c_errors;
+        Proto.write_response oc (Proto.Error msg);
+        loop ()
+  in
+  loop ()
+
+let run_stdio t = serve_channels t stdin stdout
+
+let handle_connection t client =
+  let ic = Unix.in_channel_of_descr client in
+  let oc = Unix.out_channel_of_descr client in
+  Fun.protect
+    ~finally:(fun () ->
+      (try flush oc with Sys_error _ -> ());
+      try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () -> serve_channels t ic oc)
+
+let listen t ~path =
+  if Sys.file_exists path then Sys.remove path;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  t.listen_fd <- Some fd;
+  let rec accept_loop () =
+    if not (Atomic.get t.stopping) then
+      match Unix.accept fd with
+      | client, _ ->
+          Parallel.Pool.submit t.pool (fun () -> handle_connection t client);
+          accept_loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception
+          Unix.Unix_error ((Unix.EBADF | Unix.EINVAL | Unix.ECONNABORTED), _, _)
+        ->
+          (* [stop] shut the listening socket down under us *)
+          ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      t.listen_fd <- None;
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      try Sys.remove path with Sys_error _ -> ())
+    accept_loop
+
+let stop t =
+  Atomic.set t.stopping true;
+  match t.listen_fd with
+  | None -> ()
+  | Some fd -> (
+      (* shutdown (not close) wakes a blocked accept on every platform we
+         care about; listen's own cleanup closes the descriptor *)
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+
+let shutdown t =
+  stop t;
+  Parallel.Pool.wait_idle t.pool;
+  Parallel.Pool.shutdown t.pool

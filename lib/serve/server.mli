@@ -1,0 +1,57 @@
+(** Long-lived scheduling service: session loop, cache wiring, transports.
+
+    One server owns a canonicalizing result {!Cache} and a
+    {!Parallel.Pool}. A session is a {!Proto} request/response stream;
+    {!serve_channels} runs one session to end-of-stream and never lets a
+    malformed request kill it. Two transports: stdio (single session,
+    sequential — deterministic and cram-testable) and a Unix-domain
+    socket (one session per connection, handled concurrently on the
+    pool).
+
+    Per-request observability: a [serve.request] span brackets each
+    request, [serve.requests] / [serve.request_errors] count outcomes,
+    and the cache and dispatch layers contribute their own counters. *)
+
+type config = {
+  cache_capacity : int;  (** LRU entries kept (default 128) *)
+  default_deadline_ms : float option;
+      (** budget applied when a request names none (default: none) *)
+  jobs : int;  (** pool domains for concurrent socket sessions *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+
+val handle_request : t -> Proto.request -> Proto.response
+(** The transport-independent core: canonicalize, consult the cache, and
+    on a miss dispatch under the request's deadline and cache the result
+    (degraded results are not cached — a later request without deadline
+    pressure deserves the real solver). Cached schedules are translated
+    back through the request's labeling. Used directly by the bench
+    harness. *)
+
+val serve_channels : t -> in_channel -> out_channel -> unit
+(** Run one session until end-of-stream: read requests, write exactly one
+    response each; protocol errors produce [status error] responses and
+    the session continues. *)
+
+val run_stdio : t -> unit
+(** [serve_channels] over stdin/stdout. *)
+
+val listen : t -> path:string -> unit
+(** Bind a Unix-domain socket at [path] (replacing a stale socket file)
+    and accept connections until {!stop}; each connection's session runs
+    as a pool task. Removes the socket file on exit. Raises
+    [Unix.Unix_error] if the path cannot be bound. *)
+
+val stop : t -> unit
+(** Make {!listen} return: safe to call from a signal handler or another
+    domain. In-flight sessions keep running; callers then use
+    {!shutdown} to drain them. *)
+
+val shutdown : t -> unit
+(** {!stop}, wait for in-flight sessions to finish, and shut the pool
+    down. Idempotent. *)

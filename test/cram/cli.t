@@ -62,11 +62,14 @@ CSV experiment export:
   3,7,7,49,1.750,3.000,4,1.714,5.838
 
 Observability: --stats prints the solve's nodes/optimality and the solver
-counter deltas; --trace writes a Chrome trace-event file (wall time is
-nondeterministic, so it is filtered out):
+counter deltas on stderr, keeping stdout machine-readable; --trace writes
+a Chrome trace-event file (wall time is nondeterministic, so it is
+filtered out). Checked in two invocations so stdout and stderr stay
+deterministic:
 
-  $ schedtool solve --algo exact --stats --trace trace.json inst.txt | grep -v "wall time"
+  $ schedtool solve --algo exact --stats --trace trace.json inst.txt 2>/dev/null
   makespan 117.064
+  $ schedtool solve --algo exact --stats --trace trace.json inst.txt 2>&1 >/dev/null | grep -v "wall time"
   nodes explored 23
   optimal yes
   
@@ -74,7 +77,9 @@ nondeterministic, so it is filtered out):
   -----------------------------  -----
   algos.exact.incumbent_updates     +4
   algos.exact.nodes                +23
+  
   wrote trace trace.json
+
 
   $ grep -c '"ph":"B"' trace.json
   3

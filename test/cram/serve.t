@@ -1,0 +1,57 @@
+Smoke test for the serving layer: one stdio session answering a cold
+solve, a cache hit on a relabeled copy of the same instance, and a
+malformed request — all without crashing. The sample frames live in
+examples/requests/; elapsed_us is wall time and therefore filtered.
+
+  $ samples=../../examples/requests
+  $ cat $samples/solve.txt $samples/permuted.txt $samples/malformed.txt \
+  >   | schedtool serve --stdio | grep -v elapsed_us
+  response v1
+  status ok
+  solver exact
+  cache miss
+  degraded false
+  makespan 112
+  assignment 1 0 1 0
+  end
+  response v1
+  status ok
+  solver exact
+  cache hit
+  degraded false
+  makespan 112
+  assignment 0 1 0 1
+  end
+  response v1
+  status error
+  error line 6: sizes: value 2 is -62, must be >= 0
+  end
+
+A frame with an unknown header is drained and answered with an error,
+and the session keeps going — the next frame still gets served:
+
+  $ { printf 'request v9\njunk\nend\n'; cat $samples/solve.txt; } \
+  >   | schedtool serve --stdio | grep -v elapsed_us
+  response v1
+  status error
+  error bad request header "request v9" (expected "request v1")
+  end
+  response v1
+  status ok
+  solver exact
+  cache miss
+  degraded false
+  makespan 112
+  assignment 1 0 1 0
+  end
+
+A zero deadline on a large instance degrades to list scheduling instead
+of timing out; the reply is flagged so callers can tell:
+
+  $ schedtool gen --env uniform -n 150 -m 8 -k 6 --seed 7 -o big.txt
+  wrote big.txt
+  $ { printf 'request v1\ndeadline_ms 0\ninstance\n'; cat big.txt; echo end; } \
+  >   | schedtool serve --stdio | grep -E 'status|degraded|solver'
+  status ok
+  solver greedy
+  degraded true

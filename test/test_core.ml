@@ -395,6 +395,62 @@ let test_io_parse_errors () =
     "env unrelated\nmachines 2\nclasses 1\nsetups 1\njobs 2\n\
      job_class 0 0\nptimes\n1 2\n3\n"
 
+let test_io_structured_errors () =
+  let err name text check =
+    match Core.Instance_io.of_string_result text with
+    | Ok _ -> Alcotest.fail (name ^ ": expected a parse error")
+    | Error e -> check e
+  in
+  (* truncated block: the error names the block's header line and field *)
+  err "truncated ptimes"
+    "env unrelated\nmachines 3\nclasses 1\nsetups 1\njobs 2\n\
+     job_class 0 0\nptimes\n1 2\n"
+    (fun e ->
+      Alcotest.(check (option int)) "line of header" (Some 7)
+        e.Core.Instance_io.line;
+      Alcotest.(check (option string)) "field" (Some "ptimes")
+        e.Core.Instance_io.field;
+      Alcotest.(check bool) "says truncated" true
+        (Astring.String.is_infix ~affix:"truncated"
+           e.Core.Instance_io.message));
+  (* negative times are rejected at the offending line, not deep inside
+     the constructor *)
+  err "negative setup"
+    "env identical\nmachines 1\nclasses 2\nsetups 3 -1\njobs 1\nsizes 1\n\
+     job_class 0\n"
+    (fun e ->
+      Alcotest.(check (option int)) "line" (Some 4) e.Core.Instance_io.line;
+      Alcotest.(check (option string)) "field" (Some "setups")
+        e.Core.Instance_io.field);
+  err "negative size"
+    "env identical\nmachines 1\nclasses 1\nsetups 1\njobs 2\nsizes 5 -2\n\
+     job_class 0 0\n"
+    (fun e ->
+      Alcotest.(check (option int)) "line" (Some 6) e.Core.Instance_io.line;
+      Alcotest.(check (option string)) "field" (Some "sizes")
+        e.Core.Instance_io.field);
+  (* out-of-range class id names the job_class line *)
+  err "class id out of range"
+    "env identical\nmachines 1\nclasses 2\nsetups 1 1\njobs 2\nsizes 1 1\n\
+     job_class 0 5\n"
+    (fun e ->
+      Alcotest.(check (option int)) "line" (Some 7) e.Core.Instance_io.line;
+      Alcotest.(check (option string)) "field" (Some "job_class")
+        e.Core.Instance_io.field;
+      Alcotest.(check bool) "names range" true
+        (Astring.String.is_infix ~affix:"out of range"
+           e.Core.Instance_io.message));
+  (* error_to_string folds line and field into the rendered message *)
+  err "rendering"
+    "env identical\nmachines 1\nclasses 1\nsetups -9\njobs 1\nsizes 1\n\
+     job_class 0\n"
+    (fun e ->
+      let rendered = Core.Instance_io.error_to_string e in
+      Alcotest.(check bool) "has line" true
+        (Astring.String.is_infix ~affix:"line 4" rendered);
+      Alcotest.(check bool) "has field" true
+        (Astring.String.is_infix ~affix:"setups" rendered))
+
 let test_io_comments_and_inf () =
   let t =
     Core.Instance_io.of_string
@@ -473,6 +529,8 @@ let () =
           Alcotest.test_case "roundtrip setup matrix" `Quick
             test_io_roundtrip_setup_matrix;
           Alcotest.test_case "parse errors" `Quick test_io_parse_errors;
+          Alcotest.test_case "structured errors" `Quick
+            test_io_structured_errors;
           Alcotest.test_case "comments and inf" `Quick
             test_io_comments_and_inf;
           Alcotest.test_case "file roundtrip" `Quick test_io_file_roundtrip;

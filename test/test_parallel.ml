@@ -108,6 +108,59 @@ let test_many_batches () =
           out
       done)
 
+let test_submit_wait_idle () =
+  let pool = P.create 3 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let hits = Atomic.make 0 in
+      for _ = 1 to 40 do
+        P.submit pool (fun () ->
+            ignore (Sys.opaque_identity (ref 0));
+            Atomic.incr hits)
+      done;
+      P.wait_idle pool;
+      Alcotest.(check int) "all submitted tasks ran" 40 (Atomic.get hits);
+      (* run and submit compose on the same pool *)
+      P.submit pool (fun () -> Atomic.incr hits);
+      Alcotest.(check (list int)) "run still works" [ 7 ]
+        (P.run pool [ (fun () -> 7) ]);
+      P.wait_idle pool;
+      Alcotest.(check int) "late task ran" 41 (Atomic.get hits))
+
+let test_submit_single_domain () =
+  let pool = P.create 1 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let r = ref 0 in
+      P.submit pool (fun () -> r := 9);
+      (* with no workers the task ran synchronously *)
+      Alcotest.(check int) "ran inline" 9 !r;
+      P.wait_idle pool)
+
+let test_submit_exception_swallowed () =
+  let pool = P.create 2 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let before =
+        match Obs.Counter.find "pool.task_errors" with
+        | Some c -> Obs.Counter.value c
+        | None -> 0
+      in
+      P.submit pool (fun () -> failwith "boom");
+      P.wait_idle pool;
+      let after =
+        match Obs.Counter.find "pool.task_errors" with
+        | Some c -> Obs.Counter.value c
+        | None -> 0
+      in
+      Alcotest.(check int) "error counted" (before + 1) after;
+      (* the worker survived: the pool still runs tasks *)
+      Alcotest.(check (list int)) "alive" [ 1; 2 ]
+        (P.run pool [ (fun () -> 1); (fun () -> 2) ]))
+
 let test_default_jobs () =
   let j = P.default_jobs () in
   Alcotest.(check bool) "sane" true (j >= 1 && j <= 8)
@@ -125,6 +178,11 @@ let () =
           Alcotest.test_case "shutdown" `Quick test_shutdown_semantics;
           Alcotest.test_case "create validation" `Quick test_create_validation;
           Alcotest.test_case "many batches" `Quick test_many_batches;
+          Alcotest.test_case "submit + wait_idle" `Quick test_submit_wait_idle;
+          Alcotest.test_case "submit single domain" `Quick
+            test_submit_single_domain;
+          Alcotest.test_case "submit exception swallowed" `Quick
+            test_submit_exception_swallowed;
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
         ] );
     ]

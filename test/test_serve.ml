@@ -1,0 +1,383 @@
+(* Tests for the serving layer: canonicalization, the LRU result cache,
+   deadline-aware dispatch, the wire protocol and the server loop. *)
+
+let rng seed = Workloads.Rng.create seed
+
+let generators =
+  [
+    ( "identical",
+      fun r -> Workloads.Gen.identical r ~n:10 ~m:3 ~k:3 () );
+    ("uniform", fun r -> Workloads.Gen.uniform r ~n:10 ~m:3 ~k:3 ());
+    ("unrelated", fun r -> Workloads.Gen.unrelated r ~n:10 ~m:3 ~k:3 ());
+    ( "restricted",
+      fun r -> Workloads.Gen.restricted_class_uniform r ~n:10 ~m:3 ~k:3 () );
+    ( "cu-ptimes",
+      fun r -> Workloads.Gen.class_uniform_ptimes r ~n:10 ~m:3 ~k:3 () );
+  ]
+
+(* --- Canon -------------------------------------------------------------- *)
+
+let test_canon_permutation_invariance () =
+  List.iter
+    (fun (name, gen) ->
+      for seed = 1 to 12 do
+        let r = rng seed in
+        let inst = gen r in
+        let key = Serve.Canon.key inst in
+        for trial = 1 to 4 do
+          let shuffled = Serve.Canon.shuffle r inst in
+          Alcotest.(check string)
+            (Printf.sprintf "%s seed %d trial %d" name seed trial)
+            key
+            (Serve.Canon.key shuffled)
+        done
+      done)
+    generators
+
+let test_canon_is_idempotent () =
+  List.iter
+    (fun (name, gen) ->
+      let inst = gen (rng 99) in
+      let c = Serve.Canon.canonicalize inst in
+      let c2 = Serve.Canon.canonicalize c.Serve.Canon.instance in
+      Alcotest.(check string) (name ^ " fixpoint")
+        (Core.Instance_io.to_string c.Serve.Canon.instance)
+        (Core.Instance_io.to_string c2.Serve.Canon.instance))
+    generators
+
+let test_canon_schedule_mapping () =
+  List.iter
+    (fun (name, gen) ->
+      for seed = 1 to 8 do
+        let r = rng (100 + seed) in
+        let original = gen r in
+        let shuffled = Serve.Canon.shuffle r original in
+        let canon = Serve.Canon.canonicalize shuffled in
+        (* solve the canonical instance, then map the schedule back into
+           the shuffled instance's labeling *)
+        let result = Algos.List_scheduling.schedule canon.Serve.Canon.instance in
+        let back =
+          Serve.Canon.assignment_to_original canon
+            (Core.Schedule.assignment result.Algos.Common.schedule)
+        in
+        let sched = Core.Schedule.make shuffled back in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d valid" name seed)
+          true
+          (Core.Schedule.is_valid shuffled sched);
+        let m1 = result.Algos.Common.makespan in
+        let m2 = Core.Schedule.makespan sched in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s seed %d makespan preserved" name seed)
+          true
+          (Float.abs (m1 -. m2) <= 1e-9 *. Float.max 1.0 (Float.max m1 m2))
+      done)
+    generators
+
+(* --- Cache -------------------------------------------------------------- *)
+
+let counter name =
+  match Obs.Counter.find name with
+  | Some c -> Obs.Counter.value c
+  | None -> 0
+
+let test_cache_lru () =
+  let cache = Serve.Cache.create ~capacity:2 in
+  let hits0 = counter "serve.cache_hits" in
+  let misses0 = counter "serve.cache_misses" in
+  let evictions0 = counter "serve.cache_evictions" in
+  Serve.Cache.put cache "a" 1;
+  Serve.Cache.put cache "b" 2;
+  Alcotest.(check (option int)) "a present" (Some 1) (Serve.Cache.find cache "a");
+  (* b is now least recently used; inserting c evicts it *)
+  Serve.Cache.put cache "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Serve.Cache.find cache "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Serve.Cache.find cache "a");
+  Alcotest.(check (option int)) "c present" (Some 3) (Serve.Cache.find cache "c");
+  Alcotest.(check int) "length" 2 (Serve.Cache.length cache);
+  Alcotest.(check int) "hits counted" (hits0 + 3) (counter "serve.cache_hits");
+  Alcotest.(check int) "misses counted" (misses0 + 1)
+    (counter "serve.cache_misses");
+  Alcotest.(check int) "evictions counted" (evictions0 + 1)
+    (counter "serve.cache_evictions")
+
+let test_cache_overwrite () =
+  let cache = Serve.Cache.create ~capacity:2 in
+  Serve.Cache.put cache "k" 1;
+  Serve.Cache.put cache "k" 2;
+  Alcotest.(check (option int)) "overwritten" (Some 2)
+    (Serve.Cache.find cache "k");
+  Alcotest.(check int) "no duplicate" 1 (Serve.Cache.length cache)
+
+(* --- Dispatch ----------------------------------------------------------- *)
+
+let test_dispatch_exact_small () =
+  let inst = Workloads.Gen.uniform (rng 7) ~n:8 ~m:3 ~k:3 () in
+  match Serve.Dispatch.solve ~hint:"exact" inst with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+      Alcotest.(check bool) "not degraded" false o.Serve.Dispatch.degraded;
+      let exact = Algos.Exact.makespan inst in
+      Alcotest.(check (float 1e-9)) "optimal makespan" exact
+        o.Serve.Dispatch.result.Algos.Common.makespan
+
+let test_dispatch_deadline_degrades () =
+  let inst = Workloads.Gen.uniform (rng 8) ~n:400 ~m:8 ~k:12 () in
+  match Serve.Dispatch.solve ~hint:"portfolio" ~deadline_ms:0.0 inst with
+  | Error msg -> Alcotest.fail msg
+  | Ok o ->
+      Alcotest.(check bool) "degraded" true o.Serve.Dispatch.degraded;
+      Alcotest.(check bool) "valid schedule" true
+        (Core.Schedule.is_valid inst
+           o.Serve.Dispatch.result.Algos.Common.schedule)
+
+let test_dispatch_unknown_solver () =
+  let inst = Workloads.Gen.uniform (rng 9) ~n:6 ~m:2 ~k:2 () in
+  match Serve.Dispatch.solve ~hint:"simplex-magic" inst with
+  | Error msg ->
+      Alcotest.(check bool) "names the solver" true
+        (Astring.String.is_infix ~affix:"simplex-magic" msg)
+  | Ok _ -> Alcotest.fail "expected an error"
+
+let test_dispatch_lpt_inapplicable () =
+  let inst = Workloads.Gen.unrelated (rng 10) ~n:8 ~m:3 ~k:3 () in
+  match Serve.Dispatch.solve ~hint:"lpt" inst with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "lpt should not apply to unrelated machines"
+
+(* --- Proto -------------------------------------------------------------- *)
+
+let roundtrip_via_file write read =
+  let path = Filename.temp_file "serve_proto" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let oc = open_out path in
+      write oc;
+      close_out oc;
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) (fun () -> read ic))
+
+let test_proto_request_roundtrip () =
+  let inst = Workloads.Gen.identical (rng 11) ~n:5 ~m:2 ~k:2 () in
+  let req =
+    {
+      Serve.Proto.solver = Some "exact";
+      deadline_ms = Some 25.0;
+      instance = inst;
+    }
+  in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_request oc req;
+        Serve.Proto.write_request oc { req with solver = None; deadline_ms = None })
+      (fun ic ->
+        let a = Serve.Proto.read_request ic in
+        let b = Serve.Proto.read_request ic in
+        let c = Serve.Proto.read_request ic in
+        (a, b, c))
+  with
+  | Ok (Some a), Ok (Some b), Ok None ->
+      Alcotest.(check (option string)) "solver" (Some "exact") a.Serve.Proto.solver;
+      Alcotest.(check bool) "deadline" true (a.Serve.Proto.deadline_ms = Some 25.0);
+      Alcotest.(check string) "instance roundtrips"
+        (Core.Instance_io.to_string inst)
+        (Core.Instance_io.to_string a.Serve.Proto.instance);
+      Alcotest.(check (option string)) "defaults" None b.Serve.Proto.solver
+  | _ -> Alcotest.fail "unexpected roundtrip shape"
+
+let test_proto_response_roundtrip () =
+  let reply =
+    Serve.Proto.Reply
+      {
+        solver = "exact";
+        cache_hit = true;
+        degraded = false;
+        makespan = 117.25;
+        elapsed_us = 42;
+        assignment = [| 0; 1; 1; 0 |];
+      }
+  in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_response oc reply;
+        Serve.Proto.write_response oc (Serve.Proto.Error "bad things\nhappened"))
+      (fun ic ->
+        let a = Serve.Proto.read_response ic in
+        let b = Serve.Proto.read_response ic in
+        let c = Serve.Proto.read_response ic in
+        (a, b, c))
+  with
+  | Ok (Some (Serve.Proto.Reply r)), Ok (Some (Serve.Proto.Error msg)), Ok None
+    ->
+      Alcotest.(check string) "solver" "exact" r.Serve.Proto.solver;
+      Alcotest.(check bool) "hit" true r.Serve.Proto.cache_hit;
+      Alcotest.(check (float 1e-9)) "makespan" 117.25 r.Serve.Proto.makespan;
+      Alcotest.(check bool) "assignment" true (r.Serve.Proto.assignment = [| 0; 1; 1; 0 |]);
+      (* newline was flattened to keep the framing intact *)
+      Alcotest.(check string) "error single line" "bad things happened" msg
+  | _ -> Alcotest.fail "unexpected roundtrip shape"
+
+let test_proto_malformed_resync () =
+  (* a malformed frame is consumed up to "end"; the next request parses *)
+  let inst = Workloads.Gen.identical (rng 12) ~n:4 ~m:2 ~k:2 () in
+  let text =
+    "banana v9\nsolver exact\nend\n"
+    ^ "request v1\ninstance\nnot a keyword\nend\n"
+  in
+  let good =
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "request v1\ninstance\n";
+    Buffer.add_string buf (Core.Instance_io.to_string inst);
+    Buffer.add_string buf "end\n";
+    Buffer.contents buf
+  in
+  match
+    roundtrip_via_file
+      (fun oc -> output_string oc (text ^ good))
+      (fun ic ->
+        let a = Serve.Proto.read_request ic in
+        let b = Serve.Proto.read_request ic in
+        let c = Serve.Proto.read_request ic in
+        (a, b, c))
+  with
+  | Error bad_header, Error bad_instance, Ok (Some _) ->
+      Alcotest.(check bool) "names header" true
+        (Astring.String.is_infix ~affix:"banana" bad_header);
+      Alcotest.(check bool) "names keyword" true
+        (Astring.String.is_infix ~affix:"keyword" bad_instance)
+  | _ -> Alcotest.fail "expected error, error, ok"
+
+(* --- Server ------------------------------------------------------------- *)
+
+let mk_server () =
+  Serve.Server.create
+    { Serve.Server.default_config with cache_capacity = 8; jobs = 2 }
+
+let test_server_cache_roundtrip () =
+  let server = mk_server () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.shutdown server)
+    (fun () ->
+      let r = rng 13 in
+      let inst = Workloads.Gen.uniform r ~n:9 ~m:3 ~k:3 () in
+      let ask instance =
+        Serve.Server.handle_request server
+          { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance }
+      in
+      match ask inst with
+      | Serve.Proto.Error msg -> Alcotest.fail msg
+      | Serve.Proto.Reply first -> (
+          Alcotest.(check bool) "first is a miss" false
+            first.Serve.Proto.cache_hit;
+          (* the same instance relabeled must hit, with the same makespan,
+             and the returned assignment must be valid for the relabeling *)
+          let shuffled = Serve.Canon.shuffle r inst in
+          match ask shuffled with
+          | Serve.Proto.Error msg -> Alcotest.fail msg
+          | Serve.Proto.Reply second ->
+              Alcotest.(check bool) "second is a hit" true
+                second.Serve.Proto.cache_hit;
+              Alcotest.(check (float 1e-9)) "same makespan"
+                first.Serve.Proto.makespan second.Serve.Proto.makespan;
+              let sched =
+                Core.Schedule.make shuffled second.Serve.Proto.assignment
+              in
+              Alcotest.(check bool) "assignment valid" true
+                (Core.Schedule.is_valid shuffled sched)))
+
+let test_server_socket_session () =
+  let server = mk_server () in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "serve_test_%d.sock" (Unix.getpid ()))
+  in
+  let acceptor = Domain.spawn (fun () -> Serve.Server.listen server ~path) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      Domain.join acceptor;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      (* wait for the acceptor to bind *)
+      let rec connect tries =
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        match Unix.connect fd (Unix.ADDR_UNIX path) with
+        | () -> fd
+        | exception Unix.Unix_error _ when tries > 0 ->
+            Unix.close fd;
+            Unix.sleepf 0.02;
+            connect (tries - 1)
+      in
+      let fd = connect 200 in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let inst = Workloads.Gen.identical (rng 14) ~n:6 ~m:2 ~k:2 () in
+      Serve.Proto.write_request oc
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+      Serve.Proto.write_request oc
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+      output_string oc "request v1\nsolver greedy\nend\n";
+      flush oc;
+      Unix.shutdown fd Unix.SHUTDOWN_SEND;
+      (match Serve.Proto.read_response ic with
+      | Ok (Some (Serve.Proto.Reply r)) ->
+          Alcotest.(check bool) "miss" false r.Serve.Proto.cache_hit
+      | _ -> Alcotest.fail "expected first reply");
+      (match Serve.Proto.read_response ic with
+      | Ok (Some (Serve.Proto.Reply r)) ->
+          Alcotest.(check bool) "hit" true r.Serve.Proto.cache_hit
+      | _ -> Alcotest.fail "expected second reply");
+      (match Serve.Proto.read_response ic with
+      | Ok (Some (Serve.Proto.Error _)) -> ()
+      | _ -> Alcotest.fail "expected an error response");
+      (match Serve.Proto.read_response ic with
+      | Ok None -> ()
+      | _ -> Alcotest.fail "expected end of stream");
+      Unix.close fd)
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "permutation invariance" `Quick
+            test_canon_permutation_invariance;
+          Alcotest.test_case "idempotent" `Quick test_canon_is_idempotent;
+          Alcotest.test_case "schedule mapping" `Quick
+            test_canon_schedule_mapping;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "overwrite" `Quick test_cache_overwrite;
+        ] );
+      ( "dispatch",
+        [
+          Alcotest.test_case "exact on small" `Quick test_dispatch_exact_small;
+          Alcotest.test_case "deadline degrades" `Quick
+            test_dispatch_deadline_degrades;
+          Alcotest.test_case "unknown solver" `Quick
+            test_dispatch_unknown_solver;
+          Alcotest.test_case "lpt inapplicable" `Quick
+            test_dispatch_lpt_inapplicable;
+        ] );
+      ( "proto",
+        [
+          Alcotest.test_case "request roundtrip" `Quick
+            test_proto_request_roundtrip;
+          Alcotest.test_case "response roundtrip" `Quick
+            test_proto_response_roundtrip;
+          Alcotest.test_case "malformed resync" `Quick
+            test_proto_malformed_resync;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "cache roundtrip" `Quick
+            test_server_cache_roundtrip;
+          Alcotest.test_case "socket session" `Quick test_server_socket_session;
+        ] );
+    ]
