@@ -153,53 +153,44 @@ let benchmark () =
 
 (* --- serving-layer benchmarks + machine-readable export ------------------ *)
 
-(* One record per benchmark, exported to BENCH_serve.json so the bench
-   trajectory is machine-readable across runs. *)
-type record = {
-  rec_name : string;
-  iterations : int;
-  wall_ns : float;  (** total for all iterations *)
-  counters : (string * int) list;  (** counter deltas over the loop *)
-}
+(* One Obs.Expo.bench_record per benchmark, exported (same shape as
+   `schedtool loadgen --json`) so the bench trajectory is
+   machine-readable across runs and scripts/bench_gate.sh can compare
+   either producer against the committed baseline. *)
 
-let measure ~name ~iterations f =
+(* Per-iteration latencies for percentile-bearing benchmarks land here;
+   reset at the start of each measurement so a record's quantiles are
+   its own. *)
+let h_iter = Obs.Histogram.make "bench.iteration_latency_us"
+
+let measure ?(with_percentiles = false) ~name ~iterations f =
+  if with_percentiles then Obs.Histogram.reset h_iter;
   let before = Obs.Counter.snapshot () in
   let t0 = Obs.Sink.now_us () in
   for _ = 1 to iterations do
-    f ()
+    if with_percentiles then begin
+      let s0 = Obs.Sink.now_us () in
+      f ();
+      Obs.Histogram.observe h_iter (Obs.Sink.now_us () -. s0)
+    end
+    else f ()
   done;
   let wall_ns = (Obs.Sink.now_us () -. t0) *. 1e3 in
   let counters = Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ()) in
-  { rec_name = name; iterations; wall_ns; counters }
-
-let ns_per_iter r = r.wall_ns /. float_of_int r.iterations
-
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let records_to_json records =
-  let record_json r =
-    let counters =
-      r.counters
-      |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
-      |> String.concat ", "
-    in
-    Printf.sprintf
-      "  {\"name\": \"%s\", \"iterations\": %d, \"wall_ns\": %.0f, \
-       \"ns_per_iter\": %.0f, \"counters\": {%s}}"
-      (json_escape r.rec_name) r.iterations r.wall_ns (ns_per_iter r) counters
+  let percentiles =
+    if not with_percentiles then []
+    else
+      let s = Obs.Histogram.merged h_iter in
+      let q p = Obs.Histogram.quantile s p in
+      List.map
+        (fun (label, p) -> (label ^ "_us", q p))
+        Obs.Expo.quantile_points
+      @ [ ("max_us", s.Obs.Histogram.max_value) ]
   in
-  "[\n" ^ String.concat ",\n" (List.map record_json records) ^ "\n]\n"
+  { Obs.Expo.bname = name; iterations; wall_ns; percentiles; counters }
+
+let ns_per_iter (r : Obs.Expo.bench_record) =
+  r.Obs.Expo.wall_ns /. float_of_int r.Obs.Expo.iterations
 
 let exact_request instance =
   { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance }
@@ -241,7 +232,8 @@ let serve_benchmarks () =
   let server = fresh_server () in
   ignore (Serve.Server.handle_request server (exact_request inst12));
   let hit =
-    measure ~name:"serve cache hit n=12" ~iterations:200 (fun () ->
+    measure ~with_percentiles:true ~name:"serve cache hit n=12"
+      ~iterations:200 (fun () ->
         let permuted = Serve.Canon.shuffle rng inst12 in
         expect_hit "hit" (Serve.Server.handle_request server (exact_request permuted)))
   in
@@ -266,14 +258,14 @@ let serve_benchmarks () =
   let records = [ cold; hit; deadline; canon ] in
   let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
   List.iter
-    (fun r ->
+    (fun (r : Obs.Expo.bench_record) ->
       let ns = ns_per_iter r in
       let pretty =
         if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
         else Printf.sprintf "%.2f us" (ns /. 1e3)
       in
       Stats.Table.add_row table
-        [ r.rec_name; string_of_int r.iterations; pretty ])
+        [ r.Obs.Expo.bname; string_of_int r.Obs.Expo.iterations; pretty ])
     records;
   Stats.Table.print table;
   print_endline "";
@@ -301,8 +293,15 @@ let () =
   print_endline "=== serving layer (lib/serve) ===";
   print_endline "";
   let records = serve_benchmarks () in
-  let out = open_out "BENCH_serve.json" in
-  output_string out (records_to_json records);
+  (* scripts/bench_gate.sh points this elsewhere to compare a fresh run
+     against the committed baseline without clobbering it *)
+  let path =
+    match Sys.getenv_opt "BENCH_SERVE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_serve.json"
+  in
+  let out = open_out path in
+  output_string out (Obs.Expo.bench_records_json records);
   close_out out;
   print_endline "";
-  print_endline "wrote BENCH_serve.json"
+  Printf.printf "wrote %s\n" path

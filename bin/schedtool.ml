@@ -474,7 +474,13 @@ let loadgen_cmd =
   let seed_arg =
     Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Relabeling RNG seed.")
   in
-  let run socket count solver deadline permute seed path =
+  let json_arg =
+    Arg.(value & opt (some string) None
+         & info [ "json" ] ~docv:"FILE"
+             ~doc:"Write the run as a BENCH_serve.json-style record \
+                   (latency percentiles + outcome counters) to $(docv).")
+  in
+  let run socket count solver deadline permute seed json path =
     match read_instance path with
     | Error msg -> `Error (false, msg)
     | Ok instance -> (
@@ -494,8 +500,9 @@ let loadgen_cmd =
             let oc = Unix.out_channel_of_descr fd in
             let rng = Workloads.Rng.create seed in
             let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
-            let latencies_us = ref [] in
+            let h_latency = Obs.Histogram.make "loadgen.request_latency_us" in
             let last_makespan = ref nan in
+            let t_start = Obs.Sink.now_us () in
             for _ = 1 to count do
               let inst =
                 if permute then Serve.Canon.shuffle rng instance else instance
@@ -508,26 +515,63 @@ let loadgen_cmd =
                   if r.Serve.Proto.cache_hit then incr hits;
                   if r.Serve.Proto.degraded then incr degraded;
                   last_makespan := r.Serve.Proto.makespan
-              | Ok (Some (Serve.Proto.Error _)) | Ok None | Error _ ->
+              | Ok (Some (Serve.Proto.Stats_reply _))
+              | Ok (Some (Serve.Proto.Error _))
+              | Ok None | Error _ ->
                   incr errors);
-              latencies_us := (Obs.Sink.now_us () -. t0) :: !latencies_us
+              Obs.Histogram.observe h_latency (Obs.Sink.now_us () -. t0)
             done;
+            let wall_ns = (Obs.Sink.now_us () -. t_start) *. 1e3 in
             (try Unix.close fd with Unix.Unix_error _ -> ());
-            let l = !latencies_us in
-            let n = List.length l in
-            let total = List.fold_left ( +. ) 0.0 l in
-            let mn = List.fold_left Float.min infinity l in
-            let mx = List.fold_left Float.max neg_infinity l in
             Printf.printf "requests  %d\n" count;
             Printf.printf "hits      %d\n" !hits;
             Printf.printf "misses    %d\n" (count - !hits - !errors);
             Printf.printf "errors    %d\n" !errors;
             Printf.printf "degraded  %d\n" !degraded;
-            if n > 0 then begin
-              Printf.printf "latency us  mean %.0f  min %.0f  max %.0f\n"
-                (total /. float_of_int n) mn mx;
+            let s = Obs.Histogram.merged h_latency in
+            let percentiles =
+              if s.Obs.Histogram.count = 0 then []
+              else
+                [
+                  ("p50_us", Obs.Histogram.quantile s 0.5);
+                  ("p90_us", Obs.Histogram.quantile s 0.9);
+                  ("p99_us", Obs.Histogram.quantile s 0.99);
+                  ("max_us", s.Obs.Histogram.max_value);
+                ]
+            in
+            if s.Obs.Histogram.count > 0 then begin
+              Printf.printf "latency us  mean %.0f"
+                (s.Obs.Histogram.sum /. float_of_int s.Obs.Histogram.count);
+              List.iter
+                (fun (k, v) ->
+                  (* keys are "p50_us" etc.; print without the unit suffix *)
+                  Printf.printf "  %s %.0f" (String.sub k 0 (String.length k - 3)) v)
+                percentiles;
+              print_newline ();
               Printf.printf "last makespan %g\n" !last_makespan
             end;
+            Option.iter
+              (fun file ->
+                let record =
+                  {
+                    Obs.Expo.bname = "loadgen " ^ Filename.basename path;
+                    iterations = count;
+                    wall_ns;
+                    percentiles;
+                    counters =
+                      [
+                        ("loadgen.hits", !hits);
+                        ("loadgen.misses", count - !hits - !errors);
+                        ("loadgen.errors", !errors);
+                        ("loadgen.degraded", !degraded);
+                      ];
+                  }
+                in
+                let out = open_out file in
+                output_string out (Obs.Expo.bench_records_json [ record ]);
+                close_out out;
+                Printf.printf "wrote %s\n" file)
+              json;
             `Ok ())
   in
   let info =
@@ -539,7 +583,76 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
-       $ permute_arg $ seed_arg $ file_arg))
+       $ permute_arg $ seed_arg $ json_arg $ file_arg))
+
+(* --- metrics ------------------------------------------------------------ *)
+
+let metrics_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Scrape a running $(b,schedtool serve --socket) at \
+                   $(docv) via a stats admin frame (default: render \
+                   this process's own registries).")
+  in
+  let format_arg =
+    Arg.(value & opt (enum [ ("prometheus", Serve.Proto.Prometheus);
+                             ("json", Serve.Proto.Json) ])
+           Serve.Proto.Prometheus
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Exposition format: prometheus (text 0.0.4) or json.")
+  in
+  let render format =
+    match (format : Serve.Proto.stats_format) with
+    | Serve.Proto.Prometheus -> Obs.Expo.prometheus ()
+    | Serve.Proto.Json -> Obs.Expo.json ()
+  in
+  let run socket format =
+    match socket with
+    | None ->
+        (* local snapshot: the same renderer the serve stats frame uses,
+           on this process's (mostly empty) registries — documents the
+           format and lets scripts smoke-test the exposition offline *)
+        print_string (render format);
+        `Ok ()
+    | Some path -> (
+        match
+          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+          (try Unix.connect fd (Unix.ADDR_UNIX path)
+           with e -> Unix.close fd; raise e);
+          fd
+        with
+        | exception Unix.Unix_error (err, _, _) ->
+            `Error
+              ( false,
+                Printf.sprintf "cannot connect to %s: %s" path
+                  (Unix.error_message err) )
+        | fd ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            Serve.Proto.write_stats_request oc format;
+            let result =
+              match Serve.Proto.read_response ic with
+              | Ok (Some (Serve.Proto.Stats_reply { body; _ })) ->
+                  print_string body;
+                  if body <> "" && body.[String.length body - 1] <> '\n' then
+                    print_newline ();
+                  `Ok ()
+              | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
+              | Ok (Some (Serve.Proto.Reply _)) ->
+                  `Error (false, "server answered a solve reply to a stats frame")
+              | Ok None -> `Error (false, "server closed the session")
+              | Error msg -> `Error (false, msg)
+            in
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            result)
+  in
+  let info =
+    Cmd.info "metrics"
+      ~doc:"Print live metrics (Prometheus text or JSON) from a running \
+            serve socket, or this process's own snapshot."
+  in
+  Cmd.v info Term.(ret (const run $ socket_arg $ format_arg))
 
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in
@@ -547,7 +660,7 @@ let main =
   Cmd.group info
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
-      experiments_cmd; serve_cmd; loadgen_cmd;
+      experiments_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main)

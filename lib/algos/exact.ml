@@ -8,6 +8,7 @@ let c_nodes = Obs.Counter.make "algos.exact.nodes"
 let c_prunes = Obs.Counter.make "algos.exact.prunes_bound"
 let c_incumbents = Obs.Counter.make "algos.exact.incumbent_updates"
 let c_symmetry = Obs.Counter.make "algos.exact.symmetry_cuts"
+let h_nodes = Obs.Histogram.make "algos.exact.nodes_per_solve"
 
 type search_result = {
   best_assignment : int array option;
@@ -176,6 +177,7 @@ let solve ?node_limit instance =
   let greedy = List_scheduling.schedule instance in
   let shared = Atomic.make greedy.Common.makespan in
   let sr = search ?node_limit ~shared instance in
+  Obs.Histogram.observe h_nodes (float_of_int sr.search_nodes);
   let result =
     match sr.best_assignment with
     | Some a -> Common.result_of_assignment instance a

@@ -4,6 +4,8 @@ type report = {
   all : (string * float) list;
 }
 
+let h_candidate_us = Obs.Histogram.make "algos.portfolio.candidate_latency_us"
+
 let run ?(seed = 1) ?(eps = 0.5) ?(include_exact = false) instance =
   for j = 0 to Core.Instance.num_jobs instance - 1 do
     if Core.Instance.eligible_machines instance j = [] then
@@ -34,9 +36,14 @@ let run ?(seed = 1) ?(eps = 0.5) ?(include_exact = false) instance =
   let attempts =
     List.filter_map
       (fun (name, algo) ->
-        match algo instance with
-        | r -> Some (name, r)
-        | exception Invalid_argument _ -> None)
+        let t0 = Obs.Sink.now_us () in
+        let outcome =
+          match algo instance with
+          | r -> Some (name, r)
+          | exception Invalid_argument _ -> None
+        in
+        Obs.Histogram.observe h_candidate_us (Obs.Sink.now_us () -. t0);
+        outcome)
       candidates
   in
   match attempts with

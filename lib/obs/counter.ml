@@ -37,11 +37,23 @@ let snapshot () =
   List.sort (fun (a, _) (b, _) -> String.compare a b) entries
 
 let delta ~before ~after =
-  List.filter_map
-    (fun (name, v) ->
-      let b = Option.value ~default:0 (List.assoc_opt name before) in
-      if v <> b then Some (name, v - b) else None)
-    after
+  let moved =
+    List.filter_map
+      (fun (name, v) ->
+        let b = Option.value ~default:0 (List.assoc_opt name before) in
+        if v <> b then Some (name, v - b) else None)
+      after
+  in
+  (* counters in [before] but gone from [after] (reset or re-registered
+     between snapshots) would otherwise vanish silently: report the drop *)
+  let dropped =
+    List.filter_map
+      (fun (name, b) ->
+        if b <> 0 && not (List.mem_assoc name after) then Some (name, -b)
+        else None)
+      before
+  in
+  List.sort (fun (a, _) (b, _) -> String.compare a b) (moved @ dropped)
 
 let reset_all () =
   Mutex.lock registry_mutex;

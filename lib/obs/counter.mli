@@ -28,6 +28,8 @@ val snapshot : unit -> (string * int) list
 
 val delta : before:(string * int) list -> after:(string * int) list -> (string * int) list
 (** Counters whose value changed between two snapshots (name, increase);
-    counters absent from [before] count from zero. Sorted by name. *)
+    counters absent from [before] count from zero, and counters present
+    in [before] but missing from [after] (reset or re-registered between
+    snapshots) are reported as negative deltas. Sorted by name. *)
 
 val reset_all : unit -> unit

@@ -1,0 +1,196 @@
+(* Metrics exposition: the process-wide registries (counters, gauges,
+   labeled families, histograms) rendered as Prometheus text format or
+   as one JSON snapshot. Both renderings read the same snapshots, so the
+   `stats` admin frame, `schedtool metrics` and the loadgen report can
+   never disagree about what was measured. *)
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; our dotted counter names
+   (serve.cache_hits) map dots — and anything else exotic — to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let escape_label v =
+  let buf = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let float_text x =
+  if x = infinity then "+Inf"
+  else if x = neg_infinity then "-Inf"
+  else if Float.is_nan x then "NaN"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+(* --- Prometheus text format --------------------------------------------- *)
+
+let prometheus () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let p = sanitize name in
+      Printf.bprintf buf "# TYPE %s counter\n%s %d\n" p p v)
+    (Counter.snapshot ());
+  let last_family = ref "" in
+  List.iter
+    (fun (s : Labeled.sample) ->
+      let p = sanitize s.Labeled.metric in
+      if p <> !last_family then begin
+        Printf.bprintf buf "# TYPE %s counter\n" p;
+        last_family := p
+      end;
+      Printf.bprintf buf "%s{%s=\"%s\"} %d\n" p (sanitize s.Labeled.label)
+        (escape_label s.Labeled.label_value)
+        s.Labeled.value)
+    (Labeled.snapshot ());
+  List.iter
+    (fun (name, v) ->
+      let p = sanitize name in
+      Printf.bprintf buf "# TYPE %s gauge\n%s %s\n" p p (float_text v))
+    (Gauge.snapshot ());
+  List.iter
+    (fun (h : Histogram.snapshot) ->
+      let p = sanitize h.Histogram.sname in
+      Printf.bprintf buf "# TYPE %s histogram\n" p;
+      let cumulative = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cumulative := !cumulative + c;
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" p (float_text ub)
+            !cumulative)
+        h.Histogram.buckets;
+      (* Prometheus requires the +Inf bucket even when nothing overflowed *)
+      if
+        not
+          (List.exists (fun (ub, _) -> ub = infinity) h.Histogram.buckets)
+      then Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" p !cumulative;
+      Printf.bprintf buf "%s_sum %s\n" p (float_text h.Histogram.sum);
+      Printf.bprintf buf "%s_count %d\n" p h.Histogram.count)
+    (Histogram.snapshot ());
+  Buffer.contents buf
+
+(* --- JSON snapshot ------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* JSON has no inf/nan literals; histograms encode their overflow bucket
+   bound and empty-max as strings via [float_text]. *)
+let json_float x =
+  if Float.is_finite x then Printf.sprintf "%.9g" x
+  else Printf.sprintf "\"%s\"" (float_text x)
+
+let quantile_points = [ ("p50", 0.5); ("p90", 0.9); ("p99", 0.99) ]
+
+(* --- bench/loadgen record export ----------------------------------------- *)
+
+type bench_record = {
+  bname : string;
+  iterations : int;
+  wall_ns : float;
+  percentiles : (string * float) list;
+  counters : (string * int) list;
+}
+
+let bench_records_json records =
+  let record_json r =
+    let counters =
+      r.counters
+      |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+      |> String.concat ", "
+    in
+    let percentiles =
+      match r.percentiles with
+      | [] -> ""
+      | ps ->
+          let fields =
+            ps
+            |> List.map (fun (k, v) ->
+                   Printf.sprintf "\"%s\": %.0f" (json_escape k) v)
+            |> String.concat ", "
+          in
+          Printf.sprintf ", \"percentiles\": {%s}" fields
+    in
+    Printf.sprintf
+      "  {\"name\": \"%s\", \"iterations\": %d, \"wall_ns\": %.0f, \
+       \"ns_per_iter\": %.0f%s, \"counters\": {%s}}"
+      (json_escape r.bname) r.iterations r.wall_ns
+      (r.wall_ns /. float_of_int (max 1 r.iterations))
+      percentiles counters
+  in
+  "[\n" ^ String.concat ",\n" (List.map record_json records) ^ "\n]\n"
+
+let json () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\n    \"%s\": %d" (json_escape name) v)
+    (Counter.snapshot ());
+  Buffer.add_string buf "\n  },\n  \"labeled\": [";
+  List.iteri
+    (fun i (s : Labeled.sample) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    {\"metric\": \"%s\", \"%s\": \"%s\", \"value\": %d}"
+        (json_escape s.Labeled.metric)
+        (json_escape s.Labeled.label)
+        (json_escape s.Labeled.label_value)
+        s.Labeled.value)
+    (Labeled.snapshot ());
+  Buffer.add_string buf "\n  ],\n  \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "\n    \"%s\": %s" (json_escape name) (json_float v))
+    (Gauge.snapshot ());
+  Buffer.add_string buf "\n  },\n  \"histograms\": [";
+  List.iteri
+    (fun i (h : Histogram.snapshot) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    {\"name\": \"%s\", \"count\": %d, \"sum\": %s, \"max\": %s, \
+         \"ratio\": %s"
+        (json_escape h.Histogram.sname)
+        h.Histogram.count
+        (json_float h.Histogram.sum)
+        (json_float h.Histogram.max_value)
+        (json_float h.Histogram.sratio);
+      List.iter
+        (fun (label, q) ->
+          Printf.bprintf buf ", \"%s\": %s" label
+            (json_float (Histogram.quantile h q)))
+        quantile_points;
+      Buffer.add_string buf ", \"buckets\": [";
+      List.iteri
+        (fun j (ub, c) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (json_float ub) c)
+        h.Histogram.buckets;
+      Buffer.add_string buf "]}")
+    (Histogram.snapshot ());
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Metrics exposition: Prometheus text format and a JSON snapshot.
+
+    Both renderings walk the same registries — {!Counter}, {!Labeled},
+    {!Gauge} and {!Histogram} — so the serve [stats] admin frame,
+    [schedtool metrics] and the loadgen report agree by construction.
+    Dotted metric names are sanitized for Prometheus ([serve.requests]
+    becomes [serve_requests]); histograms render as cumulative
+    [_bucket{le="..."}] series plus [_sum] and [_count]. *)
+
+val sanitize : string -> string
+(** Map a metric name into the Prometheus character set
+    [[a-zA-Z0-9_:]]; every other character becomes ['_']. *)
+
+val prometheus : unit -> string
+(** Prometheus text exposition format (version 0.0.4): plain counters,
+    labeled counter families, gauges, then histograms, each preceded by
+    a [# TYPE] line. Histogram bucket counts are cumulative and always
+    include the [+Inf] bucket. *)
+
+val quantile_points : (string * float) list
+(** The quantiles the JSON snapshot reports per histogram:
+    [p50], [p90], [p99]. *)
+
+type bench_record = {
+  bname : string;
+  iterations : int;
+  wall_ns : float;  (** total for all iterations *)
+  percentiles : (string * float) list;
+      (** e.g. [("p50_us", 812.)]; omitted from the JSON when empty *)
+  counters : (string * int) list;  (** counter deltas over the loop *)
+}
+(** One benchmark or load-generation run, as exported to
+    [BENCH_serve.json] by the bench harness and [schedtool loadgen
+    --json]. *)
+
+val bench_records_json : bench_record list -> string
+(** Render records as a JSON array; [ns_per_iter] is derived. The same
+    shape on both producers keeps [scripts/bench_gate.sh] format-agnostic
+    about where a record came from. *)
+
+val json : unit -> string
+(** One JSON object: [{"counters": {...}, "labeled": [...],
+    "gauges": {...}, "histograms": [...]}]. Each histogram carries
+    count, sum, exact max, bucket ratio, the {!quantile_points}
+    estimates and its nonempty buckets; non-finite numbers are encoded
+    as strings (["+Inf"], ["NaN"]) since JSON has no literals for
+    them. *)

@@ -1,0 +1,100 @@
+(* Labeled counter families: one metric name, one label key, one atomic
+   cell per label value — e.g. serve.requests{status="ok"}. Cells are
+   interned like Counter's, so instrumented layers resolve their cell
+   once at module init and the hot path is a single atomic add. *)
+
+type cell = { metric : string; label_value : string; v : int Atomic.t }
+
+type family = {
+  fname : string;
+  label : string;
+  cells : (string, cell) Hashtbl.t;
+  mutex : Mutex.t;
+}
+
+type sample = {
+  metric : string;
+  label : string;
+  label_value : string;
+  value : int;
+}
+
+let registry : (string, family) Hashtbl.t = Hashtbl.create 16
+let registry_mutex = Mutex.create ()
+
+let family name ~label =
+  Mutex.lock registry_mutex;
+  let f =
+    match Hashtbl.find_opt registry name with
+    | Some f ->
+        if f.label <> label then begin
+          Mutex.unlock registry_mutex;
+          invalid_arg
+            (Printf.sprintf
+               "Labeled.family: %S already registered with label %S (asked for %S)"
+               name f.label label)
+        end;
+        f
+    | None ->
+        let f =
+          { fname = name; label; cells = Hashtbl.create 8; mutex = Mutex.create () }
+        in
+        Hashtbl.add registry name f;
+        f
+  in
+  Mutex.unlock registry_mutex;
+  f
+
+let name (f : family) = f.fname
+let label (f : family) = f.label
+
+let cell f label_value =
+  Mutex.lock f.mutex;
+  let c =
+    match Hashtbl.find_opt f.cells label_value with
+    | Some c -> c
+    | None ->
+        let c = { metric = f.fname; label_value; v = Atomic.make 0 } in
+        Hashtbl.add f.cells label_value c;
+        c
+  in
+  Mutex.unlock f.mutex;
+  c
+
+let incr c = ignore (Atomic.fetch_and_add c.v 1)
+let add c n = if n <> 0 then ignore (Atomic.fetch_and_add c.v n)
+let value c = Atomic.get c.v
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let families = Hashtbl.fold (fun _ f acc -> f :: acc) registry [] in
+  Mutex.unlock registry_mutex;
+  List.concat_map
+    (fun f ->
+      Mutex.lock f.mutex;
+      let cells = Hashtbl.fold (fun _ c acc -> c :: acc) f.cells [] in
+      Mutex.unlock f.mutex;
+      List.map
+        (fun (c : cell) ->
+          {
+            metric = f.fname;
+            label = f.label;
+            label_value = c.label_value;
+            value = Atomic.get c.v;
+          })
+        cells)
+    families
+  |> List.sort (fun a b ->
+         match String.compare a.metric b.metric with
+         | 0 -> String.compare a.label_value b.label_value
+         | n -> n)
+
+let reset_all () =
+  Mutex.lock registry_mutex;
+  Hashtbl.iter
+    (fun _ f ->
+      Mutex.lock f.mutex;
+      Hashtbl.iter (fun _ c -> Atomic.set c.v 0) f.cells;
+      Mutex.unlock f.mutex)
+    registry;
+  Mutex.unlock registry_mutex

@@ -6,9 +6,30 @@ let to_table () =
         Stats.Table.add_row table [ "counter"; name; string_of_int v ])
     (Counter.snapshot ());
   List.iter
+    (fun (s : Labeled.sample) ->
+      Stats.Table.add_row table
+        [
+          "counter";
+          Printf.sprintf "%s{%s=%S}" s.Labeled.metric s.Labeled.label
+            s.Labeled.label_value;
+          string_of_int s.Labeled.value;
+        ])
+    (Labeled.snapshot ());
+  List.iter
     (fun (name, v) ->
       Stats.Table.add_row table [ "gauge"; name; Printf.sprintf "%.3f" v ])
     (Gauge.snapshot ());
+  List.iter
+    (fun (h : Histogram.snapshot) ->
+      Stats.Table.add_row table
+        [
+          "histogram";
+          h.Histogram.sname;
+          Printf.sprintf "n=%d p50=%g p90=%g p99=%g max=%g" h.Histogram.count
+            (Histogram.quantile h 0.5) (Histogram.quantile h 0.9)
+            (Histogram.quantile h 0.99) h.Histogram.max_value;
+        ])
+    (Histogram.snapshot ());
   List.iter
     (fun (s : Span.summary) ->
       Stats.Table.add_row table

@@ -1,9 +1,10 @@
 (** Plain-text metrics summaries on top of {!Stats.Table}. *)
 
 val to_table : unit -> Stats.Table.t
-(** Snapshot of every nonzero counter, every set gauge, and per-name span
-    aggregates (count and total seconds), as a three-column
-    [kind | metric | value] table. *)
+(** Snapshot of every nonzero counter, every labeled-counter cell, every
+    set gauge, every nonempty histogram (count, p50/p90/p99, max) and
+    per-name span aggregates (count and total seconds), as a
+    three-column [kind | metric | value] table. *)
 
 val delta_table : before:(string * int) list -> Stats.Table.t
 (** Counters that moved since the [before] snapshot (from

@@ -1,12 +1,33 @@
 type phase = Begin | End | Instant
 
-type event = { name : string; phase : phase; ts_us : float; domain : int }
+type event = {
+  name : string;
+  phase : phase;
+  ts_us : float;
+  domain : int;
+  ctx : string option;
+}
 
 let on = Atomic.make false
 let enabled () = Atomic.get on
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 let now_us () = Unix.gettimeofday () *. 1e6
+
+(* Ambient per-domain context (e.g. a request id): every event records
+   the context current on its domain, so trace consumers can group the
+   spans of one request even when many requests interleave across
+   domains. *)
+let ctx_key : string option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_ctx () = !(Domain.DLS.get ctx_key)
+
+let with_ctx ctx f =
+  let cell = Domain.DLS.get ctx_key in
+  let saved = !cell in
+  cell := Some ctx;
+  Fun.protect ~finally:(fun () -> cell := saved) f
 
 (* One buffer per domain, created lazily; only the owning domain pushes,
    so emission is lock-free. The registry of buffers is mutex-protected
@@ -27,7 +48,13 @@ let emit ~name ~phase =
   if Atomic.get on then begin
     let buf = Domain.DLS.get buffer_key in
     buf :=
-      { name; phase; ts_us = now_us (); domain = (Domain.self () :> int) }
+      {
+        name;
+        phase;
+        ts_us = now_us ();
+        domain = (Domain.self () :> int);
+        ctx = current_ctx ();
+      }
       :: !buf
   end
 

@@ -19,6 +19,7 @@ type event = {
   phase : phase;
   ts_us : float;  (** absolute timestamp, microseconds since the epoch *)
   domain : int;  (** id of the recording domain *)
+  ctx : string option;  (** ambient context (request id) at emission *)
 }
 
 val enabled : unit -> bool
@@ -31,6 +32,17 @@ val now_us : unit -> float
 val emit : name:string -> phase:phase -> unit
 (** Record one event on the calling domain's buffer; no-op when the sink
     is disabled. *)
+
+val with_ctx : string -> (unit -> 'a) -> 'a
+(** [with_ctx id f] runs [f] with the calling domain's ambient context
+    set to [id]; every event emitted inside records it (rendered as a
+    [req] arg in the Chrome trace, so Perfetto can group one request's
+    spans across interleaved sessions). Contexts nest — the previous
+    context is restored even if [f] raises — and cost one domain-local
+    write whether or not the sink is enabled. *)
+
+val current_ctx : unit -> string option
+(** The calling domain's ambient context, if any. *)
 
 val events : unit -> event list
 (** All recorded events across every domain, in timestamp order. *)

@@ -28,9 +28,14 @@ let to_string () =
         | Sink.End -> ("E", "")
         | Sink.Instant -> ("i", ",\"s\":\"t\"")
       in
+      let args =
+        match e.ctx with
+        | None -> ""
+        | Some ctx -> Printf.sprintf ",\"args\":{\"req\":\"%s\"}" (escape ctx)
+      in
       Printf.bprintf buf
-        "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
-        (escape e.name) ph (e.ts_us -. t0) e.domain extra)
+        "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s%s}"
+        (escape e.name) ph (e.ts_us -. t0) e.domain extra args)
     events;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
   Buffer.contents buf

@@ -4,6 +4,7 @@ let c_task_run_us = Obs.Counter.make "pool.task_run_us"
 let c_rejected = Obs.Counter.make "pool.rejected_submissions"
 let c_task_errors = Obs.Counter.make "pool.task_errors"
 let g_busy = Obs.Gauge.make "pool.busy_fraction"
+let h_queue_wait = Obs.Histogram.make "pool.queue_wait_latency_us"
 
 type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
 
@@ -29,6 +30,7 @@ type t = {
 let execute pool slot f enqueued_us =
   let start = Obs.Sink.now_us () in
   Obs.Counter.add c_queue_wait_us (int_of_float (start -. enqueued_us));
+  Obs.Histogram.observe h_queue_wait (start -. enqueued_us);
   Fun.protect
     ~finally:(fun () ->
       let stop = Obs.Sink.now_us () in

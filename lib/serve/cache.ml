@@ -1,6 +1,7 @@
 let c_hits = Obs.Counter.make "serve.cache_hits"
 let c_misses = Obs.Counter.make "serve.cache_misses"
 let c_evictions = Obs.Counter.make "serve.cache_evictions"
+let h_lookup_us = Obs.Histogram.make "serve.cache.lookup_latency_us"
 
 type 'a entry = { value : 'a; mutable stamp : int }
 
@@ -38,15 +39,21 @@ let touch t key entry =
   Queue.push (key, t.tick) t.order
 
 let find t key =
-  locked t (fun () ->
-      match Hashtbl.find_opt t.table key with
-      | Some entry ->
-          Obs.Counter.incr c_hits;
-          touch t key entry;
-          Some entry.value
-      | None ->
-          Obs.Counter.incr c_misses;
-          None)
+  Obs.Span.with_span "serve.cache.lookup" @@ fun () ->
+  let t0 = Obs.Sink.now_us () in
+  let result =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some entry ->
+            Obs.Counter.incr c_hits;
+            touch t key entry;
+            Some entry.value
+        | None ->
+            Obs.Counter.incr c_misses;
+            None)
+  in
+  Obs.Histogram.observe h_lookup_us (Obs.Sink.now_us () -. t0);
+  result
 
 let evict_one t =
   (* Pop until a queue pair still describes a live entry's most recent

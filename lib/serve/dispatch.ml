@@ -75,6 +75,7 @@ let auto_hint t =
   if n <= 12 then Some "exact" else if n <= 200 then Some "portfolio" else None
 
 let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
+  Obs.Span.with_span "serve.dispatch" @@ fun () ->
   if not (List.mem hint solvers) then
     Error
       (Printf.sprintf "unknown solver %S (expected one of: %s)" hint

@@ -15,10 +15,29 @@ type reply = {
   assignment : int array;
 }
 
-type response = Reply of reply | Error of string
+type stats_format = Prometheus | Json
+
+type response =
+  | Reply of reply
+  | Stats_reply of { format : stats_format; body : string }
+  | Error of string
+
+(* Admin frames ride the same stream as solve requests; a session is a
+   sequence of either. *)
+type incoming = Solve of request | Stats of stats_format
 
 let request_header = Printf.sprintf "request v%d" version
+let stats_header = Printf.sprintf "stats v%d" version
 let response_header = Printf.sprintf "response v%d" version
+
+let stats_format_to_string = function
+  | Prometheus -> "prometheus"
+  | Json -> "json"
+
+let stats_format_of_string = function
+  | "prometheus" -> Some Prometheus
+  | "json" -> Some Json
+  | _ -> None
 
 let float_to_text x =
   if x = infinity then "inf" else Printf.sprintf "%.17g" x
@@ -90,7 +109,24 @@ let parse_request body =
   in
   fields body
 
-let read_request ic =
+(* A stats frame's body is an optional [format prometheus|json] field. *)
+let parse_stats body =
+  let rec fields format = function
+    | [] -> Ok (Stats format)
+    | line :: rest -> (
+        match split_first line with
+        | "format", v -> (
+            match stats_format_of_string v with
+            | Some f -> fields f rest
+            | None ->
+                Result.Error
+                  (Printf.sprintf "format: expected prometheus|json, got %S" v))
+        | "", _ -> fields format rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown stats field %S" key))
+  in
+  fields Prometheus body
+
+let read_incoming ic =
   match read_header ic with
   | None -> Ok None
   | Some header when header = request_header -> (
@@ -98,13 +134,30 @@ let read_request ic =
       | Result.Error _ as e -> e
       | Ok body -> (
           match parse_request body with
-          | Ok req -> Ok (Some req)
+          | Ok req -> Ok (Some (Solve req))
+          | Result.Error _ as e -> e))
+  | Some header when header = stats_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_stats body with
+          | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
       Result.Error
-        (Printf.sprintf "bad request header %S (expected %S)" header
+        (Printf.sprintf "bad request header %S (expected %S or %S)" header
+           request_header stats_header)
+
+let read_request ic =
+  match read_incoming ic with
+  | Ok None -> Ok None
+  | Ok (Some (Solve req)) -> Ok (Some req)
+  | Ok (Some (Stats _)) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" stats_header
            request_header)
+  | Result.Error _ as e -> e
 
 let write_request oc (req : request) =
   output_string oc request_header;
@@ -115,6 +168,13 @@ let write_request oc (req : request) =
     req.deadline_ms;
   output_string oc "instance\n";
   output_string oc (Core.Instance_io.to_string req.instance);
+  output_string oc "end\n";
+  flush oc
+
+let write_stats_request oc format =
+  output_string oc stats_header;
+  output_char oc '\n';
+  Printf.fprintf oc "format %s\n" (stats_format_to_string format);
   output_string oc "end\n";
   flush oc
 
@@ -131,6 +191,16 @@ let write_response oc response =
         String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) message
       in
       Printf.fprintf oc "error %s\n" message
+  | Stats_reply { format; body } ->
+      output_string oc "status stats\n";
+      Printf.fprintf oc "format %s\n" (stats_format_to_string format);
+      (* the payload is raw exposition text: its lines never consist of
+         the bare word "end" (Prometheus lines carry a space, JSON lines
+         punctuation), so the frame terminator stays unambiguous *)
+      output_string oc "payload\n";
+      output_string oc body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        output_char oc '\n'
   | Reply r ->
       output_string oc "status ok\n";
       Printf.fprintf oc "solver %s\n" r.solver;
@@ -211,6 +281,31 @@ let read_response ic =
               match parse_reply fields with
               | Ok r -> Ok (Some r)
               | Result.Error _ as e -> e)
+          | Some "stats" -> (
+              let format =
+                Option.bind (List.assoc_opt "format" fields)
+                  stats_format_of_string
+              in
+              match format with
+              | None -> Result.Error "stats response missing format"
+              | Some format -> (
+                  (* the payload is every line after the marker, verbatim *)
+                  let rec after_marker = function
+                    | [] -> None
+                    | "payload" :: rest -> Some rest
+                    | _ :: rest -> after_marker rest
+                  in
+                  match after_marker body with
+                  | None -> Result.Error "stats response missing payload"
+                  | Some lines ->
+                      (* the writer guarantees the payload ends in a
+                         newline; restore it so the body roundtrips *)
+                      let body =
+                        match lines with
+                        | [] -> ""
+                        | ls -> String.concat "\n" ls ^ "\n"
+                      in
+                      Ok (Some (Stats_reply { format; body }))))
           | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
           | None -> Result.Error "response missing status"))
   | Some header ->

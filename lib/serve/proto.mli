@@ -37,6 +37,28 @@
     end
     v}
 
+    Admin frame — ask the server for its live metrics, answered in-band
+    on the same stream:
+    {v
+    stats v1
+    format prometheus      # optional: prometheus|json (default prometheus)
+    end
+    v}
+
+    answered with the exposition text after a [payload] marker (the
+    payload's lines are Prometheus or JSON exposition and therefore
+    never the bare frame terminator):
+    {v
+    response v1
+    status stats
+    format prometheus
+    payload
+    # TYPE serve_requests counter
+    serve_requests{status="ok"} 41
+    ...
+    end
+    v}
+
     Blank lines between requests are ignored; [#] comments are allowed
     inside the instance block (they are part of the [Instance_io]
     format). *)
@@ -58,16 +80,32 @@ type reply = {
   assignment : int array;
 }
 
-type response = Reply of reply | Error of string
+type stats_format = Prometheus | Json
+
+type response =
+  | Reply of reply
+  | Stats_reply of { format : stats_format; body : string }
+      (** exposition text from {!Obs.Expo}, answered to a stats frame *)
+  | Error of string
+
+type incoming = Solve of request | Stats of stats_format
+(** One frame of a session: a solve request or a stats admin frame. *)
+
+val read_incoming : in_channel -> (incoming option, string) result
+(** Read one frame of either kind. [Ok None] is clean end-of-stream (no
+    frame started); [Error] is a malformed frame — the stream is
+    consumed up to the frame's [end] terminator (or EOF) so the session
+    can continue with the next frame. *)
 
 val read_request : in_channel -> (request option, string) result
-(** Read one request. [Ok None] is clean end-of-stream (no request
-    started); [Error] is a malformed request — the stream is consumed up
-    to the request's [end] terminator (or EOF) so the session can
-    continue with the next request. *)
+(** {!read_incoming} restricted to solve requests; a stats frame is an
+    error. Semantics otherwise identical. *)
 
 val write_request : out_channel -> request -> unit
 (** Client side; flushes. *)
+
+val write_stats_request : out_channel -> stats_format -> unit
+(** Client side: emit a [stats v1] admin frame; flushes. *)
 
 val write_response : out_channel -> response -> unit
 (** Server side; flushes. *)

@@ -1,5 +1,20 @@
-let c_requests = Obs.Counter.make "serve.requests"
+(* One labeled family instead of parallel ad-hoc counters: every request
+   lands in exactly one status cell, so the series sum is the request
+   count and the exposition layer renders them as
+   serve_requests{status="..."}. *)
+let requests = Obs.Labeled.family "serve.requests" ~label:"status"
+let c_req_ok = Obs.Labeled.cell requests "ok"
+let c_req_error = Obs.Labeled.cell requests "error"
+let c_req_degraded = Obs.Labeled.cell requests "degraded"
 let c_errors = Obs.Counter.make "serve.request_errors"
+let h_latency_us = Obs.Histogram.make "serve.request_latency_us"
+
+(* Process-wide request ids, threaded through the spans of a request
+   (serve.request -> serve.cache.lookup -> serve.dispatch -> solver) as
+   the ambient Sink context, so a Chrome trace of a concurrent socket
+   run can be grouped/filtered by request. *)
+let req_seq = Atomic.make 0
+let next_request_id () = Printf.sprintf "r%d" (Atomic.fetch_and_add req_seq 1)
 
 type config = {
   cache_capacity : int;
@@ -36,14 +51,24 @@ let create config =
   }
 
 let handle_request t (req : Proto.request) =
+  Obs.Sink.with_ctx (next_request_id ()) @@ fun () ->
   Obs.Span.with_span "serve.request" @@ fun () ->
-  Obs.Counter.incr c_requests;
   let start_us = Obs.Sink.now_us () in
   let elapsed_us () = int_of_float (Obs.Sink.now_us () -. start_us) in
+  let finish response =
+    Obs.Histogram.observe h_latency_us (Obs.Sink.now_us () -. start_us);
+    (match response with
+    | Proto.Error _ ->
+        Obs.Labeled.incr c_req_error;
+        Obs.Counter.incr c_errors
+    | Proto.Reply r when r.Proto.degraded -> Obs.Labeled.incr c_req_degraded
+    | Proto.Reply _ | Proto.Stats_reply _ -> Obs.Labeled.incr c_req_ok);
+    response
+  in
+  finish
+  @@
   match Canon.canonicalize req.instance with
-  | exception Invalid_argument msg ->
-      Obs.Counter.incr c_errors;
-      Proto.Error msg
+  | exception Invalid_argument msg -> Proto.Error msg
   | canon -> (
       let key = Core.Instance_io.to_string canon.Canon.instance in
       match Cache.find t.cache key with
@@ -66,9 +91,7 @@ let handle_request t (req : Proto.request) =
           match
             Dispatch.solve ?deadline_ms ?hint:req.solver canon.Canon.instance
           with
-          | Error msg ->
-              Obs.Counter.incr c_errors;
-              Proto.Error msg
+          | Error msg -> Proto.Error msg
           | Ok outcome ->
               let result = outcome.Dispatch.result in
               let assignment =
@@ -91,15 +114,30 @@ let handle_request t (req : Proto.request) =
                   assignment = Canon.assignment_to_original canon assignment;
                 }))
 
+(* Stats frames answer from the process-wide registries; they are admin
+   traffic, deliberately outside the request counters and the latency
+   histogram so scraping does not perturb what it measures. *)
+let handle_stats format =
+  let body =
+    match (format : Proto.stats_format) with
+    | Proto.Prometheus -> Obs.Expo.prometheus ()
+    | Proto.Json -> Obs.Expo.json ()
+  in
+  Proto.Stats_reply { format; body }
+
 let serve_channels t ic oc =
   let rec loop () =
-    match Proto.read_request ic with
+    match Proto.read_incoming ic with
     | Ok None -> ()
-    | Ok (Some req) ->
+    | Ok (Some (Proto.Solve req)) ->
         Proto.write_response oc (handle_request t req);
+        loop ()
+    | Ok (Some (Proto.Stats format)) ->
+        Proto.write_response oc (handle_stats format);
         loop ()
     | Error msg ->
         Obs.Counter.incr c_errors;
+        Obs.Labeled.incr c_req_error;
         Proto.write_response oc (Proto.Error msg);
         loop ()
   in

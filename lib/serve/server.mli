@@ -9,8 +9,16 @@
     pool).
 
     Per-request observability: a [serve.request] span brackets each
-    request, [serve.requests] / [serve.request_errors] count outcomes,
-    and the cache and dispatch layers contribute their own counters. *)
+    request and carries a process-unique request id as the ambient
+    {!Obs.Sink} context (so do the nested cache/dispatch/solver spans —
+    Chrome traces group by the [req] arg); the labeled family
+    [serve.requests{status="ok"|"error"|"degraded"}] counts every
+    response exactly once; [serve.request_errors] keeps the flat error
+    count; request latency lands in the [serve.request_latency_us]
+    histogram; and the cache and dispatch layers contribute their own
+    counters, spans and histograms. A [stats v1] admin frame is answered
+    in-band with the {!Obs.Expo} exposition (Prometheus or JSON) of all
+    of the above — admin traffic stays outside the request metrics. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries kept (default 128) *)

@@ -1,0 +1,92 @@
+#!/bin/sh
+# bench_gate.sh — regression gate for the serving-layer benchmarks.
+#
+# Runs the bench harness with BENCH_SERVE_OUT pointed at a scratch file
+# and compares the fresh ns_per_iter and latency percentiles per record
+# against the committed BENCH_serve.json baseline. A fresh value more
+# than TOLERANCE times its baseline fails the gate; faster-than-baseline
+# never fails. Timings on shared CI hardware are noisy, so the default
+# tolerance is deliberately loose — the gate catches order-of-magnitude
+# regressions (a dropped cache, an accidental O(n^2)), not percent-level
+# drift.
+#
+# Usage:  scripts/bench_gate.sh [baseline.json]
+#   TOLERANCE=3.0   ratio above which a metric fails (default 3.0)
+#   SKIP_RUN=1      compare an existing $BENCH_SERVE_OUT instead of
+#                   re-running the harness
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BASELINE="${1:-BENCH_serve.json}"
+TOLERANCE="${TOLERANCE:-3.0}"
+FRESH="${BENCH_SERVE_OUT:-$(mktemp /tmp/bench_serve.XXXXXX.json)}"
+
+[ -f "$BASELINE" ] || { echo "bench_gate: baseline $BASELINE not found" >&2; exit 2; }
+
+if [ "${SKIP_RUN:-0}" != "1" ]; then
+  echo "bench_gate: running bench harness (BENCH_SERVE_OUT=$FRESH)"
+  BENCH_SERVE_OUT="$FRESH" dune exec bench/main.exe >/dev/null
+fi
+
+[ -f "$FRESH" ] || { echo "bench_gate: fresh results $FRESH not found" >&2; exit 2; }
+
+# Flatten one records file into "name<TAB>metric<TAB>value" lines. The
+# JSON is the flat shape Obs.Expo.bench_records_json writes: one record
+# object per line, numeric fields only where we look.
+flatten() {
+  awk '
+    /"name":/ {
+      line = $0
+      name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      npi = line
+      if (sub(/.*"ns_per_iter": /, "", npi)) {
+        sub(/[,}].*/, "", npi)
+        printf "%s\tns_per_iter\t%s\n", name, npi
+      }
+      if (match(line, /"percentiles": \{[^}]*\}/)) {
+        ps = substr(line, RSTART, RLENGTH)
+        sub(/.*\{/, "", ps); sub(/\}.*/, "", ps)
+        n = split(ps, kv, /, /)
+        for (i = 1; i <= n; i++) {
+          split(kv[i], pair, /": /)
+          key = pair[1]; gsub(/.*"/, "", key)
+          printf "%s\t%s\t%s\n", name, key, pair[2]
+        }
+      }
+    }
+  ' "$1"
+}
+
+base_flat=$(mktemp /tmp/bench_gate_base.XXXXXX)
+fresh_flat=$(mktemp /tmp/bench_gate_fresh.XXXXXX)
+trap 'rm -f "$base_flat" "$fresh_flat"' EXIT
+flatten "$BASELINE" > "$base_flat"
+flatten "$FRESH" > "$fresh_flat"
+
+fail=0
+while IFS="$(printf '\t')" read -r name metric base; do
+  fresh=$(awk -F'\t' -v n="$name" -v m="$metric" \
+            '$1 == n && $2 == m { print $3 }' "$fresh_flat")
+  if [ -z "$fresh" ]; then
+    echo "bench_gate: MISSING  $name / $metric (in baseline, not in fresh run)"
+    fail=1
+    continue
+  fi
+  verdict=$(awk -v b="$base" -v f="$fresh" -v tol="$TOLERANCE" 'BEGIN {
+    if (b <= 0) { print "ok skip"; exit }
+    r = f / b
+    printf "%s %.2f", (r > tol ? "FAIL" : "ok"), r
+  }')
+  status=${verdict%% *}
+  ratio=${verdict#* }
+  printf 'bench_gate: %-4s %s / %s: baseline %s, fresh %s (x%s)\n' \
+    "$status" "$name" "$metric" "$base" "$fresh" "$ratio"
+  [ "$status" = "FAIL" ] && fail=1
+done < "$base_flat"
+
+if [ "$fail" != "0" ]; then
+  echo "bench_gate: FAILED (tolerance x$TOLERANCE vs $BASELINE)"
+  exit 1
+fi
+echo "bench_gate: OK (all metrics within x$TOLERANCE of $BASELINE)"

@@ -34,7 +34,7 @@ and the session keeps going — the next frame still gets served:
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status error
-  error bad request header "request v9" (expected "request v1")
+  error bad request header "request v9" (expected "request v1" or "stats v1")
   end
   response v1
   status ok
@@ -44,6 +44,33 @@ and the session keeps going — the next frame still gets served:
   makespan 112
   assignment 1 0 1 0
   end
+
+A stats admin frame is answered in-band with the server's live metrics
+as Prometheus exposition: the solve that preceded it shows up in the
+labeled request counter and the latency histogram (bucket bounds and
+sums are timing-dependent, so only the stable lines are kept):
+
+  $ cat $samples/solve.txt $samples/stats.txt \
+  >   | schedtool serve --stdio \
+  >   | grep -E 'status stats|^format|serve_requests\{|latency_us_(count|bucket\{le="\+Inf"\})'
+  status stats
+  format prometheus
+  serve_requests{status="degraded"} 0
+  serve_requests{status="error"} 0
+  serve_requests{status="ok"} 1
+  serve_cache_lookup_latency_us_bucket{le="+Inf"} 1
+  serve_cache_lookup_latency_us_count 1
+  serve_request_latency_us_bucket{le="+Inf"} 1
+  serve_request_latency_us_count 1
+
+`schedtool metrics` renders the same exposition for the current process:
+with no serving traffic the labeled cells exist but sit at zero (the
+request counters are resolved when the server module loads):
+
+  $ schedtool metrics | grep 'serve_requests{'
+  serve_requests{status="degraded"} 0
+  serve_requests{status="error"} 0
+  serve_requests{status="ok"} 0
 
 A zero deadline on a large instance degrades to list scheduling instead
 of timing out; the reply is flagged so callers can tell:

@@ -218,6 +218,248 @@ let test_pool_rejected_counter () =
         (Astring.String.is_infix ~affix:"queue depth" msg));
   Alcotest.(check int) "counter bumped" (before + 1) (C.value c)
 
+let test_counter_delta_dropped () =
+  (* counters present in [before] but missing from [after] (a reset
+     registry) must show up as negative deltas, not vanish *)
+  let d = C.delta ~before:[ ("gone", 5); ("still", 2) ] ~after:[ ("still", 2) ] in
+  Alcotest.(check (list (pair string int))) "negative delta" [ ("gone", -5) ] d;
+  let d2 =
+    C.delta
+      ~before:[ ("b", 3); ("a", 1) ]
+      ~after:[ ("a", 4); ("c", 2) ]
+  in
+  Alcotest.(check (list (pair string int)))
+    "moved, dropped and new, sorted"
+    [ ("a", 3); ("b", -3); ("c", 2) ]
+    d2;
+  Alcotest.(check (list (pair string int)))
+    "zero counters never report as dropped" []
+    (C.delta ~before:[ ("zero", 0) ] ~after:[])
+
+(* --- histograms ---------------------------------------------------------- *)
+
+module H = Obs.Histogram
+
+let test_histogram_basics () =
+  let h = H.make "test.hist.basics" in
+  H.reset h;
+  let h' = H.make "test.hist.basics" in
+  List.iter (H.observe h) [ 0.5; 1.0; 2.0; 100.0; 1e15 ];
+  H.observe h' 3.0;
+  let s = H.merged h in
+  Alcotest.(check string) "name" "test.hist.basics" s.H.sname;
+  Alcotest.(check int) "interned: both handles feed one histogram" 6 s.H.count;
+  Alcotest.(check (float 1e-3)) "sum" (0.5 +. 1.0 +. 2.0 +. 100.0 +. 1e15 +. 3.0) s.H.sum;
+  Alcotest.(check (float 1e-3)) "exact max" 1e15 s.H.max_value;
+  (* v <= 1 lands in bucket 0 (ub 1.0); 1e15 overflows to the +inf bucket *)
+  (match s.H.buckets with
+  | (ub0, c0) :: _ ->
+      Alcotest.(check (float 0.0)) "first bucket ub" 1.0 ub0;
+      Alcotest.(check int) "two values <= 1" 2 c0
+  | [] -> Alcotest.fail "no buckets");
+  (match List.rev s.H.buckets with
+  | (ub_last, c_last) :: _ ->
+      Alcotest.(check bool) "overflow ub is +inf" true (ub_last = infinity);
+      Alcotest.(check int) "one overflowed value" 1 c_last
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check bool) "find" true (H.find "test.hist.basics" <> None);
+  Alcotest.(check bool) "find unknown" true (H.find "test.hist.nope" = None);
+  H.reset h;
+  Alcotest.(check int) "reset" 0 (H.merged h).H.count
+
+let test_histogram_quantile_bound () =
+  (* the histogram's quantile estimate must sit within the bucket
+     relative-error bound of the exact sample quantile: for true value v
+     in (1, 1e12), v <= estimate < ratio * v *)
+  let h = H.make "test.hist.bound" in
+  H.reset h;
+  let ratio = H.ratio h in
+  let rng = Workloads.Rng.create 42 in
+  let n = 1000 in
+  let samples =
+    Array.init n (fun _ ->
+        (* log-uniform over (1, 1e9): exercises many buckets *)
+        Float.exp (Workloads.Rng.float rng *. log 1e9))
+  in
+  Array.iter (H.observe h) samples;
+  let s = H.merged h in
+  Alcotest.(check int) "count" n s.H.count;
+  List.iter
+    (fun q ->
+      let exact = Stats.quantile samples q in
+      let est = H.quantile s q in
+      (* interpolation vs order-statistic off-by-one is < one sample
+         apart; one extra ratio factor absorbs it *)
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f: estimate %.1f >= exact/ratio %.1f" q est
+           (exact /. ratio))
+        true
+        (est >= exact /. ratio);
+      Alcotest.(check bool)
+        (Printf.sprintf "q=%.2f: estimate %.1f < exact*ratio^2 %.1f" q est
+           (exact *. ratio *. ratio))
+        true
+        (est < exact *. ratio *. ratio))
+    [ 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 1.0 ];
+  (* q=1.0 through the overflow path: the tracked max is exact *)
+  H.observe h 1e14;
+  let s = H.merged h in
+  Alcotest.(check (float 1e-3)) "overflow quantile reports exact max" 1e14
+    (H.quantile s 1.0)
+
+let test_histogram_hammer () =
+  (* 4 pool domains x 64 tasks x 500 observations: merged snapshot loses
+     nothing even though every domain records into its own shard *)
+  let h = H.make "test.hist.hammer" in
+  H.reset h;
+  let pool = P.create 4 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      ignore
+        (P.run pool
+           (List.init 64 (fun i () ->
+                for j = 1 to 500 do
+                  H.observe h (float_of_int ((i * 500) + j))
+                done))));
+  let s = H.merged h in
+  Alcotest.(check int) "no lost observations" 32_000 s.H.count;
+  Alcotest.(check (float 1e-3)) "exact max survives the merge" 32_000.0
+    s.H.max_value;
+  Alcotest.(check bool) "shards of dead domains persist" true
+    ((H.merged h).H.count = 32_000)
+
+(* --- labeled families ---------------------------------------------------- *)
+
+module L = Obs.Labeled
+
+let test_labeled () =
+  let f = L.family "test.labeled.requests" ~label:"status" in
+  let ok = L.cell f "ok" and err = L.cell f "error" in
+  L.incr ok;
+  L.incr ok;
+  L.add err 3;
+  Alcotest.(check int) "ok" 2 (L.value ok);
+  Alcotest.(check int) "error" 3 (L.value err);
+  let f' = L.family "test.labeled.requests" ~label:"status" in
+  L.incr (L.cell f' "ok");
+  Alcotest.(check int) "family interned by name" 3 (L.value ok);
+  (match L.family "test.labeled.requests" ~label:"other" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "label-key mismatch should raise");
+  let samples =
+    List.filter
+      (fun (s : L.sample) -> s.L.metric = "test.labeled.requests")
+      (L.snapshot ())
+  in
+  Alcotest.(check (list (pair string int)))
+    "snapshot sorted by label value"
+    [ ("error", 3); ("ok", 3) ]
+    (List.map (fun (s : L.sample) -> (s.L.label_value, s.L.value)) samples)
+
+(* --- exposition ---------------------------------------------------------- *)
+
+let test_expo_prometheus () =
+  let c = C.make "test.expo.total" in
+  C.reset c;
+  C.add c 5;
+  let f = L.family "test.expo.requests" ~label:"status" in
+  L.add (L.cell f "ok") 7;
+  let h = H.make "test.expo.latency_us" in
+  H.reset h;
+  List.iter (H.observe h) [ 0.5; 10.0; 1e13 ];
+  let text = Obs.Expo.prometheus () in
+  let has affix = Astring.String.is_infix ~affix text in
+  Alcotest.(check bool) "sanitized counter" true
+    (has "# TYPE test_expo_total counter\ntest_expo_total 5");
+  Alcotest.(check bool) "labeled sample" true
+    (has "test_expo_requests{status=\"ok\"} 7");
+  Alcotest.(check bool) "histogram type line" true
+    (has "# TYPE test_expo_latency_us histogram");
+  Alcotest.(check bool) "first bucket" true
+    (has "test_expo_latency_us_bucket{le=\"1\"} 1");
+  Alcotest.(check bool) "+Inf bucket is cumulative" true
+    (has "test_expo_latency_us_bucket{le=\"+Inf\"} 3");
+  Alcotest.(check bool) "count" true (has "test_expo_latency_us_count 3");
+  Alcotest.(check string) "sanitize" "a_b:c_1_"
+    (Obs.Expo.sanitize "a.b:c-1%")
+
+let test_expo_json () =
+  let h = H.make "test.expo.json_us" in
+  H.reset h;
+  List.iter (H.observe h) [ 2.0; 4.0; 8.0 ];
+  let text = Obs.Expo.json () in
+  let has affix = Astring.String.is_infix ~affix text in
+  Alcotest.(check bool) "histogram object" true
+    (has "\"name\": \"test.expo.json_us\"");
+  Alcotest.(check bool) "count field" true (has "\"count\": 3");
+  List.iter
+    (fun (label, _) ->
+      Alcotest.(check bool) (label ^ " present") true
+        (has (Printf.sprintf "\"%s\": " label)))
+    Obs.Expo.quantile_points;
+  let records =
+    Obs.Expo.bench_records_json
+      [
+        {
+          Obs.Expo.bname = "r1";
+          iterations = 10;
+          wall_ns = 1000.0;
+          percentiles = [ ("p50_us", 12.0) ];
+          counters = [ ("c", 3) ];
+        };
+        {
+          Obs.Expo.bname = "r2";
+          iterations = 5;
+          wall_ns = 500.0;
+          percentiles = [];
+          counters = [];
+        };
+      ]
+  in
+  let hasr affix = Astring.String.is_infix ~affix records in
+  Alcotest.(check bool) "ns_per_iter derived" true
+    (hasr "\"ns_per_iter\": 100");
+  Alcotest.(check bool) "percentiles block" true
+    (hasr "\"percentiles\": {\"p50_us\": 12}");
+  Alcotest.(check bool) "empty percentiles omitted" true
+    (not (hasr "\"name\": \"r2\", \"iterations\": 5, \"wall_ns\": 500, \
+                \"ns_per_iter\": 100, \"percentiles\""))
+
+(* --- request-id context -------------------------------------------------- *)
+
+let test_sink_ctx () =
+  with_clean_sink (fun () ->
+      Obs.Sink.enable ();
+      Alcotest.(check bool) "no ambient ctx" true
+        (Obs.Sink.current_ctx () = None);
+      Obs.Sink.with_ctx "r42" (fun () ->
+          Alcotest.(check (option string)) "ctx visible" (Some "r42")
+            (Obs.Sink.current_ctx ());
+          Obs.Span.with_span "outer" (fun () ->
+              Obs.Span.with_span "inner" (fun () -> ())));
+      Obs.Span.instant "after";
+      let tagged, untagged =
+        List.partition
+          (fun (e : Obs.Sink.event) -> e.Obs.Sink.ctx = Some "r42")
+          (Obs.Sink.events ())
+      in
+      Alcotest.(check int) "both spans tagged" 4 (List.length tagged);
+      Alcotest.(check int) "event outside with_ctx untagged" 1
+        (List.length untagged);
+      (* nested ctx restores the outer one, even on raise *)
+      Obs.Sink.with_ctx "a" (fun () ->
+          (try Obs.Sink.with_ctx "b" (fun () -> failwith "x")
+           with Failure _ -> ());
+          Alcotest.(check (option string)) "restored after raise" (Some "a")
+            (Obs.Sink.current_ctx ()));
+      let text = Obs.Trace.to_string () in
+      Alcotest.(check bool) "trace carries the request id" true
+        (Astring.String.is_infix ~affix:"\"args\":{\"req\":\"r42\"}" text);
+      match Obs.Trace.validate_string text with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "trace with args did not validate: %s" msg)
+
 let test_report_tables () =
   let c = C.make "test.report" in
   C.reset c;
@@ -239,8 +481,25 @@ let () =
           Alcotest.test_case "basics" `Quick test_counter_basics;
           Alcotest.test_case "delta" `Quick test_counter_delta;
           Alcotest.test_case "4-domain hammer" `Quick test_counter_hammer;
+          Alcotest.test_case "delta reports dropped counters" `Quick
+            test_counter_delta_dropped;
         ] );
       ("gauge", [ Alcotest.test_case "set/get" `Quick test_gauge ]);
+      ( "histogram",
+        [
+          Alcotest.test_case "basics" `Quick test_histogram_basics;
+          Alcotest.test_case "quantile error bounded by ratio" `Quick
+            test_histogram_quantile_bound;
+          Alcotest.test_case "4-domain hammer" `Quick test_histogram_hammer;
+        ] );
+      ("labeled", [ Alcotest.test_case "families" `Quick test_labeled ]);
+      ( "expo",
+        [
+          Alcotest.test_case "prometheus" `Quick test_expo_prometheus;
+          Alcotest.test_case "json" `Quick test_expo_json;
+        ] );
+      ( "ctx",
+        [ Alcotest.test_case "request ids on events" `Quick test_sink_ctx ] );
       ( "span",
         [
           Alcotest.test_case "disabled = silent" `Quick test_span_disabled;

@@ -250,6 +250,48 @@ let test_proto_malformed_resync () =
         (Astring.String.is_infix ~affix:"keyword" bad_instance)
   | _ -> Alcotest.fail "expected error, error, ok"
 
+let test_proto_stats_roundtrip () =
+  (* stats frames both ways: the admin request parses via read_incoming,
+     and a Stats_reply carries a multi-line exposition body intact *)
+  let body = "# TYPE serve_requests counter\nserve_requests{status=\"ok\"} 41\n" in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_stats_request oc Serve.Proto.Prometheus;
+        Serve.Proto.write_stats_request oc Serve.Proto.Json)
+      (fun ic ->
+        let a = Serve.Proto.read_incoming ic in
+        let b = Serve.Proto.read_incoming ic in
+        let c = Serve.Proto.read_incoming ic in
+        (a, b, c))
+  with
+  | ( Ok (Some (Serve.Proto.Stats Serve.Proto.Prometheus)),
+      Ok (Some (Serve.Proto.Stats Serve.Proto.Json)),
+      Ok None ) -> (
+      (* read_request must reject the admin frame rather than mis-parse *)
+      (match
+         roundtrip_via_file
+           (fun oc -> Serve.Proto.write_stats_request oc Serve.Proto.Prometheus)
+           Serve.Proto.read_request
+       with
+      | Error msg ->
+          Alcotest.(check bool) "read_request rejects stats" true
+            (Astring.String.is_infix ~affix:"stats" msg)
+      | Ok _ -> Alcotest.fail "read_request accepted a stats frame");
+      match
+        roundtrip_via_file
+          (fun oc ->
+            Serve.Proto.write_response oc
+              (Serve.Proto.Stats_reply
+                 { format = Serve.Proto.Prometheus; body }))
+          Serve.Proto.read_response
+      with
+      | Ok (Some (Serve.Proto.Stats_reply { format; body = got })) ->
+          Alcotest.(check bool) "format" true (format = Serve.Proto.Prometheus);
+          Alcotest.(check string) "multi-line body intact" body got
+      | _ -> Alcotest.fail "expected a stats reply")
+  | _ -> Alcotest.fail "stats frames did not roundtrip"
+
 (* --- Server ------------------------------------------------------------- *)
 
 let mk_server () =
@@ -269,6 +311,7 @@ let test_server_cache_roundtrip () =
       in
       match ask inst with
       | Serve.Proto.Error msg -> Alcotest.fail msg
+      | Serve.Proto.Stats_reply _ -> Alcotest.fail "unexpected stats reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
             first.Serve.Proto.cache_hit;
@@ -277,6 +320,7 @@ let test_server_cache_roundtrip () =
           let shuffled = Serve.Canon.shuffle r inst in
           match ask shuffled with
           | Serve.Proto.Error msg -> Alcotest.fail msg
+          | Serve.Proto.Stats_reply _ -> Alcotest.fail "unexpected stats reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
                 second.Serve.Proto.cache_hit;
@@ -287,6 +331,78 @@ let test_server_cache_roundtrip () =
               in
               Alcotest.(check bool) "assignment valid" true
                 (Core.Schedule.is_valid shuffled sched)))
+
+let test_server_stats_frame () =
+  (* one solve then a stats frame on the same session: the exposition
+     must report that request in the labeled family and the latency
+     histogram *)
+  let server = mk_server () in
+  let inpath = Filename.temp_file "serve_stats_in" ".txt" in
+  let outpath = Filename.temp_file "serve_stats_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ inpath; outpath ])
+    (fun () ->
+      let inst = Workloads.Gen.identical (rng 15) ~n:5 ~m:2 ~k:2 () in
+      let oc = open_out inpath in
+      Serve.Proto.write_request oc
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+      Serve.Proto.write_stats_request oc Serve.Proto.Prometheus;
+      Serve.Proto.write_stats_request oc Serve.Proto.Json;
+      close_out oc;
+      let ic = open_in inpath in
+      let oc = open_out outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Serve.Server.serve_channels server ic oc);
+      close_out oc;
+      let ic = open_in outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Reply _)) -> ()
+          | _ -> Alcotest.fail "expected a solve reply first");
+          let ok_count body =
+            (* the "serve_requests{status="ok"} N" sample value *)
+            let marker = "serve_requests{status=\"ok\"} " in
+            match Astring.String.cut ~sep:marker body with
+            | Some (_, rest) -> (
+                match Astring.String.cut ~sep:"\n" rest with
+                | Some (n, _) -> int_of_string n
+                | None -> int_of_string rest)
+            | None -> Alcotest.fail "no ok sample in exposition"
+          in
+          let first_ok =
+            match Serve.Proto.read_response ic with
+            | Ok (Some (Serve.Proto.Stats_reply { body; _ })) ->
+                let has affix = Astring.String.is_infix ~affix body in
+                Alcotest.(check bool) "latency histogram present" true
+                  (has "# TYPE serve_request_latency_us histogram");
+                Alcotest.(check bool) "latency histogram has buckets" true
+                  (has "serve_request_latency_us_bucket{le=");
+                let n = ok_count body in
+                Alcotest.(check bool) "ok sample counts the request" true
+                  (n >= 1);
+                n
+            | _ -> Alcotest.fail "expected a prometheus stats reply"
+          in
+          match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Stats_reply { format; body })) ->
+              Alcotest.(check bool) "json format" true
+                (format = Serve.Proto.Json);
+              Alcotest.(check bool) "json body has histograms" true
+                (Astring.String.is_infix ~affix:"\"histograms\"" body);
+              (* the stats frame between the two scrapes did not count
+                 as a request: admin traffic stays outside the metrics *)
+              Alcotest.(check bool) "stats frames not counted" true
+                (Astring.String.is_infix
+                   ~affix:(Printf.sprintf "\"value\": %d" first_ok)
+                   body)
+          | _ -> Alcotest.fail "expected a json stats reply"))
 
 let test_server_socket_session () =
   let server = mk_server () in
@@ -371,6 +487,8 @@ let () =
             test_proto_request_roundtrip;
           Alcotest.test_case "response roundtrip" `Quick
             test_proto_response_roundtrip;
+          Alcotest.test_case "stats frame roundtrip" `Quick
+            test_proto_stats_roundtrip;
           Alcotest.test_case "malformed resync" `Quick
             test_proto_malformed_resync;
         ] );
@@ -378,6 +496,7 @@ let () =
         [
           Alcotest.test_case "cache roundtrip" `Quick
             test_server_cache_roundtrip;
+          Alcotest.test_case "stats frame" `Quick test_server_stats_frame;
           Alcotest.test_case "socket session" `Quick test_server_socket_session;
         ] );
     ]
