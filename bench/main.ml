@@ -255,7 +255,15 @@ let serve_benchmarks () =
     measure ~name:"canonicalize n=150" ~iterations:50 (fun () ->
         ignore (Serve.Canon.key big))
   in
-  let records = [ cold; hit; deadline; canon ] in
+  (* flight recorder: one retained emit with two fields — the per-event
+     cost every instrumented layer pays on the hot path *)
+  let event =
+    measure ~name:"event emit 2 fields" ~iterations:100_000 (fun () ->
+        Obs.Event.emit "bench.event"
+          [ ("i", Obs.Event.Int 1); ("s", Obs.Event.Str "x") ])
+  in
+  Obs.Event.clear ();
+  let records = [ cold; hit; deadline; canon; event ] in
   let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
   List.iter
     (fun (r : Obs.Expo.bench_record) ->

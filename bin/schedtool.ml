@@ -393,44 +393,110 @@ let serve_cmd =
              ~doc:"Default per-request time budget for requests that \
                    name none.")
   in
-  let run stdio socket cache_size jobs deadline trace stats =
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Dump the flight recorder's slice for any request \
+                   slower than $(docv) milliseconds (error/degraded \
+                   responses always dump once a dump destination is \
+                   active). Dumps go to --slow-log, or stderr.")
+  in
+  let slow_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "slow-log" ] ~docv:"FILE"
+             ~doc:"Append slow-request recorder dumps (JSON lines) to \
+                   $(docv) instead of stderr; also activates dumping \
+                   for error/degraded responses even without \
+                   --slow-ms.")
+  in
+  let event_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "event-log" ] ~docv:"FILE"
+             ~doc:"Mirror every flight-recorder event to $(docv) as \
+                   JSON lines for live tailing.")
+  in
+  let run stdio socket cache_size jobs deadline slow_ms slow_log event_log
+      trace stats =
     let finish = obs_setup trace in
     if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
     else
-      let config =
-        {
-          Serve.Server.cache_capacity = cache_size;
-          default_deadline_ms = deadline;
-          jobs =
-            (match jobs with
-            | Some j -> max 1 j
-            | None -> Parallel.Pool.default_jobs ());
-        }
+      let to_close = ref [] in
+      let open_log path =
+        let oc =
+          open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path
+        in
+        to_close := oc :: !to_close;
+        oc
       in
-      match (stdio, socket) with
-      | true, Some _ | false, None ->
-          `Error (false, "choose exactly one of --stdio or --socket PATH")
-      | true, None ->
-          let server = Serve.Server.create config in
-          Serve.Server.run_stdio server;
-          Serve.Server.shutdown server;
-          finish ~stats
-      | false, Some path -> (
-          let server = Serve.Server.create config in
-          let stop _ = Serve.Server.stop server in
-          Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-          Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-          Printf.eprintf "serving on %s\n%!" path;
-          match Serve.Server.listen server ~path with
-          | () ->
-              Serve.Server.shutdown server;
-              finish ~stats
-          | exception Unix.Unix_error (err, _, _) ->
-              Serve.Server.shutdown server;
-              `Error
-                ( false,
-                  Printf.sprintf "cannot listen on %s: %s" path
-                    (Unix.error_message err) ))
+      (* dumping is active when a destination is: --slow-log names the
+         file, a bare --slow-ms defaults to stderr *)
+      let dump_destination () =
+        match slow_log with
+        | Some path -> Some (open_log path)
+        | None -> if Option.is_some slow_ms then Some stderr else None
+      in
+      match dump_destination () with
+      | exception Sys_error msg ->
+          `Error (false, Printf.sprintf "cannot open --slow-log: %s" msg)
+      | dump_channel -> (
+          match Option.map open_log event_log with
+          | exception Sys_error msg ->
+              `Error (false, Printf.sprintf "cannot open --event-log: %s" msg)
+          | event_sink ->
+              Obs.Event.set_json_sink event_sink;
+              (* post-mortem hook: SIGQUIT (ctrl-\) dumps every domain's
+                 ring to stderr without stopping the server *)
+              Sys.set_signal Sys.sigquit
+                (Sys.Signal_handle (fun _ -> Obs.Event.dump_jsonl stderr));
+              let config =
+                {
+                  Serve.Server.cache_capacity = cache_size;
+                  default_deadline_ms = deadline;
+                  jobs =
+                    (match jobs with
+                    | Some j -> max 1 j
+                    | None -> Parallel.Pool.default_jobs ());
+                  slow_ms;
+                  dump_channel;
+                  dump_min_interval_s =
+                    Serve.Server.default_config.Serve.Server.dump_min_interval_s;
+                }
+              in
+              let cleanup () =
+                Obs.Event.set_json_sink None;
+                List.iter
+                  (fun oc -> try close_out oc with Sys_error _ -> ())
+                  !to_close
+              in
+              let result =
+                match (stdio, socket) with
+                | true, Some _ | false, None ->
+                    `Error
+                      (false, "choose exactly one of --stdio or --socket PATH")
+                | true, None ->
+                    let server = Serve.Server.create config in
+                    Serve.Server.run_stdio server;
+                    Serve.Server.shutdown server;
+                    finish ~stats
+                | false, Some path -> (
+                    let server = Serve.Server.create config in
+                    let stop _ = Serve.Server.stop server in
+                    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+                    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+                    Printf.eprintf "serving on %s\n%!" path;
+                    match Serve.Server.listen server ~path with
+                    | () ->
+                        Serve.Server.shutdown server;
+                        finish ~stats
+                    | exception Unix.Unix_error (err, _, _) ->
+                        Serve.Server.shutdown server;
+                        `Error
+                          ( false,
+                            Printf.sprintf "cannot listen on %s: %s" path
+                              (Unix.error_message err) ))
+              in
+              cleanup ();
+              result)
   in
   let info =
     Cmd.info "serve"
@@ -440,7 +506,8 @@ let serve_cmd =
     Term.(
       ret
         (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
-       $ deadline_arg $ trace_arg $ stats_arg))
+       $ deadline_arg $ slow_ms_arg $ slow_log_arg $ event_log_arg
+       $ trace_arg $ stats_arg))
 
 (* --- loadgen ------------------------------------------------------------ *)
 
@@ -496,36 +563,73 @@ let loadgen_cmd =
                 Printf.sprintf "cannot connect to %s: %s" socket
                   (Unix.error_message err) )
         | fd ->
+            (* a server vanishing mid-run must surface as a counted
+               transport error, not a SIGPIPE death *)
+            Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
             let ic = Unix.in_channel_of_descr fd in
             let oc = Unix.out_channel_of_descr fd in
             let rng = Workloads.Rng.create seed in
             let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
             let h_latency = Obs.Histogram.make "loadgen.request_latency_us" in
             let last_makespan = ref nan in
+            let transport_error = ref None in
+            let attempted = ref 0 in
             let t_start = Obs.Sink.now_us () in
-            for _ = 1 to count do
-              let inst =
-                if permute then Serve.Canon.shuffle rng instance else instance
-              in
-              let t0 = Obs.Sink.now_us () in
-              Serve.Proto.write_request oc
-                { Serve.Proto.solver; deadline_ms = deadline; instance = inst };
-              (match Serve.Proto.read_response ic with
-              | Ok (Some (Serve.Proto.Reply r)) ->
-                  if r.Serve.Proto.cache_hit then incr hits;
-                  if r.Serve.Proto.degraded then incr degraded;
-                  last_makespan := r.Serve.Proto.makespan
-              | Ok (Some (Serve.Proto.Stats_reply _))
-              | Ok (Some (Serve.Proto.Error _))
-              | Ok None | Error _ ->
-                  incr errors);
-              Obs.Histogram.observe h_latency (Obs.Sink.now_us () -. t0)
-            done;
+            (try
+               for _ = 1 to count do
+                 incr attempted;
+                 let inst =
+                   if permute then Serve.Canon.shuffle rng instance else instance
+                 in
+                 let t0 = Obs.Sink.now_us () in
+                 (match
+                    Serve.Proto.write_request oc
+                      {
+                        Serve.Proto.solver;
+                        deadline_ms = deadline;
+                        instance = inst;
+                      };
+                    Serve.Proto.read_response ic
+                  with
+                 | Ok (Some (Serve.Proto.Reply r)) ->
+                     if r.Serve.Proto.cache_hit then incr hits;
+                     if r.Serve.Proto.degraded then incr degraded;
+                     last_makespan := r.Serve.Proto.makespan
+                 | Ok (Some (Serve.Proto.Stats_reply _))
+                 | Ok (Some (Serve.Proto.Events_reply _))
+                 | Ok (Some (Serve.Proto.Error _)) ->
+                     incr errors
+                 | Ok None ->
+                     (* the server closed the stream: every further
+                        request would fail identically, so stop *)
+                     incr errors;
+                     transport_error := Some "server closed the session";
+                     raise Exit
+                 | Error msg ->
+                     incr errors;
+                     transport_error := Some msg;
+                     raise Exit
+                 | exception Sys_error msg ->
+                     incr errors;
+                     transport_error := Some msg;
+                     raise Exit);
+                 Obs.Histogram.observe h_latency (Obs.Sink.now_us () -. t0)
+               done
+             with Exit -> ());
             let wall_ns = (Obs.Sink.now_us () -. t_start) *. 1e3 in
             (try Unix.close fd with Unix.Unix_error _ -> ());
-            Printf.printf "requests  %d\n" count;
+            if !errors > 0 && !errors = !attempted then
+              `Error
+                ( false,
+                  Printf.sprintf "all %d request(s) to %s failed%s" !attempted
+                    socket
+                    (match !transport_error with
+                    | Some msg -> ": " ^ msg
+                    | None -> "") )
+            else begin
+            Printf.printf "requests  %d\n" !attempted;
             Printf.printf "hits      %d\n" !hits;
-            Printf.printf "misses    %d\n" (count - !hits - !errors);
+            Printf.printf "misses    %d\n" (!attempted - !hits - !errors);
             Printf.printf "errors    %d\n" !errors;
             Printf.printf "degraded  %d\n" !degraded;
             let s = Obs.Histogram.merged h_latency in
@@ -555,13 +659,13 @@ let loadgen_cmd =
                 let record =
                   {
                     Obs.Expo.bname = "loadgen " ^ Filename.basename path;
-                    iterations = count;
+                    iterations = !attempted;
                     wall_ns;
                     percentiles;
                     counters =
                       [
                         ("loadgen.hits", !hits);
-                        ("loadgen.misses", count - !hits - !errors);
+                        ("loadgen.misses", !attempted - !hits - !errors);
                         ("loadgen.errors", !errors);
                         ("loadgen.degraded", !degraded);
                       ];
@@ -572,7 +676,8 @@ let loadgen_cmd =
                 close_out out;
                 Printf.printf "wrote %s\n" file)
               json;
-            `Ok ())
+            `Ok ()
+            end)
   in
   let info =
     Cmd.info "loadgen"
@@ -613,6 +718,7 @@ let metrics_cmd =
         (* local snapshot: the same renderer the serve stats frame uses,
            on this process's (mostly empty) registries — documents the
            format and lets scripts smoke-test the exposition offline *)
+        Obs.Memprof.sample ();
         print_string (render format);
         `Ok ()
     | Some path -> (
@@ -639,8 +745,8 @@ let metrics_cmd =
                     print_newline ();
                   `Ok ()
               | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
-              | Ok (Some (Serve.Proto.Reply _)) ->
-                  `Error (false, "server answered a solve reply to a stats frame")
+              | Ok (Some (Serve.Proto.Reply _ | Serve.Proto.Events_reply _)) ->
+                  `Error (false, "server answered the wrong frame kind")
               | Ok None -> `Error (false, "server closed the session")
               | Error msg -> `Error (false, msg)
             in
@@ -654,13 +760,80 @@ let metrics_cmd =
   in
   Cmd.v info Term.(ret (const run $ socket_arg $ format_arg))
 
+(* --- events ------------------------------------------------------------- *)
+
+let events_cmd =
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Tail the flight recorder of a running $(b,schedtool \
+                   serve --socket) at $(docv) via an events admin \
+                   frame.")
+  in
+  let count_arg =
+    Arg.(value & opt int 50
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"Keep only the last $(docv) events (newest last).")
+  in
+  let level_arg =
+    let parse s =
+      match Obs.Event.level_of_string s with
+      | Some l -> Ok l
+      | None ->
+          Error
+            (`Msg (Printf.sprintf "expected debug|info|warn|error, got %S" s))
+    in
+    let print fmt l = Format.pp_print_string fmt (Obs.Event.level_to_string l) in
+    Arg.(value & opt (conv (parse, print)) Obs.Event.Debug
+         & info [ "level" ] ~docv:"LEVEL"
+             ~doc:"Severity floor: debug, info, warn or error.")
+  in
+  let run socket count level =
+    if count < 1 then `Error (false, "--count must be >= 1")
+    else
+      match
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try Unix.connect fd (Unix.ADDR_UNIX socket)
+         with e -> Unix.close fd; raise e);
+        fd
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          `Error
+            ( false,
+              Printf.sprintf "cannot connect to %s: %s" socket
+                (Unix.error_message err) )
+      | fd ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Serve.Proto.write_events_request ~count ~level oc;
+          let result =
+            match Serve.Proto.read_response ic with
+            | Ok (Some (Serve.Proto.Events_reply { body })) ->
+                print_string body;
+                `Ok ()
+            | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
+            | Ok (Some (Serve.Proto.Reply _ | Serve.Proto.Stats_reply _)) ->
+                `Error (false, "server answered the wrong frame kind")
+            | Ok None -> `Error (false, "server closed the session")
+            | Error msg -> `Error (false, msg)
+          in
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          result
+  in
+  let info =
+    Cmd.info "events"
+      ~doc:"Tail recent flight-recorder events (JSON lines) from a \
+            running serve socket."
+  in
+  Cmd.v info Term.(ret (const run $ socket_arg $ count_arg $ level_arg))
+
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in
   let info = Cmd.info "schedtool" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
-      experiments_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
+      experiments_cmd; serve_cmd; loadgen_cmd; metrics_cmd; events_cmd;
     ]
 
 let () = exit (Cmd.eval main)

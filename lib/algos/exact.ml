@@ -162,6 +162,14 @@ let search ?(node_limit = 20_000_000) ?(fixed = []) ~shared instance =
   Obs.Counter.add c_prunes !prunes;
   Obs.Counter.add c_incumbents !incumbents;
   Obs.Counter.add c_symmetry !symmetry_cuts;
+  if Obs.Event.enabled Obs.Event.Debug then
+    Obs.Event.emit ~level:Obs.Event.Debug "algos.exact.search"
+      [
+        ("nodes", Obs.Event.Int !nodes);
+        ("prunes", Obs.Event.Int !prunes);
+        ("fixed", Obs.Event.Int (List.length fixed));
+        ("complete", Obs.Event.Bool (not !exhausted));
+      ];
   Log.debug (fun f ->
       f "n=%d m=%d fixed=%d: %d nodes%s" n m (List.length fixed) !nodes
         (if !exhausted then " (node limit)" else ""));
@@ -183,6 +191,12 @@ let solve ?node_limit instance =
     | Some a -> Common.result_of_assignment instance a
     | None -> greedy
   in
+  Obs.Event.emit "algos.exact.solve"
+    [
+      ("nodes", Obs.Event.Int sr.search_nodes);
+      ("optimal", Obs.Event.Bool sr.complete);
+      ("makespan", Obs.Event.Float result.Common.makespan);
+    ];
   { result; optimal = sr.complete; nodes = sr.search_nodes }
 
 let makespan ?node_limit instance =

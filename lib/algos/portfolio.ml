@@ -62,6 +62,12 @@ let run ?(seed = 1) ?(eps = 0.5) ?(include_exact = false) instance =
           winner ^ "+local-search"
         else winner
       in
+      Obs.Event.emit "algos.portfolio.done"
+        [
+          ("winner", Obs.Event.Str winner);
+          ("makespan", Obs.Event.Float polished.Common.makespan);
+          ("candidates", Obs.Event.Int (List.length attempts));
+        ];
       {
         best = polished;
         winner;

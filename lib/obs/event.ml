@@ -1,0 +1,218 @@
+(* Flight recorder: leveled, structured events in per-domain ring
+   buffers. Unlike Sink's span buffers (off by default, unbounded, meant
+   for one traced run), the recorder is always on at bounded cost: each
+   domain owns a fixed-capacity ring that newer events overwrite, so a
+   long-lived server retains the recent past — enough to explain the
+   request that just went slow — without ever growing. Emission touches
+   only the calling domain's ring (a Domain.DLS slot registered in a
+   global list, the same pattern as Sink and Histogram shards), so the
+   hot path takes no lock. *)
+
+type level = Debug | Info | Warn | Error
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+let level_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let level_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+type value = Str of string | Int of int | Float of float | Bool of bool
+
+type t = {
+  name : string;
+  level : level;
+  fields : (string * value) list;
+  ts_us : float;
+  domain : int;
+  ctx : string option;
+  seq : int;  (* per-domain emission index, breaks timestamp ties *)
+}
+
+let default_capacity = 512
+
+(* Minimum severity recorded; events below it cost one atomic load. *)
+let threshold = Atomic.make (severity Info)
+let set_level l = Atomic.set threshold (severity l)
+let enabled l = severity l >= Atomic.get threshold
+
+let dummy =
+  {
+    name = "";
+    level = Debug;
+    fields = [];
+    ts_us = 0.0;
+    domain = -1;
+    ctx = None;
+    seq = -1;
+  }
+
+type ring = { mutable slots : t array; mutable next : int }
+
+let capacity = Atomic.make default_capacity
+
+(* Rings of terminated domains stay registered so their events survive a
+   pool shutdown, mirroring Sink's buffer registry. *)
+let registry : ring list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r = { slots = Array.make (Atomic.get capacity) dummy; next = 0 } in
+      Mutex.lock registry_mutex;
+      registry := r :: !registry;
+      Mutex.unlock registry_mutex;
+      r)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Event.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n;
+  (* resize-and-clear every live ring; quiescent points only, like
+     Sink.clear *)
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun r ->
+      r.slots <- Array.make n dummy;
+      r.next <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let clear () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun r ->
+      Array.fill r.slots 0 (Array.length r.slots) dummy;
+      r.next <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+(* --- JSON-lines rendering ------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let value_to_json = function
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Int i -> string_of_int i
+  | Float x ->
+      (* JSON has no non-finite literals *)
+      if Float.is_finite x then Printf.sprintf "%.9g" x
+      else Printf.sprintf "\"%s\"" (Float.to_string x)
+  | Bool b -> string_of_bool b
+
+let to_json_line e =
+  let buf = Buffer.create 128 in
+  Printf.bprintf buf "{\"ts_us\":%.3f,\"level\":\"%s\",\"name\":\"%s\",\"domain\":%d"
+    e.ts_us (level_to_string e.level) (json_escape e.name) e.domain;
+  (match e.ctx with
+  | Some ctx -> Printf.bprintf buf ",\"req\":\"%s\"" (json_escape ctx)
+  | None -> ());
+  if e.fields <> [] then begin
+    Buffer.add_string buf ",\"fields\":{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Printf.bprintf buf "\"%s\":%s" (json_escape k) (value_to_json v))
+      e.fields;
+    Buffer.add_char buf '}'
+  end;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Optional live sink: every recorded event is also written as one JSON
+   line, serialized by a mutex (tailing is not a hot path). *)
+let sink : out_channel option ref = ref None
+let sink_mutex = Mutex.create ()
+
+let set_json_sink oc =
+  Mutex.lock sink_mutex;
+  sink := oc;
+  Mutex.unlock sink_mutex
+
+(* --- emission ------------------------------------------------------------ *)
+
+let emit ?(level = Info) name fields =
+  if enabled level then begin
+    let r = Domain.DLS.get ring_key in
+    let e =
+      {
+        name;
+        level;
+        fields;
+        ts_us = Sink.now_us ();
+        domain = (Domain.self () :> int);
+        ctx = Sink.current_ctx ();
+        seq = r.next;
+      }
+    in
+    let cap = Array.length r.slots in
+    r.slots.(r.next mod cap) <- e;
+    r.next <- r.next + 1;
+    if !sink <> None then begin
+      Mutex.lock sink_mutex;
+      (match !sink with
+      | Some oc ->
+          output_string oc (to_json_line e);
+          output_char oc '\n';
+          flush oc
+      | None -> ());
+      Mutex.unlock sink_mutex
+    end
+  end
+
+(* --- reading -------------------------------------------------------------- *)
+
+let ring_events r =
+  let cap = Array.length r.slots in
+  let n = min r.next cap in
+  List.init n (fun i -> r.slots.((r.next - n + i) mod cap))
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let rings = !registry in
+  Mutex.unlock registry_mutex;
+  List.concat_map ring_events rings
+  |> List.stable_sort (fun a b ->
+         match Float.compare a.ts_us b.ts_us with
+         | 0 -> compare (a.domain, a.seq) (b.domain, b.seq)
+         | n -> n)
+
+let recent ?ctx ?(min_level = Debug) ?count () =
+  let evs =
+    List.filter
+      (fun e ->
+        severity e.level >= severity min_level
+        && match ctx with None -> true | Some c -> e.ctx = Some c)
+      (snapshot ())
+  in
+  match count with
+  | None -> evs
+  | Some n ->
+      let len = List.length evs in
+      if len <= n then evs else List.filteri (fun i _ -> i >= len - n) evs
+
+let dump_jsonl ?ctx ?min_level ?count oc =
+  List.iter
+    (fun e ->
+      output_string oc (to_json_line e);
+      output_char oc '\n')
+    (recent ?ctx ?min_level ?count ());
+  flush oc

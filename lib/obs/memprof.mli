@@ -1,0 +1,27 @@
+(** GC and allocation profiling.
+
+    [sample] refreshes a set of [gc.*] gauges from [Gc.quick_stat] so
+    the exposition ([Expo], [schedtool metrics]) shows heap pressure;
+    allocation deltas from [Gc.allocated_bytes] give bytes-allocated
+    per request or per phase. *)
+
+val minor_words : Gauge.t
+val major_words : Gauge.t
+val promoted_words : Gauge.t
+val heap_words : Gauge.t
+val compactions : Gauge.t
+val minor_collections : Gauge.t
+val major_collections : Gauge.t
+
+val sample : unit -> unit
+(** Refresh every [gc.*] gauge from [Gc.quick_stat] (cheap: no heap
+    walk). Called on span boundaries by [Span.with_alloc] and before
+    each exposition render. *)
+
+val allocated_bytes : unit -> float
+(** Bytes allocated by the calling domain since it started (monotonic;
+    from [Gc.allocated_bytes]). *)
+
+val with_alloc : (unit -> 'a) -> 'a * float
+(** [with_alloc f] runs [f ()], returning its result and the bytes the
+    calling domain allocated during the call. *)

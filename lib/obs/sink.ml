@@ -6,6 +6,7 @@ type event = {
   ts_us : float;
   domain : int;
   ctx : string option;
+  alloc_bytes : float option;
 }
 
 let on = Atomic.make false
@@ -44,7 +45,7 @@ let buffer_key =
       Mutex.unlock registry_mutex;
       buf)
 
-let emit ~name ~phase =
+let emit ?alloc ~name ~phase () =
   if Atomic.get on then begin
     let buf = Domain.DLS.get buffer_key in
     buf :=
@@ -54,6 +55,7 @@ let emit ~name ~phase =
         ts_us = now_us ();
         domain = (Domain.self () :> int);
         ctx = current_ctx ();
+        alloc_bytes = alloc;
       }
       :: !buf
   end

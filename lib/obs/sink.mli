@@ -20,6 +20,9 @@ type event = {
   ts_us : float;  (** absolute timestamp, microseconds since the epoch *)
   domain : int;  (** id of the recording domain *)
   ctx : string option;  (** ambient context (request id) at emission *)
+  alloc_bytes : float option;
+      (** bytes allocated inside the span, attached to its End event by
+          {!Span.with_alloc}; rendered as an [alloc_b] arg in the trace *)
 }
 
 val enabled : unit -> bool
@@ -29,9 +32,10 @@ val disable : unit -> unit
 val now_us : unit -> float
 (** Wall-clock microseconds (the timestamp base used for all events). *)
 
-val emit : name:string -> phase:phase -> unit
+val emit : ?alloc:float -> name:string -> phase:phase -> unit -> unit
 (** Record one event on the calling domain's buffer; no-op when the sink
-    is disabled. *)
+    is disabled. [alloc] attaches an allocation delta (bytes) to the
+    event. *)
 
 val with_ctx : string -> (unit -> 'a) -> 'a
 (** [with_ctx id f] runs [f] with the calling domain's ambient context

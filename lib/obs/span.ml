@@ -1,8 +1,25 @@
 let with_span name f =
   if not (Sink.enabled ()) then f ()
   else begin
-    Sink.emit ~name ~phase:Sink.Begin;
-    Fun.protect ~finally:(fun () -> Sink.emit ~name ~phase:Sink.End) f
+    Sink.emit ~name ~phase:Sink.Begin ();
+    Fun.protect ~finally:(fun () -> Sink.emit ~name ~phase:Sink.End ()) f
+  end
+
+(* Like with_span, but the End event carries the bytes the calling
+   domain allocated inside the span, and GC gauges are refreshed on
+   exit so the exposition tracks span boundaries. When the sink is
+   disabled this is exactly f () — the allocation counter is not read. *)
+let with_alloc name f =
+  if not (Sink.enabled ()) then f ()
+  else begin
+    Sink.emit ~name ~phase:Sink.Begin ();
+    let before = Gc.allocated_bytes () in
+    Fun.protect
+      ~finally:(fun () ->
+        let alloc = Gc.allocated_bytes () -. before in
+        Memprof.sample ();
+        Sink.emit ~alloc ~name ~phase:Sink.End ())
+      f
   end
 
 let timed name f =
@@ -10,7 +27,7 @@ let timed name f =
   let r = with_span name f in
   (r, Unix.gettimeofday () -. t0)
 
-let instant name = Sink.emit ~name ~phase:Sink.Instant
+let instant name = Sink.emit ~name ~phase:Sink.Instant ()
 
 type summary = { name : string; count : int; total_s : float }
 

@@ -9,6 +9,12 @@ val with_span : string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f], bracketing it with Begin/End events when
     the sink is enabled. The End event is emitted even if [f] raises. *)
 
+val with_alloc : string -> (unit -> 'a) -> 'a
+(** [with_span] that also attaches the bytes allocated by the calling
+    domain inside the span to the End event (an [alloc_b] arg in the
+    Chrome trace) and refreshes the [gc.*] gauges ({!Memprof.sample})
+    on exit. When the sink is disabled this is exactly [f ()]. *)
+
 val timed : string -> (unit -> 'a) -> 'a * float
 (** [timed name f] is [with_span name f] that additionally measures and
     returns the elapsed wall-clock seconds — measured whether or not the

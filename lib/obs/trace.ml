@@ -29,9 +29,19 @@ let to_string () =
         | Sink.Instant -> ("i", ",\"s\":\"t\"")
       in
       let args =
-        match e.ctx with
-        | None -> ""
-        | Some ctx -> Printf.sprintf ",\"args\":{\"req\":\"%s\"}" (escape ctx)
+        let parts =
+          (match e.ctx with
+          | None -> []
+          | Some ctx -> [ Printf.sprintf "\"req\":\"%s\"" (escape ctx) ])
+          @
+          match e.alloc_bytes with
+          | None -> []
+          | Some b -> [ Printf.sprintf "\"alloc_b\":%.0f" b ]
+        in
+        match parts with
+        | [] -> ""
+        | parts ->
+            Printf.sprintf ",\"args\":{%s}" (String.concat "," parts)
       in
       Printf.bprintf buf
         "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s%s}"
@@ -267,6 +277,13 @@ let validate_string text =
       | Some _ -> Error "traceEvents is not an array"
       | None -> Error "no traceEvents key")
   | _ -> Error "top-level JSON value is not an object"
+
+(* Structural JSON check for a single value (no trace-shape rules);
+   Event's JSON-lines dumps are validated with this. *)
+let check_json text =
+  match parse_json text with
+  | exception Bad msg -> Error msg
+  | _ -> Ok ()
 
 let validate_file path =
   let ic = open_in_bin path in

@@ -20,3 +20,8 @@ val validate_string : string -> (int, string) result
     of trace events on success. *)
 
 val validate_file : string -> (int, string) result
+
+val check_json : string -> (unit, string) result
+(** Structural check that [text] is one well-formed JSON value (no
+    trace-shape rules) — used to validate {!Event} JSON-lines dumps in
+    tests without an external JSON dependency. *)

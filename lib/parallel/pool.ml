@@ -110,6 +110,8 @@ let check_alive t what =
       Mutex.unlock t.mutex;
       d
     in
+    Obs.Event.emit ~level:Obs.Event.Warn "pool.rejected"
+      [ ("op", Obs.Event.Str what); ("queue_depth", Obs.Event.Int depth) ];
     invalid_arg
       (Printf.sprintf
          "Pool.%s: submission rejected, pool (%d domains, queue depth %d) \
@@ -165,7 +167,13 @@ let submit t f =
   (* A fire-and-forget task has nobody to re-raise to; an escaping
      exception would silently kill the worker domain, so swallow it into
      a counter instead. *)
-  let f () = try f () with _ -> Obs.Counter.incr c_task_errors in
+  let f () =
+    try f ()
+    with e ->
+      Obs.Counter.incr c_task_errors;
+      Obs.Event.emit ~level:Obs.Event.Warn "pool.task_error"
+        [ ("exn", Obs.Event.Str (Printexc.to_string e)) ]
+  in
   let enqueued_us = Obs.Sink.now_us () in
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight + 1;

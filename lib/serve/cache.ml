@@ -2,8 +2,14 @@ let c_hits = Obs.Counter.make "serve.cache_hits"
 let c_misses = Obs.Counter.make "serve.cache_misses"
 let c_evictions = Obs.Counter.make "serve.cache_evictions"
 let h_lookup_us = Obs.Histogram.make "serve.cache.lookup_latency_us"
+let g_size = Obs.Gauge.make "serve.cache_size"
 
-type 'a entry = { value : 'a; mutable stamp : int }
+type 'a entry = {
+  value : 'a;
+  mutable stamp : int;
+  created_us : float;
+  mutable hits : int;
+}
 
 type 'a t = {
   mutex : Mutex.t;
@@ -46,6 +52,7 @@ let find t key =
         match Hashtbl.find_opt t.table key with
         | Some entry ->
             Obs.Counter.incr c_hits;
+            entry.hits <- entry.hits + 1;
             touch t key entry;
             Some entry.value
         | None ->
@@ -65,14 +72,24 @@ let evict_one t =
         match Hashtbl.find_opt t.table key with
         | Some entry when entry.stamp = stamp ->
             Hashtbl.remove t.table key;
-            Obs.Counter.incr c_evictions
+            Obs.Counter.incr c_evictions;
+            Obs.Event.emit "serve.cache.evict"
+              [
+                ( "age_s",
+                  Obs.Event.Float
+                    ((Obs.Sink.now_us () -. entry.created_us) /. 1e6) );
+                ("hits", Obs.Event.Int entry.hits);
+              ]
         | Some _ | None -> go ())
   in
   go ()
 
 let put t key value =
   locked t (fun () ->
-      let entry = { value; stamp = 0 } in
+      let entry =
+        { value; stamp = 0; created_us = Obs.Sink.now_us (); hits = 0 }
+      in
       Hashtbl.replace t.table key entry;
       touch t key entry;
-      if Hashtbl.length t.table > t.capacity then evict_one t)
+      if Hashtbl.length t.table > t.capacity then evict_one t;
+      Obs.Gauge.set g_size (float_of_int (Hashtbl.length t.table)))

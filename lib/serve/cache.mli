@@ -6,7 +6,10 @@
     [put] amortized O(1) without a hand-rolled linked list.
 
     Feeds the obs layer: [serve.cache_hits], [serve.cache_misses] and
-    [serve.cache_evictions] accumulate across all caches. *)
+    [serve.cache_evictions] accumulate across all caches, the
+    [serve.cache_size] gauge tracks the occupancy after the most recent
+    [put], and each eviction records a [serve.cache.evict] flight-recorder
+    event carrying the evicted entry's age (seconds) and hit count. *)
 
 type 'a t
 

@@ -74,6 +74,21 @@ let auto_hint t =
   let n = Core.Instance.num_jobs t in
   if n <= 12 then Some "exact" else if n <= 200 then Some "portfolio" else None
 
+(* One flight-recorder event per dispatch, recording which policy path
+   fired — the causal evidence a slow-request dump needs. *)
+let decision ~hint ~solver ~heavy ~degraded ~remaining_ms =
+  Obs.Event.emit "serve.dispatch.decision"
+    ([
+       ("hint", Obs.Event.Str hint);
+       ("solver", Obs.Event.Str solver);
+       ("heavy", Obs.Event.Bool heavy);
+       ("degraded", Obs.Event.Bool degraded);
+     ]
+    @
+    match remaining_ms with
+    | None -> []
+    | Some ms -> [ ("remaining_ms", Obs.Event.Float ms) ])
+
 let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
   Obs.Span.with_span "serve.dispatch" @@ fun () ->
   if not (List.mem hint solvers) then
@@ -91,7 +106,10 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
     | "greedy" | "lpt" -> (
         let only = List.filter (fun (n, _) -> n = hint) fast_candidates in
         match run_applicable only t with
-        | [ (name, result) ] -> Ok { result; solver = name; degraded = false }
+        | [ (name, result) ] ->
+            decision ~hint ~solver:name ~heavy:false ~degraded:false
+              ~remaining_ms:(remaining_ms ());
+            Ok { result; solver = name; degraded = false }
         | _ ->
             Error
               (Printf.sprintf "solver %S does not apply to this instance" hint))
@@ -106,6 +124,8 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
             match heavy_hint with
             | None ->
                 Obs.Counter.incr c_fast_only;
+                decision ~hint ~solver:fast_name ~heavy:false ~degraded:false
+                  ~remaining_ms:(remaining_ms ());
                 Ok { result = fast_result; solver = fast_name; degraded = false }
             | Some heavy -> (
                 let remaining = remaining_ms () in
@@ -123,6 +143,8 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
                 in
                 if expired then begin
                   Obs.Counter.incr c_degraded;
+                  decision ~hint ~solver:fast_name ~heavy:false ~degraded:true
+                    ~remaining_ms:remaining;
                   Ok { result = fast_result; solver = fast_name; degraded = true }
                 end
                 else begin
@@ -138,5 +160,7 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
                         then (heavy_name, heavy_result)
                         else (fast_name, fast_result)
                       in
+                      decision ~hint ~solver:name ~heavy:true ~degraded:false
+                        ~remaining_ms:(remaining_ms ());
                       Ok { result; solver = name; degraded = false }
                 end)))

@@ -20,14 +20,19 @@ type stats_format = Prometheus | Json
 type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
+  | Events_reply of { body : string }
   | Error of string
 
 (* Admin frames ride the same stream as solve requests; a session is a
    sequence of either. *)
-type incoming = Solve of request | Stats of stats_format
+type incoming =
+  | Solve of request
+  | Stats of stats_format
+  | Events of { count : int option; min_level : Obs.Event.level }
 
 let request_header = Printf.sprintf "request v%d" version
 let stats_header = Printf.sprintf "stats v%d" version
+let events_header = Printf.sprintf "events v%d" version
 let response_header = Printf.sprintf "response v%d" version
 
 let stats_format_to_string = function
@@ -126,6 +131,32 @@ let parse_stats body =
   in
   fields Prometheus body
 
+(* An events frame's body is an optional [count N] cap and an optional
+   [level debug|info|warn|error] floor. *)
+let parse_events body =
+  let rec fields count min_level = function
+    | [] -> Ok (Events { count; min_level })
+    | line :: rest -> (
+        match split_first line with
+        | "count", v -> (
+            match int_of_string_opt v with
+            | Some n when n >= 1 -> fields (Some n) min_level rest
+            | Some _ | None ->
+                Result.Error
+                  (Printf.sprintf "count: expected an integer >= 1, got %S" v))
+        | "level", v -> (
+            match Obs.Event.level_of_string v with
+            | Some l -> fields count l rest
+            | None ->
+                Result.Error
+                  (Printf.sprintf
+                     "level: expected debug|info|warn|error, got %S" v))
+        | "", _ -> fields count min_level rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown events field %S" key)
+      )
+  in
+  fields None Obs.Event.Debug body
+
 let read_incoming ic =
   match read_header ic with
   | None -> Ok None
@@ -143,11 +174,18 @@ let read_incoming ic =
           match parse_stats body with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
+  | Some header when header = events_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_events body with
+          | Ok incoming -> Ok (Some incoming)
+          | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
       Result.Error
-        (Printf.sprintf "bad request header %S (expected %S or %S)" header
-           request_header stats_header)
+        (Printf.sprintf "bad request header %S (expected %S, %S or %S)" header
+           request_header stats_header events_header)
 
 let read_request ic =
   match read_incoming ic with
@@ -156,6 +194,10 @@ let read_request ic =
   | Ok (Some (Stats _)) ->
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" stats_header
+           request_header)
+  | Ok (Some (Events _)) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" events_header
            request_header)
   | Result.Error _ as e -> e
 
@@ -178,6 +220,16 @@ let write_stats_request oc format =
   output_string oc "end\n";
   flush oc
 
+let write_events_request ?count ?level oc =
+  output_string oc events_header;
+  output_char oc '\n';
+  Option.iter (fun n -> Printf.fprintf oc "count %d\n" n) count;
+  Option.iter
+    (fun l -> Printf.fprintf oc "level %s\n" (Obs.Event.level_to_string l))
+    level;
+  output_string oc "end\n";
+  flush oc
+
 (* --- responses ---------------------------------------------------------- *)
 
 let write_response oc response =
@@ -197,6 +249,14 @@ let write_response oc response =
       (* the payload is raw exposition text: its lines never consist of
          the bare word "end" (Prometheus lines carry a space, JSON lines
          punctuation), so the frame terminator stays unambiguous *)
+      output_string oc "payload\n";
+      output_string oc body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        output_char oc '\n'
+  | Events_reply { body } ->
+      output_string oc "status events\n";
+      (* each payload line is a JSON object starting with '{', never the
+         bare frame terminator *)
       output_string oc "payload\n";
       output_string oc body;
       if body <> "" && body.[String.length body - 1] <> '\n' then
@@ -306,6 +366,21 @@ let read_response ic =
                         | ls -> String.concat "\n" ls ^ "\n"
                       in
                       Ok (Some (Stats_reply { format; body }))))
+          | Some "events" -> (
+              let rec after_marker = function
+                | [] -> None
+                | "payload" :: rest -> Some rest
+                | _ :: rest -> after_marker rest
+              in
+              match after_marker body with
+              | None -> Result.Error "events response missing payload"
+              | Some lines ->
+                  let body =
+                    match lines with
+                    | [] -> ""
+                    | ls -> String.concat "\n" ls ^ "\n"
+                  in
+                  Ok (Some (Events_reply { body })))
           | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
           | None -> Result.Error "response missing status"))
   | Some header ->

@@ -59,6 +59,27 @@
     end
     v}
 
+    A second admin frame asks for the flight recorder's retained events
+    ({!Obs.Event}), newest last, as JSON lines after the [payload]
+    marker (each line starts with ['{'], so the [end] terminator stays
+    unambiguous):
+    {v
+    events v1
+    count 50               # optional: keep only the last N events
+    level info             # optional floor: debug|info|warn|error
+    end
+    v}
+
+    answered with:
+    {v
+    response v1
+    status events
+    payload
+    {"ts_us":...,"level":"info","name":"serve.request","req":"r3",...}
+    ...
+    end
+    v}
+
     Blank lines between requests are ignored; [#] comments are allowed
     inside the instance block (they are part of the [Instance_io]
     format). *)
@@ -86,10 +107,18 @@ type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
       (** exposition text from {!Obs.Expo}, answered to a stats frame *)
+  | Events_reply of { body : string }
+      (** flight-recorder events as JSON lines, answered to an events
+          frame *)
   | Error of string
 
-type incoming = Solve of request | Stats of stats_format
-(** One frame of a session: a solve request or a stats admin frame. *)
+type incoming =
+  | Solve of request
+  | Stats of stats_format
+  | Events of { count : int option; min_level : Obs.Event.level }
+      (** [count]: keep only the last N events; [min_level]: severity
+          floor, defaults to [Debug] (everything retained) *)
+(** One frame of a session: a solve request or an admin frame. *)
 
 val read_incoming : in_channel -> (incoming option, string) result
 (** Read one frame of either kind. [Ok None] is clean end-of-stream (no
@@ -106,6 +135,10 @@ val write_request : out_channel -> request -> unit
 
 val write_stats_request : out_channel -> stats_format -> unit
 (** Client side: emit a [stats v1] admin frame; flushes. *)
+
+val write_events_request :
+  ?count:int -> ?level:Obs.Event.level -> out_channel -> unit
+(** Client side: emit an [events v1] admin frame; flushes. *)
 
 val write_response : out_channel -> response -> unit
 (** Server side; flushes. *)

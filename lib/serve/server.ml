@@ -8,6 +8,9 @@ let c_req_error = Obs.Labeled.cell requests "error"
 let c_req_degraded = Obs.Labeled.cell requests "degraded"
 let c_errors = Obs.Counter.make "serve.request_errors"
 let h_latency_us = Obs.Histogram.make "serve.request_latency_us"
+let h_alloc_bytes = Obs.Histogram.make "serve.request_alloc_bytes"
+let c_dumps = Obs.Counter.make "serve.recorder_dumps"
+let c_dumps_suppressed = Obs.Counter.make "serve.recorder_dumps_suppressed"
 
 (* Process-wide request ids, threaded through the spans of a request
    (serve.request -> serve.cache.lookup -> serve.dispatch -> solver) as
@@ -20,6 +23,9 @@ type config = {
   cache_capacity : int;
   default_deadline_ms : float option;
   jobs : int;
+  slow_ms : float option;
+  dump_channel : out_channel option;
+  dump_min_interval_s : float;
 }
 
 let default_config =
@@ -27,6 +33,9 @@ let default_config =
     cache_capacity = 128;
     default_deadline_ms = None;
     jobs = Parallel.Pool.default_jobs ();
+    slow_ms = None;
+    dump_channel = None;
+    dump_min_interval_s = 1.0;
   }
 
 (* Cached results live in canonical labeling; each hit is translated back
@@ -39,6 +48,10 @@ type t = {
   pool : Parallel.Pool.t;
   stopping : bool Atomic.t;
   mutable listen_fd : Unix.file_descr option;
+  (* dump rate bound: sessions run concurrently on the pool, so the
+     last-dump stamp is mutex-guarded *)
+  dump_mutex : Mutex.t;
+  mutable last_dump_us : float;
 }
 
 let create config =
@@ -48,21 +61,90 @@ let create config =
     pool = Parallel.Pool.create config.jobs;
     stopping = Atomic.make false;
     listen_fd = None;
+    dump_mutex = Mutex.create ();
+    last_dump_us = neg_infinity;
   }
 
+(* Snapshot the flight recorder's slice for one finished request and
+   write it (JSON lines, header line first) to the configured dump
+   channel. Triggered by latency over [slow_ms] or a non-ok status;
+   bounded to one dump per [dump_min_interval_s] so a failure storm
+   cannot turn the slow-request log into the bottleneck. *)
+let maybe_dump t ~req_id ~status ~latency_us =
+  match t.config.dump_channel with
+  | None -> ()
+  | Some oc ->
+      let slow =
+        match t.config.slow_ms with
+        | Some threshold -> latency_us /. 1000. > threshold
+        | None -> false
+      in
+      if slow || status <> "ok" then begin
+        Mutex.lock t.dump_mutex;
+        let now = Obs.Sink.now_us () in
+        let allowed =
+          now -. t.last_dump_us >= t.config.dump_min_interval_s *. 1e6
+        in
+        if allowed then t.last_dump_us <- now;
+        Mutex.unlock t.dump_mutex;
+        if not allowed then Obs.Counter.incr c_dumps_suppressed
+        else begin
+          Obs.Counter.incr c_dumps;
+          Printf.fprintf oc
+            "{\"dump\":\"slow-request\",\"req\":\"%s\",\"status\":\"%s\",\"latency_ms\":%.3f}\n"
+            req_id status (latency_us /. 1000.);
+          Obs.Event.dump_jsonl ~ctx:req_id oc
+        end
+      end
+
 let handle_request t (req : Proto.request) =
-  Obs.Sink.with_ctx (next_request_id ()) @@ fun () ->
-  Obs.Span.with_span "serve.request" @@ fun () ->
+  let req_id = next_request_id () in
+  Obs.Sink.with_ctx req_id @@ fun () ->
+  Obs.Span.with_alloc "serve.request" @@ fun () ->
   let start_us = Obs.Sink.now_us () in
+  let alloc0 = Obs.Memprof.allocated_bytes () in
+  Obs.Event.emit "serve.request"
+    ([ ("hint", Obs.Event.Str (Option.value ~default:"auto" req.solver)) ]
+    @
+    match req.deadline_ms with
+    | Some d -> [ ("deadline_ms", Obs.Event.Float d) ]
+    | None -> []);
   let elapsed_us () = int_of_float (Obs.Sink.now_us () -. start_us) in
   let finish response =
-    Obs.Histogram.observe h_latency_us (Obs.Sink.now_us () -. start_us);
-    (match response with
-    | Proto.Error _ ->
-        Obs.Labeled.incr c_req_error;
-        Obs.Counter.incr c_errors
-    | Proto.Reply r when r.Proto.degraded -> Obs.Labeled.incr c_req_degraded
-    | Proto.Reply _ | Proto.Stats_reply _ -> Obs.Labeled.incr c_req_ok);
+    let latency_us = Obs.Sink.now_us () -. start_us in
+    let alloc = Obs.Memprof.allocated_bytes () -. alloc0 in
+    Obs.Histogram.observe h_latency_us latency_us;
+    Obs.Histogram.observe h_alloc_bytes alloc;
+    Obs.Memprof.sample ();
+    let status =
+      match response with
+      | Proto.Error _ ->
+          Obs.Labeled.incr c_req_error;
+          Obs.Counter.incr c_errors;
+          "error"
+      | Proto.Reply r when r.Proto.degraded ->
+          Obs.Labeled.incr c_req_degraded;
+          "degraded"
+      | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _ ->
+          Obs.Labeled.incr c_req_ok;
+          "ok"
+    in
+    Obs.Event.emit "serve.request.done"
+      ([
+         ("status", Obs.Event.Str status);
+         ("elapsed_us", Obs.Event.Int (elapsed_us ()));
+         ("alloc_b", Obs.Event.Float alloc);
+       ]
+      @
+      match response with
+      | Proto.Reply r ->
+          [
+            ("solver", Obs.Event.Str r.Proto.solver);
+            ("cache", Obs.Event.Str (if r.Proto.cache_hit then "hit" else "miss"));
+            ("makespan", Obs.Event.Float r.Proto.makespan);
+          ]
+      | _ -> []);
+    maybe_dump t ~req_id ~status ~latency_us;
     response
   in
   finish
@@ -118,12 +200,24 @@ let handle_request t (req : Proto.request) =
    traffic, deliberately outside the request counters and the latency
    histogram so scraping does not perturb what it measures. *)
 let handle_stats format =
+  Obs.Memprof.sample ();
   let body =
     match (format : Proto.stats_format) with
     | Proto.Prometheus -> Obs.Expo.prometheus ()
     | Proto.Json -> Obs.Expo.json ()
   in
   Proto.Stats_reply { format; body }
+
+(* Events frames answer from the flight recorder; like stats they are
+   admin traffic, outside the request counters. *)
+let handle_events ?count ~min_level () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (Obs.Event.to_json_line e);
+      Buffer.add_char buf '\n')
+    (Obs.Event.recent ?count ~min_level ());
+  Proto.Events_reply { body = Buffer.contents buf }
 
 let serve_channels t ic oc =
   let rec loop () =
@@ -134,6 +228,9 @@ let serve_channels t ic oc =
         loop ()
     | Ok (Some (Proto.Stats format)) ->
         Proto.write_response oc (handle_stats format);
+        loop ()
+    | Ok (Some (Proto.Events { count; min_level })) ->
+        Proto.write_response oc (handle_events ?count ~min_level ());
         loop ()
     | Error msg ->
         Obs.Counter.incr c_errors;

@@ -18,13 +18,34 @@
     histogram; and the cache and dispatch layers contribute their own
     counters, spans and histograms. A [stats v1] admin frame is answered
     in-band with the {!Obs.Expo} exposition (Prometheus or JSON) of all
-    of the above — admin traffic stays outside the request metrics. *)
+    of the above — admin traffic stays outside the request metrics.
+
+    Flight recorder: every request records [serve.request] /
+    [serve.request.done] events in {!Obs.Event} under its request id,
+    alongside the dispatch-decision and solver events of the layers it
+    calls; bytes allocated per request land in the
+    [serve.request_alloc_bytes] histogram and the [gc.*] gauges are
+    refreshed on every response. When [dump_channel] is set, a request
+    that finishes slow (over [slow_ms]) or non-ok ([error]/[degraded])
+    dumps its recorder slice as JSON lines — one header line, then the
+    request's events — rate-bounded by [dump_min_interval_s]
+    (suppressed dumps count in [serve.recorder_dumps_suppressed]). An
+    [events v1] admin frame is answered with the recorder's retained
+    events. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries kept (default 128) *)
   default_deadline_ms : float option;
       (** budget applied when a request names none (default: none) *)
   jobs : int;  (** pool domains for concurrent socket sessions *)
+  slow_ms : float option;
+      (** latency threshold for a slow-request dump; [None] (default)
+          disables the slow trigger (non-ok responses still dump when
+          [dump_channel] is set) *)
+  dump_channel : out_channel option;
+      (** where recorder dumps go; [None] (default) disables dumping *)
+  dump_min_interval_s : float;
+      (** at most one dump per this many seconds (default 1.0) *)
 }
 
 val default_config : config

@@ -1,0 +1,55 @@
+Admin surface against a live socket: start a server, drive it with
+loadgen, then scrape metrics and flight-recorder events over the same
+socket. The server's banner goes to a log so the session stays quiet.
+
+  $ schedtool gen --env uniform -n 10 -m 3 -k 3 --seed 5 -o inst.txt
+  wrote inst.txt
+  $ schedtool serve --socket live.sock > server.log 2>&1 & pid=$!
+  $ for i in $(seq 200); do [ -S live.sock ] && break; sleep 0.05; done
+
+Four permuted replays of one instance: the first misses, the rest hit
+the canonicalizing cache (latency is wall time and therefore filtered):
+
+  $ schedtool loadgen --socket live.sock -n 4 --permute --seed 3 inst.txt \
+  >   | grep -v 'latency us'
+  requests  4
+  hits      3
+  misses    1
+  errors    0
+  degraded  0
+  last makespan 109.175
+
+`schedtool metrics --socket` scrapes the server's exposition in-band:
+the four requests are in the labeled counter and each one left a sample
+in the per-request allocation histogram; the GC gauges ride along
+(values depend on heap state, so only their presence is checked):
+
+  $ schedtool metrics --socket live.sock \
+  >   | grep -E 'serve_requests\{|serve_request_alloc_bytes_count'
+  serve_requests{status="degraded"} 0
+  serve_requests{status="error"} 0
+  serve_requests{status="ok"} 4
+  serve_request_alloc_bytes_count 4
+  $ schedtool metrics --socket live.sock | grep -cE '^gc_'
+  7
+
+`schedtool events` fetches the flight recorder's retained events as
+JSON lines — the whole request lifecycle is there, down to the dispatch
+decision and the exact solver (timestamps vary, so only names):
+
+  $ schedtool events --socket live.sock -n 50 --level info \
+  >   | grep -o '"name":"[^"]*"' | sort -u
+  "name":"algos.exact.solve"
+  "name":"serve.dispatch.decision"
+  "name":"serve.request"
+  "name":"serve.request.done"
+
+  $ kill $pid 2>/dev/null
+  $ wait $pid 2>/dev/null || true
+
+With no server at the socket, loadgen fails loudly instead of reporting
+an all-error run as success:
+
+  $ schedtool loadgen --socket missing.sock -n 2 inst.txt
+  schedtool: cannot connect to missing.sock: No such file or directory
+  [124]

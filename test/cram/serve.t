@@ -34,7 +34,7 @@ and the session keeps going — the next frame still gets served:
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status error
-  error bad request header "request v9" (expected "request v1" or "stats v1")
+  error bad request header "request v9" (expected "request v1", "stats v1" or "events v1")
   end
   response v1
   status ok
@@ -62,6 +62,56 @@ sums are timing-dependent, so only the stable lines are kept):
   serve_cache_lookup_latency_us_count 1
   serve_request_latency_us_bucket{le="+Inf"} 1
   serve_request_latency_us_count 1
+
+The same session also profiled the request's allocations — one sample in
+the per-request allocation histogram — and refreshed the GC gauges
+(values are heap-state dependent, so only names are checked; note that
+quick_stat's cross-domain aggregates lag until a major collection, so
+asserting nonzero values here would be flaky):
+
+  $ cat $samples/solve.txt $samples/stats.txt \
+  >   | schedtool serve --stdio \
+  >   | grep -E 'alloc_bytes_(count|bucket\{le="\+Inf"\})'
+  serve_request_alloc_bytes_bucket{le="+Inf"} 1
+  serve_request_alloc_bytes_count 1
+  $ cat $samples/solve.txt $samples/stats.txt \
+  >   | schedtool serve --stdio | grep -oE '^gc_[a-z_]+' | sort
+  gc_compactions
+  gc_heap_words
+  gc_major_collections
+  gc_major_words
+  gc_minor_collections
+  gc_minor_words
+  gc_promoted_words
+
+An events admin frame answers with the flight recorder's retained
+events as JSON lines; the preceding solve's full lifecycle is there
+(timestamps vary, so only the event names are kept):
+
+  $ { cat $samples/solve.txt; printf 'events v1\nlevel info\nend\n'; } \
+  >   | schedtool serve --stdio | grep -o '"name":"[^"]*"'
+  "name":"serve.request"
+  "name":"algos.exact.solve"
+  "name":"serve.dispatch.decision"
+  "name":"serve.request.done"
+
+With a slow threshold of 0 and a slow-request log, the solve dumps its
+recorder slice: a header line naming the trigger, then the request's
+events, every line tagged with the request id:
+
+  $ cat $samples/solve.txt \
+  >   | schedtool serve --stdio --slow-ms 0 --slow-log dump.jsonl >/dev/null
+  $ head -1 dump.jsonl | grep -o '"dump":"[^"]*"'
+  "dump":"slow-request"
+  $ grep -o '"name":"[^"]*"' dump.jsonl | sort
+  "name":"algos.exact.solve"
+  "name":"serve.dispatch.decision"
+  "name":"serve.request"
+  "name":"serve.request.done"
+  $ grep -c '"req":"r0"' dump.jsonl
+  5
+  $ wc -l < dump.jsonl
+  5
 
 `schedtool metrics` renders the same exposition for the current process:
 with no serving traffic the labeled cells exist but sit at zero (the

@@ -460,6 +460,207 @@ let test_sink_ctx () =
       | Ok _ -> ()
       | Error msg -> Alcotest.failf "trace with args did not validate: %s" msg)
 
+(* --- flight recorder ------------------------------------------------------ *)
+
+module E = Obs.Event
+
+(* Every recorder test starts from empty rings at the default Info
+   threshold and restores both on the way out. *)
+let with_clean_recorder f =
+  E.set_level E.Info;
+  E.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      E.set_level E.Info;
+      E.set_capacity E.default_capacity;
+      E.clear ())
+    f
+
+let test_event_basics () =
+  with_clean_recorder (fun () ->
+      E.emit "first" [ ("n", E.Int 3); ("label", E.Str "a\"b") ];
+      Obs.Sink.with_ctx "r7" (fun () ->
+          E.emit "second" [ ("x", E.Float 1.5); ("flag", E.Bool true) ]);
+      match E.snapshot () with
+      | [ first; second ] ->
+          Alcotest.(check string) "name" "first" first.E.name;
+          Alcotest.(check (option string)) "no ctx outside with_ctx" None
+            first.E.ctx;
+          Alcotest.(check (option string)) "ctx captured" (Some "r7")
+            second.E.ctx;
+          Alcotest.(check bool) "timestamps ordered" true
+            (first.E.ts_us <= second.E.ts_us);
+          List.iter
+            (fun e ->
+              let line = E.to_json_line e in
+              match Obs.Trace.check_json line with
+              | Ok () -> ()
+              | Error msg ->
+                  Alcotest.failf "line %S is not valid JSON: %s" line msg)
+            [ first; second ];
+          Alcotest.(check bool) "req rendered" true
+            (Astring.String.is_infix ~affix:"\"req\":\"r7\""
+               (E.to_json_line second));
+          Alcotest.(check bool) "escaped field value" true
+            (Astring.String.is_infix ~affix:"a\\\"b" (E.to_json_line first))
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
+let test_event_levels () =
+  with_clean_recorder (fun () ->
+      E.emit ~level:E.Debug "too.quiet" [];
+      E.emit "kept.info" [];
+      E.emit ~level:E.Warn "kept.warn" [];
+      Alcotest.(check (list string))
+        "debug filtered at the default threshold"
+        [ "kept.info"; "kept.warn" ]
+        (List.map (fun e -> e.E.name) (E.snapshot ()));
+      Alcotest.(check bool) "enabled reflects threshold" true
+        ((not (E.enabled E.Debug)) && E.enabled E.Info);
+      E.set_level E.Debug;
+      E.emit ~level:E.Debug "now.audible" [];
+      Alcotest.(check int) "debug recorded after set_level" 3
+        (List.length (E.snapshot ()));
+      (* recent composes the level floor and the count cap *)
+      Alcotest.(check (list string)) "recent filters by level"
+        [ "kept.warn" ]
+        (List.map
+           (fun e -> e.E.name)
+           (E.recent ~min_level:E.Warn ()));
+      Alcotest.(check (list string)) "recent keeps the newest"
+        [ "kept.warn"; "now.audible" ]
+        (List.map (fun e -> e.E.name) (E.recent ~count:2 ())))
+
+let test_event_wraparound () =
+  with_clean_recorder (fun () ->
+      E.set_capacity 8;
+      for i = 1 to 20 do
+        E.emit "tick" [ ("i", E.Int i) ]
+      done;
+      let evs = E.snapshot () in
+      Alcotest.(check int) "ring keeps exactly its capacity" 8
+        (List.length evs);
+      Alcotest.(check (list int)) "and it is the newest 8, oldest first"
+        [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+        (List.map
+           (fun e ->
+             match e.E.fields with
+             | [ ("i", E.Int i) ] -> i
+             | _ -> Alcotest.fail "unexpected fields")
+           evs))
+
+let test_event_hammer () =
+  (* 4 pool domains x 64 tasks x 50 events, mirroring the histogram
+     shard hammer: every event survives in some domain's ring (capacity
+     is ample), every dump line is valid JSON, and each domain's
+     sequence numbers come back strictly increasing *)
+  with_clean_recorder (fun () ->
+      E.set_capacity 4096;
+      let pool = P.create 4 in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool)
+        (fun () ->
+          ignore
+            (P.run pool
+               (List.init 64 (fun i () ->
+                    for j = 1 to 50 do
+                      E.emit "hammer" [ ("task", E.Int i); ("j", E.Int j) ]
+                    done))));
+      let evs = E.snapshot () in
+      Alcotest.(check int) "no lost events" 3200 (List.length evs);
+      List.iter
+        (fun e ->
+          match Obs.Trace.check_json (E.to_json_line e) with
+          | Ok () -> ()
+          | Error msg -> Alcotest.failf "invalid JSON line: %s" msg)
+        evs;
+      let last_seq : (int, int) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          (match Hashtbl.find_opt last_seq e.E.domain with
+          | Some prev ->
+              if e.E.seq <= prev then
+                Alcotest.failf
+                  "domain %d: seq %d after %d — merge broke per-domain order"
+                  e.E.domain e.E.seq prev
+          | None -> ());
+          Hashtbl.replace last_seq e.E.domain e.E.seq)
+        evs)
+
+let test_event_json_sink () =
+  with_clean_recorder (fun () ->
+      let file = Filename.temp_file "test_event_sink" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () ->
+          E.set_json_sink None;
+          Sys.remove file)
+        (fun () ->
+          let oc = open_out file in
+          E.set_json_sink (Some oc);
+          E.emit "mirrored" [ ("k", E.Str "v") ];
+          E.emit ~level:E.Debug "filtered" [];
+          E.set_json_sink None;
+          close_out oc;
+          let ic = open_in file in
+          let lines = ref [] in
+          (try
+             while true do
+               lines := input_line ic :: !lines
+             done
+           with End_of_file -> close_in ic);
+          match List.rev !lines with
+          | [ line ] ->
+              Alcotest.(check bool) "mirrored event on the sink" true
+                (Astring.String.is_infix ~affix:"\"name\":\"mirrored\"" line);
+              Alcotest.(check bool) "line is valid JSON" true
+                (Obs.Trace.check_json line = Ok ())
+          | ls -> Alcotest.failf "expected 1 sink line, got %d" (List.length ls)))
+
+(* --- memprof -------------------------------------------------------------- *)
+
+let test_memprof_gauges () =
+  Obs.Memprof.sample ();
+  Alcotest.(check bool) "minor words observed" true
+    (Obs.Gauge.value Obs.Memprof.minor_words > 0.0);
+  let names = List.map fst (Obs.Gauge.snapshot ()) in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [
+      "gc.minor_words"; "gc.major_words"; "gc.promoted_words";
+      "gc.heap_words"; "gc.compactions"; "gc.minor_collections";
+      "gc.major_collections";
+    ];
+  let x, bytes = Obs.Memprof.with_alloc (fun () -> List.init 1000 Fun.id) in
+  Alcotest.(check int) "with_alloc result" 1000 (List.length x);
+  Alcotest.(check bool) "allocation measured" true (bytes > 0.0)
+
+let test_span_with_alloc () =
+  with_clean_sink (fun () ->
+      (* disabled: no events, no overhead path *)
+      let r = Obs.Span.with_alloc "quiet" (fun () -> 3) in
+      Alcotest.(check int) "result while disabled" 3 r;
+      Alcotest.(check int) "nothing recorded" 0
+        (List.length (Obs.Sink.events ()));
+      Obs.Sink.enable ();
+      let keep = Obs.Span.with_alloc "alloc" (fun () -> Array.make 4096 0.0) in
+      Alcotest.(check int) "result" 4096 (Array.length keep);
+      (match Obs.Sink.events () with
+      | [ b; e ] ->
+          Alcotest.(check bool) "begin carries no delta" true
+            (b.Obs.Sink.alloc_bytes = None);
+          (match e.Obs.Sink.alloc_bytes with
+          | Some bytes ->
+              Alcotest.(check bool) "end carries the bytes" true
+                (bytes >= 4096.0 *. 8.0)
+          | None -> Alcotest.fail "End event lost the allocation delta")
+      | evs -> Alcotest.failf "expected B/E, got %d events" (List.length evs));
+      let text = Obs.Trace.to_string () in
+      Alcotest.(check bool) "trace renders alloc_b" true
+        (Astring.String.is_infix ~affix:"\"alloc_b\":" text);
+      match Obs.Trace.validate_string text with
+      | Ok _ -> ()
+      | Error msg -> Alcotest.failf "trace with alloc_b invalid: %s" msg)
+
 let test_report_tables () =
   let c = C.make "test.report" in
   C.reset c;
@@ -515,6 +716,20 @@ let () =
           Alcotest.test_case "golden round-trip" `Quick test_trace_golden;
           Alcotest.test_case "validator rejects" `Quick
             test_trace_validator_rejects;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "record, ctx and JSON lines" `Quick
+            test_event_basics;
+          Alcotest.test_case "level threshold" `Quick test_event_levels;
+          Alcotest.test_case "ring wraparound" `Quick test_event_wraparound;
+          Alcotest.test_case "4-domain hammer" `Quick test_event_hammer;
+          Alcotest.test_case "json sink mirror" `Quick test_event_json_sink;
+        ] );
+      ( "memprof",
+        [
+          Alcotest.test_case "gc gauges" `Quick test_memprof_gauges;
+          Alcotest.test_case "span alloc delta" `Quick test_span_with_alloc;
         ] );
       ( "integration",
         [

@@ -101,6 +101,39 @@ let test_cache_lru () =
   Alcotest.(check int) "evictions counted" (evictions0 + 1)
     (counter "serve.cache_evictions")
 
+let test_cache_evict_event () =
+  (* an eviction leaves a flight-recorder event carrying the evicted
+     entry's age and hit count, and the size gauge tracks the table *)
+  Obs.Event.clear ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Event.clear ())
+    (fun () ->
+      let cache = Serve.Cache.create ~capacity:2 in
+      Serve.Cache.put cache "a" 1;
+      Serve.Cache.put cache "b" 2;
+      ignore (Serve.Cache.find cache "a");
+      ignore (Serve.Cache.find cache "a");
+      Serve.Cache.put cache "c" 3;
+      (* "b" (never hit) was the LRU *)
+      let g = Obs.Gauge.make "serve.cache_size" in
+      Alcotest.(check (float 1e-9)) "size gauge" 2.0 (Obs.Gauge.value g);
+      match
+        List.filter
+          (fun e -> e.Obs.Event.name = "serve.cache.evict")
+          (Obs.Event.snapshot ())
+      with
+      | [ e ] -> (
+          (match List.assoc_opt "hits" e.Obs.Event.fields with
+          | Some (Obs.Event.Int 0) -> ()
+          | _ -> Alcotest.fail "evicted entry was never hit");
+          match List.assoc_opt "age_s" e.Obs.Event.fields with
+          | Some (Obs.Event.Float age) ->
+              Alcotest.(check bool) "age is sane" true
+                (age >= 0.0 && age < 60.0)
+          | _ -> Alcotest.fail "no age_s field on the eviction event")
+      | evs ->
+          Alcotest.failf "expected 1 eviction event, got %d" (List.length evs))
+
 let test_cache_overwrite () =
   let cache = Serve.Cache.create ~capacity:2 in
   Serve.Cache.put cache "k" 1;
@@ -292,6 +325,49 @@ let test_proto_stats_roundtrip () =
       | _ -> Alcotest.fail "expected a stats reply")
   | _ -> Alcotest.fail "stats frames did not roundtrip"
 
+let test_proto_events_roundtrip () =
+  (* events frames both ways: defaults and explicit count/level both
+     parse, and an Events_reply carries its JSON-lines body intact *)
+  (match
+     roundtrip_via_file
+       (fun oc ->
+         Serve.Proto.write_events_request oc;
+         Serve.Proto.write_events_request ~count:7 ~level:Obs.Event.Warn oc)
+       (fun ic ->
+         let a = Serve.Proto.read_incoming ic in
+         let b = Serve.Proto.read_incoming ic in
+         let c = Serve.Proto.read_incoming ic in
+         (a, b, c))
+   with
+  | ( Ok (Some (Serve.Proto.Events { count = None; min_level = Obs.Event.Debug })),
+      Ok
+        (Some (Serve.Proto.Events { count = Some 7; min_level = Obs.Event.Warn })),
+      Ok None ) -> ()
+  | _ -> Alcotest.fail "events frames did not roundtrip");
+  (* read_request must reject the admin frame rather than mis-parse *)
+  (match
+     roundtrip_via_file
+       (fun oc -> Serve.Proto.write_events_request oc)
+       Serve.Proto.read_request
+   with
+  | Error msg ->
+      Alcotest.(check bool) "read_request rejects events" true
+        (Astring.String.is_infix ~affix:"events" msg)
+  | Ok _ -> Alcotest.fail "read_request accepted an events frame");
+  let body =
+    "{\"ts_us\":1.000,\"level\":\"info\",\"name\":\"a\",\"domain\":0}\n"
+    ^ "{\"ts_us\":2.000,\"level\":\"warn\",\"name\":\"b\",\"domain\":1,\"req\":\"r9\"}\n"
+  in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_response oc (Serve.Proto.Events_reply { body }))
+      Serve.Proto.read_response
+  with
+  | Ok (Some (Serve.Proto.Events_reply { body = got })) ->
+      Alcotest.(check string) "multi-line body intact" body got
+  | _ -> Alcotest.fail "expected an events reply"
+
 (* --- Server ------------------------------------------------------------- *)
 
 let mk_server () =
@@ -311,7 +387,8 @@ let test_server_cache_roundtrip () =
       in
       match ask inst with
       | Serve.Proto.Error msg -> Alcotest.fail msg
-      | Serve.Proto.Stats_reply _ -> Alcotest.fail "unexpected stats reply"
+      | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _ ->
+          Alcotest.fail "unexpected admin reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
             first.Serve.Proto.cache_hit;
@@ -320,7 +397,8 @@ let test_server_cache_roundtrip () =
           let shuffled = Serve.Canon.shuffle r inst in
           match ask shuffled with
           | Serve.Proto.Error msg -> Alcotest.fail msg
-          | Serve.Proto.Stats_reply _ -> Alcotest.fail "unexpected stats reply"
+          | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _ ->
+              Alcotest.fail "unexpected admin reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
                 second.Serve.Proto.cache_hit;
@@ -404,6 +482,139 @@ let test_server_stats_frame () =
                    body)
           | _ -> Alcotest.fail "expected a json stats reply"))
 
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+let test_server_events_frame () =
+  (* a solve then an events frame on the same session: the reply body is
+     the flight recorder's JSON lines and includes this request's
+     lifecycle events *)
+  Obs.Event.clear ();
+  let server = mk_server () in
+  let inpath = Filename.temp_file "serve_events_in" ".txt" in
+  let outpath = Filename.temp_file "serve_events_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      Obs.Event.clear ();
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ inpath; outpath ])
+    (fun () ->
+      let inst = Workloads.Gen.identical (rng 17) ~n:5 ~m:2 ~k:2 () in
+      let oc = open_out inpath in
+      Serve.Proto.write_request oc
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+      Serve.Proto.write_events_request oc;
+      close_out oc;
+      let ic = open_in inpath in
+      let oc = open_out outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Serve.Server.serve_channels server ic oc);
+      close_out oc;
+      let ic = open_in outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Reply _)) -> ()
+          | _ -> Alcotest.fail "expected a solve reply first");
+          match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Events_reply { body })) ->
+              let lines =
+                List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+              in
+              Alcotest.(check bool) "body has events" true (lines <> []);
+              List.iter
+                (fun line ->
+                  match Obs.Trace.check_json line with
+                  | Ok () -> ()
+                  | Error msg ->
+                      Alcotest.failf "body line %S is not JSON: %s" line msg)
+                lines;
+              let has affix = Astring.String.is_infix ~affix body in
+              Alcotest.(check bool) "request event present" true
+                (has "\"name\":\"serve.request\"");
+              Alcotest.(check bool) "done event present" true
+                (has "\"name\":\"serve.request.done\"");
+              Alcotest.(check bool) "dispatch decision present" true
+                (has "\"name\":\"serve.dispatch.decision\"")
+          | _ -> Alcotest.fail "expected an events reply"))
+
+let test_server_slow_dump () =
+  (* acceptance criterion: a request over the slow threshold dumps a
+     valid JSON-lines recorder slice carrying the request id on every
+     event, including the dispatch decision and the exact solver's own
+     events *)
+  let dump = Filename.temp_file "serve_dump" ".jsonl" in
+  let oc = open_out dump in
+  let server =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        cache_capacity = 8;
+        jobs = 2;
+        slow_ms = Some 0.0;
+        dump_channel = Some oc;
+        dump_min_interval_s = 0.0;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      (try close_out oc with Sys_error _ -> ());
+      try Sys.remove dump with Sys_error _ -> ())
+    (fun () ->
+      let inst = Workloads.Gen.uniform (rng 21) ~n:8 ~m:3 ~k:3 () in
+      (match
+         Serve.Server.handle_request server
+           { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance = inst }
+       with
+      | Serve.Proto.Reply _ -> ()
+      | _ -> Alcotest.fail "expected a solve reply");
+      flush oc;
+      match read_lines dump with
+      | header :: events ->
+          Alcotest.(check bool) "header names the trigger" true
+            (Astring.String.is_infix ~affix:"\"dump\":\"slow-request\"" header);
+          let req =
+            match Astring.String.cut ~sep:"\"req\":\"" header with
+            | Some (_, rest) -> (
+                match Astring.String.cut ~sep:"\"" rest with
+                | Some (id, _) -> id
+                | None -> Alcotest.fail "unterminated req id in header")
+            | None -> Alcotest.fail "no req id in the dump header"
+          in
+          Alcotest.(check bool) "dump has events" true (events <> []);
+          List.iter
+            (fun line ->
+              (match Obs.Trace.check_json line with
+              | Ok () -> ()
+              | Error msg ->
+                  Alcotest.failf "dump line %S is not JSON: %s" line msg);
+              Alcotest.(check bool)
+                (Printf.sprintf "line carries req id %s" req)
+                true
+                (Astring.String.is_infix
+                   ~affix:(Printf.sprintf "\"req\":\"%s\"" req)
+                   line))
+            (header :: events);
+          let all = String.concat "\n" events in
+          let has affix = Astring.String.is_infix ~affix all in
+          Alcotest.(check bool) "dispatch decision dumped" true
+            (has "\"name\":\"serve.dispatch.decision\"");
+          Alcotest.(check bool) "exact-node events dumped" true
+            (has "\"name\":\"algos.exact.solve\"")
+      | [] -> Alcotest.fail "slow request produced no dump")
+
 let test_server_socket_session () =
   let server = mk_server () in
   let path =
@@ -469,6 +680,8 @@ let () =
       ( "cache",
         [
           Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+          Alcotest.test_case "eviction event and size gauge" `Quick
+            test_cache_evict_event;
           Alcotest.test_case "overwrite" `Quick test_cache_overwrite;
         ] );
       ( "dispatch",
@@ -489,6 +702,8 @@ let () =
             test_proto_response_roundtrip;
           Alcotest.test_case "stats frame roundtrip" `Quick
             test_proto_stats_roundtrip;
+          Alcotest.test_case "events frame roundtrip" `Quick
+            test_proto_events_roundtrip;
           Alcotest.test_case "malformed resync" `Quick
             test_proto_malformed_resync;
         ] );
@@ -497,6 +712,8 @@ let () =
           Alcotest.test_case "cache roundtrip" `Quick
             test_server_cache_roundtrip;
           Alcotest.test_case "stats frame" `Quick test_server_stats_frame;
+          Alcotest.test_case "events frame" `Quick test_server_events_frame;
+          Alcotest.test_case "slow-request dump" `Quick test_server_slow_dump;
           Alcotest.test_case "socket session" `Quick test_server_socket_session;
         ] );
     ]
