@@ -690,6 +690,206 @@ let loadgen_cmd =
         (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
        $ permute_arg $ seed_arg $ json_arg $ file_arg))
 
+(* --- fuzz --------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seconds_arg =
+    Arg.(value & opt (some float) None
+         & info [ "seconds" ] ~docv:"S"
+             ~doc:"Time budget in seconds (default 5 when --cases is not \
+                   given).")
+  in
+  let cases_arg =
+    Arg.(value & opt (some int) None
+         & info [ "cases" ] ~docv:"N"
+             ~doc:"Stop after exactly $(docv) cases instead of a time \
+                   budget (deterministic, what CI smoke uses).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"Root RNG seed; a run is reproducible from (seed, case \
+                   index) alone.")
+  in
+  let algo_arg =
+    Arg.(value & opt_all string []
+         & info [ "algo"; "a" ] ~docv:"NAME"
+             ~doc:"Fuzz only this registered algorithm (repeatable; \
+                   default: all). See the registry names in DESIGN.md.")
+  in
+  let env_arg =
+    Arg.(value & opt_all string []
+         & info [ "env" ] ~docv:"ENV"
+             ~doc:"Restrict to an environment: identical, uniform, \
+                   restricted or unrelated (repeatable; default: cycle \
+                   through all four).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag
+         & info [ "no-shrink" ]
+             ~doc:"Report failures as generated, without delta-debugging \
+                   them down first.")
+  in
+  let corpus_arg =
+    Arg.(value & opt (some string) None
+         & info [ "corpus" ] ~docv:"DIR"
+             ~doc:"Write minimal reproducers for any failure to $(docv) \
+                   (created if missing).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"DIR"
+             ~doc:"Instead of fuzzing, replay every reproducer in \
+                   $(docv) and fail if any still violates its property.")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 1
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker domains; case RNGs are pre-split so results do \
+                   not depend on $(docv).")
+  in
+  let max_jobs_arg =
+    Arg.(value & opt int Check.Driver.default.Check.Driver.max_jobs
+         & info [ "max-jobs" ] ~docv:"N"
+             ~doc:"Largest generated instance, in jobs.")
+  in
+  let no_meta_arg =
+    Arg.(value & flag
+         & info [ "no-metamorphic" ]
+             ~doc:"Skip the metamorphic relations (permute/scale/speed-up/\
+                   drop-job); differential checks only.")
+  in
+  (* the check.* footer is the point of the exercise: always print it,
+     --stats only adds the full delta table on top *)
+  let print_check_footer () =
+    let table = Obs.Report.prefix_table ~prefix:"check." in
+    if Stats.Table.num_rows table > 0 then begin
+      prerr_newline ();
+      prerr_string (Stats.Table.to_string table)
+    end
+  in
+  let print_failure (f : Check.Driver.failure) =
+    Printf.printf "case %d (%s, %d jobs -> %d after %d shrink steps):\n"
+      f.Check.Driver.case f.Check.Driver.env
+      (Core.Instance.num_jobs f.Check.Driver.instance)
+      (Core.Instance.num_jobs f.Check.Driver.shrunk)
+      f.Check.Driver.shrink_steps;
+    List.iter
+      (fun v -> Printf.printf "  %s\n" (Check.Violation.to_string v))
+      f.Check.Driver.violations;
+    List.iter
+      (fun p -> Printf.printf "  wrote %s\n" p)
+      f.Check.Driver.corpus_paths
+  in
+  let replay_dir dir =
+    let entries = Check.Corpus.load_dir dir in
+    if entries = [] then begin
+      Printf.printf "replay %s: empty corpus\n" dir;
+      `Ok ()
+    end
+    else begin
+      let bad = ref 0 in
+      List.iter
+        (fun (path, loaded) ->
+          match loaded with
+          | Error msg ->
+              incr bad;
+              Printf.printf "LOAD FAIL %s: %s\n" path msg
+          | Ok entry -> (
+              match Check.Corpus.replay entry with
+              | [] -> Printf.printf "ok   %s\n" (Filename.basename path)
+              | vs ->
+                  incr bad;
+                  Printf.printf "FAIL %s\n" (Filename.basename path);
+                  List.iter
+                    (fun v ->
+                      Printf.printf "  %s\n" (Check.Violation.to_string v))
+                    vs))
+        entries;
+      print_check_footer ();
+      if !bad = 0 then begin
+        Printf.printf "replayed %d reproducer(s), all fixed\n"
+          (List.length entries);
+        `Ok ()
+      end
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d reproducer(s) regressed" !bad
+              (List.length entries) )
+    end
+  in
+  let run seconds cases seed algos envs no_shrink corpus replay jobs max_jobs
+      no_meta trace stats =
+    let finish = obs_setup trace in
+    match replay with
+    | Some dir ->
+        let r = replay_dir dir in
+        (match finish ~stats with `Ok () -> r | err -> err)
+    | None -> (
+        let budget =
+          match (cases, seconds) with
+          | Some n, _ -> Ok (Check.Driver.Cases n)
+          | None, Some s -> Ok (Check.Driver.Seconds s)
+          | None, None -> Ok (Check.Driver.Seconds 5.0)
+        in
+        let env_kinds =
+          List.fold_left
+            (fun acc name ->
+              match (acc, Check.Driver.env_of_string name) with
+              | Error _, _ -> acc
+              | Ok _, None -> Error (Printf.sprintf "unknown environment %S" name)
+              | Ok ks, Some k -> Ok (ks @ [ k ]))
+            (Ok []) envs
+        in
+        match (budget, env_kinds) with
+        | Error msg, _ | _, Error msg -> `Error (false, msg)
+        | Ok budget, Ok env_kinds -> (
+            let config =
+              {
+                Check.Driver.default with
+                Check.Driver.seed;
+                budget;
+                envs =
+                  (if env_kinds = [] then Check.Driver.all_envs else env_kinds);
+                algo_filter = algos;
+                shrink = not no_shrink;
+                corpus_dir = corpus;
+                jobs = max 1 jobs;
+                max_jobs;
+                metamorphic = not no_meta;
+              }
+            in
+            match Check.Driver.run config with
+            | exception Invalid_argument msg -> `Error (false, msg)
+            | summary ->
+                List.iter print_failure summary.Check.Driver.failures;
+                Printf.printf
+                  "fuzzed %d case(s) in %.1f s (seed %d): %d violation(s)\n"
+                  summary.Check.Driver.cases summary.Check.Driver.wall_s seed
+                  summary.Check.Driver.violations;
+                print_check_footer ();
+                let r = finish ~stats in
+                if summary.Check.Driver.violations = 0 then r
+                else
+                  `Error
+                    ( false,
+                      Printf.sprintf "%d invariant violation(s) found"
+                        summary.Check.Driver.violations )))
+  in
+  let info =
+    Cmd.info "fuzz"
+      ~doc:"Differentially fuzz every registered algorithm against exact \
+            and bound oracles, with metamorphic checks and failing-case \
+            shrinking."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ seconds_arg $ cases_arg $ seed_arg $ algo_arg $ env_arg
+       $ no_shrink_arg $ corpus_arg $ replay_arg $ jobs_arg $ max_jobs_arg
+       $ no_meta_arg $ trace_arg $ stats_arg))
+
 (* --- metrics ------------------------------------------------------------ *)
 
 let metrics_cmd =
@@ -833,7 +1033,8 @@ let main =
   Cmd.group info
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
-      experiments_cmd; serve_cmd; loadgen_cmd; metrics_cmd; events_cmd;
+      experiments_cmd; fuzz_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
+      events_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,3 +1,5 @@
+let guarantee ~eps = (1.0 +. eps) ** 6.0
+
 let schedule_for_guess ~eps instance ~makespan:t =
   let simp = Simplify.simplify ~eps ~makespan:t instance in
   match

@@ -12,6 +12,13 @@
     [Θ(log_{1+ε})] distinct sizes); intended for small instances and
     [ε >= 1/4], which experiment E2 uses. *)
 
+val guarantee : eps:float -> float
+(** [(1+ε)^6]: the proven multiplicative gap between the returned
+    schedule and the optimum when the binary search runs to exactness.
+    Callers comparing measured ratios against it (experiment E2, the
+    [lib/check] invariants) must additionally allow the binary search's
+    [rel_tol] slack. *)
+
 val schedule_for_guess :
   eps:float -> Core.Instance.t -> makespan:float -> Common.result option
 (** One dual-approximation probe at a fixed guess. *)

@@ -1,0 +1,108 @@
+type entry = {
+  algo : string;
+  prop : string;
+  seed : int;
+  detail : string;
+  instance : Core.Instance.t;
+}
+
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+      | _ -> '_')
+    s
+
+let write ~dir ~seed (viol : Violation.t) instance =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "%s-%s-seed%d.txt" (sanitize viol.Violation.algo)
+         (sanitize viol.Violation.prop) seed)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "#! schedtool-check reproducer\n";
+      Printf.fprintf oc "#! algo: %s\n" viol.Violation.algo;
+      Printf.fprintf oc "#! prop: %s\n" viol.Violation.prop;
+      Printf.fprintf oc "#! seed: %d\n" seed;
+      (* details can hold anything; keep the header line-oriented *)
+      Printf.fprintf oc "#! detail: %s\n"
+        (String.map (fun c -> if c = '\n' then ' ' else c) viol.Violation.detail);
+      output_string oc (Core.Instance_io.to_string instance));
+  path
+
+let header_value line key =
+  let prefix = "#! " ^ key ^ ":" in
+  if String.starts_with ~prefix line then
+    Some (String.trim (String.sub line (String.length prefix)
+                         (String.length line - String.length prefix)))
+  else None
+
+let load path =
+  match
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      let algo = ref "" and prop = ref "" and seed = ref 1 and detail = ref "" in
+      List.iter
+        (fun line ->
+          Option.iter (fun v -> algo := v) (header_value line "algo");
+          Option.iter (fun v -> prop := v) (header_value line "prop");
+          Option.iter (fun v -> detail := v) (header_value line "detail");
+          Option.iter
+            (fun v -> Option.iter (fun s -> seed := s) (int_of_string_opt v))
+            (header_value line "seed"))
+        (String.split_on_char '\n' text);
+      if !algo = "" || !prop = "" then
+        Error (path ^ ": missing '#! algo:' or '#! prop:' header")
+      else
+        match Core.Instance_io.of_string_result text with
+        | Error e -> Error (path ^ ": " ^ Core.Instance_io.error_to_string e)
+        | Ok instance ->
+            Ok { algo = !algo; prop = !prop; seed = !seed; detail = !detail;
+                 instance })
+
+let load_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".txt")
+    |> List.sort compare
+    |> List.map (fun f ->
+           let path = Filename.concat dir f in
+           (path, load path))
+
+let replay ?registry entry =
+  let registry =
+    match registry with Some r -> r | None -> Props.registry ()
+  in
+  let exact_job_limit = 9 in
+  match entry.algo with
+  | "io" -> Props.check_io_roundtrip entry.instance
+  | "oracle" ->
+      let oracle = Oracle.compute ~exact_job_limit entry.instance in
+      Oracle.consistent oracle
+      @ Metamorph.check
+          ~rng:(Workloads.Rng.create entry.seed)
+          ~oracle ~seed:entry.seed ~exact_job_limit entry.instance []
+  | name -> (
+      match Props.find ~name registry with
+      | None ->
+          [
+            Violation.v ~algo:name ~prop:"corpus-unknown-algo"
+              "corpus entry names an unregistered algorithm";
+          ]
+      | Some algo ->
+          let oracle = Oracle.compute ~exact_job_limit entry.instance in
+          Props.check_algo ~oracle ~seed:entry.seed entry.instance algo
+          @ Metamorph.check
+              ~rng:(Workloads.Rng.create entry.seed)
+              ~oracle ~seed:entry.seed ~exact_job_limit entry.instance [ algo ])

@@ -1,0 +1,46 @@
+(** Replay corpus: minimal reproducers of past invariant violations.
+
+    Each corpus file is a plain {!Core.Instance_io} instance preceded by
+    [#!]-prefixed header comments that survive the parser untouched
+    (everything after [#] is a comment to {!Core.Instance_io}):
+
+    {v
+    #! schedtool-check reproducer
+    #! algo: greedy
+    #! prop: ratio-bound
+    #! seed: 42
+    #! detail: makespan 12 exceeds 1 * opt 9
+    env identical
+    ...
+    v}
+
+    [test/corpus/*.txt] holds the committed reproducers; the
+    [@check-smoke] test replays them all and fails if any regresses. *)
+
+type entry = {
+  algo : string;  (** algorithm name, or ["oracle"] / ["io"] *)
+  prop : string;
+  seed : int;  (** RNG seed for replaying randomized pieces *)
+  detail : string;
+  instance : Core.Instance.t;
+}
+
+val write : dir:string -> seed:int -> Violation.t -> Core.Instance.t -> string
+(** Persist a reproducer; returns the path written. The file name
+    encodes algo, prop and seed; an existing file of the same name is
+    overwritten (same bug, same case). Creates [dir] if missing. *)
+
+val load : string -> (entry, string) result
+(** Parse one corpus file. *)
+
+val load_dir : string -> (string * (entry, string) result) list
+(** Every [*.txt] in a directory, sorted by name. Missing directory is
+    an empty corpus. *)
+
+val replay : ?registry:Props.algo list -> entry -> Violation.t list
+(** Re-run the checks the entry names on its instance: the full
+    invariant suite for its algorithm (and for ["oracle"]/["io"] the
+    oracle-consistency / serialization round-trip checks). An empty list
+    means the historical bug stays fixed. Unknown algorithm names yield
+    a synthetic [corpus-unknown-algo] violation so a renamed algorithm
+    cannot silently retire its reproducers. *)

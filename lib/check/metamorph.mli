@@ -1,0 +1,42 @@
+(** Metamorphic oracles: relations that must hold between a solver's (or
+    bound's) answers on an instance and on a transformed twin, even when
+    the true optimum is unknown.
+
+    Transforms and their expected relations:
+
+    - {e permute} (relabel jobs/machines/classes via
+      {!Serve.Canon.shuffle}): the problem is unchanged, so
+      {!Serve.Canon.key} must agree, {!Core.Bounds.lower_bound} must
+      agree, the exact optimum must agree, and every algorithm's output
+      on the twin must satisfy the same invariants against the same
+      oracle;
+    - {e scale} (multiply all processing and setup times by a power of
+      two — exact in floating point): bounds and the optimum scale by
+      exactly that factor, and [scale_equivariant] algorithms' makespans
+      do too;
+    - {e speed-up} (double one machine's speed, uniform environment
+      only): the optimum cannot increase;
+    - {e drop-job} (remove one job via {!Core.Instance.induced}): the
+      optimum cannot increase; without an exact oracle the weaker
+      [lb(sub) <= ub(full)] still must hold.
+
+    Each relation that fails yields a violation whose [prop] is
+    [meta-<transform>-<aspect>]. *)
+
+val check :
+  rng:Workloads.Rng.t ->
+  oracle:Oracle.t ->
+  seed:int ->
+  exact_job_limit:int ->
+  Core.Instance.t ->
+  Props.algo list ->
+  Violation.t list
+(** Apply every applicable transform once (random choices — which
+    machine to speed up, which job to drop — come from [rng]) and check
+    the relations. Only [Cheap] algorithms are re-run on the twins;
+    [exact_job_limit] gates the re-solves exactly as in
+    {!Oracle.compute}. *)
+
+val scale_times : Core.Instance.t -> float -> Core.Instance.t
+(** Multiply every processing and setup time by a factor (speeds are
+    left alone). Exposed for tests. *)

@@ -1,0 +1,42 @@
+type t = { lb : float; ub : float; opt : float option; nodes : int }
+
+let compute ?(exact_job_limit = 9) ?(node_limit = 300_000) instance =
+  let lb = Core.Bounds.lower_bound instance in
+  let greedy_ub =
+    match Algos.List_scheduling.schedule instance with
+    | r -> r.Algos.Common.makespan
+    | exception Invalid_argument _ -> infinity
+  in
+  if Core.Instance.num_jobs instance <= exact_job_limit then
+    match Algos.Exact.solve ~node_limit instance with
+    | outcome ->
+        let ms = outcome.Algos.Exact.result.Algos.Common.makespan in
+        {
+          lb;
+          (* the incumbent is a valid schedule even when unproven *)
+          ub = Float.min greedy_ub ms;
+          opt = (if outcome.Algos.Exact.optimal then Some ms else None);
+          nodes = outcome.Algos.Exact.nodes;
+        }
+    | exception Invalid_argument _ ->
+        { lb; ub = greedy_ub; opt = None; nodes = 0 }
+  else { lb; ub = greedy_ub; opt = None; nodes = 0 }
+
+let describe t =
+  match t.opt with
+  | Some o -> Printf.sprintf "opt=%g (%d nodes)" o t.nodes
+  | None -> Printf.sprintf "lb=%g ub=%g" t.lb t.ub
+
+let consistent t =
+  let open Violation in
+  let sandwich lo hi what =
+    if leq lo hi then []
+    else
+      [
+        v ~algo:"oracle" ~prop:"oracle-sandwich" "%s: %g > %g (%s)" what lo hi
+          (describe t);
+      ]
+  in
+  match t.opt with
+  | Some o -> sandwich t.lb o "lb <= opt" @ sandwich o t.ub "opt <= ub"
+  | None -> sandwich t.lb t.ub "lb <= ub"

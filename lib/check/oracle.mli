@@ -1,0 +1,37 @@
+(** Ground truth for the invariant checks.
+
+    Every property in {!Props} compares an algorithm's output against an
+    oracle: for small instances the exact optimum from {!Algos.Exact}
+    (proven, so approximation ratios are measured against the real
+    [OPT]); for larger instances the combinatorial sandwich
+    [lb <= OPT <= ub] from {!Core.Bounds} plus a cheap valid schedule.
+    The oracle never raises on well-formed instances — an instance with
+    a nowhere-eligible job yields [ub = infinity] and the caller's
+    generators are expected not to produce one. *)
+
+type t = {
+  lb : float;  (** certified lower bound on the optimal makespan *)
+  ub : float;
+      (** makespan of a valid schedule (greedy list scheduling), hence a
+          certified upper bound on the optimum *)
+  opt : float option;
+      (** the exact optimum, when branch and bound proved it within the
+          node budget *)
+  nodes : int;  (** branch-and-bound nodes spent (0 when skipped) *)
+}
+
+val compute : ?exact_job_limit:int -> ?node_limit:int -> Core.Instance.t -> t
+(** [exact_job_limit] (default 9) caps the instance size for which the
+    exact solver runs; [node_limit] (default 300_000) caps its search.
+    An unproven search falls back to the bounds oracle — the incumbent
+    still tightens [ub]. *)
+
+val describe : t -> string
+(** ["opt=42 (1234 nodes)"] or ["lb=17.5 ub=60"] — for violation
+    messages. *)
+
+val consistent : t -> Violation.t list
+(** The oracle checks itself: [lb <= opt <= ub] (within
+    {!Violation.slack}). A violation here means {!Core.Bounds} or
+    {!Algos.Exact} is wrong — the most valuable failure the fuzzer can
+    find. *)

@@ -1,0 +1,232 @@
+module I = Core.Instance
+
+type cost = Cheap | Heavy
+
+type algo = {
+  name : string;
+  applies : I.t -> bool;
+  factor : I.t -> float option;
+  scale_equivariant : bool;
+  cost : cost;
+  run : seed:int -> I.t -> Algos.Common.result;
+}
+
+let all_jobs_eligible instance =
+  let ok = ref true in
+  for j = 0 to I.num_jobs instance - 1 do
+    if I.eligible_machines instance j = [] then ok := false
+  done;
+  !ok
+
+let uniformish instance =
+  match instance.I.env with
+  | I.Identical | I.Uniform _ -> true
+  | I.Restricted _ | I.Unrelated _ -> false
+
+let ra_applies instance =
+  (match instance.I.env with
+  | I.Identical | I.Restricted _ -> true
+  | I.Uniform _ | I.Unrelated _ -> false)
+  && I.restrict_class_uniform instance
+
+(* Binary-search driven algorithms stop within [rel_tol] of the smallest
+   feasible guess, so their effective factor is the proven one times
+   (1 + rel_tol). The defaults below mirror the algorithms' own
+   defaults. *)
+let search_tol = 0.02
+let ptas_eps = 0.5
+
+let no_factor _ = None
+let const_factor f _ = Some f
+
+let registry () =
+  let greedy order name =
+    {
+      name;
+      applies = all_jobs_eligible;
+      factor = no_factor;
+      scale_equivariant = true;
+      cost = Cheap;
+      run = (fun ~seed:_ t -> Algos.List_scheduling.schedule ~order t);
+    }
+  in
+  [
+    greedy Algos.List_scheduling.Input "greedy";
+    greedy Algos.List_scheduling.Longest_first "greedy-longest";
+    greedy Algos.List_scheduling.By_class "greedy-by-class";
+    {
+      name = "lpt-placeholders";
+      applies = (fun t -> uniformish t);
+      factor = const_factor Algos.Lpt.approximation_factor;
+      scale_equivariant = true;
+      cost = Cheap;
+      run = (fun ~seed:_ t -> Algos.Lpt.schedule t);
+    };
+    {
+      name = "batch-lpt";
+      applies = (fun t -> uniformish t);
+      factor = no_factor;
+      scale_equivariant = true;
+      cost = Cheap;
+      run = (fun ~seed:_ t -> Algos.Batch_lpt.schedule t);
+    };
+    {
+      name = "ptas";
+      applies = (fun t -> uniformish t);
+      factor =
+        const_factor
+          (Algos.Uniform_ptas.guarantee ~eps:ptas_eps
+          *. (1.0 +. (ptas_eps /. 4.0)));
+      scale_equivariant = false;
+      cost = Heavy;
+      run = (fun ~seed:_ t -> Algos.Uniform_ptas.schedule ~eps:ptas_eps t);
+    };
+    {
+      name = "rounding";
+      applies = all_jobs_eligible;
+      (* O(log n + log m) with an unspecified constant: validity and the
+         sandwich are checked, the ratio is not *)
+      factor = no_factor;
+      scale_equivariant = false;
+      cost = Heavy;
+      run =
+        (fun ~seed t ->
+          fst (Algos.Randomized_rounding.schedule (Workloads.Rng.create seed) t));
+    };
+    {
+      name = "ra2";
+      applies = (fun t -> ra_applies t && all_jobs_eligible t);
+      factor = const_factor (Algos.Ra_class_uniform.guarantee *. (1.0 +. search_tol));
+      scale_equivariant = false;
+      cost = Heavy;
+      run = (fun ~seed:_ t -> Algos.Ra_class_uniform.schedule t);
+    };
+    {
+      name = "cu3";
+      applies = (fun t -> I.class_uniform_ptimes t && all_jobs_eligible t);
+      factor = const_factor (Algos.Um_class_uniform.guarantee *. (1.0 +. search_tol));
+      scale_equivariant = false;
+      cost = Heavy;
+      run = (fun ~seed:_ t -> Algos.Um_class_uniform.schedule t);
+    };
+    {
+      name = "portfolio";
+      applies = all_jobs_eligible;
+      (* best-of inherits the best applicable member guarantee, and the
+         local-search polish can only improve the winner *)
+      factor =
+        (fun t ->
+          let member_factors =
+            (if uniformish t then
+               [
+                 Algos.Lpt.approximation_factor;
+                 Algos.Uniform_ptas.guarantee ~eps:ptas_eps
+                 *. (1.0 +. (ptas_eps /. 4.0));
+               ]
+             else [])
+            @ (if ra_applies t then
+                 [ Algos.Ra_class_uniform.guarantee *. (1.0 +. search_tol) ]
+               else [])
+            @
+            if I.class_uniform_ptimes t then
+              [ Algos.Um_class_uniform.guarantee *. (1.0 +. search_tol) ]
+            else []
+          in
+          match member_factors with
+          | [] -> None
+          | fs -> Some (List.fold_left Float.min infinity fs));
+      scale_equivariant = false;
+      cost = Heavy;
+      run =
+        (fun ~seed t -> (Algos.Portfolio.run ~seed t).Algos.Portfolio.best);
+    };
+  ]
+
+let find ~name algos = List.find_opt (fun a -> a.name = name) algos
+
+let mutant =
+  {
+    name = "mutant-stack";
+    applies = (fun _ -> true);
+    factor = const_factor 1.0;
+    scale_equivariant = true;
+    cost = Cheap;
+    run =
+      (fun ~seed:_ t ->
+        (* everything on machine 0, eligibility be damned: trips
+           [schedule-valid] on restricted instances and [ratio-bound]
+           everywhere else *)
+        let sched = Core.Schedule.unsafe_make t (Array.make (I.num_jobs t) 0) in
+        { Algos.Common.schedule = sched; makespan = Core.Schedule.makespan sched });
+  }
+
+let check_result ~oracle instance algo (r : Algos.Common.result) =
+  let open Violation in
+  let name = algo.name in
+  let buf = ref [] in
+  let add x = buf := x :: !buf in
+  if not (Core.Schedule.is_valid instance r.Algos.Common.schedule) then
+    add
+      (v ~algo:name ~prop:"schedule-valid"
+         "schedule assigns a job to an ineligible machine");
+  let recomputed = Core.Schedule.makespan r.Algos.Common.schedule in
+  if not (approx_eq r.Algos.Common.makespan recomputed) then
+    add
+      (v ~algo:name ~prop:"makespan-consistent"
+         "reported makespan %g but the schedule's loads give %g"
+         r.Algos.Common.makespan recomputed);
+  if not (Float.is_finite r.Algos.Common.makespan) then
+    add
+      (v ~algo:name ~prop:"makespan-consistent" "makespan %g is not finite"
+         r.Algos.Common.makespan);
+  if not (leq oracle.Oracle.lb r.Algos.Common.makespan) then
+    add
+      (v ~algo:name ~prop:"lb-sandwich"
+         "makespan %g beats the certified lower bound %g"
+         r.Algos.Common.makespan oracle.Oracle.lb);
+  (match oracle.Oracle.opt with
+  | Some opt ->
+      if not (leq opt r.Algos.Common.makespan) then
+        add
+          (v ~algo:name ~prop:"lb-sandwich"
+             "makespan %g beats the proven optimum %g" r.Algos.Common.makespan
+             opt);
+      (match algo.factor instance with
+      | Some f ->
+          if not (leq r.Algos.Common.makespan (f *. opt)) then
+            add
+              (v ~algo:name ~prop:"ratio-bound"
+                 "makespan %g exceeds %g * opt %g = %g"
+                 r.Algos.Common.makespan f opt (f *. opt))
+      | None -> ())
+  | None -> ());
+  List.rev !buf
+
+let check_io_roundtrip instance =
+  let text = Core.Instance_io.to_string instance in
+  match Core.Instance_io.of_string_result text with
+  | Error e ->
+      [
+        Violation.v ~algo:"io" ~prop:"io-roundtrip"
+          "printed instance fails to parse: %s"
+          (Core.Instance_io.error_to_string e);
+      ]
+  | Ok reparsed ->
+      let text' = Core.Instance_io.to_string reparsed in
+      if text <> text' then
+        [
+          Violation.v ~algo:"io" ~prop:"io-roundtrip"
+            "parse o print is not the identity (printed forms differ)";
+        ]
+      else []
+
+let check_algo ~oracle ~seed instance algo =
+  if not (algo.applies instance) then []
+  else
+    match algo.run ~seed instance with
+    | r -> check_result ~oracle instance algo r
+    | exception e ->
+        [
+          Violation.v ~algo:algo.name ~prop:"no-crash"
+            "raised %s although the preconditions hold" (Printexc.to_string e);
+        ]

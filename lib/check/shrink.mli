@@ -1,0 +1,41 @@
+(** Delta-debugging shrinker for failing fuzz cases.
+
+    Given an instance on which some check fails (the predicate), greedily
+    apply size-reducing transforms while the failure persists:
+
+    + drop jobs (ddmin-style: halves, then quarters, ..., then single
+      jobs, via {!Core.Instance.induced});
+    + drop machines (rebuilding the environment row-wise);
+    + merge setup classes (relabel one class into another, compacting
+      ids);
+    + coarsen values (round every processing/setup time to the nearest
+      power of two — collapses the noise that generators add).
+
+    The predicate is re-evaluated on every candidate; candidates on which
+    it raises are treated as non-failing (a crash during shrinking means
+    the candidate left the failure's precondition, not that the bug
+    reproduces). The result is a local minimum: no single registered
+    reduction keeps it failing. *)
+
+val shrink :
+  ?max_steps:int ->
+  still_fails:(Core.Instance.t -> bool) ->
+  Core.Instance.t ->
+  Core.Instance.t * int
+(** Returns the shrunk instance and the number of predicate evaluations
+    spent ([max_steps], default 500, caps them). The input instance is
+    returned unchanged if no reduction keeps it failing. *)
+
+val drop_machine : Core.Instance.t -> int -> Core.Instance.t option
+(** Remove one machine (rebuilding speeds/eligibility/ptime rows).
+    [None] when it is the last machine or a job would lose its last
+    eligible machine. Exposed for tests. *)
+
+val merge_classes : Core.Instance.t -> src:int -> dst:int -> Core.Instance.t option
+(** Relabel every job of class [src] to class [dst] and drop [src],
+    compacting class ids. [None] when [src = dst] or out of range.
+    Exposed for tests. *)
+
+val coarsen : Core.Instance.t -> Core.Instance.t
+(** Round every finite positive time to the nearest power of two.
+    Idempotent. Exposed for tests. *)

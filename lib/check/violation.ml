@@ -1,0 +1,21 @@
+type t = { algo : string; prop : string; detail : string }
+
+let v ~algo ~prop fmt =
+  Printf.ksprintf (fun detail -> { algo; prop; detail }) fmt
+
+let to_string { algo; prop; detail } =
+  Printf.sprintf "%s/%s: %s" algo prop detail
+
+let slack = 1e-6
+
+(* The absolute floor keeps comparisons near zero sane: instances carry
+   integer-valued times >= 1, so anything below 1e-9 is float noise. *)
+let abs_floor = 1e-9
+
+let leq ?(tol = slack) a b =
+  a <= b +. (tol *. Float.max (Float.abs a) (Float.abs b)) +. abs_floor
+
+let approx_eq ?(tol = slack) a b =
+  (a = b)
+  || Float.abs (a -. b)
+     <= (tol *. Float.max (Float.abs a) (Float.abs b)) +. abs_floor

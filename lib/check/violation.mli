@@ -1,0 +1,33 @@
+(** One broken invariant, as recorded by every layer of the checker.
+
+    [algo] is the name of the algorithm under test, or one of the
+    pseudo-subjects ["oracle"] (the bounds/exact ground truth disagreed
+    with itself) and ["io"] (serialization round-trip). [prop] names the
+    property from the registry ({!Props}, {!Metamorph} or the driver's
+    io check); [detail] is a human-readable account with the numbers in
+    hand. *)
+
+type t = { algo : string; prop : string; detail : string }
+
+val v : algo:string -> prop:string -> ('a, unit, string, t) format4 -> 'a
+(** [v ~algo ~prop fmt ...] builds a violation with a formatted detail. *)
+
+val to_string : t -> string
+(** ["algo/prop: detail"]. *)
+
+(** {1 Float comparisons}
+
+    All invariant comparisons run through these, so the tolerance story
+    lives in one place: algorithms accumulate float error (sums of
+    processing times, LP pivots), and a checker that cries wolf on a
+    1-ulp difference is worse than none. *)
+
+val slack : float
+(** Relative tolerance for "mathematically equal/ordered" comparisons:
+    [1e-6]. *)
+
+val leq : ?tol:float -> float -> float -> bool
+(** [leq a b]: [a <= b] up to relative (and tiny absolute) slack. *)
+
+val approx_eq : ?tol:float -> float -> float -> bool
+(** Symmetric relative equality, infinity-aware ([inf = inf] holds). *)

@@ -6,6 +6,13 @@ val to_table : unit -> Stats.Table.t
     per-name span aggregates (count and total seconds), as a
     three-column [kind | metric | value] table. *)
 
+val prefix_table : prefix:string -> Stats.Table.t
+(** {!to_table} restricted to metrics whose name starts with [prefix]
+    (e.g. ["check."]) — the always-on footer a subsystem prints about
+    itself without dragging every other family along. Unlike
+    {!to_table}, zero-valued counters are kept: a focused footer's zeros
+    (["check.violations 0"]) are the healthy-run signal. *)
+
 val delta_table : before:(string * int) list -> Stats.Table.t
 (** Counters that moved since the [before] snapshot (from
     {!Counter.snapshot}), as a [counter | delta] table. The experiment

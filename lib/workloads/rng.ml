@@ -17,6 +17,16 @@ let split t =
   let s = int64 t in
   { state = mix s }
 
+let split_n t k =
+  if k < 0 then invalid_arg "Rng.split_n: negative count";
+  (* explicit loop: Array.init's evaluation order is unspecified, and the
+     children must come off the parent in index order for determinism *)
+  let children = Array.make k t in
+  for i = 0 to k - 1 do
+    children.(i) <- split t
+  done;
+  children
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Rejection-free for our purposes: modulo bias is negligible because

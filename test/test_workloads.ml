@@ -65,6 +65,41 @@ let test_rng_split_independent () =
   done;
   Alcotest.(check int) "independent streams" 0 !same
 
+let test_rng_split_n_no_collisions () =
+  (* fuzz workers each get one split child; if two children (or a child
+     and the parent) ever produced overlapping streams, differential
+     results would correlate silently. Hash a prefix of each stream and
+     demand all-distinct. *)
+  let rng = R.create 31 in
+  let children = R.split_n rng 64 in
+  Alcotest.(check int) "count" 64 (Array.length children);
+  let fingerprint r =
+    let h = ref 0L in
+    for _ = 1 to 16 do
+      h := Int64.add (Int64.mul !h 1000003L) (R.int64 r)
+    done;
+    !h
+  in
+  let prints = Array.map fingerprint children in
+  let parent_print = fingerprint rng in
+  let tbl = Hashtbl.create 64 in
+  Array.iter (fun p -> Hashtbl.replace tbl p ()) prints;
+  Alcotest.(check int) "children pairwise distinct" 64 (Hashtbl.length tbl);
+  Alcotest.(check bool) "parent distinct from children" false
+    (Hashtbl.mem tbl parent_print);
+  (* deterministic and in index order: the same parent seed reproduces
+     the same children *)
+  let again = R.split_n (R.create 31) 64 in
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int64) "reproducible" (fingerprint c) prints.(i))
+    again;
+  Alcotest.(check bool) "negative count rejected" true
+    (try
+       ignore (R.split_n rng (-1));
+       false
+     with Invalid_argument _ -> true)
+
 let test_rng_permutation () =
   let rng = R.create 23 in
   let p = R.permutation rng 20 in
@@ -229,6 +264,8 @@ let () =
           Alcotest.test_case "float range" `Quick test_rng_float_range;
           Alcotest.test_case "float mean" `Quick test_rng_float_mean;
           Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "split_n collisions" `Quick
+            test_rng_split_n_no_collisions;
           Alcotest.test_case "permutation" `Quick test_rng_permutation;
           Alcotest.test_case "shuffle" `Quick test_rng_shuffle_uniformish;
         ] );
