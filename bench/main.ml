@@ -263,7 +263,17 @@ let serve_benchmarks () =
           [ ("i", Obs.Event.Int 1); ("s", Obs.Event.Str "x") ])
   in
   Obs.Event.clear ();
-  let records = [ cold; hit; deadline; canon; event ] in
+  (* health snapshot: one watchdog scan plus the composite status over
+     this process's registered meters — the per-tick cost of the serve
+     ticker. No ticker runs in the bench, so the health.checks counter
+     delta is exactly the iteration count: the hard counter gate pins
+     it. *)
+  let health =
+    measure ~name:"health snapshot" ~iterations:10_000 (fun () ->
+        ignore (Obs.Health.check ());
+        ignore (Obs.Health.status ()))
+  in
+  let records = [ cold; hit; deadline; canon; event; health ] in
   let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
   List.iter
     (fun (r : Obs.Expo.bench_record) ->

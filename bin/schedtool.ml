@@ -415,10 +415,29 @@ let serve_cmd =
              ~doc:"Mirror every flight-recorder event to $(docv) as \
                    JSON lines for live tailing.")
   in
+  let task_budget_arg =
+    Arg.(value & opt float 30.0
+         & info [ "task-budget" ] ~docv:"SECS"
+             ~doc:"Watchdog budget: a pool task whose heartbeat is older \
+                   than $(docv) seconds is flagged stuck (one \
+                   health.stuck_task event + rate-bounded recorder \
+                   dump).")
+  in
+  let watchdog_arg =
+    Arg.(value & opt float 1.0
+         & info [ "watchdog-interval" ] ~docv:"SECS"
+             ~doc:"Period of the background watchdog/SLO-sampling \
+                   ticker; 0 disables it (health frames still sample on \
+                   demand).")
+  in
   let run stdio socket cache_size jobs deadline slow_ms slow_log event_log
-      trace stats =
+      task_budget watchdog_interval trace stats =
     let finish = obs_setup trace in
     if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
+    else if task_budget <= 0.0 then
+      `Error (false, "--task-budget must be > 0")
+    else if watchdog_interval < 0.0 then
+      `Error (false, "--watchdog-interval must be >= 0")
     else
       let to_close = ref [] in
       let open_log path =
@@ -460,6 +479,10 @@ let serve_cmd =
                   dump_channel;
                   dump_min_interval_s =
                     Serve.Server.default_config.Serve.Server.dump_min_interval_s;
+                  task_budget_s = task_budget;
+                  watchdog_interval_s =
+                    (if watchdog_interval > 0.0 then Some watchdog_interval
+                     else None);
                 }
               in
               let cleanup () =
@@ -507,7 +530,7 @@ let serve_cmd =
       ret
         (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
        $ deadline_arg $ slow_ms_arg $ slow_log_arg $ event_log_arg
-       $ trace_arg $ stats_arg))
+       $ task_budget_arg $ watchdog_arg $ trace_arg $ stats_arg))
 
 (* --- loadgen ------------------------------------------------------------ *)
 
@@ -597,6 +620,7 @@ let loadgen_cmd =
                      last_makespan := r.Serve.Proto.makespan
                  | Ok (Some (Serve.Proto.Stats_reply _))
                  | Ok (Some (Serve.Proto.Events_reply _))
+                 | Ok (Some (Serve.Proto.Health_reply _))
                  | Ok (Some (Serve.Proto.Error _)) ->
                      incr errors
                  | Ok None ->
@@ -907,21 +931,83 @@ let metrics_cmd =
          & info [ "format" ] ~docv:"FMT"
              ~doc:"Exposition format: prometheus (text 0.0.4) or json.")
   in
+  let watch_arg =
+    Arg.(value & opt (some float) None
+         & info [ "watch" ] ~docv:"SECS"
+             ~doc:"Re-scrape every $(docv) seconds and print only the \
+                   series that changed since the previous scrape \
+                   (requires --socket; format is forced to \
+                   prometheus).")
+  in
+  let scrapes_arg =
+    Arg.(value & opt int 0
+         & info [ "scrapes" ] ~docv:"N"
+             ~doc:"With --watch: stop after $(docv) scrapes (default 0 \
+                   = until interrupted). The first scrape is the \
+                   baseline and prints no deltas.")
+  in
   let render format =
     match (format : Serve.Proto.stats_format) with
     | Serve.Proto.Prometheus -> Obs.Expo.prometheus ()
     | Serve.Proto.Json -> Obs.Expo.json ()
   in
-  let run socket format =
-    match socket with
-    | None ->
+  (* --watch: snapshot-diff loop on the Scrape client (shared with
+     `schedtool top`) — one line per scrape, then the changed series. *)
+  let watch_loop path interval scrapes =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    match Serve.Scrape.connect path with
+    | Error msg -> `Error (false, msg)
+    | Ok conn ->
+        let t0 = Unix.gettimeofday () in
+        let rec go i prev =
+          match Serve.Scrape.fetch_stats conn with
+          | Error msg ->
+              Serve.Scrape.close conn;
+              `Error (false, msg)
+          | Ok body ->
+              let series = Serve.Scrape.parse_prometheus body in
+              let elapsed = Unix.gettimeofday () -. t0 in
+              if i = 1 then
+                Printf.printf "scrape %d t=%.1fs series=%d (baseline)\n" i
+                  elapsed (List.length series)
+              else begin
+                let ds =
+                  Serve.Scrape.changed
+                    (Serve.Scrape.diff ~before:prev ~after:series)
+                in
+                Printf.printf "scrape %d t=%.1fs series=%d changed=%d\n" i
+                  elapsed (List.length series) (List.length ds);
+                List.iter
+                  (fun { Serve.Scrape.dname; current; d } ->
+                    Printf.printf "  %-52s %14g %+g\n" dname current d)
+                  ds
+              end;
+              flush stdout;
+              if scrapes > 0 && i >= scrapes then begin
+                Serve.Scrape.close conn;
+                `Ok ()
+              end
+              else begin
+                Unix.sleepf interval;
+                go (i + 1) series
+              end
+        in
+        go 1 []
+  in
+  let run socket format watch scrapes =
+    match (watch, socket) with
+    | Some _, None -> `Error (false, "--watch requires --socket")
+    | Some interval, Some _ when interval <= 0.0 ->
+        `Error (false, "--watch interval must be > 0")
+    | Some interval, Some path -> watch_loop path interval scrapes
+    | None, None ->
         (* local snapshot: the same renderer the serve stats frame uses,
            on this process's (mostly empty) registries — documents the
            format and lets scripts smoke-test the exposition offline *)
         Obs.Memprof.sample ();
         print_string (render format);
         `Ok ()
-    | Some path -> (
+    | None, Some path -> (
         match
           let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
           (try Unix.connect fd (Unix.ADDR_UNIX path)
@@ -945,7 +1031,10 @@ let metrics_cmd =
                     print_newline ();
                   `Ok ()
               | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
-              | Ok (Some (Serve.Proto.Reply _ | Serve.Proto.Events_reply _)) ->
+              | Ok
+                  (Some
+                     ( Serve.Proto.Reply _ | Serve.Proto.Events_reply _
+                     | Serve.Proto.Health_reply _ )) ->
                   `Error (false, "server answered the wrong frame kind")
               | Ok None -> `Error (false, "server closed the session")
               | Error msg -> `Error (false, msg)
@@ -956,9 +1045,11 @@ let metrics_cmd =
   let info =
     Cmd.info "metrics"
       ~doc:"Print live metrics (Prometheus text or JSON) from a running \
-            serve socket, or this process's own snapshot."
+            serve socket, or this process's own snapshot; --watch \
+            re-scrapes and shows only what changed."
   in
-  Cmd.v info Term.(ret (const run $ socket_arg $ format_arg))
+  Cmd.v info
+    Term.(ret (const run $ socket_arg $ format_arg $ watch_arg $ scrapes_arg))
 
 (* --- events ------------------------------------------------------------- *)
 
@@ -1012,7 +1103,10 @@ let events_cmd =
                 print_string body;
                 `Ok ()
             | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
-            | Ok (Some (Serve.Proto.Reply _ | Serve.Proto.Stats_reply _)) ->
+            | Ok
+                (Some
+                   ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
+                   | Serve.Proto.Health_reply _ )) ->
                 `Error (false, "server answered the wrong frame kind")
             | Ok None -> `Error (false, "server closed the session")
             | Error msg -> `Error (false, msg)
@@ -1027,6 +1121,195 @@ let events_cmd =
   in
   Cmd.v info Term.(ret (const run $ socket_arg $ count_arg $ level_arg))
 
+(* --- top ---------------------------------------------------------------- *)
+
+let top_cmd =
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Watch a running $(b,schedtool serve --socket) at \
+                   $(docv): health + stats + events admin frames, \
+                   rendered as a self-refreshing dashboard.")
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "interval" ] ~docv:"SECS"
+             ~doc:"Refresh period (default 2).")
+  in
+  let once_arg =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Render a single frame as plain text (no screen \
+                   clearing) and exit; for scripts and tests.")
+  in
+  let frames_arg =
+    Arg.(value & opt int 0
+         & info [ "frames" ] ~docv:"N"
+             ~doc:"Stop after $(docv) frames (default 0 = until \
+                   interrupted).")
+  in
+  let fmt_us us =
+    if us = infinity then "inf"
+    else if us >= 1_000_000.0 then Printf.sprintf "%.2fs" (us /. 1e6)
+    else if us >= 1000.0 then Printf.sprintf "%.1fms" (us /. 1000.0)
+    else Printf.sprintf "%.0fus" us
+  in
+  let run socket interval once frames =
+    if interval <= 0.0 then `Error (false, "--interval must be > 0")
+    else begin
+      Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+      match Serve.Scrape.connect socket with
+      | Error msg -> `Error (false, msg)
+      | Ok conn ->
+          let buf = Buffer.create 4096 in
+          let line fmt =
+            Printf.ksprintf
+              (fun s ->
+                Buffer.add_string buf s;
+                Buffer.add_char buf '\n')
+              fmt
+          in
+          let ( let* ) r f =
+            match r with Error e -> Error e | Ok v -> f v
+          in
+          (* One dashboard frame: scrape the three admin frames, render
+             into [buf], and return the stats series so the next frame
+             can show interval deltas (rate, last-interval latency). *)
+          let frame ~first prev =
+            let* health = Serve.Scrape.fetch_health conn in
+            let* stats = Serve.Scrape.fetch_stats conn in
+            let* events = Serve.Scrape.fetch_events ~count:400 conn in
+            let series = Serve.Scrape.parse_prometheus stats in
+            let hl = Serve.Scrape.health_lines health in
+            Buffer.clear buf;
+            let uptime =
+              Option.value ~default:"-" (List.assoc_opt "uptime_s" hl)
+            in
+            line "schedtool top · %s · uptime %ss" socket uptime;
+            List.iter
+              (fun (k, rest) ->
+                match k with
+                | "status" -> line "health %s" rest
+                | "reason" -> line "reason %s" rest
+                | "liveness" -> line "liveness %s" rest
+                | "liveness_reason" -> line "liveness_reason %s" rest
+                | _ -> ())
+              hl;
+            (* burn rates, one line per objective × window *)
+            List.iter
+              (fun (k, rest) ->
+                if k = "slo" then begin
+                  let f = Serve.Scrape.kv_fields rest in
+                  let get key =
+                    Option.value ~default:"-" (List.assoc_opt key f)
+                  in
+                  line "slo %s %s burn=%s ratio=%s target=%s" (get "name")
+                    (get "window") (get "burn") (get "ratio") (get "target")
+                end)
+              hl;
+            let req status =
+              Option.value ~default:0.0
+                (Serve.Scrape.value series
+                   (Printf.sprintf "serve_requests{status=%S}" status))
+            in
+            let ok = req "ok" and degraded = req "degraded" in
+            let err = req "error" in
+            let total = ok +. degraded +. err in
+            let rate =
+              if first then ""
+              else
+                let prev_total =
+                  List.fold_left
+                    (fun acc s ->
+                      acc
+                      +. Option.value ~default:0.0
+                           (Serve.Scrape.value prev
+                              (Printf.sprintf "serve_requests{status=%S}" s)))
+                    0.0
+                    [ "ok"; "degraded"; "error" ]
+                in
+                Printf.sprintf " rate=%.1f/s" ((total -. prev_total) /. interval)
+            in
+            line "requests ok=%.0f degraded=%.0f error=%.0f total=%.0f%s" ok
+              degraded err total rate;
+            let metric = "serve_request_latency_us" in
+            let cum = Serve.Scrape.buckets series metric in
+            let q pts p =
+              match Serve.Scrape.quantile_of_buckets pts p with
+              | Some v -> fmt_us v
+              | None -> "-"
+            in
+            line "latency p50=%s p90=%s p99=%s (cumulative)" (q cum 0.5)
+              (q cum 0.9) (q cum 0.99);
+            if not first then begin
+              let d = Serve.Scrape.delta_buckets ~before:prev ~after:series metric in
+              line "latency p50=%s p90=%s p99=%s (last %.1fs)" (q d 0.5)
+                (q d 0.9) (q d 0.99) interval
+            end;
+            let meters =
+              List.filter_map
+                (fun (k, rest) ->
+                  if k <> "meter" then None
+                  else
+                    let f = Serve.Scrape.kv_fields rest in
+                    match (List.assoc_opt "name" f, List.assoc_opt "fill" f) with
+                    | Some n, Some fill -> Some (Printf.sprintf "%s=%s" n fill)
+                    | _ -> None)
+                hl
+            in
+            if meters <> [] then line "meters %s" (String.concat " " meters);
+            List.iter
+              (fun (k, rest) ->
+                if k = "heartbeat" then begin
+                  let f = Serve.Scrape.kv_fields rest in
+                  let get key =
+                    Option.value ~default:"-" (List.assoc_opt key f)
+                  in
+                  line "domain %s %s beat_age=%ss task=%s" (get "domain")
+                    (get "state") (get "beat_age_s") (get "task")
+                end)
+              hl;
+            (match Serve.Scrape.top_event_names ~limit:5 events with
+            | [] -> line "events -"
+            | tops ->
+                line "events %s"
+                  (String.concat " "
+                     (List.map
+                        (fun (n, c) -> Printf.sprintf "%s=%d" n c)
+                        tops)));
+            Ok series
+          in
+          let rec go i prev =
+            match frame ~first:(i = 1) prev with
+            | Error msg ->
+                Serve.Scrape.close conn;
+                `Error (false, msg)
+            | Ok series ->
+                if not once then print_string "\027[2J\027[H";
+                print_string (Buffer.contents buf);
+                flush stdout;
+                if once || (frames > 0 && i >= frames) then begin
+                  Serve.Scrape.close conn;
+                  `Ok ()
+                end
+                else begin
+                  Unix.sleepf interval;
+                  go (i + 1) series
+                end
+          in
+          go 1 []
+    end
+  in
+  let info =
+    Cmd.info "top"
+      ~doc:"Live dashboard over a running serve socket: composite \
+            health, SLO burn rates, request rates and latency \
+            percentiles, saturation meters, per-domain heartbeats and \
+            the busiest event sources."
+  in
+  Cmd.v info
+    Term.(ret (const run $ socket_arg $ interval_arg $ once_arg $ frames_arg))
+
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in
   let info = Cmd.info "schedtool" ~version:"1.0.0" ~doc in
@@ -1034,7 +1317,7 @@ let main =
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
       experiments_cmd; fuzz_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
-      events_cmd;
+      events_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -78,7 +78,25 @@ let prometheus () =
       then Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" p !cumulative;
       Printf.bprintf buf "%s_sum %s\n" p (float_text h.Histogram.sum);
       Printf.bprintf buf "%s_count %d\n" p h.Histogram.count)
-    (Histogram.snapshot ());
+    (Histogram.snapshot ~include_empty:true ());
+  (match Slo.reports () with
+  | [] -> ()
+  | reports ->
+      Buffer.add_string buf "# TYPE slo_ratio gauge\n";
+      List.iter
+        (fun (r : Slo.report) ->
+          Printf.bprintf buf "slo_ratio{objective=\"%s\",window=\"%s\"} %s\n"
+            (escape_label r.Slo.rname) (escape_label r.Slo.window)
+            (float_text r.Slo.ratio))
+        reports;
+      Buffer.add_string buf "# TYPE slo_burn_rate gauge\n";
+      List.iter
+        (fun (r : Slo.report) ->
+          Printf.bprintf buf
+            "slo_burn_rate{objective=\"%s\",window=\"%s\"} %s\n"
+            (escape_label r.Slo.rname) (escape_label r.Slo.window)
+            (float_text r.Slo.burn))
+        reports);
   Buffer.contents buf
 
 (* --- JSON snapshot ------------------------------------------------------- *)
@@ -179,10 +197,15 @@ let json () =
         (json_float h.Histogram.sum)
         (json_float h.Histogram.max_value)
         (json_float h.Histogram.sratio);
+      (* an empty histogram has no order statistics; fabricating p50/p90/
+         p99 from nothing would be a lie, so they are null *)
       List.iter
         (fun (label, q) ->
-          Printf.bprintf buf ", \"%s\": %s" label
-            (json_float (Histogram.quantile h q)))
+          if h.Histogram.count = 0 then
+            Printf.bprintf buf ", \"%s\": null" label
+          else
+            Printf.bprintf buf ", \"%s\": %s" label
+              (json_float (Histogram.quantile h q)))
         quantile_points;
       Buffer.add_string buf ", \"buckets\": [";
       List.iteri
@@ -191,6 +214,19 @@ let json () =
           Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (json_float ub) c)
         h.Histogram.buckets;
       Buffer.add_string buf "]}")
-    (Histogram.snapshot ());
+    (Histogram.snapshot ~include_empty:true ());
+  Buffer.add_string buf "\n  ],\n  \"slo\": [";
+  List.iteri
+    (fun i (r : Slo.report) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf
+        "\n    {\"objective\": \"%s\", \"window\": \"%s\", \"target\": %s, \
+         \"span_s\": %s, \"good\": %s, \"total\": %s, \"ratio\": %s, \
+         \"burn\": %s}"
+        (json_escape r.Slo.rname) (json_escape r.Slo.window)
+        (json_float r.Slo.rtarget) (json_float r.Slo.span_s)
+        (json_float r.Slo.good) (json_float r.Slo.total)
+        (json_float r.Slo.ratio) (json_float r.Slo.burn))
+    (Slo.reports ());
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf

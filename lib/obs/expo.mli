@@ -15,7 +15,11 @@ val prometheus : unit -> string
 (** Prometheus text exposition format (version 0.0.4): plain counters,
     labeled counter families, gauges, then histograms, each preceded by
     a [# TYPE] line. Histogram bucket counts are cumulative and always
-    include the [+Inf] bucket. *)
+    include the [+Inf] bucket; a registered-but-empty histogram still
+    exposes its [+Inf] bucket, [_sum] and [_count] at zero so the series
+    never vanishes from a scrape. When {!Slo} objectives are registered,
+    [slo_ratio] and [slo_burn_rate] gauges (labeled by objective and
+    window) are appended. *)
 
 val quantile_points : (string * float) list
 (** The quantiles the JSON snapshot reports per histogram:
@@ -40,8 +44,10 @@ val bench_records_json : bench_record list -> string
 
 val json : unit -> string
 (** One JSON object: [{"counters": {...}, "labeled": [...],
-    "gauges": {...}, "histograms": [...]}]. Each histogram carries
-    count, sum, exact max, bucket ratio, the {!quantile_points}
-    estimates and its nonempty buckets; non-finite numbers are encoded
-    as strings (["+Inf"], ["NaN"]) since JSON has no literals for
-    them. *)
+    "gauges": {...}, "histograms": [...], "slo": [...]}]. Each
+    histogram carries count, sum, exact max, bucket ratio, the
+    {!quantile_points} estimates and its nonempty buckets; an empty
+    histogram reports [count 0] and [null] quantiles rather than
+    fabricated ones. Non-finite numbers are encoded as strings
+    (["+Inf"], ["NaN"]) since JSON has no literals for them. The [slo]
+    array mirrors {!Slo.reports}. *)

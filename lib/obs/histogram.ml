@@ -135,14 +135,14 @@ let find name =
   Mutex.unlock registry_mutex;
   r
 
-let snapshot () =
+let snapshot ?(include_empty = false) () =
   Mutex.lock registry_mutex;
   let ts = Hashtbl.fold (fun _ t acc -> t :: acc) registry [] in
   Mutex.unlock registry_mutex;
   List.filter_map
     (fun t ->
       let s = merged t in
-      if s.count = 0 then None else Some s)
+      if s.count = 0 && not include_empty then None else Some s)
     ts
   |> List.sort (fun a b -> String.compare a.sname b.sname)
 

@@ -52,9 +52,11 @@ type snapshot = {
 val merged : t -> snapshot
 (** Fold every domain's shard into one snapshot. *)
 
-val snapshot : unit -> snapshot list
+val snapshot : ?include_empty:bool -> unit -> snapshot list
 (** Merged snapshots of every registered histogram that has at least one
-    observation, sorted by name. *)
+    observation, sorted by name. With [~include_empty:true], zero-count
+    histograms are included too (the exposition layer wants them so a
+    registered series never vanishes from a scrape). *)
 
 val quantile : snapshot -> float -> float
 (** [quantile s q] for [q] in [[0, 1]]: the upper bound of the bucket

@@ -1,0 +1,49 @@
+(** Declarative service-level objectives with multi-window burn rates.
+
+    An objective targets a success ratio over existing registries — a
+    {!Labeled} counter family (availability) or a {!Histogram}
+    (latency under a threshold). {!sample} records periodic cumulative
+    (good, total) readings; {!reports} differences them over sliding
+    windows (5m and 1h) and computes the error-budget burn rate
+    [(1 - ratio) / (1 - target)]: 1.0 spends the budget exactly at the
+    objective boundary, larger values exhaust it proportionally faster. *)
+
+type kind =
+  | Availability of { family : string; good_values : string list }
+      (** good = cells of [family] whose label value is listed *)
+  | Latency of { histogram : string; threshold_us : float }
+      (** good = observations in buckets at or under the threshold *)
+
+val register : name:string -> target:float -> kind -> unit
+(** Register an objective (replacing any of the same name, which resets
+    its history). [target] must be in (0, 1), e.g. 0.99. *)
+
+val clear : unit -> unit
+
+val windows : (string * float) list
+(** The sliding windows reported per objective: label and span in
+    seconds — [("5m", 300.); ("1h", 3600.)]. *)
+
+val sample : unit -> unit
+(** Append one timestamped cumulative reading per objective (bounded
+    ring, oldest overwritten). Call periodically — the server's
+    watchdog ticker does — and before reading {!reports}. *)
+
+type report = {
+  rname : string;
+  rtarget : float;
+  window : string;
+  span_s : float;  (** actual span between the readings differenced *)
+  good : float;
+  total : float;
+  ratio : float;  (** windowed success ratio; 1.0 with no traffic *)
+  burn : float;  (** error-budget burn rate; 0.0 with no traffic *)
+}
+
+val reports : unit -> report list
+(** One report per objective per window, objectives sorted by name.
+    Needs at least two samples to difference; before that, reports are
+    all-zero with [ratio = 1.0]. *)
+
+val render_lines : unit -> string list
+(** [slo k=v ...] lines for the [health v1] frame payload. *)

@@ -4,6 +4,8 @@ let c_task_run_us = Obs.Counter.make "pool.task_run_us"
 let c_rejected = Obs.Counter.make "pool.rejected_submissions"
 let c_task_errors = Obs.Counter.make "pool.task_errors"
 let g_busy = Obs.Gauge.make "pool.busy_fraction"
+let g_queue_depth = Obs.Gauge.make "pool.queue_depth"
+let g_capacity = Obs.Gauge.make "pool.capacity"
 let h_queue_wait = Obs.Histogram.make "pool.queue_wait_latency_us"
 
 type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
@@ -26,13 +28,20 @@ type t = {
   busy_us : float array;
 }
 
-(* Run one dequeued task on [slot], accounting queue wait and runtime. *)
+(* call with [pool.mutex] held *)
+let note_queue_depth pool =
+  Obs.Gauge.set g_queue_depth (float_of_int (Queue.length pool.queue))
+
+(* Run one dequeued task on [slot], accounting queue wait and runtime.
+   The heartbeat marks let Obs.Health's watchdog catch a wedged task. *)
 let execute pool slot f enqueued_us =
   let start = Obs.Sink.now_us () in
   Obs.Counter.add c_queue_wait_us (int_of_float (start -. enqueued_us));
   Obs.Histogram.observe h_queue_wait (start -. enqueued_us);
+  Obs.Health.task_begin "pool.task";
   Fun.protect
     ~finally:(fun () ->
+      Obs.Health.task_end ();
       let stop = Obs.Sink.now_us () in
       Obs.Counter.add c_task_run_us (int_of_float (stop -. start));
       Obs.Counter.incr c_tasks;
@@ -50,6 +59,7 @@ let worker_loop pool slot =
       Condition.wait pool.nonempty pool.mutex
     done;
     let task = Queue.pop pool.queue in
+    note_queue_depth pool;
     Mutex.unlock pool.mutex;
     match task with
     | Quit -> ()
@@ -75,6 +85,8 @@ let create n =
       busy_us = Array.make n 0.0;
     }
   in
+  Obs.Gauge.set g_capacity (float_of_int n);
+  Obs.Gauge.set g_queue_depth 0.0;
   pool.workers <-
     List.init (n - 1) (fun i ->
         Domain.spawn (fun () -> worker_loop pool (i + 1)));
@@ -86,6 +98,7 @@ let size t = t.size
 let try_run_one t =
   Mutex.lock t.mutex;
   let task = if Queue.is_empty t.queue then None else Some (Queue.pop t.queue) in
+  note_queue_depth t;
   Mutex.unlock t.mutex;
   match task with
   | Some (Task { f; enqueued_us }) ->
@@ -141,6 +154,7 @@ let run t thunks =
       in
       Queue.push (Task { f = run_one; enqueued_us }) t.queue)
     thunks;
+  note_queue_depth t;
   Condition.broadcast t.nonempty;
   Mutex.unlock t.mutex;
   (* The caller helps drain the queue, then spins briefly for stragglers
@@ -178,6 +192,7 @@ let submit t f =
   Mutex.lock t.mutex;
   t.in_flight <- t.in_flight + 1;
   Queue.push (Task { f; enqueued_us }) t.queue;
+  note_queue_depth t;
   Condition.signal t.nonempty;
   Mutex.unlock t.mutex;
   (* No workers to pick the task up on a single-domain pool: run it now on

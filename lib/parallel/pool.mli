@@ -16,7 +16,11 @@
     [pool.rejected_submissions] accumulate across all pools, tasks run
     inside a ["pool.task"] span when tracing is enabled, and [shutdown]
     publishes the pool's aggregate busy fraction to the
-    [pool.busy_fraction] gauge. *)
+    [pool.busy_fraction] gauge. The live queue length and pool size are
+    mirrored into the [pool.queue_depth] and [pool.capacity] gauges
+    (last pool wins — servers run exactly one), and every task is
+    bracketed by [Obs.Health] heartbeat marks so the watchdog can flag a
+    wedged task. *)
 
 type t
 

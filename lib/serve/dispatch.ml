@@ -1,6 +1,7 @@
 let c_degraded = Obs.Counter.make "serve.dispatch.degraded"
 let c_heavy = Obs.Counter.make "serve.dispatch.heavy_runs"
 let c_fast_only = Obs.Counter.make "serve.dispatch.fast_only"
+let c_shed = Obs.Counter.make "serve.dispatch.shed"
 
 type outcome = {
   result : Algos.Common.result;
@@ -76,7 +77,7 @@ let auto_hint t =
 
 (* One flight-recorder event per dispatch, recording which policy path
    fired — the causal evidence a slow-request dump needs. *)
-let decision ~hint ~solver ~heavy ~degraded ~remaining_ms =
+let decision ?(shed = false) ~hint ~solver ~heavy ~degraded ~remaining_ms () =
   Obs.Event.emit "serve.dispatch.decision"
     ([
        ("hint", Obs.Event.Str hint);
@@ -84,12 +85,14 @@ let decision ~hint ~solver ~heavy ~degraded ~remaining_ms =
        ("heavy", Obs.Event.Bool heavy);
        ("degraded", Obs.Event.Bool degraded);
      ]
+    @ (if shed then [ ("shed", Obs.Event.Bool true) ] else [])
     @
     match remaining_ms with
     | None -> []
     | Some ms -> [ ("remaining_ms", Obs.Event.Float ms) ])
 
-let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
+let solve ?deadline_ms ?(hint = "auto") ?(seed = 1)
+    ?(pressure = fun () -> false) t =
   Obs.Span.with_span "serve.dispatch" @@ fun () ->
   if not (List.mem hint solvers) then
     Error
@@ -108,7 +111,7 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
         match run_applicable only t with
         | [ (name, result) ] ->
             decision ~hint ~solver:name ~heavy:false ~degraded:false
-              ~remaining_ms:(remaining_ms ());
+              ~remaining_ms:(remaining_ms ()) ();
             Ok { result; solver = name; degraded = false }
         | _ ->
             Error
@@ -125,10 +128,15 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
             | None ->
                 Obs.Counter.incr c_fast_only;
                 decision ~hint ~solver:fast_name ~heavy:false ~degraded:false
-                  ~remaining_ms:(remaining_ms ());
+                  ~remaining_ms:(remaining_ms ()) ();
                 Ok { result = fast_result; solver = fast_name; degraded = false }
             | Some heavy -> (
                 let remaining = remaining_ms () in
+                (* Admission control: when the process reports pressure
+                   (saturated pool/cache or a stuck task), shed the heavy
+                   tier pre-emptively — before deadline pressure — and
+                   answer degraded from the fast path. *)
+                let shed = pressure () in
                 (* A heavy solver that cannot possibly finish inside the
                    budget would blow the deadline, not merely use it up:
                    exact adapts via its node limit down to ~2ms, the
@@ -141,10 +149,11 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
                   | Some ms -> ms < floor_ms
                   | None -> false
                 in
-                if expired then begin
-                  Obs.Counter.incr c_degraded;
-                  decision ~hint ~solver:fast_name ~heavy:false ~degraded:true
-                    ~remaining_ms:remaining;
+                if expired || shed then begin
+                  if shed then Obs.Counter.incr c_shed
+                  else Obs.Counter.incr c_degraded;
+                  decision ~shed ~hint ~solver:fast_name ~heavy:false
+                    ~degraded:true ~remaining_ms:remaining ();
                   Ok { result = fast_result; solver = fast_name; degraded = true }
                 end
                 else begin
@@ -161,6 +170,6 @@ let solve ?deadline_ms ?(hint = "auto") ?(seed = 1) t =
                         else (fast_name, fast_result)
                       in
                       decision ~hint ~solver:name ~heavy:true ~degraded:false
-                        ~remaining_ms:(remaining_ms ());
+                        ~remaining_ms:(remaining_ms ()) ();
                       Ok { result; solver = name; degraded = false }
                 end)))

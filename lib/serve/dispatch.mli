@@ -10,15 +10,24 @@
     deadline, not meet it), it is skipped and the fast-path result is
     returned with [degraded = true]; for the exact
     branch-and-bound solver the remaining budget additionally scales the
-    node limit. Counters: [serve.dispatch.degraded],
-    [serve.dispatch.heavy_runs], [serve.dispatch.fast_only]. *)
+    node limit.
+
+    Admission control: a [pressure] callback (the server wires it to
+    [Obs.Health.status]) is consulted before the heavy tier runs; under
+    pressure the heavy solver is shed pre-emptively — even with budget
+    to spare — and the fast-path result is returned degraded, bumping
+    [serve.dispatch.shed] instead of [serve.dispatch.degraded].
+
+    Counters: [serve.dispatch.degraded], [serve.dispatch.heavy_runs],
+    [serve.dispatch.fast_only], [serve.dispatch.shed]. *)
 
 type outcome = {
   result : Algos.Common.result;
   solver : string;  (** the solver that produced [result] *)
   degraded : bool;
-      (** true iff the deadline forced the fast-path fallback (the heavy
-          solver was skipped) *)
+      (** true iff the heavy solver was skipped and the fast path
+          answered — because the deadline left no useful budget, or
+          because [pressure] shed it *)
 }
 
 val solvers : string list
@@ -26,8 +35,10 @@ val solvers : string list
     [exact]. *)
 
 val solve :
-  ?deadline_ms:float -> ?hint:string -> ?seed:int -> Core.Instance.t ->
+  ?deadline_ms:float -> ?hint:string -> ?seed:int ->
+  ?pressure:(unit -> bool) -> Core.Instance.t ->
   (outcome, string) result
-(** [Error] covers unknown hints, hints inapplicable to the instance's
+(** [pressure] defaults to [fun () -> false] (no admission control).
+    [Error] covers unknown hints, hints inapplicable to the instance's
     environment, and instances with a nowhere-eligible job — all the
     cases the server must answer with a structured error response. *)

@@ -21,6 +21,7 @@ type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
   | Events_reply of { body : string }
+  | Health_reply of { body : string }
   | Error of string
 
 (* Admin frames ride the same stream as solve requests; a session is a
@@ -29,10 +30,12 @@ type incoming =
   | Solve of request
   | Stats of stats_format
   | Events of { count : int option; min_level : Obs.Event.level }
+  | Health
 
 let request_header = Printf.sprintf "request v%d" version
 let stats_header = Printf.sprintf "stats v%d" version
 let events_header = Printf.sprintf "events v%d" version
+let health_header = Printf.sprintf "health v%d" version
 let response_header = Printf.sprintf "response v%d" version
 
 let stats_format_to_string = function
@@ -157,6 +160,18 @@ let parse_events body =
   in
   fields None Obs.Event.Debug body
 
+(* A health frame has no fields (yet); reject junk so a future field is
+   not silently ignored by old servers. *)
+let parse_health body =
+  let rec fields = function
+    | [] -> Ok Health
+    | line :: rest -> (
+        match split_first line with
+        | "", _ -> fields rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown health field %S" key))
+  in
+  fields body
+
 let read_incoming ic =
   match read_header ic with
   | None -> Ok None
@@ -181,11 +196,18 @@ let read_incoming ic =
           match parse_events body with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
+  | Some header when header = health_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_health body with
+          | Ok incoming -> Ok (Some incoming)
+          | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
       Result.Error
-        (Printf.sprintf "bad request header %S (expected %S, %S or %S)" header
-           request_header stats_header events_header)
+        (Printf.sprintf "bad request header %S (expected %S, %S, %S or %S)"
+           header request_header stats_header events_header health_header)
 
 let read_request ic =
   match read_incoming ic with
@@ -198,6 +220,10 @@ let read_request ic =
   | Ok (Some (Events _)) ->
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" events_header
+           request_header)
+  | Ok (Some Health) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" health_header
            request_header)
   | Result.Error _ as e -> e
 
@@ -230,6 +256,12 @@ let write_events_request ?count ?level oc =
   output_string oc "end\n";
   flush oc
 
+let write_health_request oc =
+  output_string oc health_header;
+  output_char oc '\n';
+  output_string oc "end\n";
+  flush oc
+
 (* --- responses ---------------------------------------------------------- *)
 
 let write_response oc response =
@@ -257,6 +289,14 @@ let write_response oc response =
       output_string oc "status events\n";
       (* each payload line is a JSON object starting with '{', never the
          bare frame terminator *)
+      output_string oc "payload\n";
+      output_string oc body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        output_char oc '\n'
+  | Health_reply { body } ->
+      output_string oc "status health\n";
+      (* each payload line starts with a known key (status, meter, slo,
+         heartbeat, ...) followed by a space, never the bare "end" *)
       output_string oc "payload\n";
       output_string oc body;
       if body <> "" && body.[String.length body - 1] <> '\n' then
@@ -381,6 +421,21 @@ let read_response ic =
                     | ls -> String.concat "\n" ls ^ "\n"
                   in
                   Ok (Some (Events_reply { body })))
+          | Some "health" -> (
+              let rec after_marker = function
+                | [] -> None
+                | "payload" :: rest -> Some rest
+                | _ :: rest -> after_marker rest
+              in
+              match after_marker body with
+              | None -> Result.Error "health response missing payload"
+              | Some lines ->
+                  let body =
+                    match lines with
+                    | [] -> ""
+                    | ls -> String.concat "\n" ls ^ "\n"
+                  in
+                  Ok (Some (Health_reply { body })))
           | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
           | None -> Result.Error "response missing status"))
   | Some header ->

@@ -80,6 +80,32 @@
     end
     v}
 
+    A third admin frame asks for the server's composite health: status
+    lattice, saturation meters, SLO burn rates and per-domain heartbeat
+    ages ({!Obs.Health} / {!Obs.Slo}). The frame has no fields:
+    {v
+    health v1
+    end
+    v}
+
+    answered with a line-oriented payload — [status]/[liveness] lines
+    plus repeated [meter]/[slo]/[heartbeat] lines of [k=v] tokens, each
+    starting with a known key and a space so the [end] terminator stays
+    unambiguous:
+    {v
+    response v1
+    status health
+    payload
+    status ok
+    liveness ok
+    task_budget_s 30
+    uptime_s 12.4
+    meter name=pool.queue fill=0.000
+    slo name=availability window=5m target=0.9900 ... burn=0.00
+    heartbeat domain=0 state=waiting task=pool.task req=- ...
+    end
+    v}
+
     Blank lines between requests are ignored; [#] comments are allowed
     inside the instance block (they are part of the [Instance_io]
     format). *)
@@ -110,6 +136,9 @@ type response =
   | Events_reply of { body : string }
       (** flight-recorder events as JSON lines, answered to an events
           frame *)
+  | Health_reply of { body : string }
+      (** line-oriented health snapshot (status, meters, SLO burn rates,
+          heartbeats), answered to a health frame *)
   | Error of string
 
 type incoming =
@@ -118,6 +147,7 @@ type incoming =
   | Events of { count : int option; min_level : Obs.Event.level }
       (** [count]: keep only the last N events; [min_level]: severity
           floor, defaults to [Debug] (everything retained) *)
+  | Health  (** composite health/SLO snapshot request (no fields) *)
 (** One frame of a session: a solve request or an admin frame. *)
 
 val read_incoming : in_channel -> (incoming option, string) result
@@ -139,6 +169,9 @@ val write_stats_request : out_channel -> stats_format -> unit
 val write_events_request :
   ?count:int -> ?level:Obs.Event.level -> out_channel -> unit
 (** Client side: emit an [events v1] admin frame; flushes. *)
+
+val write_health_request : out_channel -> unit
+(** Client side: emit a [health v1] admin frame; flushes. *)
 
 val write_response : out_channel -> response -> unit
 (** Server side; flushes. *)

@@ -1,0 +1,207 @@
+(* Client-side scraping of a live server socket, shared by `schedtool
+   top` and `schedtool metrics --watch`: admin-frame fetches plus the
+   pure text-wrangling both need — a Prometheus text parser (the repo
+   deliberately has no JSON parser dependency), snapshot diffing, and
+   histogram-delta quantiles for "latency over the last refresh". *)
+
+type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect path =
+  match
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd (Unix.ADDR_UNIX path)
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (err, _, _) ->
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" path
+           (Unix.error_message err))
+  | fd ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+
+let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
+
+let fetch_stats conn =
+  Proto.write_stats_request conn.oc Proto.Prometheus;
+  match Proto.read_response conn.ic with
+  | Ok (Some (Proto.Stats_reply { body; _ })) -> Ok body
+  | Ok (Some (Proto.Error msg)) -> Error msg
+  | Ok _ -> Error "unexpected response to stats frame"
+  | Error msg -> Error msg
+
+let fetch_health conn =
+  Proto.write_health_request conn.oc;
+  match Proto.read_response conn.ic with
+  | Ok (Some (Proto.Health_reply { body })) -> Ok body
+  | Ok (Some (Proto.Error msg)) -> Error msg
+  | Ok _ -> Error "unexpected response to health frame"
+  | Error msg -> Error msg
+
+let fetch_events ?count ?level conn =
+  Proto.write_events_request ?count ?level conn.oc;
+  match Proto.read_response conn.ic with
+  | Ok (Some (Proto.Events_reply { body })) -> Ok body
+  | Ok (Some (Proto.Error msg)) -> Error msg
+  | Ok _ -> Error "unexpected response to events frame"
+  | Error msg -> Error msg
+
+(* --- Prometheus text parsing --------------------------------------------- *)
+
+(* One series per line: `name 12` or `name{label="v"} 34.5`. The name
+   key keeps its label block verbatim, so labeled series stay distinct.
+   Comment (#) and malformed lines are skipped — a scraper must survive
+   a server newer than itself. *)
+let parse_prometheus text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else
+           (* the value is everything after the last space; label values
+              never contain spaces in our exposition *)
+           match String.rindex_opt line ' ' with
+           | None -> None
+           | Some i ->
+               let name = String.sub line 0 i in
+               let v =
+                 String.sub line (i + 1) (String.length line - i - 1)
+               in
+               let v =
+                 match v with
+                 | "+Inf" -> Some infinity
+                 | "-Inf" -> Some neg_infinity
+                 | "NaN" -> Some nan
+                 | v -> float_of_string_opt v
+               in
+               Option.map (fun v -> (String.trim name, v)) v)
+
+let value series name = List.assoc_opt name series
+
+(* --- snapshot diffing ----------------------------------------------------- *)
+
+type delta = { dname : string; current : float; d : float }
+
+(* Series of [after] with the change since [before]; a series absent
+   from [before] counts its full value as change (first scrape of a
+   fresh counter). Order follows [after]. *)
+let diff ~before ~after =
+  List.map
+    (fun (name, v) ->
+      let prev = Option.value ~default:0.0 (value before name) in
+      { dname = name; current = v; d = v -. prev })
+    after
+
+let changed ds = List.filter (fun d -> d.d <> 0.0) ds
+
+(* --- histogram helpers ---------------------------------------------------- *)
+
+(* Cumulative (upper_bound, count) points of `<metric>_bucket{le="..."}`
+   series, ascending by bound. *)
+let buckets series metric =
+  let prefix = metric ^ "_bucket{le=\"" in
+  let plen = String.length prefix in
+  series
+  |> List.filter_map (fun (name, v) ->
+         if
+           String.length name > plen + 2
+           && String.sub name 0 plen = prefix
+           && String.sub name (String.length name - 2) 2 = "\"}"
+         then
+           let le = String.sub name plen (String.length name - plen - 2) in
+           let le =
+             match le with "+Inf" -> Some infinity | le -> float_of_string_opt le
+           in
+           Option.map (fun le -> (le, v)) le
+         else None)
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Quantile over cumulative bucket points: the upper bound of the bucket
+   holding the q-th order statistic. None when the points hold no
+   observations. *)
+let quantile_of_buckets points q =
+  match List.rev points with
+  | [] -> None
+  | (_, total) :: _ when total <= 0.0 -> None
+  | (_, total) :: _ ->
+      let rank = Float.max 1.0 (Float.round (q *. total)) in
+      let rec go = function
+        | [] -> None
+        | (ub, c) :: rest -> if c >= rank then Some ub else go rest
+      in
+      go points
+
+(* Bucket points for the observations made *between* two scrapes:
+   per-bound difference of the cumulative counts. *)
+let delta_buckets ~before ~after metric =
+  let b = buckets before metric in
+  List.map
+    (fun (ub, c) ->
+      let prev =
+        Option.value ~default:0.0 (List.assoc_opt ub b)
+      in
+      (ub, Float.max 0.0 (c -. prev)))
+    (buckets after metric)
+
+(* --- health payload parsing ----------------------------------------------- *)
+
+(* A health payload line is `key rest`; repeated kinds (meter, slo,
+   heartbeat) carry k=v tokens in [rest]. *)
+let health_lines body =
+  String.split_on_char '\n' body
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" then None
+         else
+           match String.index_opt line ' ' with
+           | None -> Some (line, "")
+           | Some i ->
+               Some
+                 ( String.sub line 0 i,
+                   String.sub line (i + 1) (String.length line - i - 1) ))
+
+let kv_fields rest =
+  String.split_on_char ' ' rest
+  |> List.filter_map (fun tok ->
+         match String.index_opt tok '=' with
+         | None -> None
+         | Some i ->
+             Some
+               ( String.sub tok 0 i,
+                 String.sub tok (i + 1) (String.length tok - i - 1) ))
+
+(* --- event source ranking ------------------------------------------------- *)
+
+let find_sub ~sub s =
+  let slen = String.length s and sublen = String.length sub in
+  let rec go i =
+    if i + sublen > slen then None
+    else if String.sub s i sublen = sub then Some i
+    else go (i + 1)
+  in
+  if sublen = 0 then None else go 0
+
+(* Count event names in an events-frame payload (JSON lines) without a
+   JSON parser: every line carries exactly one `"name":"..."` pair
+   (field order is fixed by Event.to_json_line). *)
+let top_event_names ?(limit = 5) body =
+  let tbl = Hashtbl.create 16 in
+  let marker = "\"name\":\"" in
+  let mlen = String.length marker in
+  String.split_on_char '\n' body
+  |> List.iter (fun line ->
+         match find_sub ~sub:marker line with
+         | None -> ()
+         | Some i -> (
+             match String.index_from_opt line (i + mlen) '"' with
+             | None -> ()
+             | Some j ->
+                 let name = String.sub line (i + mlen) (j - i - mlen) in
+                 Hashtbl.replace tbl name
+                   (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))));
+  Hashtbl.fold (fun name n acc -> (name, n) :: acc) tbl []
+  |> List.sort (fun (na, a) (nb, b) ->
+         match compare b a with 0 -> compare na nb | c -> c)
+  |> List.filteri (fun i _ -> i < limit)

@@ -1,0 +1,77 @@
+(** Client-side scraping of a live server socket.
+
+    The admin-frame fetches plus the pure text-wrangling shared by
+    [schedtool top] and [schedtool metrics --watch]: a Prometheus text
+    parser (the project carries no JSON parser dependency), snapshot
+    diffing, histogram-delta quantiles, and the [health v1] payload's
+    line/[k=v] structure. *)
+
+type conn
+
+val connect : string -> (conn, string) result
+(** Connect to a Unix-domain socket path. *)
+
+val close : conn -> unit
+
+val fetch_stats : conn -> (string, string) result
+(** One [stats v1] round-trip; the Prometheus exposition text. *)
+
+val fetch_health : conn -> (string, string) result
+(** One [health v1] round-trip; the line-oriented health payload. *)
+
+val fetch_events :
+  ?count:int -> ?level:Obs.Event.level -> conn -> (string, string) result
+(** One [events v1] round-trip; flight-recorder events as JSON lines. *)
+
+(** {1 Prometheus text} *)
+
+val parse_prometheus : string -> (string * float) list
+(** Series in exposition order. The series name keeps its label block
+    verbatim ([serve_requests{status="ok"}]), so labeled series stay
+    distinct; comments and unparsable lines are skipped. *)
+
+val value : (string * float) list -> string -> float option
+
+(** {1 Snapshot diffing} *)
+
+type delta = { dname : string; current : float; d : float }
+
+val diff :
+  before:(string * float) list -> after:(string * float) list -> delta list
+(** Each series of [after] with its change since [before]; series absent
+    from [before] count their full value. Order follows [after]. *)
+
+val changed : delta list -> delta list
+(** Only the deltas with a nonzero change. *)
+
+(** {1 Histogram helpers} *)
+
+val buckets : (string * float) list -> string -> (float * float) list
+(** Cumulative [(upper_bound, count)] points of the metric's
+    [_bucket{le="..."}] series, ascending ([+Inf] maps to [infinity]). *)
+
+val quantile_of_buckets : (float * float) list -> float -> float option
+(** Upper bound of the bucket holding the [q]-th order statistic;
+    [None] when the points hold no observations. *)
+
+val delta_buckets :
+  before:(string * float) list ->
+  after:(string * float) list ->
+  string ->
+  (float * float) list
+(** Bucket points for the observations made between two scrapes. *)
+
+(** {1 Health payload} *)
+
+val health_lines : string -> (string * string) list
+(** Each nonempty payload line as [(key, rest)]; repeated kinds (meter,
+    slo, heartbeat) appear once per line. *)
+
+val kv_fields : string -> (string * string) list
+(** The [k=v] tokens of one repeated line's [rest]. *)
+
+(** {1 Event sources} *)
+
+val top_event_names : ?limit:int -> string -> (string * int) list
+(** The most frequent event names in an events payload, descending by
+    count (ties alphabetical); at most [limit] (default 5). *)

@@ -26,6 +26,8 @@ type config = {
   slow_ms : float option;
   dump_channel : out_channel option;
   dump_min_interval_s : float;
+  task_budget_s : float;
+  watchdog_interval_s : float option;
 }
 
 let default_config =
@@ -36,6 +38,11 @@ let default_config =
     slow_ms = None;
     dump_channel = None;
     dump_min_interval_s = 1.0;
+    task_budget_s = 30.0;
+    (* the ticker is opt-in: tests and the bench harness create servers
+       by the dozen and a background sampler would make their counter
+       deltas nondeterministic; [schedtool serve] turns it on *)
+    watchdog_interval_s = None;
   }
 
 (* Cached results live in canonical labeling; each hit is translated back
@@ -52,55 +59,145 @@ type t = {
      last-dump stamp is mutex-guarded *)
   dump_mutex : Mutex.t;
   mutable last_dump_us : float;
+  mutable ticker : unit Domain.t option;
+  created_us : float;
 }
 
-let create config =
-  {
-    config;
-    cache = Cache.create ~capacity:config.cache_capacity;
-    pool = Parallel.Pool.create config.jobs;
-    stopping = Atomic.make false;
-    listen_fd = None;
-    dump_mutex = Mutex.create ();
-    last_dump_us = neg_infinity;
-  }
-
-(* Snapshot the flight recorder's slice for one finished request and
-   write it (JSON lines, header line first) to the configured dump
-   channel. Triggered by latency over [slow_ms] or a non-ok status;
-   bounded to one dump per [dump_min_interval_s] so a failure storm
-   cannot turn the slow-request log into the bottleneck. *)
-let maybe_dump t ~req_id ~status ~latency_us =
+(* Rate-bounded flight-recorder dump shared by the slow-request path and
+   the watchdog's stuck-task hook: one dump per [dump_min_interval_s],
+   so a failure storm (or a watchdog firing every tick) cannot turn the
+   dump log into the bottleneck. [header] must be a single JSON line. *)
+let rate_limited_dump t ~ctx ~header =
   match t.config.dump_channel with
   | None -> ()
   | Some oc ->
-      let slow =
-        match t.config.slow_ms with
-        | Some threshold -> latency_us /. 1000. > threshold
-        | None -> false
+      Mutex.lock t.dump_mutex;
+      let now = Obs.Sink.now_us () in
+      let allowed =
+        now -. t.last_dump_us >= t.config.dump_min_interval_s *. 1e6
       in
-      if slow || status <> "ok" then begin
-        Mutex.lock t.dump_mutex;
-        let now = Obs.Sink.now_us () in
-        let allowed =
-          now -. t.last_dump_us >= t.config.dump_min_interval_s *. 1e6
-        in
-        if allowed then t.last_dump_us <- now;
-        Mutex.unlock t.dump_mutex;
-        if not allowed then Obs.Counter.incr c_dumps_suppressed
-        else begin
-          Obs.Counter.incr c_dumps;
-          Printf.fprintf oc
-            "{\"dump\":\"slow-request\",\"req\":\"%s\",\"status\":\"%s\",\"latency_ms\":%.3f}\n"
-            req_id status (latency_us /. 1000.);
-          Obs.Event.dump_jsonl ~ctx:req_id oc
-        end
+      if allowed then t.last_dump_us <- now;
+      Mutex.unlock t.dump_mutex;
+      if not allowed then Obs.Counter.incr c_dumps_suppressed
+      else begin
+        Obs.Counter.incr c_dumps;
+        output_string oc header;
+        output_char oc '\n';
+        Obs.Event.dump_jsonl ?ctx oc
       end
+
+(* Snapshot the flight recorder's slice for one finished request.
+   Triggered by latency over [slow_ms] or a non-ok status. *)
+let maybe_dump t ~req_id ~status ~latency_us =
+  let slow =
+    match t.config.slow_ms with
+    | Some threshold -> latency_us /. 1000. > threshold
+    | None -> false
+  in
+  if slow || status <> "ok" then
+    rate_limited_dump t ~ctx:(Some req_id)
+      ~header:
+        (Printf.sprintf
+           "{\"dump\":\"slow-request\",\"req\":\"%s\",\"status\":\"%s\",\"latency_ms\":%.3f}"
+           req_id status (latency_us /. 1000.))
+
+(* The watchdog's view of a stuck task, routed into the same dump file
+   with the stuck request's flight-recorder slice when its id is known. *)
+let dump_stuck t (st : Obs.Health.stuck) =
+  rate_limited_dump t ~ctx:st.Obs.Health.sctx
+    ~header:
+      (Printf.sprintf
+         "{\"dump\":\"stuck-task\",\"task\":\"%s\",\"domain\":%d,\"age_ms\":%.0f%s}"
+         st.Obs.Health.stask st.Obs.Health.sdomain
+         (st.Obs.Health.sage_s *. 1000.)
+         (match st.Obs.Health.sctx with
+         | Some req -> Printf.sprintf ",\"req\":\"%s\"" req
+         | None -> ""))
+
+(* Saturation meters and SLO objectives for this server process. Meters
+   read process-global state (registration replaces by name, so the
+   latest server wins — a process runs one). *)
+let g_pool_queue_depth = Obs.Gauge.make "pool.queue_depth"
+let g_pool_capacity = Obs.Gauge.make "pool.capacity"
+let g_heap_words = Obs.Gauge.make "gc.heap_words"
+
+let register_health t =
+  Obs.Health.set_task_budget_s t.config.task_budget_s;
+  Obs.Health.set_stuck_hook (Some (dump_stuck t));
+  (* queue fill relative to an 8x-capacity backlog: a short burst beyond
+     the pool size is normal, a deep standing queue is saturation *)
+  Obs.Health.register_meter "pool.queue" (fun () ->
+      let cap = Float.max 1.0 (Obs.Gauge.value g_pool_capacity) in
+      Obs.Gauge.value g_pool_queue_depth /. (8.0 *. cap));
+  (* a full LRU is steady-state, not an incident: display-only *)
+  Obs.Health.register_meter ~degraded_at:infinity ~unhealthy_at:infinity
+    "cache" (fun () ->
+      float_of_int (Cache.length t.cache)
+      /. float_of_int (Cache.capacity t.cache));
+  (* major heap footprint against a 4 GiB soft limit *)
+  Obs.Health.register_meter "gc.heap" (fun () ->
+      Obs.Gauge.value g_heap_words *. 8.0 /. 4e9);
+  let latency_threshold_us =
+    match t.config.default_deadline_ms with
+    | Some d -> d *. 1000.
+    | None -> 250_000.0
+  in
+  Obs.Slo.register ~name:"availability" ~target:0.99
+    (Obs.Slo.Availability
+       { family = "serve.requests"; good_values = [ "ok"; "degraded" ] });
+  Obs.Slo.register ~name:"latency" ~target:0.99
+    (Obs.Slo.Latency
+       {
+         histogram = "serve.request_latency_us";
+         threshold_us = latency_threshold_us;
+       })
+
+(* One background tick: watchdog pass, SLO/GC sampling, and a status
+   refresh so the health.status gauge tracks reality between scrapes. *)
+let tick () =
+  ignore (Obs.Health.check ());
+  Obs.Memprof.sample ();
+  Obs.Slo.sample ();
+  ignore (Obs.Health.status ())
+
+let create config =
+  let t =
+    {
+      config;
+      cache = Cache.create ~capacity:config.cache_capacity;
+      pool = Parallel.Pool.create config.jobs;
+      stopping = Atomic.make false;
+      listen_fd = None;
+      dump_mutex = Mutex.create ();
+      last_dump_us = neg_infinity;
+      ticker = None;
+      created_us = Obs.Sink.now_us ();
+    }
+  in
+  register_health t;
+  (match config.watchdog_interval_s with
+  | Some interval when interval > 0.0 ->
+      t.ticker <-
+        Some
+          (Domain.spawn (fun () ->
+               let rec loop () =
+                 if not (Atomic.get t.stopping) then begin
+                   Unix.sleepf interval;
+                   tick ();
+                   loop ()
+                 end
+               in
+               loop ()))
+  | Some _ | None -> ());
+  t
 
 let handle_request t (req : Proto.request) =
   let req_id = next_request_id () in
   Obs.Sink.with_ctx req_id @@ fun () ->
   Obs.Span.with_alloc "serve.request" @@ fun () ->
+  (* stamp the heartbeat inside the ctx so the watchdog can attribute a
+     wedged domain to this request id *)
+  Obs.Health.beat ();
   let start_us = Obs.Sink.now_us () in
   let alloc0 = Obs.Memprof.allocated_bytes () in
   Obs.Event.emit "serve.request"
@@ -125,7 +222,8 @@ let handle_request t (req : Proto.request) =
       | Proto.Reply r when r.Proto.degraded ->
           Obs.Labeled.incr c_req_degraded;
           "degraded"
-      | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _ ->
+      | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _
+      | Proto.Health_reply _ ->
           Obs.Labeled.incr c_req_ok;
           "ok"
     in
@@ -170,8 +268,14 @@ let handle_request t (req : Proto.request) =
             | Some _ as d -> d
             | None -> t.config.default_deadline_ms
           in
+          let pressure () =
+            match Obs.Health.status () with
+            | Obs.Health.Ok -> false
+            | Obs.Health.Degraded _ | Obs.Health.Unhealthy _ -> true
+          in
           match
-            Dispatch.solve ?deadline_ms ?hint:req.solver canon.Canon.instance
+            Dispatch.solve ?deadline_ms ?hint:req.solver ~pressure
+              canon.Canon.instance
           with
           | Error msg -> Proto.Error msg
           | Ok outcome ->
@@ -219,23 +323,55 @@ let handle_events ?count ~min_level () =
     (Obs.Event.recent ?count ~min_level ());
   Proto.Events_reply { body = Buffer.contents buf }
 
+(* Health frames answer with a fresh snapshot: a watchdog pass, an SLO
+   sample (so burn rates are current even without the ticker), then the
+   rendered status/meter/slo/heartbeat lines. Admin traffic, outside the
+   request counters. *)
+let handle_health t =
+  Obs.Memprof.sample ();
+  Obs.Slo.sample ();
+  ignore (Obs.Health.check ());
+  let buf = Buffer.create 512 in
+  let add line =
+    Buffer.add_string buf line;
+    Buffer.add_char buf '\n'
+  in
+  List.iter add (Obs.Health.render_lines ());
+  add
+    (Printf.sprintf "uptime_s %.1f"
+       ((Obs.Sink.now_us () -. t.created_us) /. 1e6));
+  List.iter add (Obs.Slo.render_lines ());
+  Proto.Health_reply { body = Buffer.contents buf }
+
 let serve_channels t ic oc =
+  let respond response =
+    Proto.write_response oc response;
+    (* the session is about to park in [read_incoming]; a blocked read
+       is not a wedged task *)
+    Obs.Health.waiting ()
+  in
   let rec loop () =
     match Proto.read_incoming ic with
     | Ok None -> ()
     | Ok (Some (Proto.Solve req)) ->
-        Proto.write_response oc (handle_request t req);
+        respond (handle_request t req);
         loop ()
     | Ok (Some (Proto.Stats format)) ->
-        Proto.write_response oc (handle_stats format);
+        Obs.Health.beat ();
+        respond (handle_stats format);
         loop ()
     | Ok (Some (Proto.Events { count; min_level })) ->
-        Proto.write_response oc (handle_events ?count ~min_level ());
+        Obs.Health.beat ();
+        respond (handle_events ?count ~min_level ());
+        loop ()
+    | Ok (Some Proto.Health) ->
+        Obs.Health.beat ();
+        respond (handle_health t);
         loop ()
     | Error msg ->
         Obs.Counter.incr c_errors;
         Obs.Labeled.incr c_req_error;
-        Proto.write_response oc (Proto.Error msg);
+        respond (Proto.Error msg);
         loop ()
   in
   loop ()
@@ -288,5 +424,13 @@ let stop t =
 
 let shutdown t =
   stop t;
+  (* the ticker re-checks [stopping] after each sleep, so joining waits
+     at most one interval *)
+  (match t.ticker with
+  | Some d ->
+      Domain.join d;
+      t.ticker <- None
+  | None -> ());
+  Obs.Health.set_stuck_hook None;
   Parallel.Pool.wait_idle t.pool;
   Parallel.Pool.shutdown t.pool

@@ -31,7 +31,23 @@
     request's events — rate-bounded by [dump_min_interval_s]
     (suppressed dumps count in [serve.recorder_dumps_suppressed]). An
     [events v1] admin frame is answered with the recorder's retained
-    events. *)
+    events.
+
+    Health & SLO: {!create} registers this server's saturation meters
+    (pool queue fill, cache fill, heap footprint) and SLO objectives
+    (99% availability over [serve.requests], 99% of requests under the
+    default deadline) with {!Obs.Health} / {!Obs.Slo}, points the
+    watchdog's stuck-task hook at the same rate-bounded dump channel
+    (header [{"dump":"stuck-task",...}]), and — when
+    [watchdog_interval_s] is set — spawns a ticker domain that runs the
+    watchdog, samples the SLO rings and GC gauges, and refreshes the
+    [health.status] gauge every interval. Session loops mark their
+    domain [waiting] while parked in [read] so only genuinely wedged
+    tasks trip the watchdog. A [health v1] admin frame is answered with
+    the composite status, meters, burn rates and per-domain heartbeat
+    ages; {!handle_request} passes [Obs.Health.status] to
+    {!Dispatch.solve} as the [pressure] signal, so a non-[Ok] status
+    sheds the heavy solver tier pre-emptively ([serve.dispatch.shed]). *)
 
 type config = {
   cache_capacity : int;  (** LRU entries kept (default 128) *)
@@ -46,6 +62,13 @@ type config = {
       (** where recorder dumps go; [None] (default) disables dumping *)
   dump_min_interval_s : float;
       (** at most one dump per this many seconds (default 1.0) *)
+  task_budget_s : float;
+      (** heartbeat age before a working task counts as stuck
+          (default 30.0) *)
+  watchdog_interval_s : float option;
+      (** period of the background watchdog/SLO-sampling ticker; [None]
+          (default) disables it — tests and benches want deterministic
+          counters, [schedtool serve] turns it on *)
 }
 
 val default_config : config

@@ -1,22 +1,38 @@
 #!/bin/sh
-# bench_gate.sh — regression gate for the serving-layer benchmarks.
+# bench_gate.sh — regression gates for the serving-layer benchmarks.
 #
-# Runs the bench harness with BENCH_SERVE_OUT pointed at a scratch file
-# and compares the fresh ns_per_iter and latency percentiles per record
-# against the committed BENCH_serve.json baseline. A fresh value more
-# than TOLERANCE times its baseline fails the gate; faster-than-baseline
-# never fails. Timings on shared CI hardware are noisy, so the default
-# tolerance is deliberately loose — the gate catches order-of-magnitude
-# regressions (a dropped cache, an accidental O(n^2)), not percent-level
-# drift.
+# Two gates over the same fresh run vs the committed BENCH_serve.json:
 #
-# Usage:  scripts/bench_gate.sh [baseline.json]
-#   TOLERANCE=3.0   ratio above which a metric fails (default 3.0)
+#   counters  HARD.  The per-record counter deltas (solver nodes, cache
+#             hits, health checks, ...) are deterministic by
+#             construction — fixed seeds, fixed iteration counts, no
+#             background ticker — so any drift is a behaviour change,
+#             not noise. Every baseline counter must match the fresh
+#             value exactly, and a fresh counter absent from the
+#             baseline fails too (new work on a hot path should be a
+#             deliberate baseline update).
+#
+#   timings   WARN-ONLY.  ns_per_iter and latency percentiles compared
+#             by ratio. Timings on shared CI hardware are noisy, so a
+#             fresh value more than TOLERANCE times its baseline only
+#             warns — the printout catches order-of-magnitude
+#             regressions (a dropped cache, an accidental O(n^2)), a
+#             human decides.
+#
+# Usage:  scripts/bench_gate.sh [--counters|--timings|--all] [baseline.json]
+#   TOLERANCE=3.0   ratio above which a timing warns (default 3.0)
 #   SKIP_RUN=1      compare an existing $BENCH_SERVE_OUT instead of
 #                   re-running the harness
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MODE=all
+case "${1:-}" in
+  --counters) MODE=counters; shift ;;
+  --timings)  MODE=timings;  shift ;;
+  --all)      MODE=all;      shift ;;
+esac
 
 BASELINE="${1:-BENCH_serve.json}"
 TOLERANCE="${TOLERANCE:-3.0}"
@@ -31,10 +47,10 @@ fi
 
 [ -f "$FRESH" ] || { echo "bench_gate: fresh results $FRESH not found" >&2; exit 2; }
 
-# Flatten one records file into "name<TAB>metric<TAB>value" lines. The
-# JSON is the flat shape Obs.Expo.bench_records_json writes: one record
-# object per line, numeric fields only where we look.
-flatten() {
+# Flatten one records file into "name<TAB>metric<TAB>value" timing lines.
+# The JSON is the flat shape Obs.Expo.bench_records_json writes: one
+# record object per line, numeric fields only where we look.
+flatten_timings() {
   awk '
     /"name":/ {
       line = $0
@@ -58,35 +74,97 @@ flatten() {
   ' "$1"
 }
 
+# Flatten counter deltas into the same "name<TAB>counter<TAB>value" shape.
+flatten_counters() {
+  awk '
+    /"name":/ {
+      line = $0
+      name = line; sub(/.*"name": "/, "", name); sub(/".*/, "", name)
+      if (match(line, /"counters": \{[^}]*\}/)) {
+        cs = substr(line, RSTART, RLENGTH)
+        sub(/.*\{/, "", cs); sub(/\}.*/, "", cs)
+        if (cs != "") {
+          n = split(cs, kv, /, /)
+          for (i = 1; i <= n; i++) {
+            split(kv[i], pair, /": /)
+            key = pair[1]; gsub(/.*"/, "", key)
+            printf "%s\t%s\t%s\n", name, key, pair[2]
+          }
+        }
+      }
+    }
+  ' "$1"
+}
+
 base_flat=$(mktemp /tmp/bench_gate_base.XXXXXX)
 fresh_flat=$(mktemp /tmp/bench_gate_fresh.XXXXXX)
 trap 'rm -f "$base_flat" "$fresh_flat"' EXIT
-flatten "$BASELINE" > "$base_flat"
-flatten "$FRESH" > "$fresh_flat"
 
-fail=0
-while IFS="$(printf '\t')" read -r name metric base; do
-  fresh=$(awk -F'\t' -v n="$name" -v m="$metric" \
-            '$1 == n && $2 == m { print $3 }' "$fresh_flat")
-  if [ -z "$fresh" ]; then
-    echo "bench_gate: MISSING  $name / $metric (in baseline, not in fresh run)"
-    fail=1
-    continue
+overall=0
+
+# --- counter gate (hard) ----------------------------------------------------
+if [ "$MODE" = "counters" ] || [ "$MODE" = "all" ]; then
+  flatten_counters "$BASELINE" > "$base_flat"
+  flatten_counters "$FRESH" > "$fresh_flat"
+  fail=0
+  while IFS="$(printf '\t')" read -r name metric base; do
+    fresh=$(awk -F'\t' -v n="$name" -v m="$metric" \
+              '$1 == n && $2 == m { print $3 }' "$fresh_flat")
+    if [ -z "$fresh" ]; then
+      echo "bench_gate: FAIL $name / $metric: baseline $base, missing from fresh run"
+      fail=1
+    elif [ "$fresh" != "$base" ]; then
+      echo "bench_gate: FAIL $name / $metric: baseline $base, fresh $fresh (counter drift)"
+      fail=1
+    else
+      echo "bench_gate: ok   $name / $metric: $base"
+    fi
+  done < "$base_flat"
+  while IFS="$(printf '\t')" read -r name metric fresh; do
+    base=$(awk -F'\t' -v n="$name" -v m="$metric" \
+             '$1 == n && $2 == m { print $3 }' "$base_flat")
+    if [ -z "$base" ]; then
+      echo "bench_gate: FAIL $name / $metric: fresh $fresh, not in baseline (new counter on a hot path)"
+      fail=1
+    fi
+  done < "$fresh_flat"
+  if [ "$fail" != "0" ]; then
+    echo "bench_gate: counters FAILED (exact match vs $BASELINE required)"
+    overall=1
+  else
+    echo "bench_gate: counters OK (exact match vs $BASELINE)"
   fi
-  verdict=$(awk -v b="$base" -v f="$fresh" -v tol="$TOLERANCE" 'BEGIN {
-    if (b <= 0) { print "ok skip"; exit }
-    r = f / b
-    printf "%s %.2f", (r > tol ? "FAIL" : "ok"), r
-  }')
-  status=${verdict%% *}
-  ratio=${verdict#* }
-  printf 'bench_gate: %-4s %s / %s: baseline %s, fresh %s (x%s)\n' \
-    "$status" "$name" "$metric" "$base" "$fresh" "$ratio"
-  [ "$status" = "FAIL" ] && fail=1
-done < "$base_flat"
-
-if [ "$fail" != "0" ]; then
-  echo "bench_gate: FAILED (tolerance x$TOLERANCE vs $BASELINE)"
-  exit 1
 fi
-echo "bench_gate: OK (all metrics within x$TOLERANCE of $BASELINE)"
+
+# --- timing gate (warn-only) ------------------------------------------------
+if [ "$MODE" = "timings" ] || [ "$MODE" = "all" ]; then
+  flatten_timings "$BASELINE" > "$base_flat"
+  flatten_timings "$FRESH" > "$fresh_flat"
+  warn=0
+  while IFS="$(printf '\t')" read -r name metric base; do
+    fresh=$(awk -F'\t' -v n="$name" -v m="$metric" \
+              '$1 == n && $2 == m { print $3 }' "$fresh_flat")
+    if [ -z "$fresh" ]; then
+      echo "bench_gate: WARN $name / $metric (in baseline, not in fresh run)"
+      warn=1
+      continue
+    fi
+    verdict=$(awk -v b="$base" -v f="$fresh" -v tol="$TOLERANCE" 'BEGIN {
+      if (b <= 0) { print "ok skip"; exit }
+      r = f / b
+      printf "%s %.2f", (r > tol ? "WARN" : "ok"), r
+    }')
+    status=${verdict%% *}
+    ratio=${verdict#* }
+    printf 'bench_gate: %-4s %s / %s: baseline %s, fresh %s (x%s)\n' \
+      "$status" "$name" "$metric" "$base" "$fresh" "$ratio"
+    [ "$status" = "WARN" ] && warn=1
+  done < "$base_flat"
+  if [ "$warn" != "0" ]; then
+    echo "bench_gate: timings have WARNINGS (tolerance x$TOLERANCE vs $BASELINE) — not failing"
+  else
+    echo "bench_gate: timings OK (all within x$TOLERANCE of $BASELINE)"
+  fi
+fi
+
+exit $overall

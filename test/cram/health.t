@@ -1,0 +1,45 @@
+The health v1 admin frame over a stdio session. The payload is
+line-oriented — fixed keys plus repeated meter/slo/heartbeat lines
+carrying k=v tokens — so scrapers (schedtool top) need no JSON parser.
+Nothing is stuck and no meter is saturated in a fresh server, so the
+composite status and liveness are both ok; fills, ages and burn rates
+vary, so value-bearing lines are pattern-checked.
+
+  $ printf 'health v1\nend\n' | schedtool serve --stdio > out.txt
+  $ grep -vE '^(meter|slo|heartbeat|uptime_s) ' out.txt
+  response v1
+  status health
+  payload
+  status ok
+  liveness ok
+  task_budget_s 30
+  end
+
+The server registers three saturation meters (pool queue fill, cache
+fill, heap footprint) and two SLO objectives (availability, latency)
+reported over a 5m and a 1h burn-rate window:
+
+  $ grep -oE '^meter name=[a-z.]+' out.txt | sort
+  meter name=cache
+  meter name=gc.heap
+  meter name=pool.queue
+  $ grep -oE '^slo name=[a-z]+ window=[0-9a-z]+' out.txt | sort
+  slo name=availability window=1h
+  slo name=availability window=5m
+  slo name=latency window=1h
+  slo name=latency window=5m
+  $ grep -c '^uptime_s ' out.txt
+  1
+
+Only the session's own domain has heartbeat history (pool workers
+register on their first task), and every heartbeat line carries the
+full field set:
+
+  $ grep -cE '^heartbeat domain=[0-9]+ state=(idle|working|waiting) task=[^ ]+ req=[^ ]+ beat_age_s=[0-9.]+ task_age_s=[0-9.]+$' out.txt
+  1
+
+The watchdog budget is configurable per server:
+
+  $ printf 'health v1\nend\n' | schedtool serve --stdio --task-budget 5 \
+  >   | grep '^task_budget_s'
+  task_budget_s 5

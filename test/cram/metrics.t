@@ -44,8 +44,46 @@ decision and the exact solver (timestamps vary, so only names):
   "name":"serve.request"
   "name":"serve.request.done"
 
+`schedtool top --once` renders one plain-text dashboard frame over the
+same socket: composite health, SLO burn rates, request totals, latency
+percentiles, saturation meters, per-domain heartbeats and the busiest
+event sources (values vary, so stable lines and shapes are checked):
+
+  $ schedtool top --socket live.sock --once > top.txt
+  $ grep -E '^(health|liveness) ' top.txt
+  health ok
+  liveness ok
+  $ grep -c '^slo availability ' top.txt
+  2
+  $ grep -c '^slo latency ' top.txt
+  2
+  $ grep '^requests ' top.txt
+  requests ok=4 degraded=0 error=0 total=4
+  $ grep -c '^latency p50=' top.txt
+  1
+  $ grep -c '^meters ' top.txt
+  1
+  $ [ "$(grep -c '^domain ' top.txt)" -ge 1 ] && echo have-heartbeats
+  have-heartbeats
+  $ grep -o 'serve.request.done=[0-9]*' top.txt
+  serve.request.done=4
+
+`schedtool metrics --watch` re-scrapes on an interval and prints only
+the series that changed between scrapes; the first scrape is the
+baseline:
+
+  $ schedtool metrics --socket live.sock --watch 0.2 --scrapes 2 \
+  >   | grep -c '^scrape '
+  2
+
   $ kill $pid 2>/dev/null
   $ wait $pid 2>/dev/null || true
+
+Watch mode needs a live socket to diff against:
+
+  $ schedtool metrics --watch 1
+  schedtool: --watch requires --socket
+  [124]
 
 With no server at the socket, loadgen fails loudly instead of reporting
 an all-error run as success:

@@ -426,6 +426,72 @@ let test_expo_json () =
     (not (hasr "\"name\": \"r2\", \"iterations\": 5, \"wall_ns\": 500, \
                 \"ns_per_iter\": 100, \"percentiles\""))
 
+let test_expo_empty_histogram () =
+  (* a registered-but-never-observed histogram must still appear in both
+     expositions: count 0 in Prometheus, null percentiles in JSON — and
+     rendering it must not raise (Histogram.quantile does on empty) *)
+  let h = H.make "test.expo.empty_us" in
+  H.reset h;
+  let text = Obs.Expo.prometheus () in
+  let has affix = Astring.String.is_infix ~affix text in
+  Alcotest.(check bool) "type line" true
+    (has "# TYPE test_expo_empty_us histogram");
+  Alcotest.(check bool) "+Inf bucket at zero" true
+    (has "test_expo_empty_us_bucket{le=\"+Inf\"} 0");
+  Alcotest.(check bool) "zero sum" true (has "test_expo_empty_us_sum 0");
+  Alcotest.(check bool) "zero count" true (has "test_expo_empty_us_count 0");
+  let js = Obs.Expo.json () in
+  Alcotest.(check bool) "json object present" true
+    (Astring.String.is_infix ~affix:"\"name\": \"test.expo.empty_us\", \"count\": 0"
+       js);
+  (* each histogram renders on its own line; the empty one must carry
+     null percentiles and an empty bucket list *)
+  let obj =
+    match
+      List.find_opt
+        (fun l -> Astring.String.is_infix ~affix:"test.expo.empty_us" l)
+        (String.split_on_char '\n' js)
+    with
+    | Some l -> l
+    | None -> Alcotest.fail "empty histogram missing from json"
+  in
+  List.iter
+    (fun affix ->
+      Alcotest.(check bool) (affix ^ " present") true
+        (Astring.String.is_infix ~affix obj))
+    [ "\"p50\": null"; "\"p90\": null"; "\"p99\": null"; "\"buckets\": []" ]
+
+let test_slo_burn_rate () =
+  (* 90% good traffic against a 90% target burns the error budget at
+     exactly 1.0x on every window *)
+  Obs.Slo.clear ();
+  let f = L.family "test.slo.requests" ~label:"status" in
+  Obs.Slo.register ~name:"test-availability" ~target:0.9
+    (Obs.Slo.Availability
+       { family = "test.slo.requests"; good_values = [ "ok" ] });
+  Obs.Slo.sample ();
+  L.add (L.cell f "ok") 9;
+  L.add (L.cell f "error") 1;
+  Obs.Slo.sample ();
+  let reports = Obs.Slo.reports () in
+  Alcotest.(check int) "one report per window" (List.length Obs.Slo.windows)
+    (List.length reports);
+  List.iter
+    (fun (r : Obs.Slo.report) ->
+      Alcotest.(check string) "name" "test-availability" r.Obs.Slo.rname;
+      Alcotest.(check (float 1e-9)) "good" 9.0 r.Obs.Slo.good;
+      Alcotest.(check (float 1e-9)) "total" 10.0 r.Obs.Slo.total;
+      Alcotest.(check (float 1e-9)) "ratio" 0.9 r.Obs.Slo.ratio;
+      Alcotest.(check (float 1e-9)) "burn" 1.0 r.Obs.Slo.burn)
+    reports;
+  (* prometheus exposition carries the burn-rate series *)
+  let text = Obs.Expo.prometheus () in
+  Alcotest.(check bool) "slo_burn_rate series" true
+    (Astring.String.is_infix
+       ~affix:"slo_burn_rate{objective=\"test-availability\",window=\"5m\"}"
+       text);
+  Obs.Slo.clear ()
+
 (* --- request-id context -------------------------------------------------- *)
 
 let test_sink_ctx () =
@@ -698,6 +764,9 @@ let () =
         [
           Alcotest.test_case "prometheus" `Quick test_expo_prometheus;
           Alcotest.test_case "json" `Quick test_expo_json;
+          Alcotest.test_case "empty histogram exposed" `Quick
+            test_expo_empty_histogram;
+          Alcotest.test_case "slo burn rate" `Quick test_slo_burn_rate;
         ] );
       ( "ctx",
         [ Alcotest.test_case "request ids on events" `Quick test_sink_ctx ] );

@@ -165,6 +165,77 @@ let test_default_jobs () =
   let j = P.default_jobs () in
   Alcotest.(check bool) "sane" true (j >= 1 && j <= 8)
 
+(* A pool task that overruns its budget without beating trips the
+   watchdog exactly once (one event, one hook firing), degrades
+   readiness, and recovers once the task finishes. *)
+let test_watchdog_stuck_task () =
+  Obs.Health.reset ();
+  Obs.Event.clear ();
+  Obs.Health.set_task_budget_s 0.05;
+  let hook_fired = ref 0 in
+  Obs.Health.set_stuck_hook (Some (fun _ -> incr hook_fired));
+  (* >= 2 domains: on a single-domain pool submit runs the task inline on
+     the caller, which would finish before the check below *)
+  let pool = P.create 2 in
+  Fun.protect
+    ~finally:(fun () ->
+      P.shutdown pool;
+      Obs.Health.reset ())
+    (fun () ->
+      P.submit pool (fun () -> Unix.sleepf 0.6);
+      Unix.sleepf 0.2;
+      let stuck = Obs.Health.check () in
+      Alcotest.(check int) "one stuck task" 1 (List.length stuck);
+      (match stuck with
+      | [ s ] ->
+          Alcotest.(check string) "task name" "pool.task"
+            s.Obs.Health.stask;
+          Alcotest.(check bool) "over budget" true (s.Obs.Health.sage_s > 0.05)
+      | _ -> ());
+      (match Obs.Health.status () with
+      | Obs.Health.Degraded _ -> ()
+      | s ->
+          Alcotest.fail
+            ("expected degraded, got " ^ Obs.Health.status_to_string s));
+      (* a second scan still sees the task but reports no new incident *)
+      let stuck2 = Obs.Health.check () in
+      Alcotest.(check int) "still stuck" 1 (List.length stuck2);
+      P.wait_idle pool;
+      Alcotest.(check int) "recovered: no stuck tasks" 0
+        (List.length (Obs.Health.check ()));
+      (match Obs.Health.status () with
+      | Obs.Health.Ok -> ()
+      | s ->
+          Alcotest.fail ("expected ok, got " ^ Obs.Health.status_to_string s));
+      let count name =
+        Obs.Event.snapshot ()
+        |> List.filter (fun (e : Obs.Event.t) -> e.Obs.Event.name = name)
+        |> List.length
+      in
+      Alcotest.(check int) "exactly one stuck event" 1
+        (count "health.stuck_task");
+      Alcotest.(check int) "one recovery event" 1
+        (count "health.task_recovered");
+      Alcotest.(check int) "hook fired once" 1 !hook_fired)
+
+(* The pool stamps queue-depth and capacity gauges. *)
+let test_pool_gauges () =
+  let pool = P.create 2 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      ignore (P.run pool [ (fun () -> 1); (fun () -> 2) ]);
+      let gauge name =
+        match
+          List.assoc_opt name (Obs.Gauge.snapshot ())
+        with
+        | Some v -> v
+        | None -> Alcotest.fail (name ^ " gauge not set")
+      in
+      Alcotest.(check (float 0.0)) "capacity" 2.0 (gauge "pool.capacity");
+      Alcotest.(check (float 0.0)) "queue drained" 0.0
+        (gauge "pool.queue_depth"))
+
 let () =
   Alcotest.run "parallel"
     [
@@ -184,5 +255,8 @@ let () =
           Alcotest.test_case "submit exception swallowed" `Quick
             test_submit_exception_swallowed;
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
+          Alcotest.test_case "watchdog stuck task" `Quick
+            test_watchdog_stuck_task;
+          Alcotest.test_case "pool gauges" `Quick test_pool_gauges;
         ] );
     ]

@@ -368,6 +368,45 @@ let test_proto_events_roundtrip () =
       Alcotest.(check string) "multi-line body intact" body got
   | _ -> Alcotest.fail "expected an events reply"
 
+let test_proto_health_roundtrip () =
+  (* health frames both ways: the admin request parses via read_incoming
+     (and is rejected by read_request), and a Health_reply carries its
+     multi-line payload intact *)
+  (match
+     roundtrip_via_file
+       (fun oc -> Serve.Proto.write_health_request oc)
+       (fun ic ->
+         let a = Serve.Proto.read_incoming ic in
+         let b = Serve.Proto.read_incoming ic in
+         (a, b))
+   with
+  | Ok (Some Serve.Proto.Health), Ok None -> ()
+  | _ -> Alcotest.fail "health frame did not roundtrip");
+  (match
+     roundtrip_via_file
+       (fun oc -> Serve.Proto.write_health_request oc)
+       Serve.Proto.read_request
+   with
+  | Error msg ->
+      Alcotest.(check bool) "read_request rejects health" true
+        (Astring.String.is_infix ~affix:"health" msg)
+  | Ok _ -> Alcotest.fail "read_request accepted a health frame");
+  let body =
+    "status ok\nliveness ok\ntask_budget_s 30\n"
+    ^ "meter name=cache fill=0.125\n"
+    ^ "heartbeat domain=0 state=waiting task=- req=- beat_age_s=0.010 \
+       task_age_s=0.000\n"
+  in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_response oc (Serve.Proto.Health_reply { body }))
+      Serve.Proto.read_response
+  with
+  | Ok (Some (Serve.Proto.Health_reply { body = got })) ->
+      Alcotest.(check string) "multi-line body intact" body got
+  | _ -> Alcotest.fail "expected a health reply"
+
 (* --- Server ------------------------------------------------------------- *)
 
 let mk_server () =
@@ -387,7 +426,8 @@ let test_server_cache_roundtrip () =
       in
       match ask inst with
       | Serve.Proto.Error msg -> Alcotest.fail msg
-      | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _ ->
+      | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
+      | Serve.Proto.Health_reply _ ->
           Alcotest.fail "unexpected admin reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
@@ -397,7 +437,8 @@ let test_server_cache_roundtrip () =
           let shuffled = Serve.Canon.shuffle r inst in
           match ask shuffled with
           | Serve.Proto.Error msg -> Alcotest.fail msg
-          | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _ ->
+          | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
+          | Serve.Proto.Health_reply _ ->
               Alcotest.fail "unexpected admin reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
@@ -549,6 +590,86 @@ let test_server_events_frame () =
                 (has "\"name\":\"serve.dispatch.decision\"")
           | _ -> Alcotest.fail "expected an events reply"))
 
+let test_server_health_frame () =
+  (* a solve then a health frame on the same session: the reply payload
+     carries composite status, the registered meters, SLO burn rates and
+     per-domain heartbeats *)
+  let server = mk_server () in
+  let inpath = Filename.temp_file "serve_health_in" ".txt" in
+  let outpath = Filename.temp_file "serve_health_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ inpath; outpath ])
+    (fun () ->
+      let inst = Workloads.Gen.identical (rng 23) ~n:5 ~m:2 ~k:2 () in
+      let oc = open_out inpath in
+      Serve.Proto.write_request oc
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+      Serve.Proto.write_health_request oc;
+      close_out oc;
+      let ic = open_in inpath in
+      let oc = open_out outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Serve.Server.serve_channels server ic oc);
+      close_out oc;
+      let ic = open_in outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Reply _)) -> ()
+          | _ -> Alcotest.fail "expected a solve reply first");
+          match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Health_reply { body })) ->
+              let lines =
+                List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+              in
+              let starts prefix l = Astring.String.is_prefix ~affix:prefix l in
+              let count prefix =
+                List.length (List.filter (starts prefix) lines)
+              in
+              (* nothing is stuck and no meter is saturated in a test *)
+              Alcotest.(check bool) "status ok" true
+                (List.mem "status ok" lines);
+              Alcotest.(check bool) "liveness ok" true
+                (List.mem "liveness ok" lines);
+              Alcotest.(check int) "uptime line" 1 (count "uptime_s ");
+              (* pool.queue, cache and gc.heap meters from create *)
+              Alcotest.(check bool) "cache meter" true
+                (List.exists (starts "meter name=cache ") lines);
+              Alcotest.(check bool) "pool meter" true
+                (List.exists (starts "meter name=pool.queue ") lines);
+              (* availability + latency objectives x 5m/1h windows *)
+              Alcotest.(check int) "slo lines" 4 (count "slo name=");
+              (* the session domain itself heartbeats, so >= 1 slot *)
+              Alcotest.(check bool) "heartbeat lines" true
+                (count "heartbeat domain=" >= 1)
+          | _ -> Alcotest.fail "expected a health reply"))
+
+let test_dispatch_pressure_sheds () =
+  (* admission control: under pressure the heavy tier is shed before it
+     runs, the answer comes degraded from the fast path, and the shed
+     counter (not the deadline counter) takes the hit *)
+  let inst = Workloads.Gen.uniform (rng 29) ~n:9 ~m:3 ~k:3 () in
+  let shed_before = Obs.Counter.value (Obs.Counter.make "serve.dispatch.shed") in
+  (match Serve.Dispatch.solve ~pressure:(fun () -> true) inst with
+  | Ok o ->
+      Alcotest.(check bool) "degraded" true o.Serve.Dispatch.degraded;
+      Alcotest.(check bool) "fast-path solver" true
+        (o.Serve.Dispatch.solver <> "exact"
+        && o.Serve.Dispatch.solver <> "exact-budgeted")
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "shed counted" (shed_before + 1)
+    (Obs.Counter.value (Obs.Counter.make "serve.dispatch.shed"));
+  (* no pressure: the same instance runs the heavy tier undegraded *)
+  match Serve.Dispatch.solve inst with
+  | Ok o -> Alcotest.(check bool) "not degraded" false o.Serve.Dispatch.degraded
+  | Error msg -> Alcotest.fail msg
+
 let test_server_slow_dump () =
   (* acceptance criterion: a request over the slow threshold dumps a
      valid JSON-lines recorder slice carrying the request id on every
@@ -693,6 +814,8 @@ let () =
             test_dispatch_unknown_solver;
           Alcotest.test_case "lpt inapplicable" `Quick
             test_dispatch_lpt_inapplicable;
+          Alcotest.test_case "pressure sheds heavy tier" `Quick
+            test_dispatch_pressure_sheds;
         ] );
       ( "proto",
         [
@@ -704,6 +827,8 @@ let () =
             test_proto_stats_roundtrip;
           Alcotest.test_case "events frame roundtrip" `Quick
             test_proto_events_roundtrip;
+          Alcotest.test_case "health frame roundtrip" `Quick
+            test_proto_health_roundtrip;
           Alcotest.test_case "malformed resync" `Quick
             test_proto_malformed_resync;
         ] );
@@ -713,6 +838,7 @@ let () =
             test_server_cache_roundtrip;
           Alcotest.test_case "stats frame" `Quick test_server_stats_frame;
           Alcotest.test_case "events frame" `Quick test_server_events_frame;
+          Alcotest.test_case "health frame" `Quick test_server_health_frame;
           Alcotest.test_case "slow-request dump" `Quick test_server_slow_dump;
           Alcotest.test_case "socket session" `Quick test_server_socket_session;
         ] );
