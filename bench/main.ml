@@ -255,6 +255,102 @@ let serve_benchmarks () =
     measure ~name:"canonicalize n=150" ~iterations:50 (fun () ->
         ignore (Serve.Canon.key big))
   in
+  (* session subsystem: a long-lived session absorbing ±1-job mutations,
+     each followed by an incremental resolve. The repair seed comes from
+     a deadline-pressured first resolve (cheap tier), so the record's
+     counter deltas stay deterministic — no open-ended exact solve. *)
+  let sessions = Serve.Session.create Serve.Session.default_config in
+  let scache = Serve.Cache.create ~capacity:64 in
+  let n100 =
+    Workloads.Gen.uniform (Workloads.Rng.create 3004) ~n:100 ~m:8 ~k:6 ()
+  in
+  let session_handle req =
+    Serve.Session.handle sessions ~cache:scache
+      ~default_deadline_ms:(Some 1.0)
+      ~pressure:(fun () -> false)
+      req
+  in
+  let expect_session name response =
+    match (response : Serve.Proto.response) with
+    | Serve.Proto.Session_reply r -> r
+    | Serve.Proto.Error msg -> failwith (name ^ ": " ^ msg)
+    | _ -> failwith (name ^ ": expected a session reply")
+  in
+  let seed_session sid =
+    ignore
+      (expect_session "create"
+         (session_handle { Serve.Proto.sid; op = Serve.Proto.S_create n100 }));
+    ignore
+      (expect_session "seed resolve"
+         (session_handle
+            {
+              Serve.Proto.sid;
+              op = Serve.Proto.S_resolve { deadline_ms = Some 1.0 };
+            }))
+  in
+  seed_session "bench-repair";
+  let added_job =
+    {
+      Core.Instance.nsize = n100.Core.Instance.sizes.(0);
+      nclass = n100.Core.Instance.job_class.(0);
+      nptimes = None;
+      neligible = None;
+    }
+  in
+  let iter = ref 0 in
+  let session_repair =
+    measure ~with_percentiles:true ~name:"session repair +/-1 job n=100"
+      ~iterations:40 (fun () ->
+        incr iter;
+        let op =
+          if !iter land 1 = 1 then Serve.Proto.S_add_jobs [ added_job ]
+          else Serve.Proto.S_drop_jobs [ 100 ]
+        in
+        ignore
+          (expect_session "mutate"
+             (session_handle { Serve.Proto.sid = "bench-repair"; op }));
+        let r =
+          expect_session "resolve"
+            (session_handle
+               {
+                 Serve.Proto.sid = "bench-repair";
+                 op = Serve.Proto.S_resolve { deadline_ms = None };
+               })
+        in
+        match r.Serve.Proto.mode with
+        | Some ("repair" | "fallback") -> ()
+        | _ -> failwith "session repair: expected an incremental resolve")
+  in
+  ignore
+    (session_handle
+       { Serve.Proto.sid = "bench-repair"; op = Serve.Proto.S_close });
+  (* delta-aware cache: an unchanged session resolves straight out of the
+     shared result cache *)
+  seed_session "bench-hit";
+  ignore
+    (expect_session "prime"
+       (session_handle
+          {
+            Serve.Proto.sid = "bench-hit";
+            op = Serve.Proto.S_resolve { deadline_ms = None };
+          }));
+  let session_hit =
+    measure ~with_percentiles:true ~name:"session resolve cache hit n=100"
+      ~iterations:200 (fun () ->
+        let r =
+          expect_session "hit resolve"
+            (session_handle
+               {
+                 Serve.Proto.sid = "bench-hit";
+                 op = Serve.Proto.S_resolve { deadline_ms = None };
+               })
+        in
+        if r.Serve.Proto.mode <> Some "cache" then
+          failwith "session hit: expected a cache-mode resolve")
+  in
+  ignore
+    (session_handle
+       { Serve.Proto.sid = "bench-hit"; op = Serve.Proto.S_close });
   (* flight recorder: one retained emit with two fields — the per-event
      cost every instrumented layer pays on the hot path *)
   let event =
@@ -273,7 +369,9 @@ let serve_benchmarks () =
         ignore (Obs.Health.check ());
         ignore (Obs.Health.status ()))
   in
-  let records = [ cold; hit; deadline; canon; event; health ] in
+  let records =
+    [ cold; hit; deadline; canon; session_repair; session_hit; event; health ]
+  in
   let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
   List.iter
     (fun (r : Obs.Expo.bench_record) ->

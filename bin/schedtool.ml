@@ -428,16 +428,43 @@ let serve_cmd =
          & info [ "watchdog-interval" ] ~docv:"SECS"
              ~doc:"Period of the background watchdog/SLO-sampling \
                    ticker; 0 disables it (health frames still sample on \
-                   demand).")
+                   demand). The ticker also sweeps idle sessions.")
+  in
+  let max_sessions_arg =
+    Arg.(value & opt int 64
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Live scheduling-session cap; further creates are \
+                   rejected.")
+  in
+  let session_idle_arg =
+    Arg.(value & opt (some float) None
+         & info [ "session-idle-timeout" ] ~docv:"SECS"
+             ~doc:"Evict sessions idle for more than $(docv) seconds \
+                   (default: never).")
+  in
+  let fallback_ratio_arg =
+    Arg.(value & opt float 2.0
+         & info [ "session-fallback-ratio" ] ~docv:"R"
+             ~doc:"Re-solve a session from scratch when its repaired \
+                   makespan exceeds $(docv) times the certified lower \
+                   bound (must be >= 1).")
   in
   let run stdio socket cache_size jobs deadline slow_ms slow_log event_log
-      task_budget watchdog_interval trace stats =
+      task_budget watchdog_interval max_sessions session_idle fallback_ratio
+      trace stats =
     let finish = obs_setup trace in
     if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
     else if task_budget <= 0.0 then
       `Error (false, "--task-budget must be > 0")
     else if watchdog_interval < 0.0 then
       `Error (false, "--watchdog-interval must be >= 0")
+    else if max_sessions < 1 then
+      `Error (false, "--max-sessions must be >= 1")
+    else if fallback_ratio < 1.0 then
+      `Error (false, "--session-fallback-ratio must be >= 1")
+    else if
+      match session_idle with Some s -> s < 0.0 | None -> false
+    then `Error (false, "--session-idle-timeout must be >= 0")
     else
       let to_close = ref [] in
       let open_log path =
@@ -483,6 +510,13 @@ let serve_cmd =
                   watchdog_interval_s =
                     (if watchdog_interval > 0.0 then Some watchdog_interval
                      else None);
+                  session =
+                    {
+                      Serve.Session.default_config with
+                      Serve.Session.max_sessions;
+                      idle_timeout_s = session_idle;
+                      fallback_ratio;
+                    };
                 }
               in
               let cleanup () =
@@ -530,9 +564,186 @@ let serve_cmd =
       ret
         (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
        $ deadline_arg $ slow_ms_arg $ slow_log_arg $ event_log_arg
-       $ task_budget_arg $ watchdog_arg $ trace_arg $ stats_arg))
+       $ task_budget_arg $ watchdog_arg $ max_sessions_arg
+       $ session_idle_arg $ fallback_ratio_arg $ trace_arg $ stats_arg))
 
 (* --- loadgen ------------------------------------------------------------ *)
+
+(* Session-mode mutation: clone a random job of the client-side copy, so
+   the addition is valid in every environment (a ptimes column for
+   unrelated, an eligibility column for restricted). *)
+let clone_random_job rng inst =
+  let m = Core.Instance.num_machines inst in
+  let job = Workloads.Rng.int rng (Core.Instance.num_jobs inst) in
+  let nptimes =
+    match inst.Core.Instance.env with
+    | Core.Instance.Unrelated p -> Some (Array.init m (fun i -> p.(i).(job)))
+    | Core.Instance.Identical | Core.Instance.Uniform _
+    | Core.Instance.Restricted _ ->
+        None
+  in
+  let neligible =
+    match inst.Core.Instance.env with
+    | Core.Instance.Restricted e -> Some (Array.init m (fun i -> e.(i).(job)))
+    | Core.Instance.Identical | Core.Instance.Uniform _
+    | Core.Instance.Unrelated _ ->
+        None
+  in
+  {
+    Core.Instance.nsize = inst.Core.Instance.sizes.(job);
+    nclass = inst.Core.Instance.job_class.(job);
+    nptimes;
+    neligible;
+  }
+
+(* Drive [sessions] full lifecycles: create, resolve (from scratch),
+   then [mutations] alternating add/drop mutations each followed by an
+   incremental resolve, then close. Latencies land in two buckets —
+   first resolves (full solves) vs mutation resolves (repairs) — so the
+   printed speedup compares p50 from-scratch against p50 repair; cache
+   hits say nothing about solver latency and are excluded from both. *)
+let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
+    ~permute ~seed ~json =
+  let rng = Workloads.Rng.create seed in
+  let h_full = Obs.Histogram.make "loadgen.session_full_us" in
+  let h_repair = Obs.Histogram.make "loadgen.session_repair_us" in
+  let repairs = ref 0 and fallbacks = ref 0 and cache_hits = ref 0 in
+  let full_solves = ref 0 and errors = ref 0 in
+  let attempted = ref 0 in
+  let transport_error = ref None in
+  let exception Transport of string in
+  let exchange req =
+    incr attempted;
+    Serve.Proto.write_session_request oc req;
+    match Serve.Proto.read_response ic with
+    | Ok (Some resp) -> resp
+    | Ok None -> raise (Transport "server closed the session")
+    | Error msg -> raise (Transport msg)
+    | exception Sys_error msg -> raise (Transport msg)
+  in
+  let count_mode = function
+    | Some "cache" -> incr cache_hits
+    | Some "repair" -> incr repairs
+    | Some "fallback" -> incr fallbacks
+    | Some "full" -> incr full_solves
+    | Some _ | None -> ()
+  in
+  let t_start = Obs.Sink.now_us () in
+  (try
+     for s = 1 to sessions do
+       let base =
+         if permute then Serve.Canon.shuffle rng instance else instance
+       in
+       let sid = Printf.sprintf "lg%d-%d" seed s in
+       let resolve hist =
+         let t0 = Obs.Sink.now_us () in
+         match
+           exchange
+             {
+               Serve.Proto.sid;
+               op = Serve.Proto.S_resolve { deadline_ms = deadline };
+             }
+         with
+         | Serve.Proto.Session_reply r ->
+             let dt = Obs.Sink.now_us () -. t0 in
+             count_mode r.Serve.Proto.mode;
+             if r.Serve.Proto.mode <> Some "cache" then
+               Obs.Histogram.observe hist dt
+         | _ -> incr errors
+       in
+       (match exchange { Serve.Proto.sid; op = Serve.Proto.S_create base } with
+       | Serve.Proto.Session_reply _ ->
+           resolve h_full;
+           let local = ref base in
+           for k = 1 to mutations do
+             (if k land 1 = 0 && Core.Instance.num_jobs !local > 1 then begin
+                let n = Core.Instance.num_jobs !local in
+                match
+                  exchange
+                    { Serve.Proto.sid; op = Serve.Proto.S_drop_jobs [ n - 1 ] }
+                with
+                | Serve.Proto.Session_reply _ ->
+                    local :=
+                      Core.Instance.induced !local (List.init (n - 1) Fun.id)
+                | _ -> incr errors
+              end
+              else begin
+                let job = clone_random_job rng !local in
+                match
+                  exchange
+                    { Serve.Proto.sid; op = Serve.Proto.S_add_jobs [ job ] }
+                with
+                | Serve.Proto.Session_reply _ ->
+                    local := Core.Instance.append_jobs !local [ job ]
+                | _ -> incr errors
+              end);
+             resolve h_repair
+           done;
+           (match exchange { Serve.Proto.sid; op = Serve.Proto.S_close } with
+           | Serve.Proto.Session_reply _ -> ()
+           | _ -> incr errors)
+       | _ -> incr errors)
+     done
+   with Transport msg -> transport_error := Some msg);
+  let wall_ns = (Obs.Sink.now_us () -. t_start) *. 1e3 in
+  match !transport_error with
+  | Some msg -> `Error (false, "session loadgen aborted: " ^ msg)
+  | None ->
+      let sf = Obs.Histogram.merged h_full in
+      let sr = Obs.Histogram.merged h_repair in
+      let q s p =
+        if s.Obs.Histogram.count = 0 then nan else Obs.Histogram.quantile s p
+      in
+      Printf.printf "sessions   %d\n" sessions;
+      Printf.printf "frames     %d\n" !attempted;
+      Printf.printf "full       %d (p50 %.0f us)\n" !full_solves (q sf 0.5);
+      Printf.printf "repairs    %d (p50 %.0f us)\n" !repairs (q sr 0.5);
+      Printf.printf "fallbacks  %d\n" !fallbacks;
+      Printf.printf "cache      %d\n" !cache_hits;
+      Printf.printf "errors     %d\n" !errors;
+      let speedup = q sf 0.5 /. q sr 0.5 in
+      if Float.is_finite speedup then
+        Printf.printf "speedup    %.1fx (full p50 / repair p50)\n" speedup;
+      Option.iter
+        (fun file ->
+          let record =
+            {
+              Obs.Expo.bname = "loadgen sessions " ^ Filename.basename path;
+              iterations = !attempted;
+              wall_ns;
+              percentiles =
+                (if sf.Obs.Histogram.count > 0 then
+                   [ ("full_p50_us", q sf 0.5) ]
+                 else [])
+                @ (if sr.Obs.Histogram.count > 0 then
+                     [
+                       ("repair_p50_us", q sr 0.5);
+                       ("repair_p90_us", q sr 0.9);
+                     ]
+                   else []);
+              counters =
+                [
+                  ("loadgen.sessions", sessions);
+                  ("loadgen.full", !full_solves);
+                  ("loadgen.repairs", !repairs);
+                  ("loadgen.fallbacks", !fallbacks);
+                  ("loadgen.cache_hits", !cache_hits);
+                  ("loadgen.errors", !errors);
+                ]
+                @
+                if Float.is_finite speedup then
+                  [ ("loadgen.speedup_x100", int_of_float (speedup *. 100.0)) ]
+                else [];
+            }
+          in
+          let out = open_out file in
+          output_string out (Obs.Expo.bench_records_json [ record ]);
+          close_out out;
+          Printf.printf "wrote %s\n" file)
+        json;
+      if !errors > 0 && !full_solves + !repairs + !fallbacks + !cache_hits = 0
+      then `Error (false, Printf.sprintf "all %d frame(s) failed" !attempted)
+      else `Ok ()
 
 let loadgen_cmd =
   let socket_arg =
@@ -570,7 +781,25 @@ let loadgen_cmd =
              ~doc:"Write the run as a BENCH_serve.json-style record \
                    (latency percentiles + outcome counters) to $(docv).")
   in
-  let run socket count solver deadline permute seed json path =
+  let sessions_arg =
+    Arg.(value & opt int 0
+         & info [ "sessions" ] ~docv:"N"
+             ~doc:"Drive $(docv) session lifecycles (create / mutate / \
+                   resolve / close) instead of one-shot requests; reports \
+                   repair-vs-from-scratch latency.")
+  in
+  let mutations_arg =
+    Arg.(value & opt int 4
+         & info [ "mutations" ] ~docv:"K"
+             ~doc:"Mutations per session in $(b,--sessions) mode \
+                   (alternating job add / drop, each followed by an \
+                   incremental resolve).")
+  in
+  let run socket count solver deadline permute seed json sessions mutations
+      path =
+    if sessions < 0 then `Error (false, "--sessions must be >= 0")
+    else if mutations < 0 then `Error (false, "--mutations must be >= 0")
+    else
     match read_instance path with
     | Error msg -> `Error (false, msg)
     | Ok instance -> (
@@ -591,6 +820,15 @@ let loadgen_cmd =
             Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
             let ic = Unix.in_channel_of_descr fd in
             let oc = Unix.out_channel_of_descr fd in
+            if sessions > 0 then begin
+              let r =
+                loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations
+                  ~deadline ~permute ~seed ~json
+              in
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              r
+            end
+            else begin
             let rng = Workloads.Rng.create seed in
             let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
             let h_latency = Obs.Histogram.make "loadgen.request_latency_us" in
@@ -621,6 +859,7 @@ let loadgen_cmd =
                  | Ok (Some (Serve.Proto.Stats_reply _))
                  | Ok (Some (Serve.Proto.Events_reply _))
                  | Ok (Some (Serve.Proto.Health_reply _))
+                 | Ok (Some (Serve.Proto.Session_reply _))
                  | Ok (Some (Serve.Proto.Error _)) ->
                      incr errors
                  | Ok None ->
@@ -701,6 +940,7 @@ let loadgen_cmd =
                 Printf.printf "wrote %s\n" file)
               json;
             `Ok ()
+            end
             end)
   in
   let info =
@@ -712,7 +952,8 @@ let loadgen_cmd =
     Term.(
       ret
         (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
-       $ permute_arg $ seed_arg $ json_arg $ file_arg))
+       $ permute_arg $ seed_arg $ json_arg $ sessions_arg $ mutations_arg
+       $ file_arg))
 
 (* --- fuzz --------------------------------------------------------------- *)
 
@@ -1034,7 +1275,8 @@ let metrics_cmd =
               | Ok
                   (Some
                      ( Serve.Proto.Reply _ | Serve.Proto.Events_reply _
-                     | Serve.Proto.Health_reply _ )) ->
+                     | Serve.Proto.Health_reply _
+                     | Serve.Proto.Session_reply _ )) ->
                   `Error (false, "server answered the wrong frame kind")
               | Ok None -> `Error (false, "server closed the session")
               | Error msg -> `Error (false, msg)
@@ -1106,7 +1348,8 @@ let events_cmd =
             | Ok
                 (Some
                    ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
-                   | Serve.Proto.Health_reply _ )) ->
+                   | Serve.Proto.Health_reply _
+                   | Serve.Proto.Session_reply _ )) ->
                 `Error (false, "server answered the wrong frame kind")
             | Ok None -> `Error (false, "server closed the session")
             | Error msg -> `Error (false, msg)

@@ -1,0 +1,85 @@
+(* Incremental schedule repair: greedy setup-aware placement of unplaced
+   jobs against current machine loads, followed by a bounded local-search
+   polish. The workhorse of the serving layer's session subsystem. *)
+
+let c_repairs = Obs.Counter.make "algos.incremental.repairs"
+let c_placed = Obs.Counter.make "algos.incremental.greedy_placed"
+
+type stats = {
+  result : Common.result;
+  placed : int;
+  moves : int;
+  swaps : int;
+}
+
+(* A seeded machine is only honored while the job is still eligible
+   there; anything else (out of range, -1, ineligible) re-enters the
+   greedy placement pool. This makes repair robust to seeds produced
+   from a sibling instance (drops, eligibility edits). *)
+let sanitize instance seed =
+  let m = Core.Instance.num_machines instance in
+  Array.map
+    (fun i -> if i >= 0 && i < m then i else -1)
+    seed
+  |> Array.mapi (fun j i ->
+         if i >= 0 && Core.Instance.job_eligible instance i j then i else -1)
+
+let repair ?(polish_steps = 64) instance ~seed =
+  let n = Core.Instance.num_jobs instance in
+  if Array.length seed <> n then
+    invalid_arg "Incremental.repair: seed length must equal number of jobs";
+  let seed = sanitize instance seed in
+  let tracker = Common.Load_tracker.create instance in
+  let pending = ref [] in
+  Array.iteri
+    (fun j i ->
+      if i >= 0 then Common.Load_tracker.add tracker ~machine:i ~job:j
+      else pending := j :: !pending)
+    seed;
+  (* Largest first: the classic LPT order keeps the greedy step's
+     worst-case drift small and tends to batch classmates onto machines
+     that already paid the setup (cost_increase omits the setup there). *)
+  let pending =
+    List.sort
+      (fun a b ->
+        compare
+          instance.Core.Instance.sizes.(b)
+          instance.Core.Instance.sizes.(a))
+      !pending
+  in
+  let m = Core.Instance.num_machines instance in
+  List.iter
+    (fun j ->
+      let best = ref (-1) and best_cost = ref infinity in
+      for i = 0 to m - 1 do
+        let c =
+          Common.Load_tracker.load tracker i
+          +. Common.Load_tracker.cost_increase tracker ~machine:i ~job:j
+        in
+        if c < !best_cost then (
+          best := i;
+          best_cost := c)
+      done;
+      if !best < 0 then
+        invalid_arg
+          (Printf.sprintf "Incremental.repair: job %d eligible nowhere" j);
+      Common.Load_tracker.add tracker ~machine:!best ~job:j)
+    pending;
+  let greedy =
+    Common.result_of_assignment instance (Common.Load_tracker.assignment tracker)
+  in
+  let placed = List.length pending in
+  Obs.Counter.incr c_repairs;
+  Obs.Counter.add c_placed placed;
+  if polish_steps <= 0 then
+    { result = greedy; placed; moves = 0; swaps = 0 }
+  else
+    let st =
+      Local_search.improve ~max_steps:polish_steps instance greedy.schedule
+    in
+    let result =
+      if st.Local_search.result.makespan <= greedy.makespan then
+        st.Local_search.result
+      else greedy
+    in
+    { result; placed; moves = st.Local_search.moves; swaps = st.Local_search.swaps }

@@ -1,0 +1,29 @@
+(** Incremental schedule repair.
+
+    Given an instance and a {e seed} partial assignment — typically the
+    previous schedule of a session after a job addition or removal —
+    [repair] places every unplaced job greedily against the current
+    machine loads with full setup accounting (jobs land where the total
+    completion cost is smallest, so classmates batch into machines that
+    already paid the class setup), then runs a bounded
+    {!Local_search.improve} polish. The result is always a valid schedule
+    of the given instance; no approximation factor is claimed — callers
+    that need one compare the repaired makespan against a certified lower
+    bound and fall back to a full solve on drift. *)
+
+type stats = {
+  result : Common.result;
+  placed : int;  (** jobs placed greedily (seeded at -1 or unusable) *)
+  moves : int;  (** improving relocations applied by the polish *)
+  swaps : int;  (** improving exchanges applied by the polish *)
+}
+
+val repair : ?polish_steps:int -> Core.Instance.t -> seed:int array -> stats
+(** [repair ?polish_steps instance ~seed] repairs a schedule. [seed.(j)]
+    is the machine of job [j], or [-1] to let the greedy step place it;
+    seeded machines where the job is no longer eligible are treated as
+    [-1]. [polish_steps] (default [64]) bounds the number of improving
+    local-search steps; [0] skips the polish entirely.
+
+    Raises [Invalid_argument] if the seed length differs from the number
+    of jobs or some job is eligible on no machine. *)

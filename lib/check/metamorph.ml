@@ -159,8 +159,64 @@ let check_drop_job ~rng ~oracle ~exact_job_limit instance =
           ]
         else []
 
+(* Clone a random job: duplicating job [j]'s entire column (size, class,
+   per-machine times, eligibility) is a twin every environment accepts,
+   and adding work can only push the optimum up. *)
+let clone_job instance ~job =
+  let m = I.num_machines instance in
+  let nptimes =
+    match instance.I.env with
+    | I.Unrelated p -> Some (Array.init m (fun i -> p.(i).(job)))
+    | I.Identical | I.Uniform _ | I.Restricted _ -> None
+  in
+  let neligible =
+    match instance.I.env with
+    | I.Restricted eligible -> Some (Array.init m (fun i -> eligible.(i).(job)))
+    | I.Identical | I.Uniform _ | I.Unrelated _ -> None
+  in
+  I.append_jobs instance
+    [
+      {
+        I.nsize = instance.I.sizes.(job);
+        nclass = instance.I.job_class.(job);
+        nptimes;
+        neligible;
+      };
+    ]
+
+let check_add_job ~rng ~oracle ~exact_job_limit instance =
+  let job = Workloads.Rng.int rng (I.num_jobs instance) in
+  let twin = clone_job instance ~job in
+  let violations = ref [] in
+  let add x = violations := x :: !violations in
+  let lb = Core.Bounds.lower_bound instance
+  and lb' = Core.Bounds.lower_bound twin in
+  if not (V.leq lb lb') then
+    add
+      (V.v ~algo:"oracle" ~prop:"meta-addjob-lb"
+         "cloning job %d lowered the certified lower bound: %g -> %g" job lb
+         lb');
+  let twin_oracle = Oracle.compute ~exact_job_limit twin in
+  (match (oracle.Oracle.opt, twin_oracle.Oracle.opt) with
+  | Some o, Some o' when not (V.leq o o') ->
+      add
+        (V.v ~algo:"oracle" ~prop:"meta-addjob-opt"
+           "cloning job %d lowered the optimum: %g -> %g" job o o')
+  | Some _, _ | _, Some _ -> ()
+  | None, None ->
+      (* weaker sandwich: lb(full) <= OPT(full) <= OPT(full+clone) <=
+         ub(full+clone) *)
+      if not (V.leq oracle.Oracle.lb twin_oracle.Oracle.ub) then
+        add
+          (V.v ~algo:"oracle" ~prop:"meta-addjob-ub"
+             "grown instance upper bound %g undercuts the original lower \
+              bound %g"
+             twin_oracle.Oracle.ub oracle.Oracle.lb));
+  List.rev !violations
+
 let check ~rng ~oracle ~seed ~exact_job_limit instance algos =
   check_permute ~rng ~oracle ~seed ~exact_job_limit instance algos
   @ check_scale ~oracle ~seed ~exact_job_limit instance algos
   @ check_speed_up ~rng ~oracle ~exact_job_limit instance
   @ check_drop_job ~rng ~oracle ~exact_job_limit instance
+  @ check_add_job ~rng ~oracle ~exact_job_limit instance

@@ -18,7 +18,12 @@
       only): the optimum cannot increase;
     - {e drop-job} (remove one job via {!Core.Instance.induced}): the
       optimum cannot increase; without an exact oracle the weaker
-      [lb(sub) <= ub(full)] still must hold.
+      [lb(sub) <= ub(full)] still must hold;
+    - {e add-job} (clone one job's whole column via
+      {!Core.Instance.append_jobs}): the certified lower bound and the
+      optimum cannot decrease; without an exact oracle the weaker
+      [lb(full) <= ub(grown)] still must hold. This is the relation the
+      session subsystem's incremental resolves lean on.
 
     Each relation that fails yields a violation whose [prop] is
     [meta-<transform>-<aspect>]. *)
@@ -36,6 +41,16 @@ val check :
     the relations. Only [Cheap] algorithms are re-run on the twins;
     [exact_job_limit] gates the re-solves exactly as in
     {!Oracle.compute}. *)
+
+val check_add_job :
+  rng:Workloads.Rng.t ->
+  oracle:Oracle.t ->
+  exact_job_limit:int ->
+  Core.Instance.t ->
+  Violation.t list
+(** Just the add-job monotonicity relation: clone one random job
+    (chosen via [rng]) and check the bound/optimum cannot decrease.
+    Exposed for tests; {!check} already includes it. *)
 
 val scale_times : Core.Instance.t -> float -> Core.Instance.t
 (** Multiply every processing and setup time by a factor (speeds are

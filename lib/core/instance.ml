@@ -193,6 +193,67 @@ let induced t jobs =
     job_class = pick t.job_class;
   }
 
+type new_job = {
+  nsize : float;
+  nclass : int;
+  nptimes : float array option;
+  neligible : bool array option;
+}
+
+let append_jobs t jobs =
+  if jobs = [] then invalid_arg "Instance.append_jobs: empty job list";
+  let m = t.num_machines in
+  List.iteri
+    (fun idx (j : new_job) ->
+      let bad what =
+        invalid_arg (Printf.sprintf "Instance.append_jobs: job %d: %s" idx what)
+      in
+      (match (j.nptimes, t.env) with
+      | Some p, Unrelated _ when Array.length p <> m ->
+          bad (Printf.sprintf "ptimes needs %d entries" m)
+      | Some _, (Identical | Uniform _ | Restricted _) ->
+          bad "ptimes only applies to the unrelated environment"
+      | None, Unrelated _ -> bad "the unrelated environment needs ptimes"
+      | _ -> ());
+      match (j.neligible, t.env) with
+      | Some e, Restricted _ when Array.length e <> m ->
+          bad (Printf.sprintf "eligible needs %d entries" m)
+      | Some _, (Identical | Uniform _ | Unrelated _) ->
+          bad "eligible only applies to the restricted environment"
+      | _ -> ())
+    jobs;
+  let added = Array.of_list jobs in
+  let sizes = Array.append t.sizes (Array.map (fun j -> j.nsize) added) in
+  let job_class =
+    Array.append t.job_class (Array.map (fun j -> j.nclass) added)
+  in
+  let setups = Array.copy t.setups in
+  match t.env with
+  | Identical -> identical ~num_machines:m ~sizes ~job_class ~setups
+  | Uniform speeds ->
+      uniform ~speeds:(Array.copy speeds) ~sizes ~job_class ~setups
+  | Restricted eligible ->
+      let eligible =
+        Array.init m (fun i ->
+            Array.append eligible.(i)
+              (Array.map
+                 (fun j ->
+                   match j.neligible with Some e -> e.(i) | None -> true)
+                 added))
+      in
+      restricted ~eligible ~sizes ~job_class ~setups
+  | Unrelated p ->
+      let p =
+        Array.init m (fun i ->
+            Array.append p.(i)
+              (Array.map
+                 (fun j -> match j.nptimes with Some q -> q.(i) | None -> 0.0)
+                 added))
+      in
+      unrelated
+        ?setup_matrix:(Option.map (Array.map Array.copy) t.setup_matrix)
+        ~p ~job_class ~setups ()
+
 let scale_setups t factor =
   if not (factor >= 0.0 && factor < infinity) then
     invalid_arg "Instance.scale_setups: factor must be finite and >= 0";

@@ -101,6 +101,30 @@ val induced : t -> int list -> t
     so class indices remain stable). Raises [Invalid_argument] on an empty
     or out-of-range selection. *)
 
+type new_job = {
+  nsize : float;  (** base size [p_j]; for [Unrelated] only a reference
+                      value (the constructor re-derives it from the
+                      ptimes column) *)
+  nclass : int;  (** an {e existing} class id — appending never creates
+                     classes *)
+  nptimes : float array option;
+      (** per-machine processing times; required for [Unrelated],
+          rejected elsewhere *)
+  neligible : bool array option;
+      (** per-machine eligibility; [Restricted] only (default: eligible
+          everywhere), rejected elsewhere *)
+}
+(** Specification of a job to append — the delta unit of the session
+    subsystem's add-jobs mutation and of the job-addition metamorphic
+    oracle. *)
+
+val append_jobs : t -> new_job list -> t
+(** [append_jobs t jobs] is the instance extended with the listed jobs at
+    indices [n .. n + length jobs - 1]; existing jobs, machines and
+    classes keep their indices. Raises [Invalid_argument] on an empty
+    list, an out-of-range class, a malformed per-machine column, or a
+    column kind that does not match the environment. *)
+
 val scale_setups : t -> float -> t
 (** Multiply all base setup sizes (and the setup matrix, if any) by a
     factor. Used by the setup-dominance experiments. *)

@@ -136,6 +136,68 @@ let canonicalize inst =
 
 let key inst = Core.Instance_io.to_string (canonicalize inst).instance
 
+(* Cheap relabeling-invariant fingerprint, consulted before full color
+   refinement: every per-entity term is built from label-independent
+   data (sizes, effective processing/setup times, speeds) and folded
+   with commutative integer sums over all jobs/machines/classes, so any
+   permutation of the three index spaces leaves the hash unchanged.
+   Collisions are harmless (they only cost a canonicalization); what
+   matters is that relabelings can never produce different hashes. *)
+let prehash inst =
+  let n = I.num_jobs inst and m = I.num_machines inst in
+  let kk = I.num_classes inst in
+  let env_tag =
+    match inst.I.env with
+    | I.Identical -> 0
+    | I.Uniform _ -> 1
+    | I.Restricted _ -> 2
+    | I.Unrelated _ -> 3
+  in
+  let job_sum = ref 0 in
+  for j = 0 to n - 1 do
+    let pt = ref 0 in
+    for i = 0 to m - 1 do
+      pt := !pt + Hashtbl.hash (I.ptime inst i j)
+    done;
+    job_sum :=
+      !job_sum
+      + Hashtbl.hash
+          (inst.I.sizes.(j), inst.I.setups.(inst.I.job_class.(j)), !pt)
+  done;
+  let machine_sum = ref 0 in
+  for i = 0 to m - 1 do
+    let pt = ref 0 in
+    for j = 0 to n - 1 do
+      pt := !pt + Hashtbl.hash (I.ptime inst i j)
+    done;
+    let su = ref 0 in
+    for k = 0 to kk - 1 do
+      su := !su + Hashtbl.hash (I.setup_time inst i k)
+    done;
+    machine_sum := !machine_sum + Hashtbl.hash (I.speed inst i, !pt, !su)
+  done;
+  let class_sum = ref 0 in
+  for k = 0 to kk - 1 do
+    class_sum :=
+      !class_sum
+      + Hashtbl.hash
+          ( inst.I.setups.(k),
+            I.class_size inst k,
+            List.length (I.jobs_of_class inst k) )
+  done;
+  Hashtbl.hash (env_tag, n, m, kk, !job_sum, !machine_sum, !class_sum)
+
+let assignment_to_canonical t assignment =
+  let n = Array.length t.job_perm in
+  let m = Array.length t.machine_perm in
+  if Array.length assignment <> n then
+    invalid_arg
+      (Printf.sprintf "Canon.assignment_to_canonical: %d entries for %d jobs"
+         (Array.length assignment) n);
+  let machine_rank = Array.make m 0 in
+  Array.iteri (fun inew iold -> machine_rank.(iold) <- inew) t.machine_perm;
+  Array.init n (fun jc -> machine_rank.(assignment.(t.job_perm.(jc))))
+
 let assignment_to_original t assignment =
   let n = Array.length t.job_perm in
   if Array.length assignment <> n then

@@ -34,6 +34,21 @@ val assignment_to_original : t -> int array -> int array
     the original instance. Raises [Invalid_argument] on a length
     mismatch. *)
 
+val assignment_to_canonical : t -> int array -> int array
+(** Inverse of {!assignment_to_original}: translate an assignment over
+    the original instance into the canonical labeling — used to store a
+    schedule that was computed without canonicalizing first. Raises
+    [Invalid_argument] on a length mismatch. *)
+
+val prehash : Core.Instance.t -> int
+(** Cheap relabeling-invariant fingerprint (commutative sums of
+    per-entity hashes; O(nm + mK) with no sorting or refinement
+    rounds). Relabelings of an instance always collide; unrelated
+    instances may (harmlessly) collide too. The server consults a set of
+    seen pre-hashes before running full color refinement: an unseen
+    pre-hash proves the result cache cannot hold the instance, so the
+    lookup-side canonicalization is skipped entirely. *)
+
 val shuffle : Workloads.Rng.t -> Core.Instance.t -> Core.Instance.t
 (** A uniformly random relabeling of jobs, machines and classes — the
     same problem in a different presentation. Used by the loadgen client

@@ -17,11 +17,30 @@ type reply = {
 
 type stats_format = Prometheus | Json
 
+type session_op =
+  | S_create of Core.Instance.t
+  | S_add_jobs of Core.Instance.new_job list
+  | S_drop_jobs of int list
+  | S_resolve of { deadline_ms : float option }
+  | S_close
+
+type session_request = { sid : string; op : session_op }
+
+type session_reply = {
+  sid : string;
+  op : string;
+  generation : int;
+  jobs : int;
+  mode : string option;
+  solve : reply option;
+}
+
 type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
   | Events_reply of { body : string }
   | Health_reply of { body : string }
+  | Session_reply of session_reply
   | Error of string
 
 (* Admin frames ride the same stream as solve requests; a session is a
@@ -31,12 +50,21 @@ type incoming =
   | Stats of stats_format
   | Events of { count : int option; min_level : Obs.Event.level }
   | Health
+  | Session of session_request
 
 let request_header = Printf.sprintf "request v%d" version
 let stats_header = Printf.sprintf "stats v%d" version
 let events_header = Printf.sprintf "events v%d" version
 let health_header = Printf.sprintf "health v%d" version
+let session_header = Printf.sprintf "session v%d" version
 let response_header = Printf.sprintf "response v%d" version
+
+let session_op_name = function
+  | S_create _ -> "create"
+  | S_add_jobs _ -> "add-jobs"
+  | S_drop_jobs _ -> "drop-jobs"
+  | S_resolve _ -> "resolve"
+  | S_close -> "close"
 
 let stats_format_to_string = function
   | Prometheus -> "prometheus"
@@ -172,6 +200,212 @@ let parse_health body =
   in
   fields body
 
+(* Session ids travel on single lines of both directions, so keep them
+   boring: short and made of unambiguous characters. *)
+let check_sid sid =
+  let ok_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  if sid = "" then Result.Error "id: must not be empty"
+  else if String.length sid > 64 then
+    Result.Error "id: must be at most 64 characters"
+  else if not (String.for_all ok_char sid) then
+    Result.Error
+      (Printf.sprintf "id: %S has characters outside [A-Za-z0-9._-]" sid)
+  else Ok sid
+
+let float_of_text s =
+  match s with "inf" -> Some infinity | _ -> float_of_string_opt s
+
+(* One [job] line of an add-jobs frame: space-separated [key=value]
+   tokens — [size=5 class=1], optionally [ptimes=1,2,inf] (unrelated) or
+   [eligible=1,0,1] (restricted). *)
+let parse_job_spec rest =
+  let ( let* ) = Result.bind in
+  let tokens = String.split_on_char ' ' rest |> List.filter (( <> ) "") in
+  let parse_floats v =
+    let parts = String.split_on_char ',' v in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | s :: rest -> (
+          match float_of_text s with
+          | Some x -> go (x :: acc) rest
+          | None ->
+              Result.Error (Printf.sprintf "job: ptimes entry %S not a number" s))
+    in
+    go [] parts
+  in
+  let parse_bools v =
+    let parts = String.split_on_char ',' v in
+    let rec go acc = function
+      | [] -> Ok (Array.of_list (List.rev acc))
+      | "1" :: rest -> go (true :: acc) rest
+      | "0" :: rest -> go (false :: acc) rest
+      | s :: _ ->
+          Result.Error
+            (Printf.sprintf "job: eligible entry %S must be 0 or 1" s)
+    in
+    go [] parts
+  in
+  let rec fields size cls ptimes eligible = function
+    | [] -> (
+        match (size, cls) with
+        | Some nsize, Some nclass ->
+            Ok
+              {
+                Core.Instance.nsize;
+                nclass;
+                nptimes = ptimes;
+                neligible = eligible;
+              }
+        | None, _ -> Result.Error "job: missing size=..."
+        | _, None -> Result.Error "job: missing class=...")
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None ->
+            Result.Error (Printf.sprintf "job: expected key=value, got %S" tok)
+        | Some i -> (
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            match k with
+            | "size" -> (
+                match float_of_text v with
+                | Some x when x >= 0.0 && x < infinity ->
+                    fields (Some x) cls ptimes eligible rest
+                | Some _ | None ->
+                    Result.Error
+                      (Printf.sprintf
+                         "job: size must be a finite number >= 0, got %S" v))
+            | "class" -> (
+                match int_of_string_opt v with
+                | Some k when k >= 0 -> fields size (Some k) ptimes eligible rest
+                | Some _ | None ->
+                    Result.Error
+                      (Printf.sprintf
+                         "job: class must be an integer >= 0, got %S" v))
+            | "ptimes" ->
+                let* p = parse_floats v in
+                fields size cls (Some p) eligible rest
+            | "eligible" ->
+                let* e = parse_bools v in
+                fields size cls ptimes (Some e) rest
+            | _ -> Result.Error (Printf.sprintf "job: unknown key %S" k)))
+  in
+  fields None None None None tokens
+
+(* A session frame: [op] and [id] fields followed by the op's payload —
+   an [instance] block (create), [job] lines (add-jobs), [jobs] index
+   lines (drop-jobs) or an optional [deadline_ms] (resolve). *)
+let parse_session body =
+  let ( let* ) = Result.bind in
+  let op = ref None in
+  let sid = ref None in
+  let deadline_ms = ref None in
+  let added = ref [] in
+  let dropped = ref [] in
+  let instance = ref None in
+  let rec fields = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match split_first line with
+        | "op", v when v <> "" ->
+            op := Some v;
+            fields rest
+        | "id", v ->
+            let* id = check_sid v in
+            sid := Some id;
+            fields rest
+        | "instance", "" ->
+            let text = String.concat "\n" rest in
+            let* t =
+              Result.map_error Core.Instance_io.error_to_string
+                (Core.Instance_io.of_string_result text)
+            in
+            instance := Some t;
+            Ok ()
+        | "job", v ->
+            let* j = parse_job_spec v in
+            added := j :: !added;
+            fields rest
+        | "jobs", v ->
+            let words =
+              String.split_on_char ' ' v |> List.filter (( <> ) "")
+            in
+            let* ids =
+              try
+                Ok
+                  (List.map
+                     (fun w ->
+                       match int_of_string_opt w with
+                       | Some i when i >= 0 -> i
+                       | _ -> failwith w)
+                     words)
+              with Failure w ->
+                Result.Error
+                  (Printf.sprintf "jobs: expected integers >= 0, got %S" w)
+            in
+            dropped := !dropped @ ids;
+            fields rest
+        | "deadline_ms", v -> (
+            match float_of_text v with
+            | Some d when d >= 0.0 ->
+                deadline_ms := Some d;
+                fields rest
+            | Some _ | None ->
+                Result.Error
+                  (Printf.sprintf "deadline_ms: expected a number >= 0, got %S"
+                     v))
+        | "", _ -> fields rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown session field %S" key)
+        )
+  in
+  let* () = fields body in
+  let* sid =
+    match !sid with
+    | Some s -> Ok s
+    | None -> Result.Error "session frame missing id"
+  in
+  let no_payload op_name =
+    if !instance <> None then
+      Result.Error (Printf.sprintf "%s takes no instance block" op_name)
+    else if !added <> [] then
+      Result.Error (Printf.sprintf "%s takes no job lines" op_name)
+    else if !dropped <> [] then
+      Result.Error (Printf.sprintf "%s takes no jobs line" op_name)
+    else Ok ()
+  in
+  let* op =
+    match !op with
+    | None -> Result.Error "session frame missing op"
+    | Some "create" -> (
+        match !instance with
+        | Some t when !added = [] && !dropped = [] -> Ok (S_create t)
+        | Some _ -> Result.Error "create takes only an instance block"
+        | None -> Result.Error "create needs an instance block")
+    | Some "add-jobs" -> (
+        match List.rev !added with
+        | [] -> Result.Error "add-jobs needs at least one job line"
+        | js when !instance = None && !dropped = [] -> Ok (S_add_jobs js)
+        | _ -> Result.Error "add-jobs takes only job lines")
+    | Some "drop-jobs" -> (
+        match !dropped with
+        | [] -> Result.Error "drop-jobs needs a jobs line"
+        | ids when !instance = None && !added = [] -> Ok (S_drop_jobs ids)
+        | _ -> Result.Error "drop-jobs takes only jobs lines")
+    | Some "resolve" ->
+        let* () = no_payload "resolve" in
+        Ok (S_resolve { deadline_ms = !deadline_ms })
+    | Some "close" ->
+        let* () = no_payload "close" in
+        Ok S_close
+    | Some v ->
+        Result.Error
+          (Printf.sprintf
+             "op: expected create|add-jobs|drop-jobs|resolve|close, got %S" v)
+  in
+  Ok (Session { sid; op })
+
 let read_incoming ic =
   match read_header ic with
   | None -> Ok None
@@ -203,11 +437,19 @@ let read_incoming ic =
           match parse_health body with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
+  | Some header when header = session_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_session body with
+          | Ok incoming -> Ok (Some incoming)
+          | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
       Result.Error
-        (Printf.sprintf "bad request header %S (expected %S, %S, %S or %S)"
-           header request_header stats_header events_header health_header)
+        (Printf.sprintf "bad request header %S (expected %S, %S, %S, %S or %S)"
+           header request_header stats_header events_header health_header
+           session_header)
 
 let read_request ic =
   match read_incoming ic with
@@ -224,6 +466,10 @@ let read_request ic =
   | Ok (Some Health) ->
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" health_header
+           request_header)
+  | Ok (Some (Session _)) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" session_header
            request_header)
   | Result.Error _ as e -> e
 
@@ -259,6 +505,46 @@ let write_events_request ?count ?level oc =
 let write_health_request oc =
   output_string oc health_header;
   output_char oc '\n';
+  output_string oc "end\n";
+  flush oc
+
+let bools_to_text e =
+  String.concat "," (List.map (fun b -> if b then "1" else "0") (Array.to_list e))
+
+let floats_to_text p =
+  String.concat "," (List.map float_to_text (Array.to_list p))
+
+let write_session_request oc (r : session_request) =
+  output_string oc session_header;
+  output_char oc '\n';
+  Printf.fprintf oc "op %s\n" (session_op_name r.op);
+  Printf.fprintf oc "id %s\n" r.sid;
+  (match r.op with
+  | S_create instance ->
+      output_string oc "instance\n";
+      output_string oc (Core.Instance_io.to_string instance)
+  | S_add_jobs jobs ->
+      List.iter
+        (fun (j : Core.Instance.new_job) ->
+          Printf.fprintf oc "job size=%s class=%d" (float_to_text j.nsize)
+            j.nclass;
+          Option.iter
+            (fun p -> Printf.fprintf oc " ptimes=%s" (floats_to_text p))
+            j.nptimes;
+          Option.iter
+            (fun e -> Printf.fprintf oc " eligible=%s" (bools_to_text e))
+            j.neligible;
+          output_char oc '\n')
+        jobs
+  | S_drop_jobs ids ->
+      output_string oc "jobs";
+      List.iter (fun i -> Printf.fprintf oc " %d" i) ids;
+      output_char oc '\n'
+  | S_resolve { deadline_ms } ->
+      Option.iter
+        (fun d -> Printf.fprintf oc "deadline_ms %s\n" (float_to_text d))
+        deadline_ms
+  | S_close -> ());
   output_string oc "end\n";
   flush oc
 
@@ -301,6 +587,24 @@ let write_response oc response =
       output_string oc body;
       if body <> "" && body.[String.length body - 1] <> '\n' then
         output_char oc '\n'
+  | Session_reply s ->
+      output_string oc "status session\n";
+      Printf.fprintf oc "id %s\n" s.sid;
+      Printf.fprintf oc "op %s\n" s.op;
+      Printf.fprintf oc "generation %d\n" s.generation;
+      Printf.fprintf oc "jobs %d\n" s.jobs;
+      Option.iter (fun m -> Printf.fprintf oc "mode %s\n" m) s.mode;
+      Option.iter
+        (fun (r : reply) ->
+          Printf.fprintf oc "solver %s\n" r.solver;
+          Printf.fprintf oc "cache %s\n" (if r.cache_hit then "hit" else "miss");
+          Printf.fprintf oc "degraded %b\n" r.degraded;
+          Printf.fprintf oc "makespan %g\n" r.makespan;
+          Printf.fprintf oc "elapsed_us %d\n" r.elapsed_us;
+          output_string oc "assignment";
+          Array.iter (fun i -> Printf.fprintf oc " %d" i) r.assignment;
+          output_char oc '\n')
+        s.solve
   | Reply r ->
       output_string oc "status ok\n";
       Printf.fprintf oc "solver %s\n" r.solver;
@@ -360,7 +664,7 @@ let parse_reply fields =
     try Ok (Array.of_list (List.map int_of_string words))
     with Failure _ -> Result.Error "assignment: expected integers"
   in
-  Ok (Reply { solver; cache_hit; degraded; makespan; elapsed_us; assignment })
+  Ok { solver; cache_hit; degraded; makespan; elapsed_us; assignment }
 
 let read_response ic =
   match read_header ic with
@@ -379,8 +683,8 @@ let read_response ic =
                          (List.assoc_opt "error" fields))))
           | Some "ok" -> (
               match parse_reply fields with
-              | Ok r -> Ok (Some r)
-              | Result.Error _ as e -> e)
+              | Ok r -> Ok (Some (Reply r))
+              | Result.Error e -> Result.Error e)
           | Some "stats" -> (
               let format =
                 Option.bind (List.assoc_opt "format" fields)
@@ -436,6 +740,40 @@ let read_response ic =
                     | ls -> String.concat "\n" ls ^ "\n"
                   in
                   Ok (Some (Health_reply { body })))
+          | Some "session" -> (
+              let ( let* ) = Result.bind in
+              let require key =
+                match List.assoc_opt key fields with
+                | Some v -> Ok v
+                | None ->
+                    Result.Error
+                      (Printf.sprintf "session response missing field %S" key)
+              in
+              let int_field key =
+                let* v = require key in
+                match int_of_string_opt v with
+                | Some x -> Ok x
+                | None ->
+                    Result.Error
+                      (Printf.sprintf "%s: expected an integer, got %S" key v)
+              in
+              let parsed =
+                let* sid = require "id" in
+                let* op = require "op" in
+                let* generation = int_field "generation" in
+                let* jobs = int_field "jobs" in
+                let mode = List.assoc_opt "mode" fields in
+                let* solve =
+                  if mode = None then Ok None
+                  else
+                    let* r = parse_reply fields in
+                    Ok (Some r)
+                in
+                Ok (Session_reply { sid; op; generation; jobs; mode; solve })
+              in
+              match parsed with
+              | Ok r -> Ok (Some r)
+              | Result.Error e -> Result.Error e)
           | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
           | None -> Result.Error "response missing status"))
   | Some header ->

@@ -106,6 +106,59 @@
     end
     v}
 
+    A fourth frame kind drives long-lived {e scheduling sessions}: a
+    client creates a session from an instance, streams job
+    additions/removals, and asks for a fresh schedule after each delta
+    (answered by incremental repair server-side; see [Serve.Session]).
+    All five ops share the header and the [op]/[id] fields:
+    {v
+    session v1
+    op create              # create|add-jobs|drop-jobs|resolve|close
+    id build-7             # client-chosen, [A-Za-z0-9._-]{1,64}
+    instance               # create only: inline Instance_io block
+    env uniform
+    ...
+    end
+    v}
+
+    [add-jobs] carries one [job] line per new job — [size=]/[class=]
+    key=value tokens, plus [ptimes=p1,p2,...] (unrelated environment
+    only; [inf] allowed) or [eligible=1,0,...] (restricted only):
+    {v
+    session v1
+    op add-jobs
+    id build-7
+    job size=5 class=1
+    job size=2 class=0
+    end
+    v}
+
+    [drop-jobs] carries the current job indices to remove ([jobs 3 7]);
+    surviving jobs are renumbered to stay dense, in increasing order.
+    [resolve] takes an optional [deadline_ms] (a budget for the full
+    re-solve when repair drifted too far); [close] has no payload.
+    Every op is answered with [status session] echoing [id]/[op] plus
+    the session's [generation] (mutation counter) and [jobs] count;
+    [resolve] replies additionally carry a [mode]
+    ([repair|fallback|full|cache] — how the schedule was obtained) and
+    the usual solve-reply fields:
+    {v
+    response v1
+    status session
+    id build-7
+    op resolve
+    generation 3
+    jobs 12
+    mode repair
+    solver incremental-repair
+    cache miss
+    degraded false
+    makespan 117.06
+    elapsed_us 210
+    assignment 0 1 1 0 2 1 ...
+    end
+    v}
+
     Blank lines between requests are ignored; [#] comments are allowed
     inside the instance block (they are part of the [Instance_io]
     format). *)
@@ -129,6 +182,30 @@ type reply = {
 
 type stats_format = Prometheus | Json
 
+(** One mutation or query of a scheduling session. *)
+type session_op =
+  | S_create of Core.Instance.t  (** open a session on a base instance *)
+  | S_add_jobs of Core.Instance.new_job list
+      (** append jobs (classes must already exist) *)
+  | S_drop_jobs of int list  (** remove jobs by current index *)
+  | S_resolve of { deadline_ms : float option }
+      (** produce a schedule of the current instance; the deadline only
+          applies when the server falls back to a full solve *)
+  | S_close  (** discard the session *)
+
+type session_request = { sid : string; op : session_op }
+
+type session_reply = {
+  sid : string;
+  op : string;  (** echo of the request's op name *)
+  generation : int;  (** mutations applied since create *)
+  jobs : int;  (** current number of jobs *)
+  mode : string option;
+      (** resolve only: [repair|fallback|full|cache] — how the schedule
+          was obtained *)
+  solve : reply option;  (** resolve only: the schedule itself *)
+}
+
 type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
@@ -139,6 +216,9 @@ type response =
   | Health_reply of { body : string }
       (** line-oriented health snapshot (status, meters, SLO burn rates,
           heartbeats), answered to a health frame *)
+  | Session_reply of session_reply
+      (** acknowledgement of a session op (with the schedule, for
+          resolve) *)
   | Error of string
 
 type incoming =
@@ -148,7 +228,12 @@ type incoming =
       (** [count]: keep only the last N events; [min_level]: severity
           floor, defaults to [Debug] (everything retained) *)
   | Health  (** composite health/SLO snapshot request (no fields) *)
+  | Session of session_request  (** a session op (see {!session_op}) *)
 (** One frame of a session: a solve request or an admin frame. *)
+
+val session_op_name : session_op -> string
+(** Wire name of an op: [create], [add-jobs], [drop-jobs], [resolve] or
+    [close]. *)
 
 val read_incoming : in_channel -> (incoming option, string) result
 (** Read one frame of either kind. [Ok None] is clean end-of-stream (no
@@ -172,6 +257,9 @@ val write_events_request :
 
 val write_health_request : out_channel -> unit
 (** Client side: emit a [health v1] admin frame; flushes. *)
+
+val write_session_request : out_channel -> session_request -> unit
+(** Client side: emit a [session v1] frame; flushes. *)
 
 val write_response : out_channel -> response -> unit
 (** Server side; flushes. *)

@@ -12,6 +12,12 @@ let h_alloc_bytes = Obs.Histogram.make "serve.request_alloc_bytes"
 let c_dumps = Obs.Counter.make "serve.recorder_dumps"
 let c_dumps_suppressed = Obs.Counter.make "serve.recorder_dumps_suppressed"
 
+(* Pre-hash filter outcomes: a hit means the cheap fingerprint was seen
+   before and the full canonicalization ran; a miss proved the cache
+   could not hold the instance and skipped it. *)
+let c_prehash_hits = Obs.Counter.make "serve.canon.prehash_hits"
+let c_prehash_misses = Obs.Counter.make "serve.canon.prehash_misses"
+
 (* Process-wide request ids, threaded through the spans of a request
    (serve.request -> serve.cache.lookup -> serve.dispatch -> solver) as
    the ambient Sink context, so a Chrome trace of a concurrent socket
@@ -28,6 +34,7 @@ type config = {
   dump_min_interval_s : float;
   task_budget_s : float;
   watchdog_interval_s : float option;
+  session : Session.config;
 }
 
 let default_config =
@@ -43,15 +50,23 @@ let default_config =
        by the dozen and a background sampler would make their counter
        deltas nondeterministic; [schedtool serve] turns it on *)
     watchdog_interval_s = None;
+    session = Session.default_config;
   }
 
 (* Cached results live in canonical labeling; each hit is translated back
-   through the requesting instance's own permutations. *)
-type cached = { makespan : float; assignment : int array; solver : string }
+   through the requesting instance's own permutations. Session resolves
+   share the LRU (their keys carry a "session:" prefix), so both
+   populations live under one budget. *)
+type cached = Session.cached = {
+  makespan : float;
+  assignment : int array;
+  solver : string;
+}
 
 type t = {
   config : config;
   cache : cached Cache.t;
+  sessions : Session.t;
   pool : Parallel.Pool.t;
   stopping : bool Atomic.t;
   mutable listen_fd : Unix.file_descr option;
@@ -61,7 +76,31 @@ type t = {
   mutable last_dump_us : float;
   mutable ticker : unit Domain.t option;
   created_us : float;
+  (* fingerprints of every instance ever stored in the cache: a
+     pre-hash absent here proves the cache cannot hold the incoming
+     instance, so the lookup-side canonicalization is skipped *)
+  prehash_mutex : Mutex.t;
+  prehash_seen : (int, unit) Hashtbl.t;
 }
+
+(* Bounding the fingerprint set: a reset drops fingerprints of entries
+   that may still be cached, so later relabelings of those entries
+   re-solve instead of hitting — wasted work at worst, never wrong
+   answers (the skip path still solves and replies correctly). *)
+let prehash_cap = 65_536
+
+let prehash_seen t ph =
+  Mutex.lock t.prehash_mutex;
+  let seen = Hashtbl.mem t.prehash_seen ph in
+  Mutex.unlock t.prehash_mutex;
+  seen
+
+let record_prehash t ph =
+  Mutex.lock t.prehash_mutex;
+  if Hashtbl.length t.prehash_seen >= prehash_cap then
+    Hashtbl.reset t.prehash_seen;
+  Hashtbl.replace t.prehash_seen ph ();
+  Mutex.unlock t.prehash_mutex
 
 (* Rate-bounded flight-recorder dump shared by the slow-request path and
    the watchdog's stuck-task hook: one dump per [dump_min_interval_s],
@@ -137,6 +176,11 @@ let register_health t =
   (* major heap footprint against a 4 GiB soft limit *)
   Obs.Health.register_meter "gc.heap" (fun () ->
       Obs.Gauge.value g_heap_words *. 8.0 /. 4e9);
+  (* session-table fill: a full registry rejects creates, so nearing the
+     cap is saturation in the health sense *)
+  Obs.Health.register_meter "sessions" (fun () ->
+      float_of_int (Session.count t.sessions)
+      /. float_of_int (Session.capacity t.sessions));
   let latency_threshold_us =
     match t.config.default_deadline_ms with
     | Some d -> d *. 1000.
@@ -152,10 +196,12 @@ let register_health t =
          threshold_us = latency_threshold_us;
        })
 
-(* One background tick: watchdog pass, SLO/GC sampling, and a status
-   refresh so the health.status gauge tracks reality between scrapes. *)
-let tick () =
+(* One background tick: watchdog pass, idle-session sweep, SLO/GC
+   sampling, and a status refresh so the health.status gauge tracks
+   reality between scrapes. *)
+let tick t =
   ignore (Obs.Health.check ());
+  ignore (Session.evict_idle t.sessions);
   Obs.Memprof.sample ();
   Obs.Slo.sample ();
   ignore (Obs.Health.status ())
@@ -165,6 +211,7 @@ let create config =
     {
       config;
       cache = Cache.create ~capacity:config.cache_capacity;
+      sessions = Session.create config.session;
       pool = Parallel.Pool.create config.jobs;
       stopping = Atomic.make false;
       listen_fd = None;
@@ -172,6 +219,8 @@ let create config =
       last_dump_us = neg_infinity;
       ticker = None;
       created_us = Obs.Sink.now_us ();
+      prehash_mutex = Mutex.create ();
+      prehash_seen = Hashtbl.create 256;
     }
   in
   register_health t;
@@ -183,7 +232,7 @@ let create config =
                let rec loop () =
                  if not (Atomic.get t.stopping) then begin
                    Unix.sleepf interval;
-                   tick ();
+                   tick t;
                    loop ()
                  end
                in
@@ -223,7 +272,7 @@ let handle_request t (req : Proto.request) =
           Obs.Labeled.incr c_req_degraded;
           "degraded"
       | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _
-      | Proto.Health_reply _ ->
+      | Proto.Health_reply _ | Proto.Session_reply _ ->
           Obs.Labeled.incr c_req_ok;
           "ok"
     in
@@ -245,60 +294,105 @@ let handle_request t (req : Proto.request) =
     maybe_dump t ~req_id ~status ~latency_us;
     response
   in
+  let deadline_ms =
+    match req.deadline_ms with
+    | Some _ as d -> d
+    | None -> t.config.default_deadline_ms
+  in
+  let pressure () =
+    match Obs.Health.status () with
+    | Obs.Health.Ok -> false
+    | Obs.Health.Degraded _ | Obs.Health.Unhealthy _ -> true
+  in
   finish
   @@
-  match Canon.canonicalize req.instance with
-  | exception Invalid_argument msg -> Proto.Error msg
-  | canon -> (
-      let key = Core.Instance_io.to_string canon.Canon.instance in
-      match Cache.find t.cache key with
-      | Some hit ->
-          Proto.Reply
-            {
-              solver = hit.solver;
-              cache_hit = true;
-              degraded = false;
-              makespan = hit.makespan;
-              elapsed_us = elapsed_us ();
-              assignment = Canon.assignment_to_original canon hit.assignment;
-            }
-      | None -> (
-          let deadline_ms =
-            match req.deadline_ms with
-            | Some _ as d -> d
-            | None -> t.config.default_deadline_ms
-          in
-          let pressure () =
-            match Obs.Health.status () with
-            | Obs.Health.Ok -> false
-            | Obs.Health.Degraded _ | Obs.Health.Unhealthy _ -> true
-          in
-          match
-            Dispatch.solve ?deadline_ms ?hint:req.solver ~pressure
-              canon.Canon.instance
-          with
-          | Error msg -> Proto.Error msg
-          | Ok outcome ->
-              let result = outcome.Dispatch.result in
-              let assignment =
-                Core.Schedule.assignment result.Algos.Common.schedule
-              in
-              if not outcome.Dispatch.degraded then
-                Cache.put t.cache key
+  let ph = Canon.prehash req.instance in
+  if not (prehash_seen t ph) then begin
+    (* Unseen fingerprint: nothing with this pre-hash was ever cached,
+       and relabelings always share a pre-hash, so the cache provably
+       has no entry for this instance — skip the lookup-side
+       canonicalization and solve the original labeling directly. The
+       result is stored under its canonical key so relabeled twins
+       (whose pre-hash is now seen) hit it. *)
+    Obs.Counter.incr c_prehash_misses;
+    match
+      Dispatch.solve ?deadline_ms ?hint:req.solver ~pressure req.instance
+    with
+    | Error msg -> Proto.Error msg
+    | Ok outcome ->
+        let result = outcome.Dispatch.result in
+        let assignment =
+          Core.Schedule.assignment result.Algos.Common.schedule
+        in
+        (if not outcome.Dispatch.degraded then
+           match Canon.canonicalize req.instance with
+           | exception Invalid_argument _ -> ()
+           | canon ->
+               Cache.put t.cache
+                 (Core.Instance_io.to_string canon.Canon.instance)
+                 {
+                   makespan = result.Algos.Common.makespan;
+                   assignment = Canon.assignment_to_canonical canon assignment;
+                   solver = outcome.Dispatch.solver;
+                 };
+               record_prehash t ph);
+        Proto.Reply
+          {
+            solver = outcome.Dispatch.solver;
+            cache_hit = false;
+            degraded = outcome.Dispatch.degraded;
+            makespan = result.Algos.Common.makespan;
+            elapsed_us = elapsed_us ();
+            assignment;
+          }
+  end
+  else begin
+    Obs.Counter.incr c_prehash_hits;
+    match Canon.canonicalize req.instance with
+    | exception Invalid_argument msg -> Proto.Error msg
+    | canon -> (
+        let key = Core.Instance_io.to_string canon.Canon.instance in
+        match Cache.find t.cache key with
+        | Some hit ->
+            Proto.Reply
+              {
+                solver = hit.solver;
+                cache_hit = true;
+                degraded = false;
+                makespan = hit.makespan;
+                elapsed_us = elapsed_us ();
+                assignment = Canon.assignment_to_original canon hit.assignment;
+              }
+        | None -> (
+            match
+              Dispatch.solve ?deadline_ms ?hint:req.solver ~pressure
+                canon.Canon.instance
+            with
+            | Error msg -> Proto.Error msg
+            | Ok outcome ->
+                let result = outcome.Dispatch.result in
+                let assignment =
+                  Core.Schedule.assignment result.Algos.Common.schedule
+                in
+                if not outcome.Dispatch.degraded then begin
+                  Cache.put t.cache key
+                    {
+                      makespan = result.Algos.Common.makespan;
+                      assignment;
+                      solver = outcome.Dispatch.solver;
+                    };
+                  record_prehash t ph
+                end;
+                Proto.Reply
                   {
-                    makespan = result.Algos.Common.makespan;
-                    assignment;
                     solver = outcome.Dispatch.solver;
-                  };
-              Proto.Reply
-                {
-                  solver = outcome.Dispatch.solver;
-                  cache_hit = false;
-                  degraded = outcome.Dispatch.degraded;
-                  makespan = result.Algos.Common.makespan;
-                  elapsed_us = elapsed_us ();
-                  assignment = Canon.assignment_to_original canon assignment;
-                }))
+                    cache_hit = false;
+                    degraded = outcome.Dispatch.degraded;
+                    makespan = result.Algos.Common.makespan;
+                    elapsed_us = elapsed_us ();
+                    assignment = Canon.assignment_to_original canon assignment;
+                  }))
+  end
 
 (* Stats frames answer from the process-wide registries; they are admin
    traffic, deliberately outside the request counters and the latency
@@ -343,6 +437,22 @@ let handle_health t =
   List.iter add (Obs.Slo.render_lines ());
   Proto.Health_reply { body = Buffer.contents buf }
 
+(* Session frames carry their own serve.session.* metrics (and a span
+   with the ambient request id for traces); they stay outside the
+   serve.requests family, whose cells mean one-shot solve traffic. *)
+let handle_session t (sreq : Proto.session_request) =
+  let req_id = next_request_id () in
+  Obs.Sink.with_ctx req_id @@ fun () ->
+  Obs.Span.with_span "serve.session" @@ fun () ->
+  Obs.Health.beat ();
+  let pressure () =
+    match Obs.Health.status () with
+    | Obs.Health.Ok -> false
+    | Obs.Health.Degraded _ | Obs.Health.Unhealthy _ -> true
+  in
+  Session.handle t.sessions ~cache:t.cache
+    ~default_deadline_ms:t.config.default_deadline_ms ~pressure sreq
+
 let serve_channels t ic oc =
   let respond response =
     Proto.write_response oc response;
@@ -367,6 +477,9 @@ let serve_channels t ic oc =
     | Ok (Some Proto.Health) ->
         Obs.Health.beat ();
         respond (handle_health t);
+        loop ()
+    | Ok (Some (Proto.Session sreq)) ->
+        respond (handle_session t sreq);
         loop ()
     | Error msg ->
         Obs.Counter.incr c_errors;

@@ -47,7 +47,17 @@
     the composite status, meters, burn rates and per-domain heartbeat
     ages; {!handle_request} passes [Obs.Health.status] to
     {!Dispatch.solve} as the [pressure] signal, so a non-[Ok] status
-    sheds the heavy solver tier pre-emptively ([serve.dispatch.shed]). *)
+    sheds the heavy solver tier pre-emptively ([serve.dispatch.shed]).
+
+    Sessions: [session v1] frames route into the server's
+    {!Session} registry — create/mutate/resolve/close long-lived
+    scheduling sessions whose resolves repair the previous schedule
+    incrementally instead of re-solving from scratch. Session resolves
+    share the server's result cache (under ["session:"]-prefixed
+    delta-aware keys) and the registry's fill feeds a [sessions]
+    saturation meter; the watchdog ticker sweeps idle sessions. Session
+    frames carry their own [serve.session.*] metrics and stay outside
+    the [serve.requests] family. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries kept (default 128) *)
@@ -68,7 +78,11 @@ type config = {
   watchdog_interval_s : float option;
       (** period of the background watchdog/SLO-sampling ticker; [None]
           (default) disables it — tests and benches want deterministic
-          counters, [schedtool serve] turns it on *)
+          counters, [schedtool serve] turns it on. The ticker also sweeps
+          idle sessions ({!Session.evict_idle}) *)
+  session : Session.config;
+      (** session-registry knobs: live-session cap, idle timeout,
+          repair-drift fallback ratio, polish budget *)
 }
 
 val default_config : config
@@ -78,11 +92,16 @@ type t
 val create : config -> t
 
 val handle_request : t -> Proto.request -> Proto.response
-(** The transport-independent core: canonicalize, consult the cache, and
-    on a miss dispatch under the request's deadline and cache the result
-    (degraded results are not cached — a later request without deadline
-    pressure deserves the real solver). Cached schedules are translated
-    back through the request's labeling. Used directly by the bench
+(** The transport-independent core: fingerprint ({!Canon.prehash}),
+    canonicalize, consult the cache, and on a miss dispatch under the
+    request's deadline and cache the result (degraded results are not
+    cached — a later request without deadline pressure deserves the real
+    solver). An instance whose relabeling-invariant pre-hash was never
+    stored provably cannot be cached, so the lookup-side canonicalization
+    is skipped and the original labeling is solved directly
+    ([serve.canon.prehash_misses]; seen pre-hashes count in
+    [serve.canon.prehash_hits]). Cached schedules are translated back
+    through the request's labeling. Used directly by the bench
     harness. *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit

@@ -1,0 +1,428 @@
+(* Long-lived scheduling sessions: a client creates a session from a base
+   instance, streams job additions/removals, and asks for a fresh schedule
+   after each delta. Resolves repair the previous schedule incrementally
+   (Algos.Incremental) and only fall back to a full Dispatch.solve when
+   the repaired makespan drifts past a configurable ratio of the
+   certified lower bound. *)
+
+module I = Core.Instance
+
+let c_created = Obs.Counter.make "serve.session.created"
+let c_closed = Obs.Counter.make "serve.session.closed"
+let c_evicted = Obs.Counter.make "serve.session.evicted"
+let c_rejected = Obs.Counter.make "serve.session.rejected"
+let c_mutations = Obs.Counter.make "serve.session.mutations"
+let c_resolves = Obs.Counter.make "serve.session.resolves"
+let c_repairs = Obs.Counter.make "serve.session.repairs"
+let c_fallbacks = Obs.Counter.make "serve.session.fallbacks"
+
+(* One cell per way a resolve obtained its schedule; the series sum is
+   the resolve count, rendered as serve_session_resolve{mode="..."}. *)
+let resolve_modes = Obs.Labeled.family "serve.session.resolve" ~label:"mode"
+let h_repair_us = Obs.Histogram.make "serve.session.repair_latency_us"
+let g_count = Obs.Gauge.make "serve.session.count"
+
+type cached = { makespan : float; assignment : int array; solver : string }
+
+type config = {
+  max_sessions : int;
+  idle_timeout_s : float option;
+  fallback_ratio : float;
+  polish_steps : int;
+}
+
+let default_config =
+  {
+    max_sessions = 64;
+    idle_timeout_s = None;
+    fallback_ratio = 2.0;
+    polish_steps = 64;
+  }
+
+type session = {
+  sid : string;
+  (* digest of the base instance's canonical key: relabelings of the
+     same base share it, but the delta digest below is seeded from the
+     raw presentation, so delta-cache keys never collide across
+     presentations (mutation indices are presentation-relative) *)
+  base_digest : string;
+  mutable instance : I.t;
+  mutable delta_digest : string;
+  mutable generation : int;
+  (* last schedule in the current labeling; the repair seed *)
+  mutable seed : int array option;
+  mutable last_used_us : float;
+}
+
+type t = {
+  config : config;
+  mutex : Mutex.t;
+  sessions : (string, session) Hashtbl.t;
+}
+
+let create config =
+  if config.max_sessions < 1 then
+    invalid_arg "Session: max_sessions must be >= 1";
+  if not (config.fallback_ratio >= 1.0) then
+    invalid_arg "Session: fallback_ratio must be >= 1";
+  {
+    config;
+    mutex = Mutex.create ();
+    sessions = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let update_gauge t =
+  Obs.Gauge.set g_count (float_of_int (Hashtbl.length t.sessions))
+
+let count t = locked t (fun () -> Hashtbl.length t.sessions)
+let capacity t = t.config.max_sessions
+
+let expired t s ~now =
+  match t.config.idle_timeout_s with
+  | Some limit -> now -. s.last_used_us > limit *. 1e6
+  | None -> false
+
+(* Must be called with the mutex held. *)
+let evict t s ~now =
+  Hashtbl.remove t.sessions s.sid;
+  Obs.Counter.incr c_evicted;
+  update_gauge t;
+  Obs.Event.emit "serve.session.evict"
+    [
+      ("sid", Obs.Event.Str s.sid);
+      ("idle_s", Obs.Event.Float ((now -. s.last_used_us) /. 1e6));
+      ("generation", Obs.Event.Int s.generation);
+    ]
+
+let evict_idle t =
+  let now = Obs.Sink.now_us () in
+  locked t (fun () ->
+      let dead =
+        Hashtbl.fold
+          (fun _ s acc -> if expired t s ~now then s :: acc else acc)
+          t.sessions []
+      in
+      List.iter (fun s -> evict t s ~now) dead;
+      List.length dead)
+
+(* --- delta digests ------------------------------------------------------
+
+   The delta-cache key of a resolve is (base canonical-key digest, delta
+   digest). The delta digest starts from the raw base text and folds in a
+   canonical rendering of every mutation, so two sessions reach the same
+   key iff they started from the same presentation and applied the same
+   mutation sequence — exactly when their current instances and job
+   labelings agree. *)
+
+let fold_digest prev text = Digest.to_hex (Digest.string (prev ^ "\n" ^ text))
+
+let add_text jobs =
+  String.concat ";"
+    (List.map
+       (fun (j : I.new_job) ->
+         Printf.sprintf "add %.17g %d %s %s" j.nsize j.nclass
+           (match j.nptimes with
+           | None -> "-"
+           | Some p ->
+               String.concat ","
+                 (List.map (Printf.sprintf "%.17g") (Array.to_list p)))
+           (match j.neligible with
+           | None -> "-"
+           | Some e ->
+               String.concat ","
+                 (List.map (fun b -> if b then "1" else "0") (Array.to_list e))))
+       jobs)
+
+let drop_text ids = "drop " ^ String.concat "," (List.map string_of_int ids)
+let cache_key s = Printf.sprintf "session:%s:%s" s.base_digest s.delta_digest
+
+(* --- op handling -------------------------------------------------------- *)
+
+let session_reply ?mode ?solve (s : session) op =
+  Proto.Session_reply
+    {
+      Proto.sid = s.sid;
+      op = Proto.session_op_name op;
+      generation = s.generation;
+      jobs = I.num_jobs s.instance;
+      mode;
+      solve;
+    }
+
+let handle_create t sid instance =
+  let now = Obs.Sink.now_us () in
+  locked t (fun () ->
+      (* make room lazily before rejecting: expired sessions only
+         occupy their slot until the next access or watchdog tick *)
+      if Hashtbl.length t.sessions >= t.config.max_sessions then begin
+        let dead =
+          Hashtbl.fold
+            (fun _ s acc -> if expired t s ~now then s :: acc else acc)
+            t.sessions []
+        in
+        List.iter (fun s -> evict t s ~now) dead
+      end;
+      if Hashtbl.mem t.sessions sid then
+        Proto.Error (Printf.sprintf "session %S already exists" sid)
+      else if Hashtbl.length t.sessions >= t.config.max_sessions then begin
+        Obs.Counter.incr c_rejected;
+        Proto.Error
+          (Printf.sprintf "session table full (%d sessions)"
+             t.config.max_sessions)
+      end
+      else begin
+        let text = Core.Instance_io.to_string instance in
+        let s =
+          {
+            sid;
+            base_digest = Digest.to_hex (Digest.string (Canon.key instance));
+            instance;
+            delta_digest = Digest.to_hex (Digest.string text);
+            generation = 0;
+            seed = None;
+            last_used_us = now;
+          }
+        in
+        Hashtbl.add t.sessions sid s;
+        Obs.Counter.incr c_created;
+        update_gauge t;
+        Obs.Event.emit "serve.session.create"
+          [
+            ("sid", Obs.Event.Str sid);
+            ("jobs", Obs.Event.Int (I.num_jobs instance));
+          ];
+        session_reply s (Proto.S_create instance)
+      end)
+
+(* Look a session up, expiring it lazily if the idle timeout has passed
+   (so cram tests and tickerless servers still observe eviction). Must
+   be called with the mutex held. *)
+let find_live t sid ~now =
+  match Hashtbl.find_opt t.sessions sid with
+  | None -> Result.Error (Printf.sprintf "unknown session id %S" sid)
+  | Some s when expired t s ~now ->
+      evict t s ~now;
+      Result.Error
+        (Printf.sprintf "unknown session id %S (evicted after %gs idle timeout)"
+           sid
+           (Option.value ~default:0.0 t.config.idle_timeout_s))
+  | Some s ->
+      s.last_used_us <- now;
+      Ok s
+
+let handle_add t sid jobs =
+  let now = Obs.Sink.now_us () in
+  locked t (fun () ->
+      match find_live t sid ~now with
+      | Result.Error msg -> Proto.Error msg
+      | Ok s -> (
+          match I.append_jobs s.instance jobs with
+          | exception Invalid_argument msg -> Proto.Error msg
+          | instance ->
+              s.instance <- instance;
+              s.seed <-
+                Option.map
+                  (fun seed ->
+                    Array.append seed
+                      (Array.make (List.length jobs) (-1)))
+                  s.seed;
+              s.generation <- s.generation + 1;
+              s.delta_digest <- fold_digest s.delta_digest (add_text jobs);
+              Obs.Counter.incr c_mutations;
+              session_reply s (Proto.S_add_jobs jobs)))
+
+let handle_drop t sid ids =
+  let now = Obs.Sink.now_us () in
+  locked t (fun () ->
+      match find_live t sid ~now with
+      | Result.Error msg -> Proto.Error msg
+      | Ok s -> (
+          let ids = List.sort_uniq compare ids in
+          let n = I.num_jobs s.instance in
+          match List.find_opt (fun j -> j < 0 || j >= n) ids with
+          | Some j ->
+              Proto.Error
+                (Printf.sprintf "drop-jobs: job %d out of range (%d jobs)" j n)
+          | None -> (
+              let dropped = Array.make n false in
+              List.iter (fun j -> dropped.(j) <- true) ids;
+              let keep = ref [] in
+              for j = n - 1 downto 0 do
+                if not dropped.(j) then keep := j :: !keep
+              done;
+              match !keep with
+              | [] -> Proto.Error "drop-jobs would leave the session empty"
+              | keep ->
+                  s.instance <- I.induced s.instance keep;
+                  s.seed <-
+                    Option.map
+                      (fun seed ->
+                        Array.of_list (List.map (fun j -> seed.(j)) keep))
+                      s.seed;
+                  s.generation <- s.generation + 1;
+                  s.delta_digest <- fold_digest s.delta_digest (drop_text ids);
+                  Obs.Counter.incr c_mutations;
+                  session_reply s (Proto.S_drop_jobs ids))))
+
+let handle_close t sid =
+  let now = Obs.Sink.now_us () in
+  locked t (fun () ->
+      match find_live t sid ~now with
+      | Result.Error msg -> Proto.Error msg
+      | Ok s ->
+          let reply = session_reply s Proto.S_close in
+          Hashtbl.remove t.sessions sid;
+          Obs.Counter.incr c_closed;
+          update_gauge t;
+          Obs.Event.emit "serve.session.close"
+            [
+              ("sid", Obs.Event.Str sid);
+              ("generation", Obs.Event.Int s.generation);
+            ];
+          reply)
+
+(* Resolve: delta cache, then repair (with LB-drift fallback), then full
+   solve for a session without a previous schedule. The registry mutex
+   is released while solving; the seed update is discarded if a
+   concurrent mutation moved the generation meanwhile. *)
+let handle_resolve t ~cache ~deadline_ms ~pressure sid =
+  let start_us = Obs.Sink.now_us () in
+  let snapshot =
+    locked t (fun () ->
+        match find_live t sid ~now:start_us with
+        | Result.Error msg -> Result.Error msg
+        | Ok s -> Ok (s, s.instance, s.seed, s.generation, cache_key s))
+  in
+  match snapshot with
+  | Result.Error msg -> Proto.Error msg
+  | Ok (s, instance, seed, generation, key) -> (
+      let solved =
+        match Cache.find cache key with
+        | Some hit -> Ok (`Cache, hit.solver, false, hit.makespan, hit.assignment)
+        | None -> (
+            match seed with
+            | Some seed ->
+                let t0 = Obs.Sink.now_us () in
+                let rep =
+                  Algos.Incremental.repair
+                    ~polish_steps:t.config.polish_steps instance ~seed
+                in
+                Obs.Histogram.observe h_repair_us (Obs.Sink.now_us () -. t0);
+                Obs.Counter.incr c_repairs;
+                let repaired = rep.Algos.Incremental.result in
+                let lb = Core.Bounds.lower_bound instance in
+                let drifted =
+                  repaired.Algos.Common.makespan
+                  > t.config.fallback_ratio *. lb
+                in
+                let assignment r =
+                  Core.Schedule.assignment r.Algos.Common.schedule
+                in
+                if not drifted then
+                  Ok
+                    ( `Repair,
+                      "incremental-repair",
+                      false,
+                      repaired.Algos.Common.makespan,
+                      assignment repaired )
+                else begin
+                  Obs.Counter.incr c_fallbacks;
+                  match Dispatch.solve ?deadline_ms ~pressure instance with
+                  | Ok o
+                    when o.Dispatch.result.Algos.Common.makespan
+                         <= repaired.Algos.Common.makespan ->
+                      Ok
+                        ( `Fallback,
+                          o.Dispatch.solver,
+                          o.Dispatch.degraded,
+                          o.Dispatch.result.Algos.Common.makespan,
+                          assignment o.Dispatch.result )
+                  | Ok _ | Error _ ->
+                      (* the full solve lost (deadline pressure) or
+                         refused: the repaired schedule is still valid *)
+                      Ok
+                        ( `Fallback,
+                          "incremental-repair",
+                          false,
+                          repaired.Algos.Common.makespan,
+                          assignment repaired )
+                end
+            | None -> (
+                match Dispatch.solve ?deadline_ms ~pressure instance with
+                | Ok o ->
+                    Ok
+                      ( `Full,
+                        o.Dispatch.solver,
+                        o.Dispatch.degraded,
+                        o.Dispatch.result.Algos.Common.makespan,
+                        Core.Schedule.assignment
+                          o.Dispatch.result.Algos.Common.schedule )
+                | Error msg -> Result.Error msg))
+      in
+      match solved with
+      | Result.Error msg -> Proto.Error msg
+      | Ok (mode, solver, degraded, makespan, assignment) ->
+          let mode_name =
+            match mode with
+            | `Cache -> "cache"
+            | `Repair -> "repair"
+            | `Fallback -> "fallback"
+            | `Full -> "full"
+          in
+          Obs.Counter.incr c_resolves;
+          Obs.Labeled.incr (Obs.Labeled.cell resolve_modes mode_name);
+          if mode <> `Cache && not degraded then
+            Cache.put cache key { makespan; assignment; solver };
+          let elapsed_us =
+            int_of_float (Obs.Sink.now_us () -. start_us)
+          in
+          Obs.Event.emit "serve.session.resolve"
+            [
+              ("sid", Obs.Event.Str sid);
+              ("mode", Obs.Event.Str mode_name);
+              ("makespan", Obs.Event.Float makespan);
+              ("elapsed_us", Obs.Event.Int elapsed_us);
+            ];
+          locked t (fun () ->
+              (* only adopt the schedule as the next repair seed if no
+                 mutation raced this solve *)
+              if s.generation = generation then s.seed <- Some assignment);
+          (* reply from the snapshot: a racing mutation must not make the
+             reply disagree with the schedule it carries *)
+          Proto.Session_reply
+            {
+              Proto.sid;
+              op = "resolve";
+              generation;
+              jobs = I.num_jobs instance;
+              mode = Some mode_name;
+              solve =
+                Some
+                  {
+                    Proto.solver;
+                    cache_hit = (mode = `Cache);
+                    degraded;
+                    makespan;
+                    elapsed_us;
+                    assignment;
+                  };
+            })
+
+let handle t ~cache ~default_deadline_ms ~pressure
+    (req : Proto.session_request) =
+  match req.Proto.op with
+  | Proto.S_create instance -> handle_create t req.Proto.sid instance
+  | Proto.S_add_jobs jobs -> handle_add t req.Proto.sid jobs
+  | Proto.S_drop_jobs ids -> handle_drop t req.Proto.sid ids
+  | Proto.S_resolve { deadline_ms } ->
+      let deadline_ms =
+        match deadline_ms with
+        | Some _ as d -> d
+        | None -> default_deadline_ms
+      in
+      handle_resolve t ~cache ~deadline_ms ~pressure req.Proto.sid
+  | Proto.S_close -> handle_close t req.Proto.sid

@@ -1,0 +1,84 @@
+(** Registry of long-lived scheduling sessions.
+
+    A session holds a mutable instance, the schedule of its last resolve
+    and a generation counter; clients mutate it with [add-jobs] /
+    [drop-jobs] frames ({!Proto.session_op}) and ask for a fresh
+    schedule with [resolve]. Resolves are answered, in order of
+    preference:
+
+    - {e cache}: the delta-aware result cache hits. Entries are keyed on
+      (digest of the base instance's canonical key, delta digest); the
+      delta digest folds the raw base text and every mutation, so a key
+      hit guarantees an identical current instance in an identical
+      labeling — repeated mutation patterns (including replayed ones)
+      are answered without solving.
+    - {e repair}: {!Algos.Incremental.repair} re-places the delta
+      against the previous schedule and polishes, as long as the
+      repaired makespan stays within [fallback_ratio] times the
+      certified {!Core.Bounds.lower_bound}.
+    - {e fallback}: repair drifted past the ratio — a full
+      {!Dispatch.solve} runs under the resolve's deadline (keeping the
+      repaired schedule if the full solve does worse under pressure).
+    - {e full}: the session has no previous schedule (first resolve).
+
+    Sessions expire after [idle_timeout_s] of inactivity: lazily on next
+    access, and in bulk via {!evict_idle} (wired into the server's
+    watchdog ticker). The registry holds at most [max_sessions] live
+    sessions; create evicts expired sessions first and then rejects.
+
+    Observability: [serve.session.created/closed/evicted/rejected/
+    mutations/resolves/repairs/fallbacks] counters, the
+    [serve.session.resolve{mode=...}] labeled family, the
+    [serve.session.repair_latency_us] histogram, the
+    [serve.session.count] gauge (feeding the server's session saturation
+    meter) and [serve.session.create/close/evict/resolve] flight-recorder
+    events.
+
+    Thread-safe; the registry mutex is released while a resolve solves,
+    and the solved schedule is only adopted as the next repair seed if no
+    concurrent mutation raced it. *)
+
+type cached = { makespan : float; assignment : int array; solver : string }
+(** Cached resolve/solve results; shared with the server's canonical
+    result cache so both populations live under one LRU budget. *)
+
+type config = {
+  max_sessions : int;  (** live-session cap (default 64) *)
+  idle_timeout_s : float option;
+      (** evict sessions idle this long; [None] (default) disables *)
+  fallback_ratio : float;
+      (** full re-solve when repaired makespan exceeds this multiple of
+          the certified lower bound (default 2.0; must be >= 1) *)
+  polish_steps : int;
+      (** local-search budget of each repair (default 64) *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+(** Raises [Invalid_argument] if [max_sessions < 1] or
+    [fallback_ratio < 1]. *)
+
+val count : t -> int
+(** Live sessions (including not-yet-collected expired ones). *)
+
+val capacity : t -> int
+(** The configured [max_sessions]. *)
+
+val evict_idle : t -> int
+(** Evict every session past the idle timeout; returns how many. *)
+
+val handle :
+  t ->
+  cache:cached Cache.t ->
+  default_deadline_ms:float option ->
+  pressure:(unit -> bool) ->
+  Proto.session_request ->
+  Proto.response
+(** Execute one session op. Always returns a {!Proto.Session_reply} or a
+    {!Proto.Error} (unknown/expired id, duplicate create, table full,
+    malformed mutation) — never raises on bad client input. [deadline_ms]
+    of a resolve defaults to [default_deadline_ms]; [pressure] is threaded
+    into {!Dispatch.solve} for full solves and fallbacks. *)

@@ -23,6 +23,7 @@ reported over a 5m and a 1h burn-rate window:
   meter name=cache
   meter name=gc.heap
   meter name=pool.queue
+  meter name=sessions
   $ grep -oE '^slo name=[a-z]+ window=[0-9a-z]+' out.txt | sort
   slo name=availability window=1h
   slo name=availability window=5m

@@ -34,7 +34,7 @@ and the session keeps going — the next frame still gets served:
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status error
-  error bad request header "request v9" (expected "request v1", "stats v1", "events v1" or "health v1")
+  error bad request header "request v9" (expected "request v1", "stats v1", "events v1", "health v1" or "session v1")
   end
   response v1
   status ok
@@ -62,10 +62,12 @@ sums are timing-dependent, so only the stable lines are kept):
   algos_portfolio_candidate_latency_us_count 0
   pool_queue_wait_latency_us_bucket{le="+Inf"} 0
   pool_queue_wait_latency_us_count 0
-  serve_cache_lookup_latency_us_bucket{le="+Inf"} 1
-  serve_cache_lookup_latency_us_count 1
+  serve_cache_lookup_latency_us_bucket{le="+Inf"} 0
+  serve_cache_lookup_latency_us_count 0
   serve_request_latency_us_bucket{le="+Inf"} 1
   serve_request_latency_us_count 1
+  serve_session_repair_latency_us_bucket{le="+Inf"} 0
+  serve_session_repair_latency_us_count 0
 
 The same session also profiled the request's allocations — one sample in
 the per-request allocation histogram — and refreshed the GC gauges

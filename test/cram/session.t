@@ -1,0 +1,130 @@
+Smoke test for the session subsystem: one stdio stream carrying a full
+session lifecycle — create, an exact first resolve, a job addition
+repaired incrementally, a job removal repaired incrementally, close.
+The sample frames live in examples/requests/session.txt; elapsed_us is
+wall time and therefore filtered.
+
+  $ samples=../../examples/requests
+  $ cat $samples/session.txt | schedtool serve --stdio | grep -v elapsed_us
+  response v1
+  status session
+  id demo
+  op create
+  generation 0
+  jobs 12
+  end
+  response v1
+  status session
+  id demo
+  op resolve
+  generation 0
+  jobs 12
+  mode full
+  solver exact
+  cache miss
+  degraded false
+  makespan 81.9587
+  assignment 1 0 1 1 3 2 0 3 0 0 0 0
+  end
+  response v1
+  status session
+  id demo
+  op add-jobs
+  generation 1
+  jobs 13
+  end
+  response v1
+  status session
+  id demo
+  op resolve
+  generation 1
+  jobs 13
+  mode repair
+  solver incremental-repair
+  cache miss
+  degraded false
+  makespan 85.9305
+  assignment 1 0 1 1 0 2 3 3 0 0 3 0 0
+  end
+  response v1
+  status session
+  id demo
+  op drop-jobs
+  generation 2
+  jobs 12
+  end
+  response v1
+  status session
+  id demo
+  op resolve
+  generation 2
+  jobs 12
+  mode repair
+  solver incremental-repair
+  cache miss
+  degraded false
+  makespan 75.2747
+  assignment 1 1 1 0 2 1 3 0 3 0 0 0
+  end
+  response v1
+  status session
+  id demo
+  op close
+  generation 2
+  jobs 12
+  end
+
+Malformed session frames are drained and answered with an error, and
+the stream keeps going; ops on an id that was never created (or was
+already closed) error without killing the session loop:
+
+  $ { printf 'session v1\nop explode\nid x\nend\n'; \
+  >   printf 'session v1\nop resolve\nid ghost\nend\n'; \
+  >   printf 'session v1\nop close\nid ghost\nend\n'; } \
+  >   | schedtool serve --stdio | grep -v elapsed_us
+  response v1
+  status error
+  error op: expected create|add-jobs|drop-jobs|resolve|close, got "explode"
+  end
+  response v1
+  status error
+  error unknown session id "ghost"
+  end
+  response v1
+  status error
+  error unknown session id "ghost"
+  end
+
+Creating the same id twice is rejected; the first session stays live:
+
+  $ inst='instance\nenv identical\nmachines 2\nclasses 1\nsetups 5\njobs 2\nsizes 3 4\njob_class 0 0\n'
+  $ { printf "session v1\nop create\nid dup\n$inst"; echo end; \
+  >   printf "session v1\nop create\nid dup\n$inst"; echo end; \
+  >   printf 'session v1\nop close\nid dup\nend\n'; } \
+  >   | schedtool serve --stdio | grep -E 'status|^error|^op'
+  status session
+  op create
+  status error
+  error session "dup" already exists
+  status session
+  op close
+
+With a zero idle timeout (and the background sweeper disabled so the
+lazy path answers), the very next op finds the session expired and
+says why:
+
+  $ { printf "session v1\nop create\nid brief\n$inst"; echo end; \
+  >   printf 'session v1\nop resolve\nid brief\nend\n'; } \
+  >   | schedtool serve --stdio --session-idle-timeout 0 --watchdog-interval 0 \
+  >   | grep -v elapsed_us
+  response v1
+  status session
+  id brief
+  op create
+  generation 0
+  jobs 2
+  end
+  response v1
+  status error
+  error unknown session id "brief" (evicted after 0s idle timeout)
+  end

@@ -506,6 +506,99 @@ let test_local_search_max_steps () =
   Alcotest.(check bool) "at most one improvement applied" true
     (limited.Algos.Local_search.moves + limited.Algos.Local_search.swaps <= 1)
 
+(* --- Incremental repair ------------------------------------------------------ *)
+
+let test_incremental_add_repair () =
+  let rng = Workloads.Rng.create 211 in
+  for round = 1 to 8 do
+    let t = Workloads.Gen.uniform rng ~n:12 ~m:3 ~k:3 () in
+    let base =
+      Algos.List_scheduling.schedule ~order:Algos.List_scheduling.By_class t
+    in
+    let t' =
+      I.append_jobs t
+        [
+          {
+            I.nsize = float_of_int round;
+            nclass = round mod 3;
+            nptimes = None;
+            neligible = None;
+          };
+        ]
+    in
+    let seed =
+      Array.append (S.assignment base.Algos.Common.schedule) [| -1 |]
+    in
+    let rep = Algos.Incremental.repair t' ~seed in
+    Alcotest.(check bool) "valid" true
+      (S.is_valid t' rep.Algos.Incremental.result.Algos.Common.schedule);
+    Alcotest.(check int) "one job placed" 1 rep.Algos.Incremental.placed;
+    Alcotest.(check bool) "above certified LB" true
+      (rep.Algos.Incremental.result.Algos.Common.makespan
+      >= Core.Bounds.lower_bound t' -. 1e-9);
+    check_float 1e-9 "makespan consistent"
+      (S.makespan rep.Algos.Incremental.result.Algos.Common.schedule)
+      rep.Algos.Incremental.result.Algos.Common.makespan
+  done
+
+let test_incremental_drop_repair () =
+  let rng = Workloads.Rng.create 223 in
+  let t = Workloads.Gen.unrelated rng ~n:10 ~m:3 ~k:2 () in
+  let base =
+    Algos.List_scheduling.schedule ~order:Algos.List_scheduling.By_class t
+  in
+  let keep = [ 0; 1; 2; 3; 4; 6; 7; 8; 9 ] (* drop job 5 *) in
+  let t' = I.induced t keep in
+  let old = S.assignment base.Algos.Common.schedule in
+  let seed = Array.of_list (List.map (fun j -> old.(j)) keep) in
+  let rep = Algos.Incremental.repair t' ~seed in
+  Alcotest.(check bool) "valid" true
+    (S.is_valid t' rep.Algos.Incremental.result.Algos.Common.schedule);
+  Alcotest.(check int) "nothing to place" 0 rep.Algos.Incremental.placed;
+  (* pure rebalance: never worse than the seed schedule on the smaller
+     instance *)
+  let seeded = Algos.Common.result_of_assignment t' seed in
+  Alcotest.(check bool) "never worse than seed" true
+    (rep.Algos.Incremental.result.Algos.Common.makespan
+    <= seeded.Algos.Common.makespan +. 1e-9)
+
+let test_incremental_seed_sanitized () =
+  let t =
+    I.restricted
+      ~eligible:[| [| true; false |]; [| false; true |] |]
+      ~sizes:[| 2.0; 3.0 |] ~job_class:[| 0; 0 |] ~setups:[| 1.0 |]
+  in
+  (* job 1 seeded out of range, job 0 seeded on an ineligible machine:
+     both must be re-placed instead of crashing *)
+  let rep = Algos.Incremental.repair t ~seed:[| 1; 7 |] in
+  Alcotest.(check bool) "valid" true
+    (S.is_valid t rep.Algos.Incremental.result.Algos.Common.schedule);
+  Alcotest.(check int) "both placed" 2 rep.Algos.Incremental.placed;
+  Alcotest.(check bool) "bad seed length rejected" true
+    (try
+       ignore (Algos.Incremental.repair t ~seed:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_incremental_batches_into_class () =
+  (* machine 0 already paid class 0's big setup; the new classmate must
+     batch there rather than open the class on machine 1 *)
+  let t =
+    I.identical ~num_machines:2 ~sizes:[| 1.0; 5.0 |] ~job_class:[| 0; 1 |]
+      ~setups:[| 10.0; 0.0 |]
+  in
+  let t' =
+    I.append_jobs t
+      [ { I.nsize = 1.0; nclass = 0; nptimes = None; neligible = None } ]
+  in
+  let rep =
+    Algos.Incremental.repair ~polish_steps:0 t' ~seed:[| 0; 1; -1 |]
+  in
+  Alcotest.(check int) "batched with its class" 0
+    (S.machine_of rep.Algos.Incremental.result.Algos.Common.schedule 2);
+  Alcotest.(check int) "no polish requested" 0
+    (rep.Algos.Incremental.moves + rep.Algos.Incremental.swaps)
+
 (* --- Portfolio --------------------------------------------------------------- *)
 
 let test_portfolio_beats_members () =
@@ -1233,6 +1326,15 @@ let () =
           Alcotest.test_case "respects eligibility" `Quick
             test_local_search_respects_eligibility;
           Alcotest.test_case "max steps" `Quick test_local_search_max_steps;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "add repair" `Quick test_incremental_add_repair;
+          Alcotest.test_case "drop repair" `Quick test_incremental_drop_repair;
+          Alcotest.test_case "seed sanitized" `Quick
+            test_incremental_seed_sanitized;
+          Alcotest.test_case "batches into class" `Quick
+            test_incremental_batches_into_class;
         ] );
       ( "portfolio",
         [

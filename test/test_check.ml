@@ -193,6 +193,41 @@ let test_metamorph_clean () =
       Workloads.Gen.uniform (R.create 8) ~n:7 ~m:3 ~k:2 ();
     ]
 
+let test_metamorph_add_job_monotone () =
+  (* positive: cloning any job never lowers the certified lower bound or
+     a proven optimum, across every environment *)
+  List.iter
+    (fun t ->
+      let oracle = Check.Oracle.compute t in
+      for trial = 1 to 8 do
+        Alcotest.(check (list string))
+          (Printf.sprintf "add-job clean trial %d" trial)
+          []
+          (List.map Check.Violation.to_string
+             (Check.Metamorph.check_add_job
+                ~rng:(R.create (40 + trial))
+                ~oracle ~exact_job_limit:9 t))
+      done)
+    [
+      identical_small ();
+      restricted_small ();
+      unrelated_with_inf ();
+      Workloads.Gen.uniform (R.create 8) ~n:7 ~m:3 ~k:2 ();
+    ];
+  (* negative: an oracle claiming an absurdly high optimum must trip the
+     monotonicity relation — proves the check can actually fire *)
+  let t = identical_small () in
+  let oracle = Check.Oracle.compute t in
+  let lying = { oracle with Check.Oracle.opt = Some 1e9 } in
+  let viols =
+    Check.Metamorph.check_add_job ~rng:(R.create 3) ~oracle:lying
+      ~exact_job_limit:9 t
+  in
+  Alcotest.(check bool) "violation fires" true
+    (List.exists
+       (fun (v : Check.Violation.t) -> v.Check.Violation.prop = "meta-addjob-opt")
+       viols)
+
 (* --- Shrink --------------------------------------------------------------- *)
 
 let test_drop_machine () =
@@ -390,6 +425,8 @@ let () =
         [
           Alcotest.test_case "scale_times" `Quick test_scale_times;
           Alcotest.test_case "clean instances" `Quick test_metamorph_clean;
+          Alcotest.test_case "add-job monotonicity" `Quick
+            test_metamorph_add_job_monotone;
         ] );
       ( "shrink",
         [

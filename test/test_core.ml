@@ -164,6 +164,107 @@ let test_induced () =
        false
      with Invalid_argument _ -> true)
 
+let test_append_jobs () =
+  let open Core.Instance in
+  let t = uniform_fixture () in
+  let t' =
+    append_jobs t
+      [ { nsize = 5.0; nclass = 1; nptimes = None; neligible = None } ]
+  in
+  Alcotest.(check int) "one more job" 5 (num_jobs t');
+  Alcotest.(check int) "classes unchanged" 2 (num_classes t');
+  check_float "new job size" 5.0 t'.sizes.(4);
+  Alcotest.(check int) "new job class" 1 t'.job_class.(4);
+  check_float "fast machine ptime" 2.5 (ptime t' 1 4);
+  check_float "old jobs untouched" (ptime t 0 2) (ptime t' 0 2);
+  Alcotest.(check int) "original not mutated" 4 (num_jobs t);
+  let invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "empty list rejected" true
+    (invalid (fun () -> append_jobs t []));
+  Alcotest.(check bool) "unknown class rejected" true
+    (invalid (fun () ->
+         append_jobs t
+           [ { nsize = 1.0; nclass = 9; nptimes = None; neligible = None } ]));
+  Alcotest.(check bool) "ptimes rejected off unrelated" true
+    (invalid (fun () ->
+         append_jobs t
+           [
+             {
+               nsize = 1.0;
+               nclass = 0;
+               nptimes = Some [| 1.0; 1.0 |];
+               neligible = None;
+             };
+           ]))
+
+let test_append_jobs_matrix_envs () =
+  let open Core.Instance in
+  let r =
+    restricted
+      ~eligible:[| [| true; false |]; [| false; true |] |]
+      ~sizes:[| 1.0; 2.0 |] ~job_class:[| 0; 1 |] ~setups:[| 5.0; 6.0 |]
+  in
+  let r' =
+    append_jobs r
+      [
+        {
+          nsize = 3.0;
+          nclass = 0;
+          nptimes = None;
+          neligible = Some [| false; true |];
+        };
+        { nsize = 4.0; nclass = 1; nptimes = None; neligible = None };
+      ]
+  in
+  Alcotest.(check int) "restricted grows" 4 (num_jobs r');
+  check_float "explicit eligibility" infinity (ptime r' 0 2);
+  check_float "explicit eligibility on" 3.0 (ptime r' 1 2);
+  check_float "default eligible everywhere" 4.0 (ptime r' 0 3);
+  (* appending a class-0 job to machine 1 makes class 0's setup finite
+     there: the derived setup view follows the new column *)
+  check_float "setup follows new job" 5.0 (setup_time r' 1 0);
+  let u = unrelated_fixture () in
+  let u' =
+    append_jobs u
+      [
+        {
+          nsize = 0.0;
+          nclass = 0;
+          nptimes = Some [| 7.0; infinity |];
+          neligible = None;
+        };
+      ]
+  in
+  check_float "ptimes column" 7.0 (ptime u' 0 3);
+  check_float "ptimes column inf" infinity (ptime u' 1 3);
+  check_float "derived base size" 7.0 u'.sizes.(3);
+  let invalid f =
+    try
+      ignore (f ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "unrelated needs ptimes" true
+    (invalid (fun () ->
+         append_jobs u
+           [ { nsize = 1.0; nclass = 0; nptimes = None; neligible = None } ]));
+  Alcotest.(check bool) "eligible length checked" true
+    (invalid (fun () ->
+         append_jobs r
+           [
+             {
+               nsize = 1.0;
+               nclass = 0;
+               nptimes = None;
+               neligible = Some [| true |];
+             };
+           ]))
+
 let test_induced_restricted () =
   let t =
     Core.Instance.restricted
@@ -485,6 +586,9 @@ let () =
           Alcotest.test_case "induced" `Quick test_induced;
           Alcotest.test_case "induced restricted" `Quick
             test_induced_restricted;
+          Alcotest.test_case "append jobs" `Quick test_append_jobs;
+          Alcotest.test_case "append jobs matrix envs" `Quick
+            test_append_jobs_matrix_envs;
           Alcotest.test_case "class-uniform predicates" `Quick
             test_class_uniform_predicates;
         ] );

@@ -34,6 +34,39 @@ let test_canon_permutation_invariance () =
       done)
     generators
 
+let test_canon_prehash_collides_on_permutations () =
+  List.iter
+    (fun (name, gen) ->
+      for seed = 1 to 12 do
+        let r = rng (200 + seed) in
+        let inst = gen r in
+        let ph = Serve.Canon.prehash inst in
+        for trial = 1 to 4 do
+          let shuffled = Serve.Canon.shuffle r inst in
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d trial %d" name seed trial)
+            ph
+            (Serve.Canon.prehash shuffled)
+        done
+      done)
+    generators
+
+let test_canon_prehash_roundtrip_store () =
+  (* the skip path stores under the canonical key via
+     assignment_to_canonical; check the two translations invert *)
+  List.iter
+    (fun (name, gen) ->
+      let inst = gen (rng 77) in
+      let canon = Serve.Canon.canonicalize inst in
+      let result = Algos.List_scheduling.schedule inst in
+      let original = Core.Schedule.assignment result.Algos.Common.schedule in
+      let back =
+        Serve.Canon.assignment_to_original canon
+          (Serve.Canon.assignment_to_canonical canon original)
+      in
+      Alcotest.(check (array int)) (name ^ " roundtrip") original back)
+    generators
+
 let test_canon_is_idempotent () =
   List.iter
     (fun (name, gen) ->
@@ -407,6 +440,187 @@ let test_proto_health_roundtrip () =
       Alcotest.(check string) "multi-line body intact" body got
   | _ -> Alcotest.fail "expected a health reply"
 
+let test_proto_session_roundtrip () =
+  let inst = Workloads.Gen.unrelated (rng 14) ~n:4 ~m:2 ~k:2 () in
+  let frames =
+    [
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_create inst };
+      {
+        Serve.Proto.sid = "s-1";
+        op =
+          Serve.Proto.S_add_jobs
+            [
+              {
+                Core.Instance.nsize = 3.5;
+                nclass = 1;
+                nptimes = Some [| 2.0; infinity |];
+                neligible = None;
+              };
+            ];
+      };
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_drop_jobs [ 0; 2 ] };
+      {
+        Serve.Proto.sid = "s-1";
+        op = Serve.Proto.S_resolve { deadline_ms = Some 12.5 };
+      };
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_close };
+    ]
+  in
+  let read_all ic =
+    List.fold_left
+      (fun acc _ -> Serve.Proto.read_incoming ic :: acc)
+      [] frames
+    |> List.rev
+  in
+  let got =
+    roundtrip_via_file
+      (fun oc -> List.iter (Serve.Proto.write_session_request oc) frames)
+      read_all
+  in
+  List.iter2
+    (fun (sent : Serve.Proto.session_request) received ->
+      match received with
+      | Ok (Some (Serve.Proto.Session r)) -> (
+          Alcotest.(check string) "sid" sent.Serve.Proto.sid r.Serve.Proto.sid;
+          Alcotest.(check string) "op name"
+            (Serve.Proto.session_op_name sent.Serve.Proto.op)
+            (Serve.Proto.session_op_name r.Serve.Proto.op);
+          match (sent.Serve.Proto.op, r.Serve.Proto.op) with
+          | Serve.Proto.S_create a, Serve.Proto.S_create b ->
+              Alcotest.(check string) "instance"
+                (Core.Instance_io.to_string a)
+                (Core.Instance_io.to_string b)
+          | Serve.Proto.S_add_jobs a, Serve.Proto.S_add_jobs b ->
+              Alcotest.(check int) "job count" (List.length a) (List.length b);
+              List.iter2
+                (fun (x : Core.Instance.new_job) (y : Core.Instance.new_job) ->
+                  Alcotest.(check (float 1e-9))
+                    "size" x.Core.Instance.nsize y.Core.Instance.nsize;
+                  Alcotest.(check int) "class" x.Core.Instance.nclass
+                    y.Core.Instance.nclass;
+                  Alcotest.(check bool) "ptimes" true
+                    (x.Core.Instance.nptimes = y.Core.Instance.nptimes))
+                a b
+          | Serve.Proto.S_drop_jobs a, Serve.Proto.S_drop_jobs b ->
+              Alcotest.(check (list int)) "ids" a b
+          | Serve.Proto.S_resolve a, Serve.Proto.S_resolve b ->
+              Alcotest.(check bool) "deadline" true
+                (a.deadline_ms = b.deadline_ms)
+          | Serve.Proto.S_close, Serve.Proto.S_close -> ()
+          | _ -> Alcotest.fail "op kind changed in flight")
+      | _ -> Alcotest.fail "expected a session frame")
+    frames got;
+  (* replies both ways: a bare ack and a resolve carrying a schedule *)
+  let ack =
+    Serve.Proto.Session_reply
+      {
+        Serve.Proto.sid = "s-1";
+        op = "add-jobs";
+        generation = 3;
+        jobs = 5;
+        mode = None;
+        solve = None;
+      }
+  in
+  let resolved =
+    Serve.Proto.Session_reply
+      {
+        Serve.Proto.sid = "s-1";
+        op = "resolve";
+        generation = 3;
+        jobs = 2;
+        mode = Some "repair";
+        solve =
+          Some
+            {
+              Serve.Proto.solver = "incremental-repair";
+              cache_hit = false;
+              degraded = false;
+              makespan = 9.75;
+              elapsed_us = 11;
+              assignment = [| 1; 0 |];
+            };
+      }
+  in
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_response oc ack;
+        Serve.Proto.write_response oc resolved)
+      (fun ic ->
+        let a = Serve.Proto.read_response ic in
+        let b = Serve.Proto.read_response ic in
+        (a, b))
+  with
+  | ( Ok (Some (Serve.Proto.Session_reply a)),
+      Ok (Some (Serve.Proto.Session_reply b)) ) ->
+      Alcotest.(check string) "ack op" "add-jobs" a.Serve.Proto.op;
+      Alcotest.(check int) "ack generation" 3 a.Serve.Proto.generation;
+      Alcotest.(check bool) "ack has no schedule" true
+        (a.Serve.Proto.solve = None);
+      Alcotest.(check (option string)) "mode" (Some "repair")
+        b.Serve.Proto.mode;
+      (match b.Serve.Proto.solve with
+      | Some r ->
+          Alcotest.(check string) "solver" "incremental-repair"
+            r.Serve.Proto.solver;
+          Alcotest.(check (float 1e-9)) "makespan" 9.75 r.Serve.Proto.makespan;
+          Alcotest.(check bool) "assignment" true
+            (r.Serve.Proto.assignment = [| 1; 0 |])
+      | None -> Alcotest.fail "resolve reply lost its schedule")
+  | _ -> Alcotest.fail "session replies did not roundtrip"
+
+let test_proto_session_resync () =
+  (* malformed session frames mid-stream are consumed up to "end"; the
+     stream then yields the next well-formed frame *)
+  let inst = Workloads.Gen.identical (rng 15) ~n:4 ~m:2 ~k:2 () in
+  let bad =
+    [
+      (* unknown op *)
+      "session v1\nop explode\nid s-1\nend\n";
+      (* missing id *)
+      "session v1\nop resolve\nend\n";
+      (* bad sid characters *)
+      "session v1\nop close\nid has spaces!\nend\n";
+      (* add-jobs with a broken job spec *)
+      "session v1\nop add-jobs\nid s-1\njob size=banana\nend\n";
+      (* create without an instance *)
+      "session v1\nop create\nid s-1\nend\n";
+    ]
+  in
+  let good oc =
+    Serve.Proto.write_session_request oc
+      { Serve.Proto.sid = "s-2"; op = Serve.Proto.S_create inst }
+  in
+  List.iter
+    (fun frame ->
+      match
+        roundtrip_via_file
+          (fun oc ->
+            output_string oc frame;
+            good oc)
+          (fun ic ->
+            let a = Serve.Proto.read_incoming ic in
+            let b = Serve.Proto.read_incoming ic in
+            (a, b))
+      with
+      | Error _, Ok (Some (Serve.Proto.Session r)) ->
+          Alcotest.(check string) "recovered frame sid" "s-2" r.Serve.Proto.sid
+      | Error _, second ->
+          Alcotest.failf "no resync after %S: %s" frame
+            (match second with
+            | Ok None -> "eof"
+            | Ok (Some _) -> "wrong frame kind"
+            | Error msg -> "error: " ^ msg)
+      | Ok _, _ -> Alcotest.failf "malformed frame accepted: %S" frame)
+    bad;
+  (* read_request must reject a session frame rather than mis-parse it *)
+  match roundtrip_via_file good Serve.Proto.read_request with
+  | Error msg ->
+      Alcotest.(check bool) "read_request rejects session" true
+        (Astring.String.is_infix ~affix:"session" msg)
+  | Ok _ -> Alcotest.fail "read_request accepted a session frame"
+
 (* --- Server ------------------------------------------------------------- *)
 
 let mk_server () =
@@ -427,7 +641,7 @@ let test_server_cache_roundtrip () =
       match ask inst with
       | Serve.Proto.Error msg -> Alcotest.fail msg
       | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
-      | Serve.Proto.Health_reply _ ->
+      | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _ ->
           Alcotest.fail "unexpected admin reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
@@ -438,7 +652,7 @@ let test_server_cache_roundtrip () =
           match ask shuffled with
           | Serve.Proto.Error msg -> Alcotest.fail msg
           | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
-          | Serve.Proto.Health_reply _ ->
+          | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _ ->
               Alcotest.fail "unexpected admin reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
@@ -787,6 +1001,208 @@ let test_server_socket_session () =
       | _ -> Alcotest.fail "expected end of stream");
       Unix.close fd)
 
+(* --- Session registry ---------------------------------------------------- *)
+
+let session_env ?(config = Serve.Session.default_config) () =
+  let sessions = Serve.Session.create config in
+  let cache = Serve.Cache.create ~capacity:8 in
+  let handle req =
+    Serve.Session.handle sessions ~cache ~default_deadline_ms:None
+      ~pressure:(fun () -> false)
+      req
+  in
+  (sessions, handle)
+
+let expect_session name response =
+  match (response : Serve.Proto.response) with
+  | Serve.Proto.Session_reply r -> r
+  | Serve.Proto.Error msg -> Alcotest.fail (name ^ ": " ^ msg)
+  | _ -> Alcotest.fail (name ^ ": expected a session reply")
+
+let expect_session_error name response =
+  match (response : Serve.Proto.response) with
+  | Serve.Proto.Error msg -> msg
+  | _ -> Alcotest.fail (name ^ ": expected an error")
+
+let test_session_lifecycle () =
+  let _, handle = session_env () in
+  let inst = Workloads.Gen.uniform (rng 21) ~n:9 ~m:3 ~k:3 () in
+  let created =
+    expect_session "create"
+      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst })
+  in
+  Alcotest.(check int) "fresh generation" 0 created.Serve.Proto.generation;
+  Alcotest.(check int) "fresh jobs" 9 created.Serve.Proto.jobs;
+  let resolve () =
+    expect_session "resolve"
+      (handle
+         {
+           Serve.Proto.sid = "a";
+           op = Serve.Proto.S_resolve { deadline_ms = None };
+         })
+  in
+  let first = resolve () in
+  Alcotest.(check (option string)) "first is full" (Some "full")
+    first.Serve.Proto.mode;
+  let first_solve = Option.get first.Serve.Proto.solve in
+  let added =
+    expect_session "add"
+      (handle
+         {
+           Serve.Proto.sid = "a";
+           op =
+             Serve.Proto.S_add_jobs
+               [
+                 {
+                   Core.Instance.nsize = 4.0;
+                   nclass = 0;
+                   nptimes = None;
+                   neligible = None;
+                 };
+               ];
+         })
+  in
+  Alcotest.(check int) "generation bumped" 1 added.Serve.Proto.generation;
+  Alcotest.(check int) "job appended" 10 added.Serve.Proto.jobs;
+  let repaired = resolve () in
+  Alcotest.(check (option string)) "mutated resolve repairs" (Some "repair")
+    repaired.Serve.Proto.mode;
+  let repaired_solve = Option.get repaired.Serve.Proto.solve in
+  (* adding work can only push the makespan up *)
+  Alcotest.(check bool) "monotone makespan" true
+    (repaired_solve.Serve.Proto.makespan
+     >= first_solve.Serve.Proto.makespan -. 1e-9);
+  let again = resolve () in
+  Alcotest.(check (option string)) "unchanged resolve hits the cache"
+    (Some "cache") again.Serve.Proto.mode;
+  let dropped =
+    expect_session "drop"
+      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 9 ] })
+  in
+  Alcotest.(check int) "drop bumps generation" 2
+    dropped.Serve.Proto.generation;
+  Alcotest.(check int) "job removed" 9 dropped.Serve.Proto.jobs;
+  let back = resolve () in
+  Alcotest.(check (option string)) "post-drop resolve repairs" (Some "repair")
+    back.Serve.Proto.mode;
+  ignore
+    (expect_session "close"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }))
+
+let test_session_errors () =
+  let _, handle =
+    session_env
+      ~config:{ Serve.Session.default_config with max_sessions = 2 }
+      ()
+  in
+  let inst = Workloads.Gen.identical (rng 22) ~n:5 ~m:2 ~k:2 () in
+  let contains msg affix =
+    Alcotest.(check bool)
+      (Printf.sprintf "%S mentions %S" msg affix)
+      true
+      (Astring.String.is_infix ~affix msg)
+  in
+  (* unknown id *)
+  contains
+    (expect_session_error "unknown"
+       (handle
+          {
+            Serve.Proto.sid = "ghost";
+            op = Serve.Proto.S_resolve { deadline_ms = None };
+          }))
+    "unknown session id";
+  ignore
+    (expect_session "create"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }));
+  (* duplicate create *)
+  contains
+    (expect_session_error "duplicate"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }))
+    "already exists";
+  (* malformed mutations *)
+  contains
+    (expect_session_error "out of range"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 7 ] }))
+    "out of range";
+  contains
+    (expect_session_error "emptying"
+       (handle
+          {
+            Serve.Proto.sid = "a";
+            op = Serve.Proto.S_drop_jobs [ 0; 1; 2; 3; 4 ];
+          }))
+    "empty";
+  contains
+    (expect_session_error "unknown class"
+       (handle
+          {
+            Serve.Proto.sid = "a";
+            op =
+              Serve.Proto.S_add_jobs
+                [
+                  {
+                    Core.Instance.nsize = 1.0;
+                    nclass = 9;
+                    nptimes = None;
+                    neligible = None;
+                  };
+                ];
+          }))
+    "class";
+  (* table full *)
+  ignore
+    (expect_session "second create"
+       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst }));
+  contains
+    (expect_session_error "table full"
+       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst }))
+    "session table full";
+  (* double close *)
+  ignore
+    (expect_session "close"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }));
+  contains
+    (expect_session_error "double close"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }))
+    "unknown session id";
+  (* the freed slot is usable again *)
+  ignore
+    (expect_session "create after close"
+       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst }))
+
+let test_session_idle_eviction () =
+  let sessions, handle =
+    session_env
+      ~config:
+        { Serve.Session.default_config with idle_timeout_s = Some 0.0 }
+      ()
+  in
+  let inst = Workloads.Gen.identical (rng 23) ~n:5 ~m:2 ~k:2 () in
+  ignore
+    (expect_session "create"
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }));
+  Alcotest.(check int) "one live session" 1 (Serve.Session.count sessions);
+  Unix.sleepf 0.01;
+  (* lazy expiry on access: the error names the configured timeout *)
+  let msg =
+    expect_session_error "expired"
+      (handle
+         {
+           Serve.Proto.sid = "a";
+           op = Serve.Proto.S_resolve { deadline_ms = None };
+         })
+  in
+  Alcotest.(check bool) "names idle timeout" true
+    (Astring.String.is_infix ~affix:"idle timeout" msg);
+  Alcotest.(check int) "slot reclaimed" 0 (Serve.Session.count sessions);
+  (* bulk sweep: the watchdog-tick path *)
+  ignore
+    (expect_session "recreate"
+       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst }));
+  Unix.sleepf 0.01;
+  Alcotest.(check int) "sweep evicts" 1 (Serve.Session.evict_idle sessions);
+  Alcotest.(check int) "registry empty" 0 (Serve.Session.count sessions)
+
 let () =
   Alcotest.run "serve"
     [
@@ -797,6 +1213,10 @@ let () =
           Alcotest.test_case "idempotent" `Quick test_canon_is_idempotent;
           Alcotest.test_case "schedule mapping" `Quick
             test_canon_schedule_mapping;
+          Alcotest.test_case "prehash collides on permutations" `Quick
+            test_canon_prehash_collides_on_permutations;
+          Alcotest.test_case "prehash store roundtrip" `Quick
+            test_canon_prehash_roundtrip_store;
         ] );
       ( "cache",
         [
@@ -831,6 +1251,10 @@ let () =
             test_proto_health_roundtrip;
           Alcotest.test_case "malformed resync" `Quick
             test_proto_malformed_resync;
+          Alcotest.test_case "session frame roundtrip" `Quick
+            test_proto_session_roundtrip;
+          Alcotest.test_case "session malformed resync" `Quick
+            test_proto_session_resync;
         ] );
       ( "server",
         [
@@ -841,5 +1265,12 @@ let () =
           Alcotest.test_case "health frame" `Quick test_server_health_frame;
           Alcotest.test_case "slow-request dump" `Quick test_server_slow_dump;
           Alcotest.test_case "socket session" `Quick test_server_socket_session;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "lifecycle" `Quick test_session_lifecycle;
+          Alcotest.test_case "errors" `Quick test_session_errors;
+          Alcotest.test_case "idle eviction" `Quick
+            test_session_idle_eviction;
         ] );
     ]
