@@ -187,13 +187,13 @@ let measure ?(with_percentiles = false) ~name ~iterations f =
         Obs.Expo.quantile_points
       @ [ ("max_us", s.Obs.Histogram.max_value) ]
   in
-  { Obs.Expo.bname = name; iterations; wall_ns; percentiles; counters }
+  { Obs.Expo.bname = name; iterations; wall_ns; percentiles; counters; trace_ids = [] }
 
 let ns_per_iter (r : Obs.Expo.bench_record) =
   r.Obs.Expo.wall_ns /. float_of_int r.Obs.Expo.iterations
 
 let exact_request instance =
-  { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance }
+  { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance; trace = None }
 
 (* A server whose pool stays in this domain: handle_request never touches
    the pool, so the bench does not want worker domains idling around. *)
@@ -279,13 +279,13 @@ let serve_benchmarks () =
   let seed_session sid =
     ignore
       (expect_session "create"
-         (session_handle { Serve.Proto.sid; op = Serve.Proto.S_create n100 }));
+         (session_handle { Serve.Proto.sid; op = Serve.Proto.S_create n100; trace = None }));
     ignore
       (expect_session "seed resolve"
          (session_handle
             {
               Serve.Proto.sid;
-              op = Serve.Proto.S_resolve { deadline_ms = Some 1.0 };
+              op = Serve.Proto.S_resolve { deadline_ms = Some 1.0 }; trace = None
             }))
   in
   seed_session "bench-repair";
@@ -308,13 +308,13 @@ let serve_benchmarks () =
         in
         ignore
           (expect_session "mutate"
-             (session_handle { Serve.Proto.sid = "bench-repair"; op }));
+             (session_handle { Serve.Proto.sid = "bench-repair"; op; trace = None }));
         let r =
           expect_session "resolve"
             (session_handle
                {
                  Serve.Proto.sid = "bench-repair";
-                 op = Serve.Proto.S_resolve { deadline_ms = None };
+                 op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
                })
         in
         match r.Serve.Proto.mode with
@@ -323,7 +323,7 @@ let serve_benchmarks () =
   in
   ignore
     (session_handle
-       { Serve.Proto.sid = "bench-repair"; op = Serve.Proto.S_close });
+       { Serve.Proto.sid = "bench-repair"; op = Serve.Proto.S_close; trace = None });
   (* delta-aware cache: an unchanged session resolves straight out of the
      shared result cache *)
   seed_session "bench-hit";
@@ -332,7 +332,7 @@ let serve_benchmarks () =
        (session_handle
           {
             Serve.Proto.sid = "bench-hit";
-            op = Serve.Proto.S_resolve { deadline_ms = None };
+            op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
           }));
   let session_hit =
     measure ~with_percentiles:true ~name:"session resolve cache hit n=100"
@@ -342,7 +342,7 @@ let serve_benchmarks () =
             (session_handle
                {
                  Serve.Proto.sid = "bench-hit";
-                 op = Serve.Proto.S_resolve { deadline_ms = None };
+                 op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
                })
         in
         if r.Serve.Proto.mode <> Some "cache" then
@@ -350,7 +350,7 @@ let serve_benchmarks () =
   in
   ignore
     (session_handle
-       { Serve.Proto.sid = "bench-hit"; op = Serve.Proto.S_close });
+       { Serve.Proto.sid = "bench-hit"; op = Serve.Proto.S_close; trace = None });
   (* flight recorder: one retained emit with two fields — the per-event
      cost every instrumented layer pays on the hot path *)
   let event =
@@ -359,6 +359,20 @@ let serve_benchmarks () =
           [ ("i", Obs.Event.Int 1); ("s", Obs.Event.Str "x") ])
   in
   Obs.Event.clear ();
+  (* span emit with trace ids: one Span.phase under an ambient trace
+     ctx — the id allocation, two clock reads, alloc delta and ring
+     write every attributed phase pays into the always-on phase
+     recorder. The sink stays disabled, as when serving untraced. *)
+  let span_emit =
+    Obs.Phase.clear ();
+    let r =
+      measure ~name:"span emit with trace ids" ~iterations:100_000 (fun () ->
+          Obs.Sink.with_ctx "bench.trace" (fun () ->
+              Obs.Span.phase ~detail:"bench" "bench.span" (fun () -> ())))
+    in
+    Obs.Phase.clear ();
+    r
+  in
   (* health snapshot: one watchdog scan plus the composite status over
      this process's registered meters — the per-tick cost of the serve
      ticker. No ticker runs in the bench, so the health.checks counter
@@ -370,7 +384,16 @@ let serve_benchmarks () =
         ignore (Obs.Health.status ()))
   in
   let records =
-    [ cold; hit; deadline; canon; session_repair; session_hit; event; health ]
+    [ cold;
+      hit;
+      deadline;
+      canon;
+      session_repair;
+      session_hit;
+      event;
+      span_emit;
+      health
+    ]
   in
   let table = Stats.Table.create [ "benchmark"; "iters"; "time/iter" ] in
   List.iter

@@ -609,6 +609,7 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
   let h_repair = Obs.Histogram.make "loadgen.session_repair_us" in
   let repairs = ref 0 and fallbacks = ref 0 and cache_hits = ref 0 in
   let full_solves = ref 0 and errors = ref 0 in
+  let slowest_full = ref (neg_infinity, "") in
   let attempted = ref 0 in
   let transport_error = ref None in
   let exception Transport of string in
@@ -635,23 +636,33 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
          if permute then Serve.Canon.shuffle rng instance else instance
        in
        let sid = Printf.sprintf "lg%d-%d" seed s in
+       Obs.Sink.with_ctx sid @@ fun () ->
+       Obs.Span.phase ~detail:("sid=" ^ sid) "loadgen.session" @@ fun () ->
+       (* every frame of the lifecycle carries the session id as its
+          trace id, with the client's open span as the parent link *)
+       let tr () =
+         Some { Serve.Proto.tid = sid; parent = Obs.Sink.current_span () }
+       in
        let resolve hist =
          let t0 = Obs.Sink.now_us () in
          match
            exchange
              {
                Serve.Proto.sid;
-               op = Serve.Proto.S_resolve { deadline_ms = deadline };
+               op = Serve.Proto.S_resolve { deadline_ms = deadline }; trace = tr ()
              }
          with
          | Serve.Proto.Session_reply r ->
              let dt = Obs.Sink.now_us () -. t0 in
              count_mode r.Serve.Proto.mode;
-             if r.Serve.Proto.mode <> Some "cache" then
-               Obs.Histogram.observe hist dt
+             if r.Serve.Proto.mode <> Some "cache" then begin
+               Obs.Histogram.observe hist dt;
+               if hist == h_full && dt > fst !slowest_full then
+                 slowest_full := (dt, sid)
+             end
          | _ -> incr errors
        in
-       (match exchange { Serve.Proto.sid; op = Serve.Proto.S_create base } with
+       (match exchange { Serve.Proto.sid; op = Serve.Proto.S_create base; trace = tr () } with
        | Serve.Proto.Session_reply _ ->
            resolve h_full;
            let local = ref base in
@@ -660,7 +671,7 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
                 let n = Core.Instance.num_jobs !local in
                 match
                   exchange
-                    { Serve.Proto.sid; op = Serve.Proto.S_drop_jobs [ n - 1 ] }
+                    { Serve.Proto.sid; op = Serve.Proto.S_drop_jobs [ n - 1 ]; trace = tr () }
                 with
                 | Serve.Proto.Session_reply _ ->
                     local :=
@@ -671,7 +682,7 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
                 let job = clone_random_job rng !local in
                 match
                   exchange
-                    { Serve.Proto.sid; op = Serve.Proto.S_add_jobs [ job ] }
+                    { Serve.Proto.sid; op = Serve.Proto.S_add_jobs [ job ]; trace = tr () }
                 with
                 | Serve.Proto.Session_reply _ ->
                     local := Core.Instance.append_jobs !local [ job ]
@@ -679,7 +690,7 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
               end);
              resolve h_repair
            done;
-           (match exchange { Serve.Proto.sid; op = Serve.Proto.S_close } with
+           (match exchange { Serve.Proto.sid; op = Serve.Proto.S_close; trace = tr () } with
            | Serve.Proto.Session_reply _ -> ()
            | _ -> incr errors)
        | _ -> incr errors)
@@ -734,6 +745,10 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
                 if Float.is_finite speedup then
                   [ ("loadgen.speedup_x100", int_of_float (speedup *. 100.0)) ]
                 else [];
+              trace_ids =
+                (if snd !slowest_full <> "" then
+                   [ ("slowest_full", snd !slowest_full) ]
+                 else []);
             }
           in
           let out = open_out file in
@@ -796,10 +811,11 @@ let loadgen_cmd =
                    incremental resolve).")
   in
   let run socket count solver deadline permute seed json sessions mutations
-      path =
+      trace path =
     if sessions < 0 then `Error (false, "--sessions must be >= 0")
     else if mutations < 0 then `Error (false, "--mutations must be >= 0")
     else
+    let finish = obs_setup trace in
     match read_instance path with
     | Error msg -> `Error (false, msg)
     | Ok instance -> (
@@ -826,22 +842,31 @@ let loadgen_cmd =
                   ~deadline ~permute ~seed ~json
               in
               (try Unix.close fd with Unix.Unix_error _ -> ());
-              r
+              match r with `Ok () -> finish ~stats:false | other -> other
             end
             else begin
             let rng = Workloads.Rng.create seed in
             let hits = ref 0 and degraded = ref 0 and errors = ref 0 in
             let h_latency = Obs.Histogram.make "loadgen.request_latency_us" in
             let last_makespan = ref nan in
+            let echo_bad = ref 0 in
+            let slowest = ref (neg_infinity, "") in
             let transport_error = ref None in
             let attempted = ref 0 in
             let t_start = Obs.Sink.now_us () in
             (try
-               for _ = 1 to count do
+               for i = 1 to count do
                  incr attempted;
                  let inst =
                    if permute then Serve.Canon.shuffle rng instance else instance
                  in
+                 (* client-minted trace id, propagated on the wire; the
+                    open client span becomes the server root's parent so
+                    merged traces chain across the process boundary *)
+                 let tid = Printf.sprintf "lg%d.%d" seed i in
+                 Obs.Sink.with_ctx tid @@ fun () ->
+                 Obs.Span.phase ~detail:("trace=" ^ tid) "loadgen.request"
+                 @@ fun () ->
                  let t0 = Obs.Sink.now_us () in
                  (match
                     Serve.Proto.write_request oc
@@ -849,16 +874,24 @@ let loadgen_cmd =
                         Serve.Proto.solver;
                         deadline_ms = deadline;
                         instance = inst;
+                        trace =
+                          Some
+                            {
+                              Serve.Proto.tid;
+                              parent = Obs.Sink.current_span ();
+                            };
                       };
                     Serve.Proto.read_response ic
                   with
                  | Ok (Some (Serve.Proto.Reply r)) ->
+                     if r.Serve.Proto.trace <> Some tid then incr echo_bad;
                      if r.Serve.Proto.cache_hit then incr hits;
                      if r.Serve.Proto.degraded then incr degraded;
                      last_makespan := r.Serve.Proto.makespan
                  | Ok (Some (Serve.Proto.Stats_reply _))
                  | Ok (Some (Serve.Proto.Events_reply _))
                  | Ok (Some (Serve.Proto.Health_reply _))
+                 | Ok (Some (Serve.Proto.Explain_reply _))
                  | Ok (Some (Serve.Proto.Session_reply _))
                  | Ok (Some (Serve.Proto.Error _)) ->
                      incr errors
@@ -876,7 +909,9 @@ let loadgen_cmd =
                      incr errors;
                      transport_error := Some msg;
                      raise Exit);
-                 Obs.Histogram.observe h_latency (Obs.Sink.now_us () -. t0)
+                 let dt = Obs.Sink.now_us () -. t0 in
+                 if dt > fst !slowest then slowest := (dt, tid);
+                 Obs.Histogram.observe h_latency dt
                done
              with Exit -> ());
             let wall_ns = (Obs.Sink.now_us () -. t_start) *. 1e3 in
@@ -895,6 +930,8 @@ let loadgen_cmd =
             Printf.printf "misses    %d\n" (!attempted - !hits - !errors);
             Printf.printf "errors    %d\n" !errors;
             Printf.printf "degraded  %d\n" !degraded;
+            if !echo_bad > 0 then
+              Printf.printf "trace-echo mismatches %d\n" !echo_bad;
             let s = Obs.Histogram.merged h_latency in
             let percentiles =
               if s.Obs.Histogram.count = 0 then []
@@ -931,7 +968,15 @@ let loadgen_cmd =
                         ("loadgen.misses", !attempted - !hits - !errors);
                         ("loadgen.errors", !errors);
                         ("loadgen.degraded", !degraded);
-                      ];
+                      ]
+                      @
+                      (if !echo_bad > 0 then
+                         [ ("loadgen.trace_echo_bad", !echo_bad) ]
+                       else []);
+                    trace_ids =
+                      (if snd !slowest <> "" then
+                         [ ("slowest", snd !slowest) ]
+                       else []);
                   }
                 in
                 let out = open_out file in
@@ -939,7 +984,7 @@ let loadgen_cmd =
                 close_out out;
                 Printf.printf "wrote %s\n" file)
               json;
-            `Ok ()
+            finish ~stats:false
             end
             end)
   in
@@ -953,7 +998,7 @@ let loadgen_cmd =
       ret
         (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
        $ permute_arg $ seed_arg $ json_arg $ sessions_arg $ mutations_arg
-       $ file_arg))
+       $ trace_arg $ file_arg))
 
 (* --- fuzz --------------------------------------------------------------- *)
 
@@ -1275,7 +1320,7 @@ let metrics_cmd =
               | Ok
                   (Some
                      ( Serve.Proto.Reply _ | Serve.Proto.Events_reply _
-                     | Serve.Proto.Health_reply _
+                     | Serve.Proto.Health_reply _ | Serve.Proto.Explain_reply _
                      | Serve.Proto.Session_reply _ )) ->
                   `Error (false, "server answered the wrong frame kind")
               | Ok None -> `Error (false, "server closed the session")
@@ -1348,7 +1393,7 @@ let events_cmd =
             | Ok
                 (Some
                    ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
-                   | Serve.Proto.Health_reply _
+                   | Serve.Proto.Health_reply _ | Serve.Proto.Explain_reply _
                    | Serve.Proto.Session_reply _ )) ->
                 `Error (false, "server answered the wrong frame kind")
             | Ok None -> `Error (false, "server closed the session")
@@ -1363,6 +1408,173 @@ let events_cmd =
             running serve socket."
   in
   Cmd.v info Term.(ret (const run $ socket_arg $ count_arg $ level_arg))
+
+(* --- explain ------------------------------------------------------------ *)
+
+(* Render one [phase] payload line of an explain reply. The wire format
+   is [k=v] tokens with [detail] last (it may contain spaces). *)
+let render_phase_line line =
+  let fields = String.split_on_char ' ' line in
+  let find key =
+    let prefix = key ^ "=" in
+    List.find_map
+      (fun tok ->
+        if String.starts_with ~prefix tok then
+          Some
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        else None)
+      fields
+  in
+  (* detail is the last token and may contain spaces: cut at the literal
+     [ detail=] marker instead of tokenizing *)
+  let detail =
+    let marker = " detail=" in
+    let ml = String.length marker and ll = String.length line in
+    let rec find i =
+      if i + ml > ll then None
+      else if String.sub line i ml = marker then Some (i + ml)
+      else find (i + 1)
+    in
+    match find 0 with
+    | Some start -> String.sub line start (ll - start)
+    | None -> ""
+  in
+  let num key = Option.bind (find key) float_of_string_opt in
+  let depth =
+    match Option.bind (find "depth") int_of_string_opt with
+    | Some d -> d
+    | None -> 0
+  in
+  let name = Option.value ~default:"?" (find "name") in
+  let dur = Option.value ~default:nan (num "dur_us") in
+  let alloc = Option.value ~default:0.0 (num "alloc_b") in
+  Printf.printf "%-*s%-*s %10.1f us %10.0f B%s\n" (2 * depth) "" (40 - (2 * depth))
+    name dur alloc
+    (if detail = "" then "" else "  " ^ detail)
+
+let explain_cmd =
+  let socket_arg =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Ask a running $(b,schedtool serve --socket) at $(docv) \
+                   for the phase tree of one request.")
+  in
+  let id_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"ID"
+             ~doc:"Trace/request id to explain: a client-propagated trace \
+                   id (e.g. $(b,lg1.7)) or a server-minted $(b,r<N>), as \
+                   echoed on a reply's $(b,trace) line.")
+  in
+  let run socket id =
+    match
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      (try Unix.connect fd (Unix.ADDR_UNIX socket)
+       with e -> Unix.close fd; raise e);
+      fd
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "cannot connect to %s: %s" socket
+              (Unix.error_message err) )
+    | fd ->
+        let ic = Unix.in_channel_of_descr fd in
+        let oc = Unix.out_channel_of_descr fd in
+        Serve.Proto.write_explain_request oc id;
+        let result =
+          match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Explain_reply { body })) ->
+              String.split_on_char '\n' body
+              |> List.iter (fun line ->
+                     if String.starts_with ~prefix:"phase " line then
+                       render_phase_line line
+                     else if line <> "" then print_endline line);
+              `Ok ()
+          | Ok (Some (Serve.Proto.Error msg)) -> `Error (false, msg)
+          | Ok
+              (Some
+                 ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
+                 | Serve.Proto.Events_reply _ | Serve.Proto.Health_reply _
+                 | Serve.Proto.Session_reply _ )) ->
+              `Error (false, "server answered the wrong frame kind")
+          | Ok None -> `Error (false, "server closed the session")
+          | Error msg -> `Error (false, msg)
+        in
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        result
+  in
+  let info =
+    Cmd.info "explain"
+      ~doc:"Render the solver phase tree (wall time, allocation, \
+            per-phase detail) of one recent request on a running serve \
+            socket."
+  in
+  Cmd.v info Term.(ret (const run $ socket_arg $ id_arg))
+
+(* --- trace (merge / validate) ------------------------------------------- *)
+
+let trace_cmd =
+  let merge_cmd =
+    let files_arg =
+      Arg.(non_empty & pos_all string []
+           & info [] ~docv:"FILE" ~doc:"Chrome trace-event files to merge.")
+    in
+    let out_arg =
+      Arg.(required & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"OUT"
+               ~doc:"Write the merged trace to $(docv).")
+    in
+    let run files out =
+      match Obs.Trace.merge_files files with
+      | Error msg -> `Error (false, "merge failed: " ^ msg)
+      | Ok text -> (
+          match
+            let oc = open_out out in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc text)
+          with
+          | () ->
+              Printf.printf "merged %d file(s) into %s\n" (List.length files)
+                out;
+              `Ok ()
+          | exception Sys_error msg ->
+              `Error (false, "cannot write merged trace: " ^ msg))
+    in
+    let info =
+      Cmd.info "merge"
+        ~doc:"Merge Chrome trace files from several processes (e.g. a \
+              loadgen client and the server that answered it) onto one \
+              wall-clock timeline, one pid per input."
+    in
+    Cmd.v info Term.(ret (const run $ files_arg $ out_arg))
+  in
+  let validate_cmd =
+    let file_arg =
+      Arg.(required & pos 0 (some string) None
+           & info [] ~docv:"FILE" ~doc:"Chrome trace-event file to check.")
+    in
+    let run file =
+      match Obs.Trace.validate_file file with
+      | Ok n ->
+          Printf.printf "ok: %d event(s)\n" n;
+          `Ok ()
+      | Error msg -> `Error (false, "invalid trace: " ^ msg)
+      | exception Sys_error msg -> `Error (false, msg)
+    in
+    let info =
+      Cmd.info "validate"
+        ~doc:"Self-check a Chrome trace-event file (required keys, \
+              balanced span nesting per track)."
+    in
+    Cmd.v info Term.(ret (const run $ file_arg))
+  in
+  let info =
+    Cmd.info "trace" ~doc:"Work with Chrome trace-event files."
+  in
+  Cmd.group info [ merge_cmd; validate_cmd ]
 
 (* --- top ---------------------------------------------------------------- *)
 
@@ -1560,7 +1772,7 @@ let main =
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
       experiments_cmd; fuzz_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
-      events_cmd; top_cmd;
+      events_cmd; explain_cmd; trace_cmd; top_cmd;
     ]
 
 let () = exit (Cmd.eval main)

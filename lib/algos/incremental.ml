@@ -25,6 +25,11 @@ let sanitize instance seed =
          if i >= 0 && Core.Instance.job_eligible instance i j then i else -1)
 
 let repair ?(polish_steps = 64) instance ~seed =
+  Obs.Span.phase
+    ~result_detail:(fun r ->
+      Printf.sprintf "placed=%d moves=%d swaps=%d" r.placed r.moves r.swaps)
+    "algos.incremental.repair"
+  @@ fun () ->
   let n = Core.Instance.num_jobs instance in
   if Array.length seed <> n then
     invalid_arg "Incremental.repair: seed length must equal number of jobs";

@@ -16,8 +16,20 @@ let min_feasible ~lo ~hi ~rel_tol probe =
   let nprobes = ref 0 in
   let probe t =
     incr nprobes;
-    probe t
+    (* One phase per probe: the guess plus its verdict, so an [explain]
+       tree shows how the search narrowed in on the threshold. *)
+    Obs.Span.phase
+      ~detail:(Printf.sprintf "guess=%.6g" t)
+      ~result_detail:(fun r ->
+        Printf.sprintf "guess=%.6g %s" t
+          (match r with Some _ -> "feasible" | None -> "infeasible"))
+      "core.binary_search.probe"
+    @@ fun () -> probe t
   in
+  Obs.Span.phase
+    ~detail:(Printf.sprintf "lo=%.6g hi=%.6g" lo hi)
+    "core.binary_search"
+  @@ fun () ->
   (* flush even when the probe raises, e.g. a solver iteration limit *)
   Fun.protect ~finally:(fun () -> Obs.Counter.add c_probes !nprobes)
   @@ fun () ->

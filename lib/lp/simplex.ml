@@ -170,8 +170,15 @@ let set_costs st cost =
   done
 
 let solve ?max_iters ?(eps = 1e-9) ~a ~b ~c () =
-  Obs.Span.with_span "lp.simplex.solve" @@ fun () ->
   let p1 = fresh_counts () and p2 = fresh_counts () in
+  Obs.Span.phase
+    ~detail:
+      (Printf.sprintf "rows=%d cols=%d" (Array.length a) (Array.length c))
+    ~result_detail:(fun _ ->
+      Printf.sprintf "rows=%d cols=%d iters=%d" (Array.length a)
+        (Array.length c) (p1.iters + p2.iters))
+    "lp.simplex.solve"
+  @@ fun () ->
   (* single exit point for the counter flush *)
   let flush result =
     Obs.Counter.incr c_solves;

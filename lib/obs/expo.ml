@@ -68,8 +68,20 @@ let prometheus () =
       List.iter
         (fun (ub, c) ->
           cumulative := !cumulative + c;
-          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" p (float_text ub)
-            !cumulative)
+          (* OpenMetrics exemplar: link the bucket to the trace id that
+             landed in it last, so a p99 bucket names an explainable
+             trace. Timestamps are seconds in the exposition. *)
+          let exemplar =
+            match List.assoc_opt ub h.Histogram.exemplars with
+            | Some (e : Histogram.exemplar) ->
+                Printf.sprintf " # {trace_id=\"%s\"} %s %.6f"
+                  (escape_label e.Histogram.e_trace)
+                  (float_text e.Histogram.e_value)
+                  (e.Histogram.e_ts_us /. 1e6)
+            | None -> ""
+          in
+          Printf.bprintf buf "%s_bucket{le=\"%s\"} %d%s\n" p (float_text ub)
+            !cumulative exemplar)
         h.Histogram.buckets;
       (* Prometheus requires the +Inf bucket even when nothing overflowed *)
       if
@@ -130,6 +142,7 @@ type bench_record = {
   wall_ns : float;
   percentiles : (string * float) list;
   counters : (string * int) list;
+  trace_ids : (string * string) list;
 }
 
 let bench_records_json records =
@@ -151,12 +164,27 @@ let bench_records_json records =
           in
           Printf.sprintf ", \"percentiles\": {%s}" fields
     in
+    (* trace-id join keys (e.g. loadgen's slowest requests), omitted when
+       empty so bench/main.exe records keep their exact committed shape *)
+    let trace_ids =
+      match r.trace_ids with
+      | [] -> ""
+      | ids ->
+          let fields =
+            ids
+            |> List.map (fun (k, v) ->
+                   Printf.sprintf "\"%s\": \"%s\"" (json_escape k)
+                     (json_escape v))
+            |> String.concat ", "
+          in
+          Printf.sprintf ", \"trace_ids\": {%s}" fields
+    in
     Printf.sprintf
       "  {\"name\": \"%s\", \"iterations\": %d, \"wall_ns\": %.0f, \
-       \"ns_per_iter\": %.0f%s, \"counters\": {%s}}"
+       \"ns_per_iter\": %.0f%s%s, \"counters\": {%s}}"
       (json_escape r.bname) r.iterations r.wall_ns
       (r.wall_ns /. float_of_int (max 1 r.iterations))
-      percentiles counters
+      percentiles trace_ids counters
   in
   "[\n" ^ String.concat ",\n" (List.map record_json records) ^ "\n]\n"
 
@@ -211,7 +239,19 @@ let json () =
       List.iteri
         (fun j (ub, c) ->
           if j > 0 then Buffer.add_string buf ", ";
-          Printf.bprintf buf "{\"le\": %s, \"count\": %d}" (json_float ub) c)
+          let exemplar =
+            match List.assoc_opt ub h.Histogram.exemplars with
+            | Some (e : Histogram.exemplar) ->
+                Printf.sprintf
+                  ", \"exemplar\": {\"trace_id\": \"%s\", \"value\": %s, \
+                   \"ts_us\": %s}"
+                  (json_escape e.Histogram.e_trace)
+                  (json_float e.Histogram.e_value)
+                  (json_float e.Histogram.e_ts_us)
+            | None -> ""
+          in
+          Printf.bprintf buf "{\"le\": %s, \"count\": %d%s}" (json_float ub) c
+            exemplar)
         h.Histogram.buckets;
       Buffer.add_string buf "]}")
     (Histogram.snapshot ~include_empty:true ());

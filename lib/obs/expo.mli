@@ -17,9 +17,13 @@ val prometheus : unit -> string
     a [# TYPE] line. Histogram bucket counts are cumulative and always
     include the [+Inf] bucket; a registered-but-empty histogram still
     exposes its [+Inf] bucket, [_sum] and [_count] at zero so the series
-    never vanishes from a scrape. When {!Slo} objectives are registered,
-    [slo_ratio] and [slo_burn_rate] gauges (labeled by objective and
-    window) are appended. *)
+    never vanishes from a scrape. Buckets with a recorded exemplar
+    ({!Histogram.exemplar}) carry the OpenMetrics suffix
+    [# {trace_id="..."} value timestamp_s] linking the bucket to its
+    most recent traced observation (the synthesized [+Inf] line never
+    does). When {!Slo} objectives are registered, [slo_ratio] and
+    [slo_burn_rate] gauges (labeled by objective and window) are
+    appended. *)
 
 val quantile_points : (string * float) list
 (** The quantiles the JSON snapshot reports per histogram:
@@ -32,6 +36,9 @@ type bench_record = {
   percentiles : (string * float) list;
       (** e.g. [("p50_us", 812.)]; omitted from the JSON when empty *)
   counters : (string * int) list;  (** counter deltas over the loop *)
+  trace_ids : (string * string) list;
+      (** join keys against server-side dumps/explains, e.g.
+          [("slowest", "lg7.42")]; omitted from the JSON when empty *)
 }
 (** One benchmark or load-generation run, as exported to
     [BENCH_serve.json] by the bench harness and [schedtool loadgen

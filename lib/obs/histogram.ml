@@ -15,10 +15,18 @@ let default_ratio = 1.25
    bucket. *)
 let max_tracked = 1e12
 
+type exemplar = { e_trace : string; e_value : float; e_ts_us : float }
+
 type shard = {
   counts : int array;
   mutable sum : float;
   mutable max_value : float;
+  (* last traced observation per bucket: a bounded reservoir (one slot
+     per bucket per shard) linking a bucket to the trace id that landed
+     in it most recently — enough for a p99 bucket in the exposition to
+     name an explainable trace. Only observations made under an ambient
+     Sink context record one. *)
+  exemplars : exemplar option array;
 }
 
 type t = {
@@ -38,6 +46,7 @@ type snapshot = {
   sum : float;
   max_value : float;
   buckets : (float * int) list;
+  exemplars : (float * exemplar) list;
 }
 
 let registry : (string, t) Hashtbl.t = Hashtbl.create 16
@@ -64,6 +73,7 @@ let make ?(ratio = default_ratio) name =
                   counts = Array.make nbuckets 0;
                   sum = 0.0;
                   max_value = neg_infinity;
+                  exemplars = Array.make nbuckets None;
                 }
               in
               Mutex.lock shards_mutex;
@@ -101,24 +111,41 @@ let observe t v =
   let i = bucket_index t v in
   s.counts.(i) <- s.counts.(i) + 1;
   s.sum <- s.sum +. v;
-  if v > s.max_value then s.max_value <- v
+  if v > s.max_value then s.max_value <- v;
+  (match Sink.current_ctx () with
+  | None -> ()
+  | Some trace ->
+      s.exemplars.(i) <-
+        Some { e_trace = trace; e_value = v; e_ts_us = Sink.now_us () })
 
 let merged t =
   Mutex.lock t.shards_mutex;
   let shards = !(t.shards) in
   Mutex.unlock t.shards_mutex;
   let counts = Array.make t.nbuckets 0 in
+  let exemplars = Array.make t.nbuckets None in
   let sum = ref 0.0 and max_value = ref neg_infinity in
   List.iter
     (fun s ->
       Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.counts;
+      Array.iteri
+        (fun i e ->
+          (* newest observation wins across shards *)
+          match (e, exemplars.(i)) with
+          | None, _ -> ()
+          | Some x, Some y when y.e_ts_us >= x.e_ts_us -> ()
+          | (Some _ as x), _ -> exemplars.(i) <- x)
+        s.exemplars;
       sum := !sum +. s.sum;
       if s.max_value > !max_value then max_value := s.max_value)
     shards;
   let count = Array.fold_left ( + ) 0 counts in
-  let buckets = ref [] in
+  let buckets = ref [] and exlist = ref [] in
   for i = t.nbuckets - 1 downto 0 do
-    if counts.(i) > 0 then buckets := (upper_bound t i, counts.(i)) :: !buckets
+    if counts.(i) > 0 then buckets := (upper_bound t i, counts.(i)) :: !buckets;
+    (match exemplars.(i) with
+    | Some e -> exlist := (upper_bound t i, e) :: !exlist
+    | None -> ())
   done;
   {
     sname = t.name;
@@ -127,6 +154,7 @@ let merged t =
     sum = !sum;
     max_value = (if count = 0 then nan else !max_value);
     buckets = !buckets;
+    exemplars = !exlist;
   }
 
 let find name =
@@ -167,6 +195,7 @@ let reset t =
   List.iter
     (fun s ->
       Array.fill s.counts 0 t.nbuckets 0;
+      Array.fill s.exemplars 0 t.nbuckets None;
       s.sum <- 0.0;
       s.max_value <- neg_infinity)
     !(t.shards);

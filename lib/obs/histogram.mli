@@ -36,7 +36,16 @@ val ratio : t -> float
 val observe : t -> float -> unit
 (** Record one value into the calling domain's shard. Non-finite values
     count toward [count] but land in the extreme buckets ([nan] and
-    [-inf] in bucket 0, [+inf] in the overflow bucket). *)
+    [-inf] in bucket 0, [+inf] in the overflow bucket). When an ambient
+    {!Sink} context (trace/request id) is set, the observation also
+    replaces the bucket's exemplar — a bounded reservoir of one slot per
+    bucket per shard, so tracing adds no allocation growth. *)
+
+type exemplar = {
+  e_trace : string;  (** trace/request id ambient at observation *)
+  e_value : float;  (** the observed value *)
+  e_ts_us : float;  (** absolute observation time, microseconds *)
+}
 
 type snapshot = {
   sname : string;
@@ -47,6 +56,9 @@ type snapshot = {
   buckets : (float * int) list;
       (** nonempty buckets, ascending [(upper_bound, count)]; the
           overflow bucket's upper bound is [infinity] *)
+  exemplars : (float * exemplar) list;
+      (** buckets' latest traced observations, ascending by upper bound;
+          across shards the newest timestamp wins *)
 }
 
 val merged : t -> snapshot

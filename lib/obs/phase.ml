@@ -1,0 +1,136 @@
+(* Phase attribution: completed spans as records in bounded per-domain
+   rings. Unlike Sink's buffers (off by default, unbounded, one traced
+   run) the phase recorder is always on at bounded cost, like Event's
+   flight recorder: each domain owns a fixed-capacity ring that newer
+   records overwrite, so a long-lived server can answer "where did that
+   request spend its time" for the recent past without ever growing.
+   A record is written once, when its span closes (Span.phase), so the
+   hot path is two clock reads plus one ring slot write and never takes
+   a lock. *)
+
+type record = {
+  name : string;
+  detail : string;  (* "" when the phase carries no annotation *)
+  ctx : string option;
+  id : int;
+  parent : int option;
+  start_us : float;
+  dur_us : float;
+  alloc_bytes : float;
+  domain : int;
+  seq : int;  (* per-domain emission index, breaks timestamp ties *)
+}
+
+let default_capacity = 4096
+
+let dummy =
+  {
+    name = "";
+    detail = "";
+    ctx = None;
+    id = -1;
+    parent = None;
+    start_us = 0.0;
+    dur_us = 0.0;
+    alloc_bytes = 0.0;
+    domain = -1;
+    seq = -1;
+  }
+
+type ring = { mutable slots : record array; mutable next : int }
+
+let capacity = Atomic.make default_capacity
+
+(* Rings of terminated domains stay registered so their records survive
+   a pool shutdown, mirroring Sink and Event. *)
+let registry : ring list ref = ref []
+let registry_mutex = Mutex.create ()
+
+let ring_key =
+  Domain.DLS.new_key (fun () ->
+      let r = { slots = Array.make (Atomic.get capacity) dummy; next = 0 } in
+      Mutex.lock registry_mutex;
+      registry := r :: !registry;
+      Mutex.unlock registry_mutex;
+      r)
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Phase.set_capacity: capacity must be >= 1";
+  Atomic.set capacity n;
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun r ->
+      r.slots <- Array.make n dummy;
+      r.next <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let clear () =
+  Mutex.lock registry_mutex;
+  List.iter
+    (fun r ->
+      Array.fill r.slots 0 (Array.length r.slots) dummy;
+      r.next <- 0)
+    !registry;
+  Mutex.unlock registry_mutex
+
+let push ~name ~detail ~id ~parent ~start_us ~dur_us ~alloc_bytes () =
+  let r = Domain.DLS.get ring_key in
+  let rec_ =
+    {
+      name;
+      detail;
+      ctx = Sink.current_ctx ();
+      id;
+      parent;
+      start_us;
+      dur_us;
+      alloc_bytes;
+      domain = (Domain.self () :> int);
+      seq = r.next;
+    }
+  in
+  let cap = Array.length r.slots in
+  r.slots.(r.next mod cap) <- rec_;
+  r.next <- r.next + 1
+
+let ring_records r =
+  let cap = Array.length r.slots in
+  let n = min r.next cap in
+  List.init n (fun i -> r.slots.((r.next - n + i) mod cap))
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let rings = !registry in
+  Mutex.unlock registry_mutex;
+  List.concat_map ring_records rings
+  |> List.stable_sort (fun a b ->
+         match Float.compare a.start_us b.start_us with
+         (* ids are allocated when a span opens, from one monotone
+            counter, so ascending id is global open order — it puts a
+            parent before its children even when the clock cannot
+            separate their starts *)
+         | 0 -> compare a.id b.id
+         | n -> n)
+
+let recent ?ctx () =
+  match ctx with
+  | None -> snapshot ()
+  | Some c -> List.filter (fun r -> r.ctx = Some c) (snapshot ())
+
+(* Depth of a record in its trace's parent-link forest: roots (no parent,
+   or parent evicted from the ring) are 0. Cycles cannot occur — ids are
+   allocated from a monotone counter and parents always precede
+   children — but a missing parent must not loop, hence the option fold. *)
+let depth records r =
+  let by_id = Hashtbl.create (List.length records) in
+  List.iter (fun (x : record) -> Hashtbl.replace by_id x.id x) records;
+  let rec go d r =
+    match r.parent with
+    | None -> d
+    | Some p -> (
+        match Hashtbl.find_opt by_id p with
+        | Some parent when parent.id <> r.id -> go (d + 1) parent
+        | _ -> d)
+  in
+  go 0 r

@@ -7,6 +7,8 @@ type event = {
   domain : int;
   ctx : string option;
   alloc_bytes : float option;
+  span : int option;
+  parent : int option;
 }
 
 let on = Atomic.make false
@@ -30,6 +32,26 @@ let with_ctx ctx f =
   cell := Some ctx;
   Fun.protect ~finally:(fun () -> cell := saved) f
 
+(* Span identity: process-unique ids allocated from one atomic counter,
+   plus a per-domain ambient "innermost open span" slot so a newly
+   opened span can link to its parent without threading ids through
+   every call site. The slot is maintained by Span.phase and reinstalled
+   across Parallel.Pool submission, so parent links survive the hop to a
+   worker domain. *)
+let next_span_id = Atomic.make 1
+let new_span_id () = Atomic.fetch_and_add next_span_id 1
+
+let span_key : int option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let current_span () = !(Domain.DLS.get span_key)
+
+let with_span_id id f =
+  let cell = Domain.DLS.get span_key in
+  let saved = !cell in
+  cell := Some id;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
 (* One buffer per domain, created lazily; only the owning domain pushes,
    so emission is lock-free. The registry of buffers is mutex-protected
    and keeps buffers of terminated domains alive so their events survive
@@ -45,7 +67,7 @@ let buffer_key =
       Mutex.unlock registry_mutex;
       buf)
 
-let emit ?alloc ~name ~phase () =
+let emit ?alloc ?span ?parent ~name ~phase () =
   if Atomic.get on then begin
     let buf = Domain.DLS.get buffer_key in
     buf :=
@@ -56,6 +78,8 @@ let emit ?alloc ~name ~phase () =
         domain = (Domain.self () :> int);
         ctx = current_ctx ();
         alloc_bytes = alloc;
+        span;
+        parent;
       }
       :: !buf
   end

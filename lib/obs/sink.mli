@@ -19,10 +19,16 @@ type event = {
   phase : phase;
   ts_us : float;  (** absolute timestamp, microseconds since the epoch *)
   domain : int;  (** id of the recording domain *)
-  ctx : string option;  (** ambient context (request id) at emission *)
+  ctx : string option;  (** ambient context (trace/request id) at emission *)
   alloc_bytes : float option;
       (** bytes allocated inside the span, attached to its End event by
           {!Span.with_alloc}; rendered as an [alloc_b] arg in the trace *)
+  span : int option;
+      (** span id of the scope this event opens or closes; rendered as a
+          [sid] arg in the trace *)
+  parent : int option;
+      (** span id of the enclosing scope at emission (parent link);
+          rendered as a [psid] arg in the trace *)
 }
 
 val enabled : unit -> bool
@@ -32,10 +38,12 @@ val disable : unit -> unit
 val now_us : unit -> float
 (** Wall-clock microseconds (the timestamp base used for all events). *)
 
-val emit : ?alloc:float -> name:string -> phase:phase -> unit -> unit
+val emit :
+  ?alloc:float -> ?span:int -> ?parent:int ->
+  name:string -> phase:phase -> unit -> unit
 (** Record one event on the calling domain's buffer; no-op when the sink
-    is disabled. [alloc] attaches an allocation delta (bytes) to the
-    event. *)
+    is disabled. [alloc] attaches an allocation delta (bytes); [span] and
+    [parent] attach span identity (see {!new_span_id}). *)
 
 val with_ctx : string -> (unit -> 'a) -> 'a
 (** [with_ctx id f] runs [f] with the calling domain's ambient context
@@ -47,6 +55,18 @@ val with_ctx : string -> (unit -> 'a) -> 'a
 
 val current_ctx : unit -> string option
 (** The calling domain's ambient context, if any. *)
+
+val new_span_id : unit -> int
+(** Allocate a process-unique span id (atomic counter, never reused). *)
+
+val with_span_id : int -> (unit -> 'a) -> 'a
+(** [with_span_id id f] runs [f] with the calling domain's ambient span
+    set to [id]: spans opened inside link to [id] as their parent. Nests
+    and restores like {!with_ctx}; maintained by [Span.phase] and
+    reinstalled across [Parallel.Pool] submission. *)
+
+val current_span : unit -> int option
+(** The calling domain's innermost open span id, if any. *)
 
 val events : unit -> event list
 (** All recorded events across every domain, in timestamp order. *)

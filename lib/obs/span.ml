@@ -22,6 +22,39 @@ let with_alloc name f =
       f
   end
 
+(* A phase is a span with identity: it allocates a process-unique span
+   id, links to the innermost enclosing phase, records a completed-span
+   record in the always-on Phase ring (with wall time and the calling
+   domain's allocation delta), and — when the sink is enabled — also
+   emits Begin/End events carrying the ids so Chrome traces show the
+   same tree. The always-on cost is two clock reads, two allocation
+   counter reads and one ring write; there are no counters and no
+   locks. *)
+let phase ?(detail = "") ?result_detail name f =
+  let parent = Sink.current_span () in
+  let id = Sink.new_span_id () in
+  let sink_on = Sink.enabled () in
+  if sink_on then Sink.emit ~span:id ?parent ~name ~phase:Sink.Begin ();
+  let before = Gc.allocated_bytes () in
+  let start = Sink.now_us () in
+  let finish detail =
+    let dur = Sink.now_us () -. start in
+    let alloc = Gc.allocated_bytes () -. before in
+    Phase.push ~name ~detail ~id ~parent ~start_us:start ~dur_us:dur
+      ~alloc_bytes:alloc ();
+    if sink_on then Sink.emit ~alloc ~span:id ?parent ~name ~phase:Sink.End ()
+  in
+  match Sink.with_span_id id f with
+  | v ->
+      let detail =
+        match result_detail with Some g -> g v | None -> detail
+      in
+      finish detail;
+      v
+  | exception e ->
+      finish detail;
+      raise e
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let r = with_span name f in

@@ -15,6 +15,20 @@ val with_alloc : string -> (unit -> 'a) -> 'a
     Chrome trace) and refreshes the [gc.*] gauges ({!Memprof.sample})
     on exit. When the sink is disabled this is exactly [f ()]. *)
 
+val phase :
+  ?detail:string -> ?result_detail:('a -> string) -> string ->
+  (unit -> 'a) -> 'a
+(** [phase name f] is a span with identity: it allocates a span id
+    ({!Sink.new_span_id}), links to the innermost enclosing phase as its
+    parent, runs [f] with that id ambient (so nested phases chain), and
+    on exit — normal or raising — records a completed-span record with
+    wall time and the calling domain's allocation delta in the always-on
+    {!Phase} ring. When the sink is enabled it additionally emits
+    Begin/End events carrying the ids ([sid]/[psid] trace args).
+    [detail] annotates the record; [result_detail], when given, is
+    applied to [f]'s result to compute the annotation instead (e.g. a
+    probe's feasibility verdict) — on an exception [detail] is used. *)
+
 val timed : string -> (unit -> 'a) -> 'a * float
 (** [timed name f] is [with_span name f] that additionally measures and
     returns the elapsed wall-clock seconds — measured whether or not the

@@ -33,6 +33,12 @@ let to_string () =
           (match e.ctx with
           | None -> []
           | Some ctx -> [ Printf.sprintf "\"req\":\"%s\"" (escape ctx) ])
+          @ (match e.span with
+            | None -> []
+            | Some id -> [ Printf.sprintf "\"sid\":%d" id ])
+          @ (match e.parent with
+            | None -> []
+            | Some id -> [ Printf.sprintf "\"psid\":%d" id ])
           @
           match e.alloc_bytes with
           | None -> []
@@ -47,7 +53,11 @@ let to_string () =
         "\n{\"name\":\"%s\",\"cat\":\"obs\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s%s}"
         (escape e.name) ph (e.ts_us -. t0) e.domain extra args)
     events;
-  Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n";
+  (* t0_us anchors the relative timestamps to the wall clock, so traces
+     from different processes (a loadgen client and the server that
+     answered it) can be re-based onto one timeline by [merge_strings].
+     Chrome/Perfetto ignore unknown top-level keys. *)
+  Printf.bprintf buf "\n],\"t0_us\":%.3f,\"displayTimeUnit\":\"ms\"}\n" t0;
   Buffer.contents buf
 
 let to_file path =
@@ -211,8 +221,10 @@ let validate_string text =
   | Obj fields -> (
       match List.assoc_opt "traceEvents" fields with
       | Some (Arr events) -> (
-          (* per-tid stacks: every E must close the innermost open B *)
-          let stacks : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+          (* per-(pid,tid) stacks: every E must close the innermost open
+             B on its own process track — merged multi-process traces
+             reuse tids across pids *)
+          let stacks : (int * int, string list) Hashtbl.t = Hashtbl.create 8 in
           let check_event ev =
             match ev with
             | Obj f -> (
@@ -227,30 +239,30 @@ let validate_string text =
                   | _ -> Error (Printf.sprintf "missing numeric key %S" k)
                 in
                 match (str "name", str "ph", num "ts", num "pid", num "tid") with
-                | Ok name, Ok ph, Ok _, Ok _, Ok tid -> (
-                    let tid = int_of_float tid in
+                | Ok name, Ok ph, Ok _, Ok pid, Ok tid -> (
+                    let track = (int_of_float pid, int_of_float tid) in
                     let stack =
-                      Option.value ~default:[] (Hashtbl.find_opt stacks tid)
+                      Option.value ~default:[] (Hashtbl.find_opt stacks track)
                     in
                     match ph with
                     | "B" ->
-                        Hashtbl.replace stacks tid (name :: stack);
+                        Hashtbl.replace stacks track (name :: stack);
                         Ok ()
                     | "E" -> (
                         match stack with
                         | top :: rest when top = name ->
-                            Hashtbl.replace stacks tid rest;
+                            Hashtbl.replace stacks track rest;
                             Ok ()
                         | top :: _ ->
                             Error
                               (Printf.sprintf
                                  "E %S does not close innermost B %S on tid %d"
-                                 name top tid)
+                                 name top (snd track))
                         | [] ->
                             Error
                               (Printf.sprintf "E %S with no open B on tid %d"
-                                 name tid))
-                    | "i" | "I" -> Ok ()
+                                 name (snd track)))
+                    | "i" | "I" | "M" -> Ok ()
                     | other -> Error (Printf.sprintf "unknown phase %S" other))
                 | Error e, _, _, _, _
                 | _, Error e, _, _, _
@@ -277,6 +289,117 @@ let validate_string text =
       | Some _ -> Error "traceEvents is not an array"
       | None -> Error "no traceEvents key")
   | _ -> Error "top-level JSON value is not an object"
+
+(* --- merge: combine traces from several processes (a loadgen client
+   and the server that answered it) onto one timeline. Each input's
+   [t0_us] anchor rebases its relative timestamps against the earliest
+   anchor, and each input gets its own [pid] (with a [process_name]
+   metadata record) so its domains render as separate tracks. --- *)
+
+let rec write_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v ->
+      if Float.is_integer v && Float.abs v < 1e15 then
+        Printf.bprintf buf "%.0f" v
+      else Printf.bprintf buf "%.3f" v
+  | Str s -> Printf.bprintf buf "\"%s\"" (escape s)
+  | Arr l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          write_json buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj l ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf "\"%s\":" (escape k);
+          write_json buf v)
+        l;
+      Buffer.add_char buf '}'
+
+let merge_strings inputs =
+  let parse (label, text) =
+    match parse_json text with
+    | Obj fields -> (
+        match List.assoc_opt "traceEvents" fields with
+        | Some (Arr events) ->
+            let t0 =
+              match List.assoc_opt "t0_us" fields with
+              | Some (Num v) -> v
+              | _ -> 0.0
+            in
+            (label, t0, events)
+        | Some _ -> raise (Bad (label ^ ": traceEvents is not an array"))
+        | None -> raise (Bad (label ^ ": no traceEvents key")))
+    | _ -> raise (Bad (label ^ ": top-level JSON value is not an object"))
+    | exception Bad msg -> raise (Bad (label ^ ": " ^ msg))
+  in
+  match List.map parse inputs with
+  | exception Bad msg -> Error msg
+  | [] -> Error "nothing to merge"
+  | parts ->
+      let base =
+        List.fold_left (fun acc (_, t0, _) -> Float.min acc t0) infinity parts
+      in
+      let base = if Float.is_finite base then base else 0.0 in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\"traceEvents\":[";
+      let first = ref true in
+      let emit ev =
+        if !first then first := false else Buffer.add_char buf ',';
+        Buffer.add_char buf '\n';
+        write_json buf ev
+      in
+      List.iteri
+        (fun i (label, t0, events) ->
+          let pid = float_of_int (i + 1) in
+          emit
+            (Obj
+               [
+                 ("name", Str "process_name");
+                 ("ph", Str "M");
+                 ("pid", Num pid);
+                 ("tid", Num 0.0);
+                 ("ts", Num 0.0);
+                 ("args", Obj [ ("name", Str label) ]);
+               ]);
+          List.iter
+            (fun ev ->
+              match ev with
+              | Obj fields ->
+                  emit
+                    (Obj
+                       (List.map
+                          (fun (k, v) ->
+                            match (k, v) with
+                            | "ts", Num ts -> (k, Num (ts +. t0 -. base))
+                            | "pid", _ -> (k, Num pid)
+                            | _ -> (k, v))
+                          fields))
+              | other -> emit other)
+            events)
+        parts;
+      Printf.bprintf buf "\n],\"t0_us\":%.3f,\"displayTimeUnit\":\"ms\"}\n" base;
+      Ok (Buffer.contents buf)
+
+let merge_files paths =
+  let read path =
+    let ic = open_in_bin path in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    (Filename.basename path, text)
+  in
+  match List.map read paths with
+  | exception Sys_error msg -> Error msg
+  | inputs -> merge_strings inputs
 
 (* Structural JSON check for a single value (no trace-shape rules);
    Event's JSON-lines dumps are validated with this. *)

@@ -21,6 +21,20 @@ val validate_string : string -> (int, string) result
 
 val validate_file : string -> (int, string) result
 
+val merge_strings : (string * string) list -> (string, string) result
+(** [merge_strings [(label, text); ...]] combines several Chrome trace
+    files — typically a loadgen client's trace and the server trace that
+    answered it — onto one timeline. Each input's [t0_us] wall-clock
+    anchor (written by {!to_string}) rebases its relative timestamps
+    against the earliest anchor; each input is assigned its own [pid]
+    (input order, starting at 1) and a [process_name] metadata record
+    naming it [label], so spans from both processes line up on real time
+    but render as separate process tracks. Inputs without an anchor keep
+    their timestamps ([t0_us = 0]). *)
+
+val merge_files : string list -> (string, string) result
+(** {!merge_strings} over files, labelled by basename. *)
+
 val check_json : string -> (unit, string) result
 (** Structural check that [text] is one well-formed JSON value (no
     trace-shape rules) — used to validate {!Event} JSON-lines dumps in

@@ -10,6 +10,22 @@ let h_queue_wait = Obs.Histogram.make "pool.queue_wait_latency_us"
 
 type task = Task of { f : unit -> unit; enqueued_us : float } | Quit
 
+(* Tasks run on worker domains, whose DLS slots know nothing about the
+   submitter's ambient trace context; without this capture a span emitted
+   inside a pooled task would lose its request id and parent link. The
+   capture happens on the submitting domain, the reinstall on whichever
+   domain executes the task. *)
+let capture_obs_ctx f =
+  let ctx = Obs.Sink.current_ctx () in
+  let span = Obs.Sink.current_span () in
+  fun () ->
+    let f =
+      match span with
+      | None -> f
+      | Some id -> fun () -> Obs.Sink.with_span_id id f
+    in
+    match ctx with None -> f () | Some c -> Obs.Sink.with_ctx c f
+
 type t = {
   mutex : Mutex.t;
   nonempty : Condition.t;
@@ -152,7 +168,7 @@ let run t thunks =
         results.(i) <- Some outcome;
         Atomic.decr remaining
       in
-      Queue.push (Task { f = run_one; enqueued_us }) t.queue)
+      Queue.push (Task { f = capture_obs_ctx run_one; enqueued_us }) t.queue)
     thunks;
   note_queue_depth t;
   Condition.broadcast t.nonempty;
@@ -181,12 +197,13 @@ let submit t f =
   (* A fire-and-forget task has nobody to re-raise to; an escaping
      exception would silently kill the worker domain, so swallow it into
      a counter instead. *)
-  let f () =
-    try f ()
-    with e ->
-      Obs.Counter.incr c_task_errors;
-      Obs.Event.emit ~level:Obs.Event.Warn "pool.task_error"
-        [ ("exn", Obs.Event.Str (Printexc.to_string e)) ]
+  let f =
+    capture_obs_ctx (fun () ->
+        try f ()
+        with e ->
+          Obs.Counter.incr c_task_errors;
+          Obs.Event.emit ~level:Obs.Event.Warn "pool.task_error"
+            [ ("exn", Obs.Event.Str (Printexc.to_string e)) ])
   in
   let enqueued_us = Obs.Sink.now_us () in
   Mutex.lock t.mutex;

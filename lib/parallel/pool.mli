@@ -20,7 +20,13 @@
     mirrored into the [pool.queue_depth] and [pool.capacity] gauges
     (last pool wins — servers run exactly one), and every task is
     bracketed by [Obs.Health] heartbeat marks so the watchdog can flag a
-    wedged task. *)
+    wedged task.
+
+    The submitter's ambient trace context ([Obs.Sink.current_ctx]) and
+    innermost open span id ([Obs.Sink.current_span]) are captured at
+    submission and reinstalled on the executing domain, so spans and
+    events emitted inside a pooled task stay attributed to the request
+    that spawned the task. *)
 
 type t
 

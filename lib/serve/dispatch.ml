@@ -93,7 +93,12 @@ let decision ?(shed = false) ~hint ~solver ~heavy ~degraded ~remaining_ms () =
 
 let solve ?deadline_ms ?(hint = "auto") ?(seed = 1)
     ?(pressure = fun () -> false) t =
-  Obs.Span.with_span "serve.dispatch" @@ fun () ->
+  Obs.Span.phase ~detail:("hint=" ^ hint)
+    ~result_detail:(function
+      | Ok o -> Printf.sprintf "hint=%s solver=%s" hint o.solver
+      | Error _ -> Printf.sprintf "hint=%s error" hint)
+    "serve.dispatch"
+  @@ fun () ->
   if not (List.mem hint solvers) then
     Error
       (Printf.sprintf "unknown solver %S (expected one of: %s)" hint

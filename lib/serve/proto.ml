@@ -1,8 +1,15 @@
 let version = 1
 
+(* Client-propagated trace context (W3C-traceparent-flavored, but line
+   oriented like the rest of the protocol): a trace id the server adopts
+   as its ambient request context, plus optionally the client's span id
+   so server-side roots link back to the client's phase tree. *)
+type trace_ctx = { tid : string; parent : int option }
+
 type request = {
   solver : string option;
   deadline_ms : float option;
+  trace : trace_ctx option;
   instance : Core.Instance.t;
 }
 
@@ -13,6 +20,7 @@ type reply = {
   makespan : float;
   elapsed_us : int;
   assignment : int array;
+  trace : string option;
 }
 
 type stats_format = Prometheus | Json
@@ -24,7 +32,7 @@ type session_op =
   | S_resolve of { deadline_ms : float option }
   | S_close
 
-type session_request = { sid : string; op : session_op }
+type session_request = { sid : string; op : session_op; trace : trace_ctx option }
 
 type session_reply = {
   sid : string;
@@ -33,6 +41,7 @@ type session_reply = {
   jobs : int;
   mode : string option;
   solve : reply option;
+  trace : string option;
 }
 
 type response =
@@ -40,6 +49,7 @@ type response =
   | Stats_reply of { format : stats_format; body : string }
   | Events_reply of { body : string }
   | Health_reply of { body : string }
+  | Explain_reply of { body : string }
   | Session_reply of session_reply
   | Error of string
 
@@ -50,12 +60,14 @@ type incoming =
   | Stats of stats_format
   | Events of { count : int option; min_level : Obs.Event.level }
   | Health
+  | Explain of string
   | Session of session_request
 
 let request_header = Printf.sprintf "request v%d" version
 let stats_header = Printf.sprintf "stats v%d" version
 let events_header = Printf.sprintf "events v%d" version
 let health_header = Printf.sprintf "health v%d" version
+let explain_header = Printf.sprintf "explain v%d" version
 let session_header = Printf.sprintf "session v%d" version
 let response_header = Printf.sprintf "response v%d" version
 
@@ -113,9 +125,46 @@ let split_first line =
       ( String.sub line 0 i,
         String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
 
+(* Session and trace ids travel on single lines of both directions, so
+   keep them boring: short and made of unambiguous characters. *)
+let check_id ~what id =
+  let ok_char = function
+    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+    | _ -> false
+  in
+  if id = "" then Result.Error (Printf.sprintf "%s: must not be empty" what)
+  else if String.length id > 64 then
+    Result.Error (Printf.sprintf "%s: must be at most 64 characters" what)
+  else if not (String.for_all ok_char id) then
+    Result.Error
+      (Printf.sprintf "%s: %S has characters outside [A-Za-z0-9._-]" what id)
+  else Ok id
+
+(* [trace <id>] or [trace <id>/<parent-span>]: the optional suffix is
+   the client's open span id; the server-side root phase records it as
+   its parent so the merged trace chains across the process boundary. *)
+let parse_trace v =
+  let ( let* ) = Result.bind in
+  match String.index_opt v '/' with
+  | None ->
+      let* tid = check_id ~what:"trace" v in
+      Ok { tid; parent = None }
+  | Some i -> (
+      let* tid = check_id ~what:"trace" (String.sub v 0 i) in
+      let p = String.sub v (i + 1) (String.length v - i - 1) in
+      match int_of_string_opt p with
+      | Some s when s >= 0 -> Ok { tid; parent = Some s }
+      | Some _ | None ->
+          Result.Error
+            (Printf.sprintf "trace: parent span %S must be an integer >= 0" p))
+
+let trace_to_text { tid; parent } =
+  match parent with None -> tid | Some p -> Printf.sprintf "%s/%d" tid p
+
 let parse_request body =
   let solver = ref None in
   let deadline_ms = ref None in
+  let trace = ref None in
   let rec fields = function
     | [] -> Result.Error "request has no instance block"
     | line :: rest -> (
@@ -125,11 +174,22 @@ let parse_request body =
             Result.map_error Core.Instance_io.error_to_string
               (Result.map
                  (fun instance ->
-                   { solver = !solver; deadline_ms = !deadline_ms; instance })
+                   {
+                     solver = !solver;
+                     deadline_ms = !deadline_ms;
+                     trace = !trace;
+                     instance;
+                   })
                  (Core.Instance_io.of_string_result text))
         | "solver", v when v <> "" ->
             solver := Some v;
             fields rest
+        | "trace", v -> (
+            match parse_trace v with
+            | Ok tc ->
+                trace := Some tc;
+                fields rest
+            | Result.Error _ as e -> e)
         | "deadline_ms", v -> (
             match float_of_string_opt v with
             | Some d when d >= 0.0 ->
@@ -200,20 +260,29 @@ let parse_health body =
   in
   fields body
 
-(* Session ids travel on single lines of both directions, so keep them
-   boring: short and made of unambiguous characters. *)
-let check_sid sid =
-  let ok_char = function
-    | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
-    | _ -> false
+let check_sid sid = check_id ~what:"id" sid
+
+(* An explain frame's body is a mandatory [id <trace-id>] field naming
+   the trace/request whose phase tree the server should render. *)
+let parse_explain body =
+  let id = ref None in
+  let rec fields = function
+    | [] -> (
+        match !id with
+        | Some i -> Ok (Explain i)
+        | None -> Result.Error "explain frame missing id")
+    | line :: rest -> (
+        match split_first line with
+        | "id", v -> (
+            match check_id ~what:"id" v with
+            | Ok i ->
+                id := Some i;
+                fields rest
+            | Result.Error _ as e -> e)
+        | "", _ -> fields rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown explain field %S" key))
   in
-  if sid = "" then Result.Error "id: must not be empty"
-  else if String.length sid > 64 then
-    Result.Error "id: must be at most 64 characters"
-  else if not (String.for_all ok_char sid) then
-    Result.Error
-      (Printf.sprintf "id: %S has characters outside [A-Za-z0-9._-]" sid)
-  else Ok sid
+  fields body
 
 let float_of_text s =
   match s with "inf" -> Some infinity | _ -> float_of_string_opt s
@@ -305,6 +374,7 @@ let parse_session body =
   let added = ref [] in
   let dropped = ref [] in
   let instance = ref None in
+  let trace = ref None in
   let rec fields = function
     | [] -> Ok ()
     | line :: rest -> (
@@ -315,6 +385,10 @@ let parse_session body =
         | "id", v ->
             let* id = check_sid v in
             sid := Some id;
+            fields rest
+        | "trace", v ->
+            let* tc = parse_trace v in
+            trace := Some tc;
             fields rest
         | "instance", "" ->
             let text = String.concat "\n" rest in
@@ -404,7 +478,7 @@ let parse_session body =
           (Printf.sprintf
              "op: expected create|add-jobs|drop-jobs|resolve|close, got %S" v)
   in
-  Ok (Session { sid; op })
+  Ok (Session { sid; op; trace = !trace })
 
 let read_incoming ic =
   match read_header ic with
@@ -437,6 +511,13 @@ let read_incoming ic =
           match parse_health body with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
+  | Some header when header = explain_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_explain body with
+          | Ok incoming -> Ok (Some incoming)
+          | Result.Error _ as e -> e))
   | Some header when header = session_header -> (
       match read_body ic with
       | Result.Error _ as e -> e
@@ -447,9 +528,10 @@ let read_incoming ic =
   | Some header ->
       drain_frame ic;
       Result.Error
-        (Printf.sprintf "bad request header %S (expected %S, %S, %S, %S or %S)"
-           header request_header stats_header events_header health_header
-           session_header)
+        (Printf.sprintf
+           "bad request header %S (expected %S, %S, %S, %S, %S or %S)" header
+           request_header stats_header events_header health_header
+           explain_header session_header)
 
 let read_request ic =
   match read_incoming ic with
@@ -467,6 +549,10 @@ let read_request ic =
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" health_header
            request_header)
+  | Ok (Some (Explain _)) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" explain_header
+           request_header)
   | Ok (Some (Session _)) ->
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" session_header
@@ -480,6 +566,9 @@ let write_request oc (req : request) =
   Option.iter
     (fun d -> Printf.fprintf oc "deadline_ms %s\n" (float_to_text d))
     req.deadline_ms;
+  Option.iter
+    (fun tc -> Printf.fprintf oc "trace %s\n" (trace_to_text tc))
+    req.trace;
   output_string oc "instance\n";
   output_string oc (Core.Instance_io.to_string req.instance);
   output_string oc "end\n";
@@ -508,6 +597,13 @@ let write_health_request oc =
   output_string oc "end\n";
   flush oc
 
+let write_explain_request oc id =
+  output_string oc explain_header;
+  output_char oc '\n';
+  Printf.fprintf oc "id %s\n" id;
+  output_string oc "end\n";
+  flush oc
+
 let bools_to_text e =
   String.concat "," (List.map (fun b -> if b then "1" else "0") (Array.to_list e))
 
@@ -519,6 +615,9 @@ let write_session_request oc (r : session_request) =
   output_char oc '\n';
   Printf.fprintf oc "op %s\n" (session_op_name r.op);
   Printf.fprintf oc "id %s\n" r.sid;
+  Option.iter
+    (fun tc -> Printf.fprintf oc "trace %s\n" (trace_to_text tc))
+    r.trace;
   (match r.op with
   | S_create instance ->
       output_string oc "instance\n";
@@ -587,10 +686,21 @@ let write_response oc response =
       output_string oc body;
       if body <> "" && body.[String.length body - 1] <> '\n' then
         output_char oc '\n'
+  | Explain_reply { body } ->
+      output_string oc "status explain\n";
+      (* each payload line starts with a known key ([trace] or [phase])
+         followed by a space, never the bare "end" *)
+      output_string oc "payload\n";
+      output_string oc body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        output_char oc '\n'
   | Session_reply s ->
       output_string oc "status session\n";
       Printf.fprintf oc "id %s\n" s.sid;
       Printf.fprintf oc "op %s\n" s.op;
+      (* one trace line per response: the echo lives on the session
+         record, the embedded solve reply (when present) rides along *)
+      Option.iter (fun tr -> Printf.fprintf oc "trace %s\n" tr) s.trace;
       Printf.fprintf oc "generation %d\n" s.generation;
       Printf.fprintf oc "jobs %d\n" s.jobs;
       Option.iter (fun m -> Printf.fprintf oc "mode %s\n" m) s.mode;
@@ -607,6 +717,7 @@ let write_response oc response =
         s.solve
   | Reply r ->
       output_string oc "status ok\n";
+      Option.iter (fun tr -> Printf.fprintf oc "trace %s\n" tr) r.trace;
       Printf.fprintf oc "solver %s\n" r.solver;
       Printf.fprintf oc "cache %s\n" (if r.cache_hit then "hit" else "miss");
       Printf.fprintf oc "degraded %b\n" r.degraded;
@@ -664,7 +775,8 @@ let parse_reply fields =
     try Ok (Array.of_list (List.map int_of_string words))
     with Failure _ -> Result.Error "assignment: expected integers"
   in
-  Ok { solver; cache_hit; degraded; makespan; elapsed_us; assignment }
+  let trace = find "trace" in
+  Ok { solver; cache_hit; degraded; makespan; elapsed_us; assignment; trace }
 
 let read_response ic =
   match read_header ic with
@@ -740,6 +852,21 @@ let read_response ic =
                     | ls -> String.concat "\n" ls ^ "\n"
                   in
                   Ok (Some (Health_reply { body })))
+          | Some "explain" -> (
+              let rec after_marker = function
+                | [] -> None
+                | "payload" :: rest -> Some rest
+                | _ :: rest -> after_marker rest
+              in
+              match after_marker body with
+              | None -> Result.Error "explain response missing payload"
+              | Some lines ->
+                  let body =
+                    match lines with
+                    | [] -> ""
+                    | ls -> String.concat "\n" ls ^ "\n"
+                  in
+                  Ok (Some (Explain_reply { body })))
           | Some "session" -> (
               let ( let* ) = Result.bind in
               let require key =
@@ -763,13 +890,16 @@ let read_response ic =
                 let* generation = int_field "generation" in
                 let* jobs = int_field "jobs" in
                 let mode = List.assoc_opt "mode" fields in
+                let trace = List.assoc_opt "trace" fields in
                 let* solve =
                   if mode = None then Ok None
                   else
                     let* r = parse_reply fields in
                     Ok (Some r)
                 in
-                Ok (Session_reply { sid; op; generation; jobs; mode; solve })
+                Ok
+                  (Session_reply
+                     { sid; op; generation; jobs; mode; solve; trace })
               in
               match parsed with
               | Ok r -> Ok (Some r)

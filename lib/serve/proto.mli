@@ -11,15 +11,18 @@
     request v1
     solver auto            # optional: auto|greedy|lpt|portfolio|exact
     deadline_ms 50         # optional time budget
+    trace lg7.3/12         # optional client trace id [/parent span id]
     instance               # starts the inline instance block
     env uniform            # ... Core.Instance_io text ...
     end
     v}
 
-    Response (success):
+    Response (success; [trace] echoes the id the request was served
+    under — the client's propagated id, or a server-minted [r<N>]):
     {v
     response v1
     status ok
+    trace lg7.3
     solver exact
     cache hit              # hit|miss
     degraded false
@@ -106,7 +109,28 @@
     end
     v}
 
-    A fourth frame kind drives long-lived {e scheduling sessions}: a
+    An explain frame asks for the phase tree of one recent request by
+    its trace/request id (answered from {!Obs.Phase}'s bounded rings, so
+    only the recent past is explainable):
+    {v
+    explain v1
+    id lg7.3
+    end
+    v}
+
+    answered with one [phase] line per retained phase after a [trace]
+    header line (k=v tokens; [detail] last since it may contain spaces):
+    {v
+    response v1
+    status explain
+    payload
+    trace id=lg7.3 spans=9
+    phase depth=0 name=serve.request dur_us=1834.2 alloc_b=8864 start_us=... detail=
+    phase depth=1 name=serve.dispatch dur_us=1702.0 ...
+    end
+    v}
+
+    A further frame kind drives long-lived {e scheduling sessions}: a
     client creates a session from an instance, streams job
     additions/removals, and asks for a fresh schedule after each delta
     (answered by incremental repair server-side; see [Serve.Session]).
@@ -165,9 +189,20 @@
 
 val version : int
 
+type trace_ctx = { tid : string; parent : int option }
+(** Client-propagated trace context, carried by an optional
+    [trace <id>[/<parent-span>]] field on solve and session frames
+    (W3C-traceparent-flavored). [tid] uses the session-id charset
+    ([A-Za-z0-9._-]{1,64}); [parent] is the client's open span id, which
+    the server installs as the parent link of its root phase so merged
+    traces chain across the process boundary. The server adopts [tid] as
+    its ambient request context (instead of minting [r<N>]) and every
+    reply echoes the adopted id on a [trace] line. *)
+
 type request = {
   solver : string option;
   deadline_ms : float option;
+  trace : trace_ctx option;
   instance : Core.Instance.t;
 }
 
@@ -178,6 +213,9 @@ type reply = {
   makespan : float;
   elapsed_us : int;
   assignment : int array;
+  trace : string option;
+      (** the trace/request id the server served this under — the
+          client's id when one was propagated, a minted [r<N>] otherwise *)
 }
 
 type stats_format = Prometheus | Json
@@ -193,7 +231,11 @@ type session_op =
           applies when the server falls back to a full solve *)
   | S_close  (** discard the session *)
 
-type session_request = { sid : string; op : session_op }
+type session_request = {
+  sid : string;
+  op : session_op;
+  trace : trace_ctx option;  (** see {!trace_ctx}; tags the lifecycle *)
+}
 
 type session_reply = {
   sid : string;
@@ -204,6 +246,7 @@ type session_reply = {
       (** resolve only: [repair|fallback|full|cache] — how the schedule
           was obtained *)
   solve : reply option;  (** resolve only: the schedule itself *)
+  trace : string option;  (** the trace id the op was served under *)
 }
 
 type response =
@@ -216,6 +259,12 @@ type response =
   | Health_reply of { body : string }
       (** line-oriented health snapshot (status, meters, SLO burn rates,
           heartbeats), answered to a health frame *)
+  | Explain_reply of { body : string }
+      (** one request's phase tree as line-oriented records, answered to
+          an explain frame: a [trace id=... spans=N] header line, then
+          one [phase depth=... name=... dur_us=... alloc_b=...
+          start_us=... detail=...] line per retained phase, in start
+          order *)
   | Session_reply of session_reply
       (** acknowledgement of a session op (with the schedule, for
           resolve) *)
@@ -228,6 +277,9 @@ type incoming =
       (** [count]: keep only the last N events; [min_level]: severity
           floor, defaults to [Debug] (everything retained) *)
   | Health  (** composite health/SLO snapshot request (no fields) *)
+  | Explain of string
+      (** phase-tree request for one trace/request id still retained in
+          the phase recorder ({!Obs.Phase}) *)
   | Session of session_request  (** a session op (see {!session_op}) *)
 (** One frame of a session: a solve request or an admin frame. *)
 
@@ -257,6 +309,10 @@ val write_events_request :
 
 val write_health_request : out_channel -> unit
 (** Client side: emit a [health v1] admin frame; flushes. *)
+
+val write_explain_request : out_channel -> string -> unit
+(** Client side: emit an [explain v1] admin frame asking for the phase
+    tree of one trace/request id; flushes. *)
 
 val write_session_request : out_channel -> session_request -> unit
 (** Client side: emit a [session v1] frame; flushes. *)

@@ -240,10 +240,23 @@ let create config =
   | Some _ | None -> ());
   t
 
+(* A request that propagated a trace id is served under it (the client
+   already owns the name); anything else gets a minted r<N>. The
+   client's open span id, when sent, parents the server-side root phase
+   so a merged client+server trace chains across the hop. *)
+let adopt_trace trace =
+  match (trace : Proto.trace_ctx option) with
+  | Some tc -> (tc.Proto.tid, tc.Proto.parent)
+  | None -> (next_request_id (), None)
+
+let with_parent_span parent f =
+  match parent with Some p -> Obs.Sink.with_span_id p f | None -> f ()
+
 let handle_request t (req : Proto.request) =
-  let req_id = next_request_id () in
+  let req_id, parent_span = adopt_trace req.Proto.trace in
   Obs.Sink.with_ctx req_id @@ fun () ->
-  Obs.Span.with_alloc "serve.request" @@ fun () ->
+  with_parent_span parent_span @@ fun () ->
+  Obs.Span.phase "serve.request" @@ fun () ->
   (* stamp the heartbeat inside the ctx so the watchdog can attribute a
      wedged domain to this request id *)
   Obs.Health.beat ();
@@ -272,7 +285,7 @@ let handle_request t (req : Proto.request) =
           Obs.Labeled.incr c_req_degraded;
           "degraded"
       | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _
-      | Proto.Health_reply _ | Proto.Session_reply _ ->
+      | Proto.Health_reply _ | Proto.Explain_reply _ | Proto.Session_reply _ ->
           Obs.Labeled.incr c_req_ok;
           "ok"
     in
@@ -344,6 +357,7 @@ let handle_request t (req : Proto.request) =
             makespan = result.Algos.Common.makespan;
             elapsed_us = elapsed_us ();
             assignment;
+            trace = Some req_id;
           }
   end
   else begin
@@ -362,6 +376,7 @@ let handle_request t (req : Proto.request) =
                 makespan = hit.makespan;
                 elapsed_us = elapsed_us ();
                 assignment = Canon.assignment_to_original canon hit.assignment;
+                trace = Some req_id;
               }
         | None -> (
             match
@@ -391,6 +406,7 @@ let handle_request t (req : Proto.request) =
                     makespan = result.Algos.Common.makespan;
                     elapsed_us = elapsed_us ();
                     assignment = Canon.assignment_to_original canon assignment;
+                    trace = Some req_id;
                   }))
   end
 
@@ -437,21 +453,69 @@ let handle_health t =
   List.iter add (Obs.Slo.render_lines ());
   Proto.Health_reply { body = Buffer.contents buf }
 
-(* Session frames carry their own serve.session.* metrics (and a span
+(* Explain frames answer from the phase recorder's bounded rings: the
+   request must still be retained (recent enough) to be explainable.
+   Line-oriented k=v records, [detail] last because it may contain
+   spaces; every line starts with a known key so the [end] terminator
+   stays unambiguous. *)
+let handle_explain id =
+  match Obs.Phase.recent ~ctx:id () with
+  | [] ->
+      Proto.Error
+        (Printf.sprintf
+           "no phases retained for trace %S (unknown id, or evicted from the \
+            phase recorder)"
+           id)
+  | records ->
+      let buf = Buffer.create 512 in
+      Printf.bprintf buf "trace id=%s spans=%d\n" id (List.length records);
+      List.iter
+        (fun (r : Obs.Phase.record) ->
+          Printf.bprintf buf
+            "phase depth=%d sid=%d psid=%s name=%s dur_us=%.1f alloc_b=%.0f \
+             start_us=%.1f detail=%s\n"
+            (Obs.Phase.depth records r)
+            r.Obs.Phase.id
+            (match r.Obs.Phase.parent with
+            | Some p -> string_of_int p
+            | None -> "-")
+            r.Obs.Phase.name r.Obs.Phase.dur_us r.Obs.Phase.alloc_bytes
+            r.Obs.Phase.start_us r.Obs.Phase.detail)
+        records;
+      Proto.Explain_reply { body = Buffer.contents buf }
+
+(* Session frames carry their own serve.session.* metrics (and a phase
    with the ambient request id for traces); they stay outside the
    serve.requests family, whose cells mean one-shot solve traffic. *)
 let handle_session t (sreq : Proto.session_request) =
-  let req_id = next_request_id () in
+  let req_id, parent_span = adopt_trace sreq.Proto.trace in
   Obs.Sink.with_ctx req_id @@ fun () ->
-  Obs.Span.with_span "serve.session" @@ fun () ->
+  with_parent_span parent_span @@ fun () ->
+  Obs.Span.phase ~detail:("sid=" ^ sreq.Proto.sid) "serve.session"
+  @@ fun () ->
   Obs.Health.beat ();
   let pressure () =
     match Obs.Health.status () with
     | Obs.Health.Ok -> false
     | Obs.Health.Degraded _ | Obs.Health.Unhealthy _ -> true
   in
-  Session.handle t.sessions ~cache:t.cache
-    ~default_deadline_ms:t.config.default_deadline_ms ~pressure sreq
+  match
+    Session.handle t.sessions ~cache:t.cache
+      ~default_deadline_ms:t.config.default_deadline_ms ~pressure sreq
+  with
+  | Proto.Session_reply s ->
+      (* stamp the served-under trace id on the ack and on the embedded
+         solve reply so clients can join either against explain *)
+      Proto.Session_reply
+        {
+          s with
+          trace = Some req_id;
+          solve =
+            Option.map
+              (fun (r : Proto.reply) -> { r with Proto.trace = Some req_id })
+              s.Proto.solve;
+        }
+  | other -> other
 
 let serve_channels t ic oc =
   let respond response =
@@ -477,6 +541,10 @@ let serve_channels t ic oc =
     | Ok (Some Proto.Health) ->
         Obs.Health.beat ();
         respond (handle_health t);
+        loop ()
+    | Ok (Some (Proto.Explain id)) ->
+        Obs.Health.beat ();
+        respond (handle_explain id);
         loop ()
     | Ok (Some (Proto.Session sreq)) ->
         respond (handle_session t sreq);

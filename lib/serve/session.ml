@@ -142,6 +142,8 @@ let cache_key s = Printf.sprintf "session:%s:%s" s.base_digest s.delta_digest
 
 (* --- op handling -------------------------------------------------------- *)
 
+(* [trace] is stamped by the server (Server.handle_session), which owns
+   the adopted request context; session logic never sees it. *)
 let session_reply ?mode ?solve (s : session) op =
   Proto.Session_reply
     {
@@ -151,6 +153,7 @@ let session_reply ?mode ?solve (s : session) op =
       jobs = I.num_jobs s.instance;
       mode;
       solve;
+      trace = None;
     }
 
 let handle_create t sid instance =
@@ -409,7 +412,9 @@ let handle_resolve t ~cache ~deadline_ms ~pressure sid =
                     makespan;
                     elapsed_us;
                     assignment;
+                    trace = None;
                   };
+              trace = None;
             })
 
 let handle t ~cache ~default_deadline_ms ~pressure

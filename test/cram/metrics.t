@@ -68,6 +68,16 @@ event sources (values vary, so stable lines and shapes are checked):
   $ grep -o 'serve.request.done=[0-9]*' top.txt
   serve.request.done=4
 
+The events frame's filters apply server-side: a severity floor drops
+the info-level lifecycle events (this healthy run has nothing at warn
+or above), and a count keeps only the newest lines:
+
+  $ schedtool events --socket live.sock --level warn
+  $ schedtool events --socket live.sock -n 2 | grep -c '"name":'
+  2
+  $ schedtool events --socket live.sock -n 2 | tail -1 | grep -o '"name":"serve.request.done"'
+  "name":"serve.request.done"
+
 `schedtool metrics --watch` re-scrapes on an interval and prints only
 the series that changed between scrapes; the first scrape is the
 baseline:

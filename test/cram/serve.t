@@ -8,6 +8,7 @@ examples/requests/; elapsed_us is wall time and therefore filtered.
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status ok
+  trace r0
   solver exact
   cache miss
   degraded false
@@ -16,6 +17,7 @@ examples/requests/; elapsed_us is wall time and therefore filtered.
   end
   response v1
   status ok
+  trace r1
   solver exact
   cache hit
   degraded false
@@ -34,10 +36,11 @@ and the session keeps going — the next frame still gets served:
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status error
-  error bad request header "request v9" (expected "request v1", "stats v1", "events v1", "health v1" or "session v1")
+  error bad request header "request v9" (expected "request v1", "stats v1", "events v1", "health v1", "explain v1" or "session v1")
   end
   response v1
   status ok
+  trace r0
   solver exact
   cache miss
   degraded false

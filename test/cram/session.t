@@ -10,6 +10,7 @@ wall time and therefore filtered.
   status session
   id demo
   op create
+  trace r0
   generation 0
   jobs 12
   end
@@ -17,6 +18,7 @@ wall time and therefore filtered.
   status session
   id demo
   op resolve
+  trace r1
   generation 0
   jobs 12
   mode full
@@ -30,6 +32,7 @@ wall time and therefore filtered.
   status session
   id demo
   op add-jobs
+  trace r2
   generation 1
   jobs 13
   end
@@ -37,6 +40,7 @@ wall time and therefore filtered.
   status session
   id demo
   op resolve
+  trace r3
   generation 1
   jobs 13
   mode repair
@@ -50,6 +54,7 @@ wall time and therefore filtered.
   status session
   id demo
   op drop-jobs
+  trace r4
   generation 2
   jobs 12
   end
@@ -57,6 +62,7 @@ wall time and therefore filtered.
   status session
   id demo
   op resolve
+  trace r5
   generation 2
   jobs 12
   mode repair
@@ -70,6 +76,7 @@ wall time and therefore filtered.
   status session
   id demo
   op close
+  trace r6
   generation 2
   jobs 12
   end
@@ -121,6 +128,7 @@ says why:
   status session
   id brief
   op create
+  trace r0
   generation 0
   jobs 2
   end

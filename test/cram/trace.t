@@ -1,0 +1,74 @@
+End-to-end request tracing: a loadgen client mints trace ids and
+records its own spans, the server adopts each id as its ambient
+context, and both processes' Chrome traces merge onto one timeline.
+
+  $ schedtool gen --env uniform -n 16 -m 3 -k 3 --seed 5 -o inst.txt
+  wrote inst.txt
+  $ schedtool serve --socket live.sock --trace server-trace.json > server.log 2>&1 & pid=$!
+  $ for i in $(seq 200); do [ -S live.sock ] && break; sleep 0.05; done
+
+The client sends one trace id per request (lg<seed>.<i>) on the wire;
+the server echoes the id it served under on every reply, so a zero
+error count also means every echo matched what the client minted
+(mismatches would print a trace-echo line and a counter):
+
+  $ schedtool loadgen --socket live.sock -n 3 --json lg.json \
+  >   --trace client-trace.json inst.txt > loadgen.out 2>&1
+  $ grep -E '^(requests|errors|trace-echo)' loadgen.out
+  requests  3
+  errors    0
+  $ grep 'wrote trace' loadgen.out
+  wrote trace client-trace.json
+
+The JSON record joins the run to its slowest request's trace id — the
+first request, which missed the cache and paid for the real solve:
+
+  $ grep -o '"trace_ids": {"slowest": "[^"]*"}' lg.json
+  "trace_ids": {"slowest": "lg1.1"}
+
+`schedtool explain` renders that id's phase tree from the server's
+always-on phase recorder: the root request span, the dispatch below
+it, and the solver's own phases — binary-search probes annotated with
+their guess and verdict, LP solves with their iteration counts
+(durations vary, so the shape is checked):
+
+  $ schedtool explain lg1.1 --socket live.sock > explain.txt
+  $ sed -n 1p explain.txt | grep -o 'trace id=lg1.1'
+  trace id=lg1.1
+  $ awk '{print $1}' explain.txt | sed -n 2,3p
+  serve.request
+  serve.dispatch
+  $ [ $(grep -c 'core\.binary_search\.probe' explain.txt) -ge 3 ] && echo have-probes
+  have-probes
+  $ grep -q 'guess=.*feasible' explain.txt && echo have-verdicts
+  have-verdicts
+  $ grep -q 'lp\.simplex\.solve' explain.txt && echo have-lp
+  have-lp
+
+Only the recent past is explainable — an unknown id is a loud error:
+
+  $ schedtool explain nope --socket live.sock 2>&1 | grep -c 'nope'
+  1
+
+Latency histograms carry OpenMetrics exemplars referencing the trace
+ids that landed in each bucket, so a slow bucket links straight to an
+explainable request:
+
+  $ [ $(schedtool metrics --socket live.sock | grep -c 'trace_id="lg1\.') -ge 1 ] \
+  >   && echo have-exemplars
+  have-exemplars
+
+Stopping the server flushes its trace; `schedtool trace merge` rebases
+both files' wall-clock anchors onto one timeline, giving each process
+its own named track, and the merged file still self-validates:
+
+  $ kill -INT $pid
+  $ wait $pid 2>/dev/null || true
+  $ grep 'wrote trace' server.log
+  wrote trace server-trace.json
+  $ schedtool trace merge client-trace.json server-trace.json -o merged.json
+  merged 2 file(s) into merged.json
+  $ schedtool trace validate merged.json | grep -o '^ok'
+  ok
+  $ grep -c 'process_name' merged.json
+  2

@@ -204,6 +204,144 @@ let test_trace_validator_rejects () =
       | Error _ -> ())
     bad
 
+let test_trace_merge () =
+  (* two single-process traces with wall-clock anchors merge onto one
+     timeline: pids are remapped per input, each input gets a
+     process_name metadata record, and timestamps rebase against the
+     earliest anchor *)
+  let mk ~t0 ~name =
+    Printf.sprintf
+      "{\"traceEvents\":[\n\
+       {\"name\":\"%s\",\"ph\":\"B\",\"ts\":0.0,\"pid\":1,\"tid\":0},\n\
+       {\"name\":\"%s\",\"ph\":\"E\",\"ts\":50.0,\"pid\":1,\"tid\":0}\n\
+       ],\"t0_us\":%.1f,\"displayTimeUnit\":\"ms\"}" name name t0
+  in
+  match
+    Obs.Trace.merge_strings
+      [ ("client", mk ~t0:1000.0 ~name:"c"); ("server", mk ~t0:1010.0 ~name:"s") ]
+  with
+  | Error msg -> Alcotest.failf "merge failed: %s" msg
+  | Ok merged -> (
+      (match Obs.Trace.validate_string merged with
+      | Ok n ->
+          (* 2 events per input + 2 process_name metadata records *)
+          Alcotest.(check int) "merged event count" 6 n
+      | Error msg -> Alcotest.failf "merged trace invalid: %s" msg);
+      let has affix =
+        Alcotest.(check bool) affix true
+          (Astring.String.is_infix ~affix merged)
+      in
+      has "\"process_name\"";
+      has "{\"name\":\"client\"}";
+      has "{\"name\":\"server\"}";
+      (* the later anchor's events shifted by the 10us offset *)
+      has "\"ts\":10,\"pid\":2";
+      has "\"ts\":60,\"pid\":2";
+      (* both inputs claimed pid 1; the merge separates them *)
+      has "\"pid\":2";
+      (* the merged anchor is the earliest input's *)
+      has "\"t0_us\":1000.000";
+      match Obs.Trace.merge_strings [ ("bad", "not json") ] with
+      | Ok _ -> Alcotest.fail "garbage should not merge"
+      | Error msg ->
+          Alcotest.(check bool) "error names the input" true
+            (Astring.String.is_infix ~affix:"bad" msg))
+
+(* --- phase attribution ---------------------------------------------------- *)
+
+let test_phase_records () =
+  Obs.Phase.clear ();
+  let r =
+    Obs.Sink.with_ctx "ph-t1" (fun () ->
+        Obs.Span.phase ~detail:"outer" "ph.a" (fun () ->
+            Obs.Span.phase
+              ~result_detail:(fun v -> Printf.sprintf "got=%d" v)
+              "ph.b"
+              (fun () -> 41 + 1)))
+  in
+  Alcotest.(check int) "phase is transparent" 42 r;
+  (* recorded even though the sink was never enabled *)
+  match Obs.Phase.recent ~ctx:"ph-t1" () with
+  | [ a; b ] ->
+      Alcotest.(check string) "outer first (start order)" "ph.a"
+        a.Obs.Phase.name;
+      Alcotest.(check string) "outer detail" "outer" a.Obs.Phase.detail;
+      Alcotest.(check string) "result_detail applied" "got=42"
+        b.Obs.Phase.detail;
+      Alcotest.(check (option int))
+        "parent link" (Some a.Obs.Phase.id) b.Obs.Phase.parent;
+      Alcotest.(check (option int)) "root has no parent" None a.Obs.Phase.parent;
+      Alcotest.(check int) "root depth" 0 (Obs.Phase.depth [ a; b ] a);
+      Alcotest.(check int) "child depth" 1 (Obs.Phase.depth [ a; b ] b);
+      Alcotest.(check bool) "durations nest" true
+        (a.Obs.Phase.dur_us >= b.Obs.Phase.dur_us)
+  | rs -> Alcotest.failf "expected 2 records, got %d" (List.length rs)
+
+let test_phase_raise_and_filter () =
+  Obs.Phase.clear ();
+  Obs.Sink.with_ctx "ph-t2" (fun () ->
+      try
+        Obs.Span.phase ~detail:"armed"
+          ~result_detail:(fun _ -> "never")
+          "ph.boom"
+          (fun () -> failwith "x")
+      with Failure _ -> ());
+  Obs.Sink.with_ctx "ph-other" (fun () ->
+      Obs.Span.phase "ph.noise" (fun () -> ()));
+  (match Obs.Phase.recent ~ctx:"ph-t2" () with
+  | [ r ] ->
+      Alcotest.(check string) "recorded on raise" "ph.boom" r.Obs.Phase.name;
+      Alcotest.(check string) "detail survives the raise" "armed"
+        r.Obs.Phase.detail
+  | rs -> Alcotest.failf "expected 1 record, got %d" (List.length rs));
+  Alcotest.(check int) "recent filters by ctx" 1
+    (List.length (Obs.Phase.recent ~ctx:"ph-other" ()))
+
+let test_phase_ring_bound () =
+  Obs.Phase.clear ();
+  Obs.Phase.set_capacity 8;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Phase.set_capacity Obs.Phase.default_capacity;
+      Obs.Phase.clear ())
+    (fun () ->
+      for i = 1 to 20 do
+        Obs.Span.phase ~detail:(string_of_int i) "ph.ring" (fun () -> ())
+      done;
+      match Obs.Phase.snapshot () with
+      | rs ->
+          Alcotest.(check int) "ring keeps the newest 8" 8 (List.length rs);
+          Alcotest.(check (list string))
+            "oldest evicted, order kept"
+            (List.init 8 (fun i -> string_of_int (13 + i)))
+            (List.map (fun r -> r.Obs.Phase.detail) rs))
+
+let test_histogram_exemplars () =
+  let module H = Obs.Histogram in
+  let h = H.make "test.hist.exemplar" in
+  H.reset h;
+  H.observe h 5.0;
+  Alcotest.(check int) "untraced observation leaves no exemplar" 0
+    (List.length (H.merged h).H.exemplars);
+  Obs.Sink.with_ctx "ex-1" (fun () -> H.observe h 5.0);
+  Obs.Sink.with_ctx "ex-2" (fun () -> H.observe h 5.0);
+  Obs.Sink.with_ctx "ex-3" (fun () -> H.observe h 5000.0);
+  (match (H.merged h).H.exemplars with
+  | [ (_, a); (_, b) ] ->
+      (* one slot per bucket; the newest traced observation wins *)
+      Alcotest.(check string) "bucket slot replaced" "ex-2" a.H.e_trace;
+      Alcotest.(check (float 1e-9)) "value kept" 5.0 a.H.e_value;
+      Alcotest.(check string) "second bucket" "ex-3" b.H.e_trace;
+      Alcotest.(check bool) "timestamp set" true (a.H.e_ts_us > 0.0)
+  | ex -> Alcotest.failf "expected 2 exemplars, got %d" (List.length ex));
+  (* the Prometheus exposition renders them as OpenMetrics suffixes *)
+  let expo = Obs.Expo.prometheus () in
+  Alcotest.(check bool) "exemplar in exposition" true
+    (Astring.String.is_infix ~affix:"# {trace_id=\"ex-3\"}" expo);
+  H.reset h;
+  Alcotest.(check int) "reset drops exemplars" 0
+    (List.length (H.merged h).H.exemplars)
+
 let test_pool_rejected_counter () =
   let c = C.make "pool.rejected_submissions" in
   let before = C.value c in
@@ -407,6 +545,7 @@ let test_expo_json () =
           wall_ns = 1000.0;
           percentiles = [ ("p50_us", 12.0) ];
           counters = [ ("c", 3) ];
+          trace_ids = [ ("slowest", "lg1.7") ];
         };
         {
           Obs.Expo.bname = "r2";
@@ -414,6 +553,7 @@ let test_expo_json () =
           wall_ns = 500.0;
           percentiles = [];
           counters = [];
+          trace_ids = [];
         };
       ]
   in
@@ -422,6 +562,10 @@ let test_expo_json () =
     (hasr "\"ns_per_iter\": 100");
   Alcotest.(check bool) "percentiles block" true
     (hasr "\"percentiles\": {\"p50_us\": 12}");
+  Alcotest.(check bool) "trace_ids block" true
+    (hasr "\"trace_ids\": {\"slowest\": \"lg1.7\"}");
+  Alcotest.(check bool) "empty trace_ids omitted" true
+    (not (hasr "\"trace_ids\": {}"));
   Alcotest.(check bool) "empty percentiles omitted" true
     (not (hasr "\"name\": \"r2\", \"iterations\": 5, \"wall_ns\": 500, \
                 \"ns_per_iter\": 100, \"percentiles\""))
@@ -785,6 +929,17 @@ let () =
           Alcotest.test_case "golden round-trip" `Quick test_trace_golden;
           Alcotest.test_case "validator rejects" `Quick
             test_trace_validator_rejects;
+          Alcotest.test_case "multi-process merge" `Quick test_trace_merge;
+        ] );
+      ( "phase",
+        [
+          Alcotest.test_case "records with ids and detail" `Quick
+            test_phase_records;
+          Alcotest.test_case "raise + ctx filter" `Quick
+            test_phase_raise_and_filter;
+          Alcotest.test_case "ring bound" `Quick test_phase_ring_bound;
+          Alcotest.test_case "histogram exemplars" `Quick
+            test_histogram_exemplars;
         ] );
       ( "event",
         [

@@ -161,6 +161,44 @@ let test_submit_exception_swallowed () =
       Alcotest.(check (list int)) "alive" [ 1; 2 ]
         (P.run pool [ (fun () -> 1); (fun () -> 2) ]))
 
+let test_obs_ctx_propagates () =
+  (* the ambient trace ctx and open span at submission must be visible
+     inside pool tasks, whichever worker domain picks them up — without
+     this, phases recorded under a pool (the portfolio's parallel
+     candidates) lose their request attribution *)
+  let pool = P.create 3 in
+  Fun.protect
+    ~finally:(fun () -> P.shutdown pool)
+    (fun () ->
+      let seen =
+        Obs.Sink.with_ctx "req-ctx" (fun () ->
+            Obs.Sink.with_span_id 42 (fun () ->
+                P.run pool
+                  (List.init 16 (fun _ () ->
+                       ( Obs.Sink.current_ctx (),
+                         Obs.Sink.current_span () )))))
+      in
+      List.iter
+        (fun (ctx, span) ->
+          Alcotest.(check (option string))
+            "ctx crosses the pool" (Some "req-ctx") ctx;
+          Alcotest.(check (option int))
+            "parent span crosses the pool" (Some 42) span)
+        seen;
+      (* submit captures at submission time too *)
+      let got = Atomic.make None in
+      Obs.Sink.with_ctx "bg-ctx" (fun () ->
+          P.submit pool (fun () ->
+              Atomic.set got (Obs.Sink.current_ctx ())));
+      P.wait_idle pool;
+      Alcotest.(check (option string))
+        "submit captures ctx" (Some "bg-ctx") (Atomic.get got);
+      (* and the capture does not leak outside its task *)
+      let clean =
+        P.run pool [ (fun () -> Obs.Sink.current_ctx ()) ] |> List.hd
+      in
+      Alcotest.(check (option string)) "no ctx leak" None clean)
+
 let test_default_jobs () =
   let j = P.default_jobs () in
   Alcotest.(check bool) "sane" true (j >= 1 && j <= 8)
@@ -254,6 +292,8 @@ let () =
             test_submit_single_domain;
           Alcotest.test_case "submit exception swallowed" `Quick
             test_submit_exception_swallowed;
+          Alcotest.test_case "obs ctx/span propagate" `Quick
+            test_obs_ctx_propagates;
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
           Alcotest.test_case "watchdog stuck task" `Quick
             test_watchdog_stuck_task;

@@ -230,7 +230,7 @@ let test_proto_request_roundtrip () =
     {
       Serve.Proto.solver = Some "exact";
       deadline_ms = Some 25.0;
-      instance = inst;
+      instance = inst; trace = None
     }
   in
   match
@@ -263,6 +263,7 @@ let test_proto_response_roundtrip () =
         makespan = 117.25;
         elapsed_us = 42;
         assignment = [| 0; 1; 1; 0 |];
+        trace = None;
       }
   in
   match
@@ -285,6 +286,120 @@ let test_proto_response_roundtrip () =
       (* newline was flattened to keep the framing intact *)
       Alcotest.(check string) "error single line" "bad things happened" msg
   | _ -> Alcotest.fail "unexpected roundtrip shape"
+
+let test_proto_trace_roundtrip () =
+  (* the trace field survives both frame kinds, with and without a
+     parent span, and replies echo the adopted id *)
+  let inst = Workloads.Gen.identical (rng 31) ~n:4 ~m:2 ~k:2 () in
+  let req tr =
+    {
+      Serve.Proto.solver = None;
+      deadline_ms = None;
+      instance = inst;
+      trace = tr;
+    }
+  in
+  (match
+     roundtrip_via_file
+       (fun oc ->
+         Serve.Proto.write_request oc
+           (req (Some { Serve.Proto.tid = "lg7.3"; parent = Some 12 }));
+         Serve.Proto.write_request oc
+           (req (Some { Serve.Proto.tid = "cli-a"; parent = None }));
+         Serve.Proto.write_request oc (req None))
+       (fun ic ->
+         let a = Serve.Proto.read_request ic in
+         let b = Serve.Proto.read_request ic in
+         let c = Serve.Proto.read_request ic in
+         (a, b, c))
+   with
+  | Ok (Some a), Ok (Some b), Ok (Some c) ->
+      (match a.Serve.Proto.trace with
+      | Some { Serve.Proto.tid = "lg7.3"; parent = Some 12 } -> ()
+      | _ -> Alcotest.fail "trace with parent did not roundtrip");
+      (match b.Serve.Proto.trace with
+      | Some { Serve.Proto.tid = "cli-a"; parent = None } -> ()
+      | _ -> Alcotest.fail "trace without parent did not roundtrip");
+      Alcotest.(check bool) "absent trace stays absent" true
+        (c.Serve.Proto.trace = None)
+  | _ -> Alcotest.fail "unexpected trace roundtrip shape");
+  (* a reply's trace line roundtrips *)
+  (match
+     roundtrip_via_file
+       (fun oc ->
+         Serve.Proto.write_response oc
+           (Serve.Proto.Reply
+              {
+                solver = "greedy";
+                cache_hit = false;
+                degraded = false;
+                makespan = 9.0;
+                elapsed_us = 7;
+                assignment = [| 0 |];
+                trace = Some "lg7.3";
+              }))
+       Serve.Proto.read_response
+   with
+  | Ok (Some (Serve.Proto.Reply r)) ->
+      Alcotest.(check (option string)) "reply echoes trace" (Some "lg7.3")
+        r.Serve.Proto.trace
+  | _ -> Alcotest.fail "reply with trace did not roundtrip");
+  (* session frames carry the trace too *)
+  (match
+     roundtrip_via_file
+       (fun oc ->
+         Serve.Proto.write_session_request oc
+           {
+             Serve.Proto.sid = "s1";
+             op = Serve.Proto.S_close;
+             trace = Some { Serve.Proto.tid = "lg7.3"; parent = Some 4 };
+           })
+       Serve.Proto.read_incoming
+   with
+  | Ok (Some (Serve.Proto.Session sreq)) -> (
+      match sreq.Serve.Proto.trace with
+      | Some { Serve.Proto.tid = "lg7.3"; parent = Some 4 } -> ()
+      | _ -> Alcotest.fail "session trace did not roundtrip")
+  | _ -> Alcotest.fail "session frame did not roundtrip");
+  (* malformed trace ids are rejected, and the stream resyncs *)
+  List.iter
+    (fun field ->
+      let text =
+        Printf.sprintf "request v1\n%s\ninstance\n%send\n" field
+          (Core.Instance_io.to_string inst)
+      in
+      match
+        roundtrip_via_file
+          (fun oc -> output_string oc text)
+          Serve.Proto.read_request
+      with
+      | Error msg ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S rejected with a trace error" field)
+            true
+            (Astring.String.is_infix ~affix:"trace" msg)
+      | Ok _ -> Alcotest.failf "%S should not parse" field)
+    [ "trace bad id"; "trace ok/notanint"; "trace ok/-3"; "trace " ]
+
+let test_proto_explain_roundtrip () =
+  match
+    roundtrip_via_file
+      (fun oc ->
+        Serve.Proto.write_explain_request oc "lg7.3";
+        Serve.Proto.write_response oc
+          (Serve.Proto.Explain_reply
+             { body = "trace id=lg7.3 spans=1\nphase depth=0 name=a\n" }))
+      (fun ic ->
+        let frame = Serve.Proto.read_incoming ic in
+        let resp = Serve.Proto.read_response ic in
+        (frame, resp))
+  with
+  | ( Ok (Some (Serve.Proto.Explain id)),
+      Ok (Some (Serve.Proto.Explain_reply { body })) ) ->
+      Alcotest.(check string) "explain id" "lg7.3" id;
+      Alcotest.(check bool) "payload body intact" true
+        (Astring.String.is_prefix ~affix:"trace id=lg7.3" body)
+  | _ -> Alcotest.fail "explain frame did not roundtrip"
 
 let test_proto_malformed_resync () =
   (* a malformed frame is consumed up to "end"; the next request parses *)
@@ -444,7 +559,7 @@ let test_proto_session_roundtrip () =
   let inst = Workloads.Gen.unrelated (rng 14) ~n:4 ~m:2 ~k:2 () in
   let frames =
     [
-      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_create inst };
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_create inst; trace = None };
       {
         Serve.Proto.sid = "s-1";
         op =
@@ -456,14 +571,14 @@ let test_proto_session_roundtrip () =
                 nptimes = Some [| 2.0; infinity |];
                 neligible = None;
               };
-            ];
+            ]; trace = None
       };
-      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_drop_jobs [ 0; 2 ] };
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_drop_jobs [ 0; 2 ]; trace = None };
       {
         Serve.Proto.sid = "s-1";
-        op = Serve.Proto.S_resolve { deadline_ms = Some 12.5 };
+        op = Serve.Proto.S_resolve { deadline_ms = Some 12.5 }; trace = None
       };
-      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_close };
+      { Serve.Proto.sid = "s-1"; op = Serve.Proto.S_close; trace = None };
     ]
   in
   let read_all ic =
@@ -519,7 +634,7 @@ let test_proto_session_roundtrip () =
         generation = 3;
         jobs = 5;
         mode = None;
-        solve = None;
+        solve = None; trace = None
       }
   in
   let resolved =
@@ -538,8 +653,8 @@ let test_proto_session_roundtrip () =
               degraded = false;
               makespan = 9.75;
               elapsed_us = 11;
-              assignment = [| 1; 0 |];
-            };
+              assignment = [| 1; 0 |]; trace = None
+            }; trace = None
       }
   in
   match
@@ -590,7 +705,7 @@ let test_proto_session_resync () =
   in
   let good oc =
     Serve.Proto.write_session_request oc
-      { Serve.Proto.sid = "s-2"; op = Serve.Proto.S_create inst }
+      { Serve.Proto.sid = "s-2"; op = Serve.Proto.S_create inst; trace = None }
   in
   List.iter
     (fun frame ->
@@ -636,12 +751,13 @@ let test_server_cache_roundtrip () =
       let inst = Workloads.Gen.uniform r ~n:9 ~m:3 ~k:3 () in
       let ask instance =
         Serve.Server.handle_request server
-          { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance }
+          { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance; trace = None }
       in
       match ask inst with
       | Serve.Proto.Error msg -> Alcotest.fail msg
       | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
-      | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _ ->
+      | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _
+      | Serve.Proto.Explain_reply _ ->
           Alcotest.fail "unexpected admin reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
@@ -652,7 +768,8 @@ let test_server_cache_roundtrip () =
           match ask shuffled with
           | Serve.Proto.Error msg -> Alcotest.fail msg
           | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
-          | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _ ->
+          | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _
+          | Serve.Proto.Explain_reply _ ->
               Alcotest.fail "unexpected admin reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
@@ -682,7 +799,7 @@ let test_server_stats_frame () =
       let inst = Workloads.Gen.identical (rng 15) ~n:5 ~m:2 ~k:2 () in
       let oc = open_out inpath in
       Serve.Proto.write_request oc
-        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace = None };
       Serve.Proto.write_stats_request oc Serve.Proto.Prometheus;
       Serve.Proto.write_stats_request oc Serve.Proto.Json;
       close_out oc;
@@ -766,7 +883,7 @@ let test_server_events_frame () =
       let inst = Workloads.Gen.identical (rng 17) ~n:5 ~m:2 ~k:2 () in
       let oc = open_out inpath in
       Serve.Proto.write_request oc
-        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace = None };
       Serve.Proto.write_events_request oc;
       close_out oc;
       let ic = open_in inpath in
@@ -821,7 +938,7 @@ let test_server_health_frame () =
       let inst = Workloads.Gen.identical (rng 23) ~n:5 ~m:2 ~k:2 () in
       let oc = open_out inpath in
       Serve.Proto.write_request oc
-        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace = None };
       Serve.Proto.write_health_request oc;
       close_out oc;
       let ic = open_in inpath in
@@ -911,7 +1028,7 @@ let test_server_slow_dump () =
       let inst = Workloads.Gen.uniform (rng 21) ~n:8 ~m:3 ~k:3 () in
       (match
          Serve.Server.handle_request server
-           { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance = inst }
+           { Serve.Proto.solver = Some "exact"; deadline_ms = None; instance = inst; trace = None }
        with
       | Serve.Proto.Reply _ -> ()
       | _ -> Alcotest.fail "expected a solve reply");
@@ -979,9 +1096,9 @@ let test_server_socket_session () =
       let oc = Unix.out_channel_of_descr fd in
       let inst = Workloads.Gen.identical (rng 14) ~n:6 ~m:2 ~k:2 () in
       Serve.Proto.write_request oc
-        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace = None };
       Serve.Proto.write_request oc
-        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst };
+        { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace = None };
       output_string oc "request v1\nsolver greedy\nend\n";
       flush oc;
       Unix.shutdown fd Unix.SHUTDOWN_SEND;
@@ -1000,6 +1117,241 @@ let test_server_socket_session () =
       | Ok None -> ()
       | _ -> Alcotest.fail "expected end of stream");
       Unix.close fd)
+
+(* --- Tracing ------------------------------------------------------------- *)
+
+let test_server_trace_adoption () =
+  Obs.Phase.clear ();
+  let server = mk_server () in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.shutdown server)
+    (fun () ->
+      let inst = Workloads.Gen.uniform (rng 41) ~n:9 ~m:3 ~k:3 () in
+      let ask trace =
+        Serve.Server.handle_request server
+          { Serve.Proto.solver = Some "greedy"; deadline_ms = None; instance = inst; trace }
+      in
+      (match ask (Some { Serve.Proto.tid = "cli.9"; parent = Some 77 }) with
+      | Serve.Proto.Reply r ->
+          Alcotest.(check (option string)) "client id echoed" (Some "cli.9")
+            r.Serve.Proto.trace
+      | _ -> Alcotest.fail "expected a reply");
+      (* the request's phases carry the adopted id, and the root phase
+         links under the client's open span *)
+      (match Obs.Phase.recent ~ctx:"cli.9" () with
+      | [] -> Alcotest.fail "no phases recorded for the adopted id"
+      | root :: _ ->
+          Alcotest.(check string) "root phase" "serve.request"
+            root.Obs.Phase.name;
+          Alcotest.(check (option int))
+            "root links to the client's span" (Some 77) root.Obs.Phase.parent);
+      match ask None with
+      | Serve.Proto.Reply r -> (
+          match r.Serve.Proto.trace with
+          | Some id ->
+              Alcotest.(check bool)
+                (Printf.sprintf "minted id %S still echoed" id)
+                true
+                (String.length id > 1 && id.[0] = 'r')
+          | None -> Alcotest.fail "minted id not echoed")
+      | _ -> Alcotest.fail "expected a reply")
+
+(* One [phase] line of an explain payload -> (depth, name, dur_us). *)
+let parse_phase_line line =
+  let tok key =
+    let prefix = key ^ "=" in
+    match
+      List.find_map
+        (fun t ->
+          if Astring.String.is_prefix ~affix:prefix t then
+            Some
+              (String.sub t (String.length prefix)
+                 (String.length t - String.length prefix))
+          else None)
+        (String.split_on_char ' ' line)
+    with
+    | Some v -> v
+    | None -> Alcotest.failf "phase line %S lacks %s=" line key
+  in
+  ( int_of_string (tok "depth"),
+    tok "name",
+    float_of_string (tok "dur_us") )
+
+let test_server_explain_acceptance () =
+  (* end-to-end acceptance: a client-minted trace id yields the echoed
+     id on the reply, an explain tree whose solver phases are visible
+     and account for the request's wall time, an exemplar in the
+     exposition, and session ops tagged with their trace *)
+  Obs.Phase.clear ();
+  let server = mk_server () in
+  let inpath = Filename.temp_file "serve_explain_in" ".txt" in
+  let outpath = Filename.temp_file "serve_explain_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      Obs.Phase.clear ();
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ inpath; outpath ])
+    (fun () ->
+      (* n in the portfolio band so binary-search probes and LP phases
+         show up in the tree *)
+      let inst = Workloads.Gen.uniform (rng 42) ~n:24 ~m:3 ~k:3 () in
+      let oc = open_out inpath in
+      Serve.Proto.write_request oc
+        {
+          Serve.Proto.solver = Some "auto";
+          deadline_ms = None;
+          instance = inst;
+          trace = Some { Serve.Proto.tid = "acc.1"; parent = None };
+        };
+      Serve.Proto.write_explain_request oc "acc.1";
+      Serve.Proto.write_explain_request oc "no-such-id";
+      Serve.Proto.write_session_request oc
+        {
+          Serve.Proto.sid = "sess-t";
+          op = Serve.Proto.S_create inst;
+          trace = Some { Serve.Proto.tid = "acc.s"; parent = None };
+        };
+      close_out oc;
+      let ic = open_in inpath in
+      let oc = open_out outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Serve.Server.serve_channels server ic oc);
+      close_out oc;
+      let ic = open_in outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Reply r)) ->
+              Alcotest.(check (option string)) "trace echoed" (Some "acc.1")
+                r.Serve.Proto.trace
+          | _ -> Alcotest.fail "expected a solve reply first");
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Explain_reply { body })) -> (
+              let lines =
+                List.filter (fun l -> l <> "") (String.split_on_char '\n' body)
+              in
+              match lines with
+              | header :: phases ->
+                  Alcotest.(check bool) "header names the trace" true
+                    (Astring.String.is_prefix ~affix:"trace id=acc.1 spans="
+                       header);
+                  let parsed = List.map parse_phase_line phases in
+                  let has name =
+                    Alcotest.(check bool) (name ^ " phase visible") true
+                      (List.exists (fun (_, n, _) -> n = name) parsed)
+                  in
+                  has "serve.request";
+                  has "serve.dispatch";
+                  has "core.binary_search";
+                  has "core.binary_search.probe";
+                  has "lp.simplex.solve";
+                  (* probes carry their guess and verdict *)
+                  Alcotest.(check bool) "probe verdict visible" true
+                    (List.exists
+                       (fun l ->
+                         Astring.String.is_infix
+                           ~affix:"name=core.binary_search.probe" l
+                         && Astring.String.is_infix ~affix:"guess=" l
+                         && (Astring.String.is_infix ~affix:" feasible" l
+                            || Astring.String.is_infix ~affix:" infeasible" l))
+                       phases);
+                  (* the tree accounts for the request's wall time: the
+                     root's direct children sum to its duration within
+                     20% (the cache probe and framing outside them are
+                     cheap next to the solve) *)
+                  (match parsed with
+                  | (0, "serve.request", root_dur) :: rest ->
+                      let child_sum =
+                        List.fold_left
+                          (fun acc (d, _, dur) ->
+                            if d = 1 then acc +. dur else acc)
+                          0.0 rest
+                      in
+                      Alcotest.(check bool)
+                        (Printf.sprintf
+                           "children (%.0f us) within 20%% of root (%.0f us)"
+                           child_sum root_dur)
+                        true
+                        (child_sum >= 0.8 *. root_dur
+                        && child_sum <= 1.02 *. root_dur)
+                  | _ -> Alcotest.fail "first phase is not the root");
+                  (* at least one histogram exemplar references the id *)
+                  Alcotest.(check bool) "exemplar in exposition" true
+                    (Astring.String.is_infix ~affix:"trace_id=\"acc.1\""
+                       (Obs.Expo.prometheus ()))
+              | [] -> Alcotest.fail "empty explain payload")
+          | _ -> Alcotest.fail "expected an explain reply");
+          (match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Error msg)) ->
+              Alcotest.(check bool) "unknown id names itself" true
+                (Astring.String.is_infix ~affix:"no-such-id" msg)
+          | _ -> Alcotest.fail "expected an error for the unknown id");
+          match Serve.Proto.read_response ic with
+          | Ok (Some (Serve.Proto.Session_reply sr)) ->
+              Alcotest.(check (option string)) "session op tagged"
+                (Some "acc.s") sr.Serve.Proto.trace
+          | _ -> Alcotest.fail "expected a session reply"))
+
+let test_server_events_filter () =
+  (* the events frame's count/level fields filter server-side — what
+     `schedtool events --level/--count` rides on *)
+  Obs.Event.clear ();
+  let server = mk_server () in
+  let inpath = Filename.temp_file "serve_evfilter_in" ".txt" in
+  let outpath = Filename.temp_file "serve_evfilter_out" ".txt" in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Server.shutdown server;
+      Obs.Event.clear ();
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ inpath; outpath ])
+    (fun () ->
+      Obs.Event.emit "test.filter.noise" [];
+      Obs.Event.emit ~level:Obs.Event.Warn "test.filter.warn1" [];
+      Obs.Event.emit "test.filter.noise" [];
+      Obs.Event.emit ~level:Obs.Event.Error "test.filter.err1" [];
+      let oc = open_out inpath in
+      Serve.Proto.write_events_request ~level:Obs.Event.Warn oc;
+      Serve.Proto.write_events_request ~count:1 oc;
+      close_out oc;
+      let ic = open_in inpath in
+      let oc = open_out outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Serve.Server.serve_channels server ic oc);
+      close_out oc;
+      let ic = open_in outpath in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () ->
+          let body () =
+            match Serve.Proto.read_response ic with
+            | Ok (Some (Serve.Proto.Events_reply { body })) ->
+                List.filter (fun l -> l <> "")
+                  (String.split_on_char '\n' body)
+            | _ -> Alcotest.fail "expected an events reply"
+          in
+          let by_level = body () in
+          Alcotest.(check bool) "warn retained" true
+            (List.exists
+               (Astring.String.is_infix ~affix:"test.filter.warn1")
+               by_level);
+          Alcotest.(check bool) "error retained" true
+            (List.exists
+               (Astring.String.is_infix ~affix:"test.filter.err1")
+               by_level);
+          Alcotest.(check bool) "info filtered out" false
+            (List.exists
+               (Astring.String.is_infix ~affix:"test.filter.noise")
+               by_level);
+          let newest = body () in
+          Alcotest.(check int) "count keeps exactly one line" 1
+            (List.length newest)))
 
 (* --- Session registry ---------------------------------------------------- *)
 
@@ -1029,7 +1381,7 @@ let test_session_lifecycle () =
   let inst = Workloads.Gen.uniform (rng 21) ~n:9 ~m:3 ~k:3 () in
   let created =
     expect_session "create"
-      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst })
+      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst; trace = None })
   in
   Alcotest.(check int) "fresh generation" 0 created.Serve.Proto.generation;
   Alcotest.(check int) "fresh jobs" 9 created.Serve.Proto.jobs;
@@ -1038,7 +1390,7 @@ let test_session_lifecycle () =
       (handle
          {
            Serve.Proto.sid = "a";
-           op = Serve.Proto.S_resolve { deadline_ms = None };
+           op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
          })
   in
   let first = resolve () in
@@ -1059,7 +1411,7 @@ let test_session_lifecycle () =
                    nptimes = None;
                    neligible = None;
                  };
-               ];
+               ]; trace = None
          })
   in
   Alcotest.(check int) "generation bumped" 1 added.Serve.Proto.generation;
@@ -1077,7 +1429,7 @@ let test_session_lifecycle () =
     (Some "cache") again.Serve.Proto.mode;
   let dropped =
     expect_session "drop"
-      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 9 ] })
+      (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 9 ]; trace = None })
   in
   Alcotest.(check int) "drop bumps generation" 2
     dropped.Serve.Proto.generation;
@@ -1087,7 +1439,7 @@ let test_session_lifecycle () =
     back.Serve.Proto.mode;
   ignore
     (expect_session "close"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }))
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close; trace = None }))
 
 let test_session_errors () =
   let _, handle =
@@ -1108,28 +1460,28 @@ let test_session_errors () =
        (handle
           {
             Serve.Proto.sid = "ghost";
-            op = Serve.Proto.S_resolve { deadline_ms = None };
+            op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
           }))
     "unknown session id";
   ignore
     (expect_session "create"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }));
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst; trace = None }));
   (* duplicate create *)
   contains
     (expect_session_error "duplicate"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }))
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst; trace = None }))
     "already exists";
   (* malformed mutations *)
   contains
     (expect_session_error "out of range"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 7 ] }))
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_drop_jobs [ 7 ]; trace = None }))
     "out of range";
   contains
     (expect_session_error "emptying"
        (handle
           {
             Serve.Proto.sid = "a";
-            op = Serve.Proto.S_drop_jobs [ 0; 1; 2; 3; 4 ];
+            op = Serve.Proto.S_drop_jobs [ 0; 1; 2; 3; 4 ]; trace = None
           }))
     "empty";
   contains
@@ -1146,29 +1498,29 @@ let test_session_errors () =
                     nptimes = None;
                     neligible = None;
                   };
-                ];
+                ]; trace = None
           }))
     "class";
   (* table full *)
   ignore
     (expect_session "second create"
-       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst }));
+       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst; trace = None }));
   contains
     (expect_session_error "table full"
-       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst }))
+       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst; trace = None }))
     "session table full";
   (* double close *)
   ignore
     (expect_session "close"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }));
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close; trace = None }));
   contains
     (expect_session_error "double close"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close }))
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_close; trace = None }))
     "unknown session id";
   (* the freed slot is usable again *)
   ignore
     (expect_session "create after close"
-       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst }))
+       (handle { Serve.Proto.sid = "c"; op = Serve.Proto.S_create inst; trace = None }))
 
 let test_session_idle_eviction () =
   let sessions, handle =
@@ -1180,7 +1532,7 @@ let test_session_idle_eviction () =
   let inst = Workloads.Gen.identical (rng 23) ~n:5 ~m:2 ~k:2 () in
   ignore
     (expect_session "create"
-       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst }));
+       (handle { Serve.Proto.sid = "a"; op = Serve.Proto.S_create inst; trace = None }));
   Alcotest.(check int) "one live session" 1 (Serve.Session.count sessions);
   Unix.sleepf 0.01;
   (* lazy expiry on access: the error names the configured timeout *)
@@ -1189,7 +1541,7 @@ let test_session_idle_eviction () =
       (handle
          {
            Serve.Proto.sid = "a";
-           op = Serve.Proto.S_resolve { deadline_ms = None };
+           op = Serve.Proto.S_resolve { deadline_ms = None }; trace = None
          })
   in
   Alcotest.(check bool) "names idle timeout" true
@@ -1198,7 +1550,7 @@ let test_session_idle_eviction () =
   (* bulk sweep: the watchdog-tick path *)
   ignore
     (expect_session "recreate"
-       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst }));
+       (handle { Serve.Proto.sid = "b"; op = Serve.Proto.S_create inst; trace = None }));
   Unix.sleepf 0.01;
   Alcotest.(check int) "sweep evicts" 1 (Serve.Session.evict_idle sessions);
   Alcotest.(check int) "registry empty" 0 (Serve.Session.count sessions)
@@ -1251,6 +1603,10 @@ let () =
             test_proto_health_roundtrip;
           Alcotest.test_case "malformed resync" `Quick
             test_proto_malformed_resync;
+          Alcotest.test_case "trace roundtrip" `Quick
+            test_proto_trace_roundtrip;
+          Alcotest.test_case "explain roundtrip" `Quick
+            test_proto_explain_roundtrip;
           Alcotest.test_case "session frame roundtrip" `Quick
             test_proto_session_roundtrip;
           Alcotest.test_case "session malformed resync" `Quick
@@ -1265,6 +1621,11 @@ let () =
           Alcotest.test_case "health frame" `Quick test_server_health_frame;
           Alcotest.test_case "slow-request dump" `Quick test_server_slow_dump;
           Alcotest.test_case "socket session" `Quick test_server_socket_session;
+          Alcotest.test_case "trace adoption" `Quick
+            test_server_trace_adoption;
+          Alcotest.test_case "explain acceptance" `Quick
+            test_server_explain_acceptance;
+          Alcotest.test_case "events filter" `Quick test_server_events_filter;
         ] );
       ( "session",
         [
