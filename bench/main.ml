@@ -189,6 +189,32 @@ let measure ?(with_percentiles = false) ~name ~iterations f =
   in
   { Obs.Expo.bname = name; iterations; wall_ns; percentiles; counters; trace_ids = [] }
 
+(* Exact per-iteration percentiles (sorted array, nearest rank) for
+   records whose comparisons need finer resolution than the histogram's
+   exponential buckets offer (a bucket spans up to ~25%): the profiler
+   overhead gate checks a 3% p50 bound, invisible to bucket bounds. *)
+let measure_exact ~name ~iterations f =
+  let lat = Array.make iterations 0.0 in
+  let before = Obs.Counter.snapshot () in
+  let t0 = Obs.Sink.now_us () in
+  for i = 0 to iterations - 1 do
+    let s0 = Obs.Sink.now_us () in
+    f ();
+    lat.(i) <- Obs.Sink.now_us () -. s0
+  done;
+  let wall_ns = (Obs.Sink.now_us () -. t0) *. 1e3 in
+  let counters = Obs.Counter.delta ~before ~after:(Obs.Counter.snapshot ()) in
+  Array.sort compare lat;
+  let q p =
+    let idx = int_of_float (Float.round (p *. float_of_int iterations)) - 1 in
+    lat.(max 0 (min (iterations - 1) idx))
+  in
+  let percentiles =
+    List.map (fun (label, p) -> (label ^ "_us", q p)) Obs.Expo.quantile_points
+    @ [ ("max_us", lat.(iterations - 1)) ]
+  in
+  { Obs.Expo.bname = name; iterations; wall_ns; percentiles; counters; trace_ids = [] }
+
 let ns_per_iter (r : Obs.Expo.bench_record) =
   r.Obs.Expo.wall_ns /. float_of_int r.Obs.Expo.iterations
 
@@ -232,10 +258,35 @@ let serve_benchmarks () =
   let server = fresh_server () in
   ignore (Serve.Server.handle_request server (exact_request inst12));
   let hit =
-    measure ~with_percentiles:true ~name:"serve cache hit n=12"
-      ~iterations:200 (fun () ->
+    measure_exact ~name:"serve cache hit n=12" ~iterations:200 (fun () ->
         let permuted = Serve.Canon.shuffle rng inst12 in
         expect_hit "hit" (Serve.Server.handle_request server (exact_request permuted)))
+  in
+  (* profiler overhead: the same primed-server hit loop with the CPU
+     engine armed at 99 Hz. scripts/bench_gate.sh --profile-overhead
+     compares the two records' exact p50s within this one run, so the
+     bound survives slow shared hardware; the obs.profile.* counter
+     deltas are sampling-nondeterministic and get filtered so the hard
+     counter gate stays exact. *)
+  let hit_profiled =
+    match Obs.Profile.start ~rate:99.0 Obs.Profile.Cpu with
+    | Error msg -> failwith ("profile overhead bench: " ^ msg)
+    | Ok () ->
+        let r =
+          measure_exact ~name:"serve cache hit n=12 profiled 99hz"
+            ~iterations:200 (fun () ->
+              let permuted = Serve.Canon.shuffle rng inst12 in
+              expect_hit "hit profiled"
+                (Serve.Server.handle_request server (exact_request permuted)))
+        in
+        Obs.Profile.stop ();
+        {
+          r with
+          Obs.Expo.counters =
+            List.filter
+              (fun (n, _) -> not (String.starts_with ~prefix:"obs.profile." n))
+              r.Obs.Expo.counters;
+        }
   in
   Serve.Server.shutdown server;
   let speedup = ns_per_iter cold /. ns_per_iter hit in
@@ -386,6 +437,7 @@ let serve_benchmarks () =
   let records =
     [ cold;
       hit;
+      hit_profiled;
       deadline;
       canon;
       session_repair;
@@ -410,6 +462,13 @@ let serve_benchmarks () =
   print_endline "";
   Printf.printf "cache hit speedup over cold exact solve: %.1fx %s\n" speedup
     (if speedup >= 10.0 then "(>= 10x: ok)" else "(below the 10x target!)");
+  let p50 (r : Obs.Expo.bench_record) =
+    Option.value ~default:nan (List.assoc_opt "p50_us" r.Obs.Expo.percentiles)
+  in
+  Printf.printf
+    "profiler overhead on cache hit p50: %.1f us -> %.1f us (%+.1f%%, 99 Hz cpu engine)\n"
+    (p50 hit) (p50 hit_profiled)
+    (100.0 *. (p50 hit_profiled -. p50 hit) /. p50 hit);
   print_endline "deadline 1ms on n=150: valid degraded:true schedule (checked)";
   records
 

@@ -449,9 +449,23 @@ let serve_cmd =
                    makespan exceeds $(docv) times the certified lower \
                    bound (must be >= 1).")
   in
+  let phase_ring_arg =
+    Arg.(value & opt int Obs.Phase.default_capacity
+         & info [ "phase-ring" ] ~docv:"N"
+             ~doc:"Per-domain phase-recorder ring capacity in records \
+                   (bounds how far back explain/trace can look; see \
+                   DESIGN.md for the memory cost per slot).")
+  in
+  let event_ring_arg =
+    Arg.(value & opt int Obs.Event.default_capacity
+         & info [ "event-ring" ] ~docv:"N"
+             ~doc:"Per-domain flight-recorder ring capacity in events \
+                   (bounds the dump/events-frame lookback; see DESIGN.md \
+                   for the memory cost per slot).")
+  in
   let run stdio socket cache_size jobs deadline slow_ms slow_log event_log
       task_budget watchdog_interval max_sessions session_idle fallback_ratio
-      trace stats =
+      phase_ring event_ring trace stats =
     let finish = obs_setup trace in
     if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
     else if task_budget <= 0.0 then
@@ -465,7 +479,14 @@ let serve_cmd =
     else if
       match session_idle with Some s -> s < 0.0 | None -> false
     then `Error (false, "--session-idle-timeout must be >= 0")
-    else
+    else if phase_ring < 1 then `Error (false, "--phase-ring must be >= 1")
+    else if event_ring < 1 then `Error (false, "--event-ring must be >= 1")
+    else begin
+      (* resize before any serving traffic: set_capacity clears rings *)
+      if phase_ring <> Obs.Phase.default_capacity then
+        Obs.Phase.set_capacity phase_ring;
+      if event_ring <> Obs.Event.default_capacity then
+        Obs.Event.set_capacity event_ring;
       let to_close = ref [] in
       let open_log path =
         let oc =
@@ -554,6 +575,7 @@ let serve_cmd =
               in
               cleanup ();
               result)
+    end
   in
   let info =
     Cmd.info "serve"
@@ -565,7 +587,8 @@ let serve_cmd =
         (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
        $ deadline_arg $ slow_ms_arg $ slow_log_arg $ event_log_arg
        $ task_budget_arg $ watchdog_arg $ max_sessions_arg
-       $ session_idle_arg $ fallback_ratio_arg $ trace_arg $ stats_arg))
+       $ session_idle_arg $ fallback_ratio_arg $ phase_ring_arg
+       $ event_ring_arg $ trace_arg $ stats_arg))
 
 (* --- loadgen ------------------------------------------------------------ *)
 
@@ -893,6 +916,7 @@ let loadgen_cmd =
                  | Ok (Some (Serve.Proto.Health_reply _))
                  | Ok (Some (Serve.Proto.Explain_reply _))
                  | Ok (Some (Serve.Proto.Session_reply _))
+                 | Ok (Some (Serve.Proto.Profile_reply _))
                  | Ok (Some (Serve.Proto.Error _)) ->
                      incr errors
                  | Ok None ->
@@ -1321,7 +1345,8 @@ let metrics_cmd =
                   (Some
                      ( Serve.Proto.Reply _ | Serve.Proto.Events_reply _
                      | Serve.Proto.Health_reply _ | Serve.Proto.Explain_reply _
-                     | Serve.Proto.Session_reply _ )) ->
+                     | Serve.Proto.Session_reply _
+                     | Serve.Proto.Profile_reply _ )) ->
                   `Error (false, "server answered the wrong frame kind")
               | Ok None -> `Error (false, "server closed the session")
               | Error msg -> `Error (false, msg)
@@ -1394,7 +1419,8 @@ let events_cmd =
                 (Some
                    ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
                    | Serve.Proto.Health_reply _ | Serve.Proto.Explain_reply _
-                   | Serve.Proto.Session_reply _ )) ->
+                   | Serve.Proto.Session_reply _
+                   | Serve.Proto.Profile_reply _ )) ->
                 `Error (false, "server answered the wrong frame kind")
             | Ok None -> `Error (false, "server closed the session")
             | Error msg -> `Error (false, msg)
@@ -1497,7 +1523,8 @@ let explain_cmd =
               (Some
                  ( Serve.Proto.Reply _ | Serve.Proto.Stats_reply _
                  | Serve.Proto.Events_reply _ | Serve.Proto.Health_reply _
-                 | Serve.Proto.Session_reply _ )) ->
+                 | Serve.Proto.Session_reply _
+                 | Serve.Proto.Profile_reply _ )) ->
               `Error (false, "server answered the wrong frame kind")
           | Ok None -> `Error (false, "server closed the session")
           | Error msg -> `Error (false, msg)
@@ -1603,14 +1630,23 @@ let top_cmd =
              ~doc:"Stop after $(docv) frames (default 0 = until \
                    interrupted).")
   in
+  let hotspots_arg =
+    Arg.(value & opt float 0.0
+         & info [ "hotspots" ] ~docv:"SECS"
+             ~doc:"Add a hotspots panel: run a $(docv)-second CPU \
+                   profile capture each frame and show the top frames \
+                   by self time (0 = off). Lengthens each refresh by \
+                   the capture window.")
+  in
   let fmt_us us =
     if us = infinity then "inf"
     else if us >= 1_000_000.0 then Printf.sprintf "%.2fs" (us /. 1e6)
     else if us >= 1000.0 then Printf.sprintf "%.1fms" (us /. 1000.0)
     else Printf.sprintf "%.0fus" us
   in
-  let run socket interval once frames =
+  let run socket interval once frames hotspots =
     if interval <= 0.0 then `Error (false, "--interval must be > 0")
+    else if hotspots < 0.0 then `Error (false, "--hotspots must be >= 0")
     else begin
       Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
       match Serve.Scrape.connect socket with
@@ -1732,6 +1768,23 @@ let top_cmd =
                      (List.map
                         (fun (n, c) -> Printf.sprintf "%s=%d" n c)
                         tops)));
+            (* hotspots are a live capture, not a scrape of past state;
+               a failed capture (e.g. an engine already armed by another
+               client) degrades the panel, not the dashboard *)
+            if hotspots > 0.0 then begin
+              match Serve.Scrape.fetch_profile ~seconds:hotspots conn with
+              | Error msg -> line "hotspots - (%s)" msg
+              | Ok body -> (
+                  match Serve.Scrape.top_self_frames ~limit:5 body with
+                  | [] -> line "hotspots -"
+                  | tops ->
+                      line "hotspots %s"
+                        (String.concat " "
+                           (List.map
+                              (fun (n, f) ->
+                                Printf.sprintf "%s=%.1f%%" n (100.0 *. f))
+                              tops)))
+            end;
             Ok series
           in
           let rec go i prev =
@@ -1759,11 +1812,198 @@ let top_cmd =
     Cmd.info "top"
       ~doc:"Live dashboard over a running serve socket: composite \
             health, SLO burn rates, request rates and latency \
-            percentiles, saturation meters, per-domain heartbeats and \
-            the busiest event sources."
+            percentiles, saturation meters, per-domain heartbeats, the \
+            busiest event sources, and (with --hotspots) the hottest \
+            frames from a live CPU profile capture."
   in
   Cmd.v info
-    Term.(ret (const run $ socket_arg $ interval_arg $ once_arg $ frames_arg))
+    Term.(
+      ret
+        (const run $ socket_arg $ interval_arg $ once_arg $ frames_arg
+       $ hotspots_arg))
+
+(* --- profile ------------------------------------------------------------ *)
+
+(* The local mode re-enters the top-level command group to run the
+   wrapped subcommand under an armed engine; the group is only defined
+   below, so it arrives through this forward reference. *)
+let main_ref : unit Cmd.t option ref = ref None
+
+let profile_cmd =
+  let socket_arg =
+    Arg.(value & opt (some string) None
+         & info [ "socket" ] ~docv:"PATH"
+             ~doc:"Capture from a running $(b,schedtool serve --socket) \
+                   at $(docv) (a profile v1 admin frame) instead of \
+                   wrapping a local command.")
+  in
+  let seconds_arg =
+    Arg.(value & opt float 5.0
+         & info [ "seconds" ] ~docv:"SECS"
+             ~doc:"Capture window for --socket mode (default 5).")
+  in
+  let action_arg =
+    Arg.(value & opt string "capture"
+         & info [ "action" ] ~docv:"ACTION"
+             ~doc:"Socket mode: capture (default, windowed), or \
+                   status/start/stop to inspect or toggle the server's \
+                   engine across round trips.")
+  in
+  let mode_arg =
+    Arg.(value & opt string "cpu"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Engine: cpu (SIGPROF sampling at --rate hz) or alloc \
+                   (Gc.Memprof, bytes-weighted stacks).")
+  in
+  let rate_arg =
+    Arg.(value & opt (some float) None
+         & info [ "rate" ] ~docv:"R"
+             ~doc:"Sampling rate: hz for cpu (default 99), per-word \
+                   probability for alloc (default 1e-4).")
+  in
+  let format_arg =
+    Arg.(value & opt string "collapsed"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"Output: collapsed (flamegraph-ready $(i,stack \
+                   weight) lines) or json (one object per line).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the profile payload to $(docv) (default: \
+                   stdout).")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE"
+             ~doc:"Also render a self-contained flamegraph SVG to \
+                   $(docv) (requires --format collapsed).")
+  in
+  let id_arg =
+    Arg.(value & opt (some string) None
+         & info [ "id" ] ~docv:"TRACE-ID"
+             ~doc:"Keep only samples recorded while serving this \
+                   trace/request id.")
+  in
+  let wrapped_arg =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"SUBCOMMAND"
+             ~doc:"Local mode: a schedtool subcommand (with its \
+                   arguments, after --) to run under the profiler, \
+                   e.g. $(b,schedtool profile -- solve -a exact \
+                   inst.txt).")
+  in
+  let write_file path content =
+    try
+      Out_channel.with_open_bin path (fun oc -> output_string oc content);
+      Printf.printf "wrote %s\n" path;
+      Ok ()
+    with Sys_error msg -> Error msg
+  in
+  let emit ~out ~svg ~title body =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* () = match out with None -> Ok () | Some path -> write_file path body in
+    let* () =
+      match svg with
+      | None -> Ok ()
+      | Some path ->
+          write_file path (Obs.Flame.render_collapsed ~title body)
+    in
+    if out = None then print_string body;
+    `Ok ()
+  in
+  let run socket seconds action mode rate format out svg id wrapped =
+    let ( let* ) r f = match r with Error e -> `Error (false, e) | Ok v -> f v in
+    let* pmode = Obs.Profile.mode_of_string mode in
+    let* pformat = Obs.Profile.format_of_string format in
+    if svg <> None && pformat <> Obs.Profile.Collapsed then
+      `Error (false, "--svg requires --format collapsed")
+    else if seconds <= 0.0 then `Error (false, "--seconds must be > 0")
+    else
+      match (socket, wrapped) with
+      | Some _, _ :: _ ->
+          `Error (false, "choose --socket PATH or a subcommand to wrap, not both")
+      | None, [] ->
+          `Error
+            ( false,
+              "nothing to profile: pass --socket PATH for a live capture, or \
+               a subcommand to wrap (schedtool profile -- solve ...)" )
+      | Some path, [] -> (
+          let* paction =
+            match action with
+            | "capture" -> Ok (Serve.Proto.P_capture seconds)
+            | "status" -> Ok Serve.Proto.P_status
+            | "start" -> Ok Serve.Proto.P_start
+            | "stop" -> Ok Serve.Proto.P_stop
+            | a ->
+                Error
+                  (Printf.sprintf
+                     "unknown action %S (want capture|status|start|stop)" a)
+          in
+          match Serve.Scrape.connect path with
+          | Error msg -> `Error (false, msg)
+          | Ok conn ->
+              let result =
+                Serve.Scrape.exchange_profile conn
+                  {
+                    Serve.Proto.paction;
+                    pmode;
+                    prate = rate;
+                    pformat;
+                    pfilter = id;
+                  }
+              in
+              Serve.Scrape.close conn;
+              let* body = result in
+              (match paction with
+              | Serve.Proto.P_status | Serve.Proto.P_start ->
+                  (* status lines, not a profile: never SVG material *)
+                  print_string body;
+                  `Ok ()
+              | Serve.Proto.P_stop | Serve.Proto.P_capture _ ->
+                  emit ~out ~svg
+                    ~title:(Printf.sprintf "schedtool profile · %s · %s" path mode)
+                    body))
+      | None, args -> (
+          if action <> "capture" then
+            `Error (false, "--action only applies to --socket mode")
+          else
+            match !main_ref with
+            | None -> assert false
+            | Some main -> (
+                match Obs.Profile.start ?rate pmode with
+                | Error msg -> `Error (false, msg)
+                | Ok () ->
+                    let code =
+                      Cmd.eval ~argv:(Array.of_list ("schedtool" :: args)) main
+                    in
+                    let body = Obs.Profile.render ?ctx:id pformat in
+                    Obs.Profile.stop ();
+                    let emitted =
+                      emit ~out ~svg
+                        ~title:
+                          (Printf.sprintf "schedtool profile · %s · %s"
+                             (String.concat " " args) mode)
+                        body
+                    in
+                    if code <> 0 then
+                      `Error
+                        ( false,
+                          Printf.sprintf "wrapped command exited with code %d"
+                            code )
+                    else emitted))
+  in
+  let info =
+    Cmd.info "profile"
+      ~doc:"Sampling profiler: capture collapsed stacks and flamegraphs \
+            from a live serve socket, or run a local subcommand under \
+            the profiler."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ socket_arg $ seconds_arg $ action_arg $ mode_arg
+       $ rate_arg $ format_arg $ out_arg $ svg_arg $ id_arg $ wrapped_arg))
 
 let main =
   let doc = "scheduling with setup times on (un-)related machines" in
@@ -1772,7 +2012,8 @@ let main =
     [
       gen_cmd; bounds_cmd; solve_cmd; verify_cmd; compare_cmd;
       experiments_cmd; fuzz_cmd; serve_cmd; loadgen_cmd; metrics_cmd;
-      events_cmd; explain_cmd; trace_cmd; top_cmd;
+      events_cmd; explain_cmd; trace_cmd; top_cmd; profile_cmd;
     ]
 
+let () = main_ref := Some main
 let () = exit (Cmd.eval main)

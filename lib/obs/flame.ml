@@ -1,0 +1,169 @@
+(* Self-contained flamegraph renderer: collapsed stacks in, SVG text
+   out. No flamegraph.pl, no external fonts or scripts — just nested
+   <rect>s with <title> hover labels, which every browser renders.
+
+   Layout is the classic one: x spans a frame's share of total weight,
+   y is stack depth (root at the bottom), siblings sort by name so the
+   output is deterministic for a given input. Colors hash the frame
+   name into the warm palette so the same function keeps its color
+   across captures. *)
+
+type node = {
+  name : string;
+  mutable total : float;
+  children : (string, node) Hashtbl.t;
+}
+
+let make_node name = { name; total = 0.0; children = Hashtbl.create 8 }
+
+let insert root frames weight =
+  root.total <- root.total +. weight;
+  let rec go node = function
+    | [] -> ()
+    | f :: rest ->
+        let child =
+          match Hashtbl.find_opt node.children f with
+          | Some c -> c
+          | None ->
+              let c = make_node f in
+              Hashtbl.add node.children f c;
+              c
+        in
+        child.total <- child.total +. weight;
+        go child rest
+  in
+  go root frames
+
+let of_collapsed entries =
+  let root = make_node "root" in
+  List.iter
+    (fun (stack, weight) ->
+      let frames = String.split_on_char ';' stack in
+      insert root frames weight)
+    entries;
+  root
+
+(* "a;b;c 12" lines back into (stack, weight) pairs; malformed lines
+   (no space, unparsable weight) are skipped rather than fatal so a
+   truncated capture still renders. *)
+let parse_collapsed text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         match String.rindex_opt line ' ' with
+         | None -> None
+         | Some i -> (
+             let stack = String.sub line 0 i in
+             let w = String.sub line (i + 1) (String.length line - i - 1) in
+             match float_of_string_opt w with
+             | Some weight when stack <> "" -> Some (stack, weight)
+             | _ -> None))
+
+let xml_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* FNV-1a over the name picks a stable warm color. *)
+let color name =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0xffffff)
+    name;
+  let r = 205 + (!h mod 50) in
+  let g = 80 + (!h / 53 mod 130) in
+  let b = !h / 7919 mod 60 in
+  Printf.sprintf "rgb(%d,%d,%d)" r g b
+
+let frame_h = 16
+let font_px = 11
+
+let rec depth_of node =
+  Hashtbl.fold (fun _ c acc -> max acc (1 + depth_of c)) node.children 0
+
+let render ?(title = "schedtool profile") ?(width = 1200) entries =
+  let root = of_collapsed entries in
+  let total = root.total in
+  let depth = depth_of root in
+  let header_h = 24 in
+  let height = header_h + ((depth + 1) * frame_h) + 8 in
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<?xml version=\"1.0\" standalone=\"no\"?>\n\
+        <svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        viewBox=\"0 0 %d %d\">\n"
+       width height width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"0\" y=\"0\" width=\"%d\" height=\"%d\" fill=\"#fdf6e3\"/>\n"
+       width height);
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"16\" text-anchor=\"middle\" \
+        font-family=\"monospace\" font-size=\"13\">%s</text>\n"
+       (width / 2) (xml_escape title));
+  (* root at the bottom, leaves at the top *)
+  let y_of d = height - 8 - ((d + 1) * frame_h) in
+  let sorted_children node =
+    Hashtbl.fold (fun _ c acc -> c :: acc) node.children []
+    |> List.sort (fun a b -> String.compare a.name b.name)
+  in
+  let rect name ~x ~w ~d ~weight =
+    let y = y_of d in
+    let pct = if total > 0.0 then 100.0 *. weight /. total else 0.0 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<g><title>%s (%.0f, %.1f%%)</title><rect x=\"%.2f\" y=\"%d\" \
+          width=\"%.2f\" height=\"%d\" fill=\"%s\" rx=\"1\"/>"
+         (xml_escape name) weight pct x y w (frame_h - 1) (color name));
+    (* label only when it has a chance of fitting *)
+    let max_chars = int_of_float (w /. 7.0) in
+    if max_chars >= 3 then begin
+      let label =
+        if String.length name <= max_chars then name
+        else String.sub name 0 (max_chars - 2) ^ ".."
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<text x=\"%.2f\" y=\"%d\" font-family=\"monospace\" \
+            font-size=\"%d\">%s</text>"
+           (x +. 2.0)
+           (y + frame_h - 4)
+           font_px (xml_escape label))
+    end;
+    Buffer.add_string buf "</g>\n"
+  in
+  let scale w = if total > 0.0 then w /. total *. float_of_int width else 0.0 in
+  let rec emit node ~x ~d =
+    let w = scale node.total in
+    if w >= 0.4 then begin
+      rect node.name ~x ~w ~d ~weight:node.total;
+      let cx = ref x in
+      List.iter
+        (fun c ->
+          emit c ~x:!cx ~d:(d + 1);
+          cx := !cx +. scale c.total)
+        (sorted_children node)
+    end
+  in
+  let all_name = Printf.sprintf "all (%.0f samples)" total in
+  rect all_name ~x:0.0 ~w:(float_of_int width) ~d:0 ~weight:total;
+  let cx = ref 0.0 in
+  List.iter
+    (fun c ->
+      emit c ~x:!cx ~d:1;
+      cx := !cx +. scale c.total)
+    (sorted_children root);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let render_collapsed ?title ?width text =
+  render ?title ?width (parse_collapsed text)

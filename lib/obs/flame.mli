@@ -1,0 +1,18 @@
+(** Self-contained flamegraph renderer: collapsed stacks to SVG, no
+    external [flamegraph.pl]. Frame x-extent is its share of total
+    weight, y is stack depth (root at the bottom); every frame carries
+    a [<title>] hover label with its weight and percentage. Output is
+    deterministic: siblings sort by name and colors are hashed from
+    the frame name. *)
+
+val parse_collapsed : string -> (string * float) list
+(** Parse ["a;b;c 12"] lines; malformed lines are skipped so a
+    truncated capture still renders. *)
+
+val render : ?title:string -> ?width:int -> (string * float) list -> string
+(** SVG text for collapsed entries (as produced by
+    {!Profile.aggregate} or {!parse_collapsed}). [width] defaults to
+    1200 px. *)
+
+val render_collapsed : ?title:string -> ?width:int -> string -> string
+(** [render] composed with {!parse_collapsed}. *)

@@ -35,3 +35,64 @@ let with_alloc f =
   let before = Gc.allocated_bytes () in
   let x = f () in
   (x, Gc.allocated_bytes () -. before)
+
+(* --- Gc.Memprof ownership ------------------------------------------
+   Gc.Memprof admits exactly one active profile per process, so every
+   would-be user (Profile's allocation engine today, a future leak
+   detector tomorrow) must claim it through one door. The owner string
+   names the claimant so a second claim fails with who holds it rather
+   than an opaque Gc failure. On runtimes where Memprof is not wired
+   up for multicore (5.1.x raises Failure at start), the claim reports
+   Error instead of raising, so callers degrade gracefully. *)
+
+let sampler_mutex = Mutex.create ()
+let sampler_owner_ref = ref None
+
+let word_bytes = float_of_int (Sys.word_size / 8)
+
+let start_sampler ~owner ~sampling_rate ~callback =
+  Mutex.lock sampler_mutex;
+  let result =
+    match !sampler_owner_ref with
+    | Some holder ->
+        Error (Printf.sprintf "Gc.Memprof already claimed by %s" holder)
+    | None -> (
+        let sample (a : Gc.Memprof.allocation) =
+          (* Memprof samples each allocated word with probability
+             [sampling_rate]; n_samples / rate is an unbiased estimate
+             of the allocation's size in words. *)
+          let bytes =
+            float_of_int a.Gc.Memprof.n_samples /. sampling_rate *. word_bytes
+          in
+          callback ~bytes ~callstack:a.Gc.Memprof.callstack;
+          None
+        in
+        match
+          Gc.Memprof.start ~sampling_rate
+            { Gc.Memprof.null_tracker with
+              alloc_minor = sample;
+              alloc_major = sample;
+            }
+        with
+        | _profile ->
+            sampler_owner_ref := Some owner;
+            Ok ()
+        | exception Failure msg -> Error ("Gc.Memprof unavailable: " ^ msg))
+  in
+  Mutex.unlock sampler_mutex;
+  result
+
+let stop_sampler () =
+  Mutex.lock sampler_mutex;
+  (match !sampler_owner_ref with
+  | None -> ()
+  | Some _ ->
+      (try Gc.Memprof.stop () with Failure _ -> ());
+      sampler_owner_ref := None);
+  Mutex.unlock sampler_mutex
+
+let sampler_owner () =
+  Mutex.lock sampler_mutex;
+  let o = !sampler_owner_ref in
+  Mutex.unlock sampler_mutex;
+  o

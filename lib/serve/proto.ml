@@ -44,6 +44,19 @@ type session_reply = {
   trace : string option;
 }
 
+(* Profile frames drive the in-process sampling profiler ([Obs.Profile])
+   over the admin stream: inspect it, toggle an engine, or run a whole
+   windowed capture in one round trip. *)
+type profile_action = P_status | P_start | P_stop | P_capture of float
+
+type profile_request = {
+  paction : profile_action;
+  pmode : Obs.Profile.mode;
+  prate : float option; (* hz (cpu) or sampling rate (alloc) *)
+  pformat : Obs.Profile.format;
+  pfilter : string option; (* keep only samples under this trace id *)
+}
+
 type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
@@ -51,6 +64,7 @@ type response =
   | Health_reply of { body : string }
   | Explain_reply of { body : string }
   | Session_reply of session_reply
+  | Profile_reply of { body : string }
   | Error of string
 
 (* Admin frames ride the same stream as solve requests; a session is a
@@ -62,6 +76,7 @@ type incoming =
   | Health
   | Explain of string
   | Session of session_request
+  | Profile of profile_request
 
 let request_header = Printf.sprintf "request v%d" version
 let stats_header = Printf.sprintf "stats v%d" version
@@ -69,6 +84,7 @@ let events_header = Printf.sprintf "events v%d" version
 let health_header = Printf.sprintf "health v%d" version
 let explain_header = Printf.sprintf "explain v%d" version
 let session_header = Printf.sprintf "session v%d" version
+let profile_header = Printf.sprintf "profile v%d" version
 let response_header = Printf.sprintf "response v%d" version
 
 let session_op_name = function
@@ -281,6 +297,88 @@ let parse_explain body =
             | Result.Error _ as e -> e)
         | "", _ -> fields rest
         | key, _ -> Result.Error (Printf.sprintf "unknown explain field %S" key))
+  in
+  fields body
+
+(* A profile frame's body: an optional [action status|start|stop|capture],
+   [seconds F] (window length; implies capture when no action is given),
+   [mode cpu|alloc], [rate F], [format collapsed|json], and [id
+   <trace-id>] to keep only one request's samples. *)
+let parse_profile body =
+  let action = ref None in
+  let seconds = ref None in
+  let mode = ref Obs.Profile.Cpu in
+  let rate = ref None in
+  let format = ref Obs.Profile.Collapsed in
+  let filter = ref None in
+  let rec fields = function
+    | [] -> (
+        let paction =
+          match (!action, !seconds) with
+          | Some a, _ -> Ok a
+          | None, Some s -> Ok (P_capture s)
+          | None, None -> Ok P_status
+        in
+        match paction with
+        | Result.Error _ as e -> e
+        | Ok (P_capture _) when !seconds = None ->
+            Result.Error "capture requires a seconds field"
+        | Ok paction ->
+            let paction =
+              (* a seconds field upgrades a plain capture marker *)
+              match (paction, !seconds) with
+              | P_capture _, Some s -> P_capture s
+              | a, _ -> a
+            in
+            Ok
+              (Profile
+                 {
+                   paction;
+                   pmode = !mode;
+                   prate = !rate;
+                   pformat = !format;
+                   pfilter = !filter;
+                 }))
+    | line :: rest -> (
+        match split_first line with
+        | "action", v -> (
+            match v with
+            | "status" -> action := Some P_status; fields rest
+            | "start" -> action := Some P_start; fields rest
+            | "stop" -> action := Some P_stop; fields rest
+            | "capture" -> action := Some (P_capture 0.0); fields rest
+            | v ->
+                Result.Error
+                  (Printf.sprintf
+                     "action: expected status|start|stop|capture, got %S" v))
+        | "seconds", v -> (
+            match float_of_string_opt v with
+            | Some s when s > 0.0 && s <= 600.0 ->
+                seconds := Some s;
+                fields rest
+            | Some _ | None ->
+                Result.Error
+                  (Printf.sprintf "seconds: expected 0 < s <= 600, got %S" v))
+        | "mode", v -> (
+            match Obs.Profile.mode_of_string v with
+            | Ok m -> mode := m; fields rest
+            | Result.Error e -> Result.Error e)
+        | "rate", v -> (
+            match float_of_string_opt v with
+            | Some r when r > 0.0 -> rate := Some r; fields rest
+            | Some _ | None ->
+                Result.Error
+                  (Printf.sprintf "rate: expected a number > 0, got %S" v))
+        | "format", v -> (
+            match Obs.Profile.format_of_string v with
+            | Ok f -> format := f; fields rest
+            | Result.Error e -> Result.Error e)
+        | "id", v -> (
+            match check_id ~what:"id" v with
+            | Ok i -> filter := Some i; fields rest
+            | Result.Error _ as e -> e)
+        | "", _ -> fields rest
+        | key, _ -> Result.Error (Printf.sprintf "unknown profile field %S" key))
   in
   fields body
 
@@ -525,13 +623,20 @@ let read_incoming ic =
           match parse_session body with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
+  | Some header when header = profile_header -> (
+      match read_body ic with
+      | Result.Error _ as e -> e
+      | Ok body -> (
+          match parse_profile body with
+          | Ok incoming -> Ok (Some incoming)
+          | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
       Result.Error
         (Printf.sprintf
-           "bad request header %S (expected %S, %S, %S, %S, %S or %S)" header
-           request_header stats_header events_header health_header
-           explain_header session_header)
+           "bad request header %S (expected %S, %S, %S, %S, %S, %S or %S)"
+           header request_header stats_header events_header health_header
+           explain_header session_header profile_header)
 
 let read_request ic =
   match read_incoming ic with
@@ -556,6 +661,10 @@ let read_request ic =
   | Ok (Some (Session _)) ->
       Result.Error
         (Printf.sprintf "unexpected %S frame (expected %S)" session_header
+           request_header)
+  | Ok (Some (Profile _)) ->
+      Result.Error
+        (Printf.sprintf "unexpected %S frame (expected %S)" profile_header
            request_header)
   | Result.Error _ as e -> e
 
@@ -594,6 +703,26 @@ let write_events_request ?count ?level oc =
 let write_health_request oc =
   output_string oc health_header;
   output_char oc '\n';
+  output_string oc "end\n";
+  flush oc
+
+let profile_action_name = function
+  | P_status -> "status"
+  | P_start -> "start"
+  | P_stop -> "stop"
+  | P_capture _ -> "capture"
+
+let write_profile_request oc (pr : profile_request) =
+  output_string oc profile_header;
+  output_char oc '\n';
+  Printf.fprintf oc "action %s\n" (profile_action_name pr.paction);
+  (match pr.paction with
+  | P_capture s -> Printf.fprintf oc "seconds %s\n" (float_to_text s)
+  | P_status | P_start | P_stop -> ());
+  Printf.fprintf oc "mode %s\n" (Obs.Profile.mode_to_string pr.pmode);
+  Option.iter (fun r -> Printf.fprintf oc "rate %s\n" (float_to_text r)) pr.prate;
+  Printf.fprintf oc "format %s\n" (Obs.Profile.format_to_string pr.pformat);
+  Option.iter (fun i -> Printf.fprintf oc "id %s\n" i) pr.pfilter;
   output_string oc "end\n";
   flush oc
 
@@ -690,6 +819,15 @@ let write_response oc response =
       output_string oc "status explain\n";
       (* each payload line starts with a known key ([trace] or [phase])
          followed by a space, never the bare "end" *)
+      output_string oc "payload\n";
+      output_string oc body;
+      if body <> "" && body.[String.length body - 1] <> '\n' then
+        output_char oc '\n'
+  | Profile_reply { body } ->
+      output_string oc "status profile\n";
+      (* each payload line carries a space (collapsed lines are "stack
+         weight", status lines "key k=v ...", JSON objects punctuation),
+         never the bare "end" terminator *)
       output_string oc "payload\n";
       output_string oc body;
       if body <> "" && body.[String.length body - 1] <> '\n' then
@@ -867,6 +1005,21 @@ let read_response ic =
                     | ls -> String.concat "\n" ls ^ "\n"
                   in
                   Ok (Some (Explain_reply { body })))
+          | Some "profile" -> (
+              let rec after_marker = function
+                | [] -> None
+                | "payload" :: rest -> Some rest
+                | _ :: rest -> after_marker rest
+              in
+              match after_marker body with
+              | None -> Result.Error "profile response missing payload"
+              | Some lines ->
+                  let body =
+                    match lines with
+                    | [] -> ""
+                    | ls -> String.concat "\n" ls ^ "\n"
+                  in
+                  Ok (Some (Profile_reply { body })))
           | Some "session" -> (
               let ( let* ) = Result.bind in
               let require key =

@@ -183,6 +183,35 @@
     end
     v}
 
+    A profile frame drives the in-process sampling profiler
+    ({!Obs.Profile}) over the same stream: [action status|start|stop]
+    inspects or toggles an engine, while a [seconds] field (action
+    [capture], or no action at all) runs a whole windowed capture —
+    start, sample for the window, aggregate, stop — in one round trip:
+    {v
+    profile v1
+    action capture
+    seconds 5
+    mode cpu               # cpu|alloc, default cpu
+    rate 99                # hz (cpu) / sampling rate (alloc); optional
+    format collapsed       # collapsed|json, default collapsed
+    id lg1.3               # optional: keep only this request's samples
+    end
+    v}
+
+    answered with [status profile] and a payload of collapsed-stack
+    lines ([frame;frame;frame weight]) or JSON objects; [status]/
+    [start]/[stop] answers carry the profiler's [engine]/[totals]
+    status lines instead (stop additionally returns the retained
+    samples of the engine it disarmed):
+    {v
+    response v1
+    status profile
+    payload
+    Schedtool.solve;Serve__Dispatch.run;Algos__Exact.solve 41
+    end
+    v}
+
     Blank lines between requests are ignored; [#] comments are allowed
     inside the instance block (they are part of the [Instance_io]
     format). *)
@@ -249,6 +278,25 @@ type session_reply = {
   trace : string option;  (** the trace id the op was served under *)
 }
 
+type profile_action =
+  | P_status  (** report engine state and sample totals *)
+  | P_start  (** arm an engine (error if one is running) *)
+  | P_stop  (** disarm and return the retained samples *)
+  | P_capture of float
+      (** start, sample for this many seconds, aggregate, stop — one
+          round trip *)
+
+type profile_request = {
+  paction : profile_action;
+  pmode : Obs.Profile.mode;  (** engine: CPU timer or Gc.Memprof *)
+  prate : float option;
+      (** hz for cpu, per-word sampling rate for alloc; engine default
+          when absent *)
+  pformat : Obs.Profile.format;  (** payload rendering *)
+  pfilter : string option;
+      (** keep only samples recorded under this trace/request id *)
+}
+
 type response =
   | Reply of reply
   | Stats_reply of { format : stats_format; body : string }
@@ -268,6 +316,10 @@ type response =
   | Session_reply of session_reply
       (** acknowledgement of a session op (with the schedule, for
           resolve) *)
+  | Profile_reply of { body : string }
+      (** profiler payload, answered to a profile frame: collapsed-stack
+          or JSON-object lines for capture/stop, [engine]/[totals]
+          status lines for status/start *)
   | Error of string
 
 type incoming =
@@ -281,6 +333,8 @@ type incoming =
       (** phase-tree request for one trace/request id still retained in
           the phase recorder ({!Obs.Phase}) *)
   | Session of session_request  (** a session op (see {!session_op}) *)
+  | Profile of profile_request
+      (** a profiler action (see {!profile_action}) *)
 (** One frame of a session: a solve request or an admin frame. *)
 
 val session_op_name : session_op -> string
@@ -316,6 +370,9 @@ val write_explain_request : out_channel -> string -> unit
 
 val write_session_request : out_channel -> session_request -> unit
 (** Client side: emit a [session v1] frame; flushes. *)
+
+val write_profile_request : out_channel -> profile_request -> unit
+(** Client side: emit a [profile v1] admin frame; flushes. *)
 
 val write_response : out_channel -> response -> unit
 (** Server side; flushes. *)

@@ -48,6 +48,24 @@ let fetch_events ?count ?level conn =
   | Ok _ -> Error "unexpected response to events frame"
   | Error msg -> Error msg
 
+let exchange_profile conn (pr : Proto.profile_request) =
+  Proto.write_profile_request conn.oc pr;
+  match Proto.read_response conn.ic with
+  | Ok (Some (Proto.Profile_reply { body })) -> Ok body
+  | Ok (Some (Proto.Error msg)) -> Error msg
+  | Ok _ -> Error "unexpected response to profile frame"
+  | Error msg -> Error msg
+
+let fetch_profile ?(seconds = 1.0) ?(mode = Obs.Profile.Cpu) ?rate conn =
+  exchange_profile conn
+    {
+      Proto.paction = Proto.P_capture seconds;
+      pmode = mode;
+      prate = rate;
+      pformat = Obs.Profile.Collapsed;
+      pfilter = None;
+    }
+
 (* --- Prometheus text parsing --------------------------------------------- *)
 
 (* One series per line: `name 12` or `name{label="v"} 34.5`. The name
@@ -171,6 +189,33 @@ let kv_fields rest =
              Some
                ( String.sub tok 0 i,
                  String.sub tok (i + 1) (String.length tok - i - 1) ))
+
+(* --- profile hotspots ----------------------------------------------------- *)
+
+(* Rank frames by *self* weight — the weight of the collapsed stacks
+   they terminate — as a fraction of the payload's total. Leaf weight,
+   not cumulative, so a hot inner loop outranks its callers. *)
+let top_self_frames ?(limit = 5) body =
+  let entries = Obs.Flame.parse_collapsed body in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 entries in
+  if total <= 0.0 then []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (stack, w) ->
+        let leaf =
+          match String.rindex_opt stack ';' with
+          | None -> stack
+          | Some i -> String.sub stack (i + 1) (String.length stack - i - 1)
+        in
+        Hashtbl.replace tbl leaf
+          (w +. Option.value ~default:0.0 (Hashtbl.find_opt tbl leaf)))
+      entries;
+    Hashtbl.fold (fun name w acc -> (name, w /. total) :: acc) tbl []
+    |> List.sort (fun (na, a) (nb, b) ->
+           match compare b a with 0 -> compare na nb | c -> c)
+    |> List.filteri (fun i _ -> i < limit)
+  end
 
 (* --- event source ranking ------------------------------------------------- *)
 

@@ -23,6 +23,21 @@ val fetch_events :
   ?count:int -> ?level:Obs.Event.level -> conn -> (string, string) result
 (** One [events v1] round-trip; flight-recorder events as JSON lines. *)
 
+val exchange_profile : conn -> Proto.profile_request -> (string, string) result
+(** One [profile v1] round-trip of any action; the reply payload
+    (collapsed stacks, JSON lines, or status lines — see
+    {!Proto.profile_action}). A capture blocks for its window. *)
+
+val fetch_profile :
+  ?seconds:float ->
+  ?mode:Obs.Profile.mode ->
+  ?rate:float ->
+  conn ->
+  (string, string) result
+(** One windowed capture (default 1 s, CPU engine): the collapsed-stack
+    payload. Blocks for the window; [Error] when an engine is already
+    running server-side. *)
+
 (** {1 Prometheus text} *)
 
 val parse_prometheus : string -> (string * float) list
@@ -69,6 +84,13 @@ val health_lines : string -> (string * string) list
 
 val kv_fields : string -> (string * string) list
 (** The [k=v] tokens of one repeated line's [rest]. *)
+
+(** {1 Profile hotspots} *)
+
+val top_self_frames : ?limit:int -> string -> (string * float) list
+(** The hottest frames of a collapsed-stack payload by {e self} weight
+    (the weight of stacks they terminate) as a fraction of total,
+    descending (ties alphabetical); at most [limit] (default 5). *)
 
 (** {1 Event sources} *)
 

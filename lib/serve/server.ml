@@ -285,7 +285,8 @@ let handle_request t (req : Proto.request) =
           Obs.Labeled.incr c_req_degraded;
           "degraded"
       | Proto.Reply _ | Proto.Stats_reply _ | Proto.Events_reply _
-      | Proto.Health_reply _ | Proto.Explain_reply _ | Proto.Session_reply _ ->
+      | Proto.Health_reply _ | Proto.Explain_reply _ | Proto.Session_reply _
+      | Proto.Profile_reply _ ->
           Obs.Labeled.incr c_req_ok;
           "ok"
     in
@@ -517,6 +518,44 @@ let handle_session t (sreq : Proto.session_request) =
         }
   | other -> other
 
+(* Profile frames drive [Obs.Profile] in-band. The engines are
+   process-wide, so a capture sees every domain's work, not just this
+   worker's; the capture window parks this worker in [sleepf]
+   (health-marked as waiting, not wedged) while the rest of the pool
+   keeps solving — which is exactly the traffic being profiled. *)
+let handle_profile (pr : Proto.profile_request) =
+  let status_body () =
+    String.concat "\n" (Obs.Profile.status_lines ()) ^ "\n"
+  in
+  let rendered () =
+    Obs.Profile.render ?ctx:pr.Proto.pfilter pr.Proto.pformat
+  in
+  match pr.Proto.paction with
+  | Proto.P_status -> Proto.Profile_reply { body = status_body () }
+  | Proto.P_start -> (
+      match Obs.Profile.start ?rate:pr.Proto.prate pr.Proto.pmode with
+      | Ok () -> Proto.Profile_reply { body = status_body () }
+      | Error msg -> Proto.Error msg)
+  | Proto.P_stop ->
+      if Obs.Profile.running () = None then Proto.Error "profiler not running"
+      else begin
+        (* render before disarming so the rings are not cleared by a
+           future start between the two steps *)
+        let body = rendered () in
+        Obs.Profile.stop ();
+        Proto.Profile_reply { body }
+      end
+  | Proto.P_capture seconds -> (
+      match Obs.Profile.start ?rate:pr.Proto.prate pr.Proto.pmode with
+      | Error msg -> Proto.Error msg
+      | Ok () ->
+          Obs.Health.waiting ();
+          Unix.sleepf seconds;
+          Obs.Health.beat ();
+          let body = rendered () in
+          Obs.Profile.stop ();
+          Proto.Profile_reply { body })
+
 let serve_channels t ic oc =
   let respond response =
     Proto.write_response oc response;
@@ -548,6 +587,10 @@ let serve_channels t ic oc =
         loop ()
     | Ok (Some (Proto.Session sreq)) ->
         respond (handle_session t sreq);
+        loop ()
+    | Ok (Some (Proto.Profile pr)) ->
+        Obs.Health.beat ();
+        respond (handle_profile pr);
         loop ()
     | Error msg ->
         Obs.Counter.incr c_errors;

@@ -57,7 +57,16 @@
     delta-aware keys) and the registry's fill feeds a [sessions]
     saturation meter; the watchdog ticker sweeps idle sessions. Session
     frames carry their own [serve.session.*] metrics and stay outside
-    the [serve.requests] family. *)
+    the [serve.requests] family.
+
+    Profiling: [profile v1] frames drive the in-process sampling
+    profiler ({!Obs.Profile}) in-band — status, start/stop, or a whole
+    windowed capture ([seconds N]) answered with collapsed stacks. The
+    engines are process-wide, so a capture sees every pool domain's
+    work; the worker serving the frame parks in the capture window
+    marked [waiting] while the rest of the pool keeps solving. Like the
+    other admin frames, profile traffic stays outside the request
+    metrics. *)
 
 type config = {
   cache_capacity : int;  (** LRU entries kept (default 128) *)

@@ -19,8 +19,21 @@
 #             regressions (a dropped cache, an accidental O(n^2)), a
 #             human decides.
 #
-# Usage:  scripts/bench_gate.sh [--counters|--timings|--all] [baseline.json]
+# A third gate needs no baseline at all:
+#
+#   profile-overhead  HARD.  Compares the two cache-hit records *within*
+#             the fresh run — "serve cache hit n=12" vs its twin
+#             measured with the 99 Hz CPU profiler armed. Both loops run
+#             seconds apart on the same hardware, so the comparison
+#             survives slow shared runners. Fails when the profiled
+#             exact p50 exceeds base_p50 * (1 + PROFILE_TOLERANCE_PCT%)
+#             + PROFILE_SLACK_US (absolute slack absorbs timer
+#             granularity on a ~100 us loop).
+#
+# Usage:  scripts/bench_gate.sh [--counters|--timings|--profile-overhead|--all] [baseline.json]
 #   TOLERANCE=3.0   ratio above which a timing warns (default 3.0)
+#   PROFILE_TOLERANCE_PCT=3  profiled-p50 overhead bound in percent
+#   PROFILE_SLACK_US=5       absolute slack added to the bound
 #   SKIP_RUN=1      compare an existing $BENCH_SERVE_OUT instead of
 #                   re-running the harness
 set -eu
@@ -31,6 +44,7 @@ MODE=all
 case "${1:-}" in
   --counters) MODE=counters; shift ;;
   --timings)  MODE=timings;  shift ;;
+  --profile-overhead) MODE=profile; shift ;;
   --all)      MODE=all;      shift ;;
 esac
 
@@ -38,7 +52,9 @@ BASELINE="${1:-BENCH_serve.json}"
 TOLERANCE="${TOLERANCE:-3.0}"
 FRESH="${BENCH_SERVE_OUT:-$(mktemp /tmp/bench_serve.XXXXXX.json)}"
 
-[ -f "$BASELINE" ] || { echo "bench_gate: baseline $BASELINE not found" >&2; exit 2; }
+if [ "$MODE" != "profile" ]; then
+  [ -f "$BASELINE" ] || { echo "bench_gate: baseline $BASELINE not found" >&2; exit 2; }
+fi
 
 if [ "${SKIP_RUN:-0}" != "1" ]; then
   echo "bench_gate: running bench harness (BENCH_SERVE_OUT=$FRESH)"
@@ -133,6 +149,37 @@ if [ "$MODE" = "counters" ] || [ "$MODE" = "all" ]; then
     overall=1
   else
     echo "bench_gate: counters OK (exact match vs $BASELINE)"
+  fi
+fi
+
+# --- profiler overhead gate (hard, within the fresh run) --------------------
+if [ "$MODE" = "profile" ] || [ "$MODE" = "all" ]; then
+  PROFILE_TOLERANCE_PCT="${PROFILE_TOLERANCE_PCT:-3}"
+  PROFILE_SLACK_US="${PROFILE_SLACK_US:-5}"
+  flatten_timings "$FRESH" > "$fresh_flat"
+  base_p50=$(awk -F'\t' '$1 == "serve cache hit n=12" && $2 == "p50_us" { print $3 }' "$fresh_flat")
+  prof_p50=$(awk -F'\t' '$1 == "serve cache hit n=12 profiled 99hz" && $2 == "p50_us" { print $3 }' "$fresh_flat")
+  if [ -z "$base_p50" ] || [ -z "$prof_p50" ]; then
+    echo "bench_gate: FAIL profile overhead: cache-hit p50 records missing from fresh run"
+    overall=1
+  else
+    verdict=$(awk -v b="$base_p50" -v p="$prof_p50" \
+                  -v tol="$PROFILE_TOLERANCE_PCT" -v slack="$PROFILE_SLACK_US" 'BEGIN {
+      bound = b * (1 + tol / 100.0) + slack
+      printf "%s %.1f %.1f", (p <= bound ? "ok" : "FAIL"), bound, 100 * (p - b) / b
+    }')
+    status=${verdict%% *}
+    rest=${verdict#* }
+    bound=${rest%% *}
+    pct=${rest#* }
+    printf 'bench_gate: %-4s profile overhead: p50 %s us -> %s us (%s%%, bound %s us)\n' \
+      "$status" "$base_p50" "$prof_p50" "$pct" "$bound"
+    if [ "$status" = "FAIL" ]; then
+      echo "bench_gate: profile overhead FAILED (99 Hz CPU engine must cost <= ${PROFILE_TOLERANCE_PCT}% p50 + ${PROFILE_SLACK_US} us)"
+      overall=1
+    else
+      echo "bench_gate: profile overhead OK (within ${PROFILE_TOLERANCE_PCT}% + ${PROFILE_SLACK_US} us)"
+    fi
   fi
 fi
 

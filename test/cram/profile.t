@@ -1,0 +1,71 @@
+Continuous profiling: a live serve socket answers profile v1 frames —
+status, engine toggles, and whole windowed captures rendered as
+collapsed stacks or a flamegraph SVG — while the pool keeps serving.
+
+  $ schedtool gen --env uniform -n 40 -m 4 -k 4 --seed 7 -o inst.txt
+  wrote inst.txt
+  $ schedtool serve --socket live.sock -j 4 > server.log 2>&1 & pid=$!
+  $ for i in $(seq 200); do [ -S live.sock ] && break; sleep 0.05; done
+
+A fresh server has no engine armed and empty rings, so the status
+frame is fully deterministic:
+
+  $ schedtool profile --socket live.sock --action status
+  engine mode=- running=false rate=0
+  totals samples=0 dropped=0 overruns=0 retained=0 rings=0
+
+Windowed capture under load: session loadgen keeps the pool solving
+while the capture window is open, so the collapsed stacks name the
+solver's own modules, not just transport plumbing:
+
+  $ schedtool loadgen --socket live.sock --sessions 2000 --mutations 6 \
+  >   inst.txt > loadgen.out 2>&1 & lgpid=$!
+  $ schedtool profile --socket live.sock --seconds 3 -o prof.collapsed
+  wrote prof.collapsed
+  $ [ -s prof.collapsed ] && echo non-empty
+  non-empty
+
+Every payload line is root-first `frame;frame;... weight`:
+
+  $ awk 'NF < 2 { bad = 1 } END { print (bad ? "malformed" : "well-formed") }' prof.collapsed
+  well-formed
+  $ [ $(grep -cE 'Algos__|Lp__' prof.collapsed) -ge 1 ] && echo have-solver-frames
+  have-solver-frames
+
+The same capture renders straight to a self-contained flamegraph SVG
+(no external tooling):
+
+  $ schedtool profile --socket live.sock --seconds 1 \
+  >   -o prof2.collapsed --svg flame.svg
+  wrote prof2.collapsed
+  wrote flame.svg
+  $ grep -c '^<?xml' flame.svg
+  1
+  $ grep -o '</svg>' flame.svg
+  </svg>
+  $ [ $(grep -c '<rect' flame.svg) -ge 2 ] && echo have-rects
+  have-rects
+
+`schedtool top --hotspots` folds a short live capture into the
+refresh loop and shows the hottest frames by self time:
+
+  $ schedtool top --socket live.sock --once --hotspots 0.5 > top.out
+  $ grep -c '^hotspots' top.out
+  1
+
+The engines are exclusive: arming one refuses a second, and stop
+disarms (start echoes the engine line; the totals line varies with
+earlier captures' sample counts):
+
+  $ schedtool profile --socket live.sock --action start | head -1
+  engine mode=cpu running=true rate=99
+  $ schedtool profile --socket live.sock --seconds 1 2>&1
+  schedtool: profiler already running (mode=cpu)
+  [124]
+  $ schedtool profile --socket live.sock --action stop > /dev/null
+  $ schedtool profile --socket live.sock --action status | head -1
+  engine mode=- running=false rate=0
+
+  $ kill $lgpid 2>/dev/null; wait $lgpid 2>/dev/null || true
+  $ kill -INT $pid
+  $ wait $pid 2>/dev/null || true

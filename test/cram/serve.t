@@ -36,7 +36,7 @@ and the session keeps going — the next frame still gets served:
   >   | schedtool serve --stdio | grep -v elapsed_us
   response v1
   status error
-  error bad request header "request v9" (expected "request v1", "stats v1", "events v1", "health v1", "explain v1" or "session v1")
+  error bad request header "request v9" (expected "request v1", "stats v1", "events v1", "health v1", "explain v1", "session v1" or "profile v1")
   end
   response v1
   status ok

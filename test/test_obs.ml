@@ -871,6 +871,79 @@ let test_span_with_alloc () =
       | Ok _ -> ()
       | Error msg -> Alcotest.failf "trace with alloc_b invalid: %s" msg)
 
+(* --- profile -------------------------------------------------------------- *)
+
+let test_profile_collapse_invariance () =
+  let samples =
+    [
+      ([ "main"; "solve"; "pivot" ], 3.0);
+      ([ "main"; "solve" ], 1.0);
+      ([ "main"; "solve"; "pivot" ], 2.0);
+      ([ "main" ], 5.0);
+      ([ "main"; "io" ], 4.0);
+    ]
+  in
+  let a = Obs.Profile.collapse samples in
+  let b = Obs.Profile.collapse (List.rev samples) in
+  Alcotest.(check (list (pair string (float 1e-9))))
+    "collapse is sample-order-invariant" a b;
+  Alcotest.(check bool) "duplicate stacks sum their weights" true
+    (List.assoc_opt "main;solve;pivot" a = Some 5.0);
+  let stacks = List.map fst a in
+  Alcotest.(check (list string))
+    "entries sorted by stack string" (List.sort compare stacks) stacks
+
+let burn i =
+  (* enough floating-point work per task for ITIMER_PROF ticks to land
+     mid-task; opaque so flambda cannot fold the loop away *)
+  let acc = ref (float_of_int i) in
+  for j = 1 to 1_500_000 do
+    acc := Float.rem ((!acc *. 1.000001) +. float_of_int j) 1e9
+  done;
+  ignore (Sys.opaque_identity !acc)
+
+let test_profile_hammer () =
+  (* 4 pool domains burning CPU while the engine samples at 1 kHz: no
+     crashes or wedged domains, sample counts positive and monotone,
+     rings registered, and the aggregate well-formed. The SIGPROF
+     handler touches only DLS rings and atomics, so it must coexist
+     with whatever any domain is doing when the signal lands. *)
+  Obs.Profile.clear ();
+  (match Obs.Profile.start ~rate:1000.0 Obs.Profile.Cpu with
+  | Error msg -> Alcotest.failf "cpu engine failed to start: %s" msg
+  | Ok () -> ());
+  Fun.protect ~finally:Obs.Profile.stop (fun () ->
+      let pool = P.create 4 in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool)
+        (fun () -> ignore (P.run pool (List.init 16 (fun i () -> burn i))));
+      let st1 = Obs.Profile.stat () in
+      Alcotest.(check bool) "samples landed" true
+        (st1.Obs.Profile.s_samples > 0);
+      Alcotest.(check bool) "a ring registered" true
+        (st1.Obs.Profile.s_rings >= 1);
+      let pool2 = P.create 4 in
+      Fun.protect
+        ~finally:(fun () -> P.shutdown pool2)
+        (fun () ->
+          ignore (P.run pool2 (List.init 16 (fun i () -> burn (i + 16)))));
+      let st2 = Obs.Profile.stat () in
+      Alcotest.(check bool) "sample count monotone" true
+        (st2.Obs.Profile.s_samples >= st1.Obs.Profile.s_samples);
+      Alcotest.(check bool) "retained bounded by recorded" true
+        (st2.Obs.Profile.s_retained <= st2.Obs.Profile.s_samples);
+      let agg = Obs.Profile.aggregate () in
+      Alcotest.(check bool) "aggregate nonempty" true (agg <> []);
+      List.iter
+        (fun (stack, w) ->
+          Alcotest.(check bool) "stack nonempty" true
+            (String.length stack > 0);
+          Alcotest.(check bool) "frames sanitized (no spaces)" true
+            (not (String.contains stack ' '));
+          Alcotest.(check bool) "positive weight" true (w > 0.0))
+        agg);
+  Alcotest.(check bool) "engine disarmed" true (Obs.Profile.running () = None)
+
 let test_report_tables () =
   let c = C.make "test.report" in
   C.reset c;
@@ -954,6 +1027,13 @@ let () =
         [
           Alcotest.test_case "gc gauges" `Quick test_memprof_gauges;
           Alcotest.test_case "span alloc delta" `Quick test_span_with_alloc;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "collapse order-invariance" `Quick
+            test_profile_collapse_invariance;
+          Alcotest.test_case "4-domain hammer while sampling" `Quick
+            test_profile_hammer;
         ] );
       ( "integration",
         [

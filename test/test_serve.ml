@@ -757,7 +757,7 @@ let test_server_cache_roundtrip () =
       | Serve.Proto.Error msg -> Alcotest.fail msg
       | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
       | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _
-      | Serve.Proto.Explain_reply _ ->
+      | Serve.Proto.Explain_reply _ | Serve.Proto.Profile_reply _ ->
           Alcotest.fail "unexpected admin reply"
       | Serve.Proto.Reply first -> (
           Alcotest.(check bool) "first is a miss" false
@@ -769,7 +769,7 @@ let test_server_cache_roundtrip () =
           | Serve.Proto.Error msg -> Alcotest.fail msg
           | Serve.Proto.Stats_reply _ | Serve.Proto.Events_reply _
           | Serve.Proto.Health_reply _ | Serve.Proto.Session_reply _
-          | Serve.Proto.Explain_reply _ ->
+          | Serve.Proto.Explain_reply _ | Serve.Proto.Profile_reply _ ->
               Alcotest.fail "unexpected admin reply"
           | Serve.Proto.Reply second ->
               Alcotest.(check bool) "second is a hit" true
