@@ -364,6 +364,39 @@ let experiments_cmd =
 
 (* --- serve ------------------------------------------------------------- *)
 
+let parse_hostport flag s =
+  match String.rindex_opt s ':' with
+  | None -> Error (Printf.sprintf "%s expects HOST:PORT, got %S" flag s)
+  | Some i -> (
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (host, p)
+      | Some _ | None ->
+          Error (Printf.sprintf "%s expects HOST:PORT, got %S" flag s))
+
+(* Dial a serve target — a Unix socket path or HOST:PORT (the same
+   grammar every client command shares; see Serve.Scrape.resolve). *)
+let connect_serve target =
+  match Serve.Scrape.resolve target with
+  | Error msg -> Error msg
+  | Ok (domain, addr) -> (
+      match
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd addr;
+           if domain = Unix.PF_INET then Unix.setsockopt fd Unix.TCP_NODELAY true
+         with e ->
+           Unix.close fd;
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" target
+               (Unix.error_message err))
+      | fd -> Ok fd)
+
 let serve_cmd =
   let stdio_arg =
     Arg.(value & flag
@@ -374,7 +407,41 @@ let serve_cmd =
     Arg.(value & opt (some string) None
          & info [ "socket" ] ~docv:"PATH"
              ~doc:"Listen on a Unix-domain socket at $(docv); each \
-                   connection is a session, handled concurrently.")
+                   connection is a session, handled concurrently. \
+                   Combined with $(b,--tcp), the path is served by the \
+                   same multiplexed event loop.")
+  in
+  let tcp_arg =
+    Arg.(value & opt (some string) None
+         & info [ "tcp" ] ~docv:"HOST:PORT"
+             ~doc:"Listen on a TCP address through the multiplexed \
+                   event loop: non-blocking socket I/O, request \
+                   pipelining, bounded admission queue with \
+                   deadline-aware shedding (see $(b,--max-pending)). \
+                   Port 0 picks a free port (printed on stderr).")
+  in
+  let router_arg =
+    Arg.(value & flag
+         & info [ "router" ]
+             ~doc:"Shard-router mode: forward each request to one of \
+                   $(b,--backends) by consistent-hashing its canonical \
+                   instance fingerprint, so repeated and permuted \
+                   instances land on the shard that already cached \
+                   them. Listens on --socket or --tcp.")
+  in
+  let backends_arg =
+    Arg.(value & opt (some string) None
+         & info [ "backends" ] ~docv:"T1,T2,..."
+             ~doc:"Router backends: comma-separated server targets \
+                   (Unix socket paths or HOST:PORT).")
+  in
+  let max_pending_arg =
+    Arg.(value & opt int 64
+         & info [ "max-pending" ] ~docv:"N"
+             ~doc:"Mux admission bound: at most $(docv) solver-bound \
+                   requests queued (halved when health is degraded, \
+                   zero when unhealthy); excess requests are shed with \
+                   an immediate degraded fast-path reply.")
   in
   let cache_arg =
     Arg.(value & opt int 128
@@ -463,11 +530,13 @@ let serve_cmd =
                    (bounds the dump/events-frame lookback; see DESIGN.md \
                    for the memory cost per slot).")
   in
-  let run stdio socket cache_size jobs deadline slow_ms slow_log event_log
-      task_budget watchdog_interval max_sessions session_idle fallback_ratio
-      phase_ring event_ring trace stats =
+  let run stdio socket tcp router backends max_pending cache_size jobs
+      deadline slow_ms slow_log event_log task_budget watchdog_interval
+      max_sessions session_idle fallback_ratio phase_ring event_ring trace
+      stats =
     let finish = obs_setup trace in
     if cache_size < 1 then `Error (false, "--cache-size must be >= 1")
+    else if max_pending < 1 then `Error (false, "--max-pending must be >= 1")
     else if task_budget <= 0.0 then
       `Error (false, "--task-budget must be > 0")
     else if watchdog_interval < 0.0 then
@@ -538,6 +607,8 @@ let serve_cmd =
                       idle_timeout_s = session_idle;
                       fallback_ratio;
                     };
+                  prehash_cap =
+                    Serve.Server.default_config.Serve.Server.prehash_cap;
                 }
               in
               let cleanup () =
@@ -546,32 +617,143 @@ let serve_cmd =
                   (fun oc -> try close_out oc with Sys_error _ -> ())
                   !to_close
               in
-              let result =
-                match (stdio, socket) with
-                | true, Some _ | false, None ->
-                    `Error
-                      (false, "choose exactly one of --stdio or --socket PATH")
-                | true, None ->
+              let banner addr =
+                match (addr : Unix.sockaddr) with
+                | Unix.ADDR_INET (ip, p) ->
+                    Printf.eprintf "serving on %s:%d\n%!"
+                      (Unix.string_of_inet_addr ip) p
+                | Unix.ADDR_UNIX p -> Printf.eprintf "serving on %s\n%!" p
+              in
+              let serve_router () =
+                let backend_list =
+                  match backends with
+                  | None -> []
+                  | Some b ->
+                      String.split_on_char ',' b |> List.map String.trim
+                      |> List.filter (( <> ) "")
+                in
+                if backend_list = [] then
+                  `Error (false, "--router requires --backends T1,T2,...")
+                else if stdio then
+                  `Error (false, "--router cannot serve --stdio")
+                else
+                  match (socket, tcp) with
+                  | None, None ->
+                      `Error
+                        ( false,
+                          "--router needs a listener: --socket PATH or --tcp \
+                           HOST:PORT" )
+                  | Some _, Some _ ->
+                      `Error
+                        ( false,
+                          "choose one of --socket or --tcp for the router \
+                           listener" )
+                  | listener -> (
+                      let rt = Serve.Router.create backend_list in
+                      let stop _ = Serve.Router.stop rt in
+                      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+                      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+                      match
+                        (match listener with
+                        | Some path, None ->
+                            Serve.Router.bind_unix rt ~path;
+                            banner (Unix.ADDR_UNIX path)
+                        | None, Some hp -> (
+                            match parse_hostport "--tcp" hp with
+                            | Ok (host, port) ->
+                                banner (Serve.Router.bind_tcp rt ~host ~port)
+                            | Error msg -> failwith msg)
+                        | _ -> assert false);
+                        Printf.eprintf "routing across %d backend(s)\n%!"
+                          (Serve.Router.backend_count rt);
+                        Serve.Router.run rt
+                      with
+                      | () ->
+                          Serve.Router.shutdown rt;
+                          finish ~stats
+                      | exception Failure msg ->
+                          Serve.Router.shutdown rt;
+                          `Error (false, msg)
+                      | exception Unix.Unix_error (err, _, _) ->
+                          Serve.Router.shutdown rt;
+                          `Error
+                            ( false,
+                              Printf.sprintf "cannot listen: %s"
+                                (Unix.error_message err) ))
+              in
+              let serve_mux hp =
+                match parse_hostport "--tcp" hp with
+                | Error msg -> `Error (false, msg)
+                | Ok (host, port) -> (
                     let server = Serve.Server.create config in
-                    Serve.Server.run_stdio server;
-                    Serve.Server.shutdown server;
-                    finish ~stats
-                | false, Some path -> (
-                    let server = Serve.Server.create config in
-                    let stop _ = Serve.Server.stop server in
+                    let mux =
+                      Serve.Mux.create
+                        ~config:
+                          {
+                            Serve.Mux.max_pending;
+                            max_connections =
+                              Serve.Mux.default_config
+                                .Serve.Mux.max_connections;
+                          }
+                        server
+                    in
+                    let stop _ = Serve.Mux.stop mux in
                     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
                     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-                    Printf.eprintf "serving on %s\n%!" path;
-                    match Serve.Server.listen server ~path with
-                    | () ->
-                        Serve.Server.shutdown server;
-                        finish ~stats
+                    match
+                      let addr = Serve.Mux.add_tcp mux ~host ~port in
+                      Option.iter
+                        (fun path -> Serve.Mux.add_unix mux ~path)
+                        socket;
+                      addr
+                    with
                     | exception Unix.Unix_error (err, _, _) ->
                         Serve.Server.shutdown server;
                         `Error
                           ( false,
-                            Printf.sprintf "cannot listen on %s: %s" path
-                              (Unix.error_message err) ))
+                            Printf.sprintf "cannot listen on %s: %s" hp
+                              (Unix.error_message err) )
+                    | addr ->
+                        banner addr;
+                        Option.iter
+                          (fun path -> banner (Unix.ADDR_UNIX path))
+                          socket;
+                        Serve.Mux.run mux;
+                        Serve.Server.shutdown server;
+                        finish ~stats)
+              in
+              let result =
+                if router then serve_router ()
+                else
+                  match (stdio, socket, tcp) with
+                  | false, _, Some hp -> serve_mux hp
+                  | true, None, None ->
+                      let server = Serve.Server.create config in
+                      Serve.Server.run_stdio server;
+                      Serve.Server.shutdown server;
+                      finish ~stats
+                  | false, Some path, None -> (
+                      let server = Serve.Server.create config in
+                      let stop _ = Serve.Server.stop server in
+                      Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+                      Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+                      Printf.eprintf "serving on %s\n%!" path;
+                      match Serve.Server.listen server ~path with
+                      | () ->
+                          Serve.Server.shutdown server;
+                          finish ~stats
+                      | exception Unix.Unix_error (err, _, _) ->
+                          Serve.Server.shutdown server;
+                          `Error
+                            ( false,
+                              Printf.sprintf "cannot listen on %s: %s" path
+                                (Unix.error_message err) ))
+                  | true, _, _ | false, None, None ->
+                      `Error
+                        ( false,
+                          "choose exactly one of --stdio, --socket PATH or \
+                           --tcp HOST:PORT (--socket may combine with --tcp)"
+                        )
               in
               cleanup ();
               result)
@@ -584,7 +766,8 @@ let serve_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ stdio_arg $ socket_arg $ cache_arg $ jobs_arg
+        (const run $ stdio_arg $ socket_arg $ tcp_arg $ router_arg
+       $ backends_arg $ max_pending_arg $ cache_arg $ jobs_arg
        $ deadline_arg $ slow_ms_arg $ slow_log_arg $ event_log_arg
        $ task_budget_arg $ watchdog_arg $ max_sessions_arg
        $ session_idle_arg $ fallback_ratio_arg $ phase_ring_arg
@@ -786,9 +969,38 @@ let loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations ~deadline
 let loadgen_cmd =
   let socket_arg =
     Arg.(required & opt (some string) None
-         & info [ "socket" ] ~docv:"PATH"
-             ~doc:"Connect to a running $(b,schedtool serve --socket) at \
-                   $(docv).")
+         & info [ "socket" ] ~docv:"TARGET"
+             ~doc:"Connect to a running $(b,schedtool serve) at $(docv): \
+                   a Unix socket path, or HOST:PORT for a $(b,--tcp) \
+                   server.")
+  in
+  let connections_arg =
+    Arg.(value & opt int 1
+         & info [ "connections" ] ~docv:"N"
+             ~doc:"Hold $(docv) concurrent connections and round-robin \
+                   the requests across them (one-shot mode).")
+  in
+  let pipeline_arg =
+    Arg.(value & flag
+         & info [ "pipeline" ]
+             ~doc:"Write every request before reading any response \
+                   (per-connection order is preserved). Exercises \
+                   request pipelining and, against a bounded admission \
+                   queue, overload shedding.")
+  in
+  let hold_open_arg =
+    Arg.(value & flag
+         & info [ "hold-open" ]
+             ~doc:"Slow-client mode: open $(b,--connections) sockets, \
+                   send a partial frame on each, and hold them open for \
+                   $(b,--hold-seconds) without reading — the server \
+                   must keep serving other clients meanwhile.")
+  in
+  let hold_seconds_arg =
+    Arg.(value & opt float 10.0
+         & info [ "hold-seconds" ] ~docv:"SECS"
+             ~doc:"How long $(b,--hold-open) keeps its connections \
+                   parked.")
   in
   let count_arg =
     Arg.(value & opt int 20
@@ -834,37 +1046,102 @@ let loadgen_cmd =
                    incremental resolve).")
   in
   let run socket count solver deadline permute seed json sessions mutations
-      trace path =
+      connections pipeline hold_open hold_seconds trace path =
     if sessions < 0 then `Error (false, "--sessions must be >= 0")
     else if mutations < 0 then `Error (false, "--mutations must be >= 0")
+    else if connections < 1 then `Error (false, "--connections must be >= 1")
     else
     let finish = obs_setup trace in
     match read_instance path with
     | Error msg -> `Error (false, msg)
     | Ok instance -> (
-        match
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd (Unix.ADDR_UNIX socket)
-           with e -> Unix.close fd; raise e);
-          fd
-        with
-        | exception Unix.Unix_error (err, _, _) ->
-            `Error
-              ( false,
-                Printf.sprintf "cannot connect to %s: %s" socket
-                  (Unix.error_message err) )
-        | fd ->
-            (* a server vanishing mid-run must surface as a counted
-               transport error, not a SIGPIPE death *)
-            Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-            let ic = Unix.in_channel_of_descr fd in
-            let oc = Unix.out_channel_of_descr fd in
+        (* a server vanishing mid-run must surface as a counted
+           transport error, not a SIGPIPE death *)
+        Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+        let connect_one () = connect_serve socket in
+        if hold_open then begin
+          (* slow-client mode: park connections mid-frame (header sent,
+             body never arriving) so the server's event loop has to keep
+             the buffers around while still serving everyone else *)
+          let held = ref [] in
+          let failed = ref None in
+          (try
+             for _ = 1 to connections do
+               match connect_one () with
+               | Error msg ->
+                   failed := Some msg;
+                   raise Exit
+               | Ok fd ->
+                   held := fd :: !held;
+                   let oc = Unix.out_channel_of_descr fd in
+                   output_string oc "request v1\n";
+                   flush oc
+             done
+           with Exit -> ());
+          let release () =
+            List.iter
+              (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+              !held
+          in
+          match !failed with
+          | Some msg ->
+              let got = List.length !held in
+              release ();
+              `Error
+                ( false,
+                  Printf.sprintf "held %d of %d connection(s), then: %s" got
+                    connections msg )
+          | None ->
+              Printf.printf "holding %d connection(s) open for %gs\n%!"
+                connections hold_seconds;
+              Unix.sleepf hold_seconds;
+              release ();
+              Printf.printf "released %d connection(s)\n" connections;
+              finish ~stats:false
+        end
+        else
+        let conns = Array.make connections None in
+        let conn_error = ref None in
+        (try
+           for i = 0 to connections - 1 do
+             match connect_one () with
+             | Error msg ->
+                 conn_error := Some msg;
+                 raise Exit
+             | Ok fd ->
+                 conns.(i) <-
+                   Some
+                     ( fd,
+                       Unix.in_channel_of_descr fd,
+                       Unix.out_channel_of_descr fd )
+           done
+         with Exit -> ());
+        let close_all () =
+          Array.iter
+            (function
+              | Some (fd, _, _) -> (
+                  try Unix.close fd with Unix.Unix_error _ -> ())
+              | None -> ())
+            conns
+        in
+        match !conn_error with
+        | Some msg ->
+            close_all ();
+            `Error (false, msg)
+        | None ->
+            (* request i rides connection (i-1) mod N: round-robin *)
+            let conn i =
+              match conns.((i - 1) mod connections) with
+              | Some c -> c
+              | None -> assert false
+            in
             if sessions > 0 then begin
+              let _, ic, oc = conn 1 in
               let r =
                 loadgen_sessions ~ic ~oc ~instance ~path ~sessions ~mutations
                   ~deadline ~permute ~seed ~json
               in
-              (try Unix.close fd with Unix.Unix_error _ -> ());
+              close_all ();
               match r with `Ok () -> finish ~stats:false | other -> other
             end
             else begin
@@ -878,6 +1155,66 @@ let loadgen_cmd =
             let attempted = ref 0 in
             let t_start = Obs.Sink.now_us () in
             (try
+               if pipeline then begin
+                 (* write-all-then-read-all: every request goes out before
+                    any response is read, so a bounded admission queue sees
+                    the whole burst at once. Per-connection response order
+                    matches send order, so reading back in send order is
+                    safe. Client spans are skipped — a span can't bracket a
+                    send and a receive that overlap other requests. *)
+                 let t_send = Array.make (count + 1) 0.0 in
+                 let tids = Array.make (count + 1) "" in
+                 (try
+                    for i = 1 to count do
+                      incr attempted;
+                      let inst =
+                        if permute then Serve.Canon.shuffle rng instance
+                        else instance
+                      in
+                      let tid = Printf.sprintf "lg%d.%d" seed i in
+                      tids.(i) <- tid;
+                      let _, _, oc = conn i in
+                      t_send.(i) <- Obs.Sink.now_us ();
+                      Serve.Proto.write_request oc
+                        {
+                          Serve.Proto.solver;
+                          deadline_ms = deadline;
+                          instance = inst;
+                          trace = Some { Serve.Proto.tid; parent = None };
+                        }
+                    done
+                  with Sys_error msg ->
+                    incr errors;
+                    transport_error := Some msg;
+                    raise Exit);
+                 for i = 1 to count do
+                   let _, ic, _ = conn i in
+                   (match Serve.Proto.read_response ic with
+                   | Ok (Some (Serve.Proto.Reply r)) ->
+                       if r.Serve.Proto.trace <> Some tids.(i) then
+                         incr echo_bad;
+                       if r.Serve.Proto.cache_hit then incr hits;
+                       if r.Serve.Proto.degraded then incr degraded;
+                       last_makespan := r.Serve.Proto.makespan
+                   | Ok (Some _) -> incr errors
+                   | Ok None ->
+                       incr errors;
+                       transport_error := Some "server closed the session";
+                       raise Exit
+                   | Error msg ->
+                       incr errors;
+                       transport_error := Some msg;
+                       raise Exit
+                   | exception Sys_error msg ->
+                       incr errors;
+                       transport_error := Some msg;
+                       raise Exit);
+                   let dt = Obs.Sink.now_us () -. t_send.(i) in
+                   if dt > fst !slowest then slowest := (dt, tids.(i));
+                   Obs.Histogram.observe h_latency dt
+                 done
+               end
+               else
                for i = 1 to count do
                  incr attempted;
                  let inst =
@@ -890,6 +1227,7 @@ let loadgen_cmd =
                  Obs.Sink.with_ctx tid @@ fun () ->
                  Obs.Span.phase ~detail:("trace=" ^ tid) "loadgen.request"
                  @@ fun () ->
+                 let _, ic, oc = conn i in
                  let t0 = Obs.Sink.now_us () in
                  (match
                     Serve.Proto.write_request oc
@@ -939,7 +1277,7 @@ let loadgen_cmd =
                done
              with Exit -> ());
             let wall_ns = (Obs.Sink.now_us () -. t_start) *. 1e3 in
-            (try Unix.close fd with Unix.Unix_error _ -> ());
+            close_all ();
             if !errors > 0 && !errors = !attempted then
               `Error
                 ( false,
@@ -949,6 +1287,8 @@ let loadgen_cmd =
                     | Some msg -> ": " ^ msg
                     | None -> "") )
             else begin
+            if connections > 1 then
+              Printf.printf "connections %d\n" connections;
             Printf.printf "requests  %d\n" !attempted;
             Printf.printf "hits      %d\n" !hits;
             Printf.printf "misses    %d\n" (!attempted - !hits - !errors);
@@ -988,6 +1328,7 @@ let loadgen_cmd =
                     percentiles;
                     counters =
                       [
+                        ("loadgen.connections", connections);
                         ("loadgen.hits", !hits);
                         ("loadgen.misses", !attempted - !hits - !errors);
                         ("loadgen.errors", !errors);
@@ -1022,6 +1363,7 @@ let loadgen_cmd =
       ret
         (const run $ socket_arg $ count_arg $ solver_arg $ deadline_arg
        $ permute_arg $ seed_arg $ json_arg $ sessions_arg $ mutations_arg
+       $ connections_arg $ pipeline_arg $ hold_open_arg $ hold_seconds_arg
        $ trace_arg $ file_arg))
 
 (* --- fuzz --------------------------------------------------------------- *)
@@ -1318,18 +1660,9 @@ let metrics_cmd =
         print_string (render format);
         `Ok ()
     | None, Some path -> (
-        match
-          let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-          (try Unix.connect fd (Unix.ADDR_UNIX path)
-           with e -> Unix.close fd; raise e);
-          fd
-        with
-        | exception Unix.Unix_error (err, _, _) ->
-            `Error
-              ( false,
-                Printf.sprintf "cannot connect to %s: %s" path
-                  (Unix.error_message err) )
-        | fd ->
+        match connect_serve path with
+        | Error msg -> `Error (false, msg)
+        | Ok fd ->
             let ic = Unix.in_channel_of_descr fd in
             let oc = Unix.out_channel_of_descr fd in
             Serve.Proto.write_stats_request oc format;
@@ -1394,18 +1727,9 @@ let events_cmd =
   let run socket count level =
     if count < 1 then `Error (false, "--count must be >= 1")
     else
-      match
-        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        (try Unix.connect fd (Unix.ADDR_UNIX socket)
-         with e -> Unix.close fd; raise e);
-        fd
-      with
-      | exception Unix.Unix_error (err, _, _) ->
-          `Error
-            ( false,
-              Printf.sprintf "cannot connect to %s: %s" socket
-                (Unix.error_message err) )
-      | fd ->
+      match connect_serve socket with
+      | Error msg -> `Error (false, msg)
+      | Ok fd ->
           let ic = Unix.in_channel_of_descr fd in
           let oc = Unix.out_channel_of_descr fd in
           Serve.Proto.write_events_request ~count ~level oc;
@@ -1494,18 +1818,9 @@ let explain_cmd =
                    echoed on a reply's $(b,trace) line.")
   in
   let run socket id =
-    match
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      (try Unix.connect fd (Unix.ADDR_UNIX socket)
-       with e -> Unix.close fd; raise e);
-      fd
-    with
-    | exception Unix.Unix_error (err, _, _) ->
-        `Error
-          ( false,
-            Printf.sprintf "cannot connect to %s: %s" socket
-              (Unix.error_message err) )
-    | fd ->
+    match connect_serve socket with
+    | Error msg -> `Error (false, msg)
+    | Ok fd ->
         let ic = Unix.in_channel_of_descr fd in
         let oc = Unix.out_channel_of_descr fd in
         Serve.Proto.write_explain_request oc id;

@@ -20,6 +20,12 @@ let name t = t.name
 let set t v = Atomic.set t.cell (Some v)
 let value t = Option.value ~default:0.0 (Atomic.get t.cell)
 
+let rec set_max t v =
+  let cur = Atomic.get t.cell in
+  let keep = match cur with Some x -> x >= v | None -> false in
+  if not keep then
+    if not (Atomic.compare_and_set t.cell cur (Some v)) then set_max t v
+
 let snapshot () =
   Mutex.lock registry_mutex;
   let entries =

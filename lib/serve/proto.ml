@@ -578,65 +578,135 @@ let parse_session body =
   in
   Ok (Session { sid; op; trace = !trace })
 
+(* --- frames ------------------------------------------------------------- *)
+
+(* One assembled frame, transport-agnostic: the header line plus the body
+   lines up to (excluding) the [end] terminator. The channel readers and
+   the incremental parser both reduce to this before dispatching on the
+   header, so every transport shares one parse path. *)
+type frame = { fheader : string; fbody : string list }
+
+let bad_request_header header =
+  Printf.sprintf
+    "bad request header %S (expected %S, %S, %S, %S, %S, %S or %S)" header
+    request_header stats_header events_header health_header explain_header
+    session_header profile_header
+
+let known_incoming_header header =
+  header = request_header || header = stats_header || header = events_header
+  || header = health_header || header = explain_header
+  || header = session_header || header = profile_header
+
+let incoming_of_frame { fheader = header; fbody = body } =
+  if header = request_header then
+    Result.map (fun req -> Solve req) (parse_request body)
+  else if header = stats_header then parse_stats body
+  else if header = events_header then parse_events body
+  else if header = health_header then parse_health body
+  else if header = explain_header then parse_explain body
+  else if header = session_header then parse_session body
+  else if header = profile_header then parse_profile body
+  else Result.Error (bad_request_header header)
+
 let read_incoming ic =
   match read_header ic with
   | None -> Ok None
-  | Some header when header = request_header -> (
+  | Some header when known_incoming_header header -> (
       match read_body ic with
       | Result.Error _ as e -> e
       | Ok body -> (
-          match parse_request body with
-          | Ok req -> Ok (Some (Solve req))
-          | Result.Error _ as e -> e))
-  | Some header when header = stats_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_stats body with
-          | Ok incoming -> Ok (Some incoming)
-          | Result.Error _ as e -> e))
-  | Some header when header = events_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_events body with
-          | Ok incoming -> Ok (Some incoming)
-          | Result.Error _ as e -> e))
-  | Some header when header = health_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_health body with
-          | Ok incoming -> Ok (Some incoming)
-          | Result.Error _ as e -> e))
-  | Some header when header = explain_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_explain body with
-          | Ok incoming -> Ok (Some incoming)
-          | Result.Error _ as e -> e))
-  | Some header when header = session_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_session body with
-          | Ok incoming -> Ok (Some incoming)
-          | Result.Error _ as e -> e))
-  | Some header when header = profile_header -> (
-      match read_body ic with
-      | Result.Error _ as e -> e
-      | Ok body -> (
-          match parse_profile body with
+          match incoming_of_frame { fheader = header; fbody = body } with
           | Ok incoming -> Ok (Some incoming)
           | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
-      Result.Error
-        (Printf.sprintf
-           "bad request header %S (expected %S, %S, %S, %S, %S, %S or %S)"
-           header request_header stats_header events_header health_header
-           explain_header session_header profile_header)
+      Result.Error (bad_request_header header)
+
+(* --- incremental parsing ------------------------------------------------- *)
+
+(* Readiness-driven transports (the mux event loop) own raw byte
+   buffers, not channels: bytes arrive in arbitrary chunks, possibly
+   splitting a line — or the [payload] marker — anywhere. The
+   incremental parser accumulates bytes, re-assembles the same
+   trimmed-line stream [input_line]+[String.trim] would produce, and
+   yields whole frames for {!incoming_of_frame}/{!response_of_frame},
+   so decode and resync behavior are identical to the channel path by
+   construction. *)
+module Incremental = struct
+  type t = {
+    mutable data : Bytes.t;
+    mutable len : int;  (* valid bytes in [data] *)
+    mutable pos : int;  (* consumed prefix *)
+    (* open frame: header line + body lines so far (reversed) *)
+    mutable cur : (string * string list) option;
+  }
+
+  let create () = { data = Bytes.create 4096; len = 0; pos = 0; cur = None }
+
+  let feed t s =
+    let n = String.length s in
+    (* reclaim the consumed prefix before growing the buffer *)
+    if t.pos > 0 && t.len + n > Bytes.length t.data then begin
+      Bytes.blit t.data t.pos t.data 0 (t.len - t.pos);
+      t.len <- t.len - t.pos;
+      t.pos <- 0
+    end;
+    if t.len + n > Bytes.length t.data then begin
+      let cap = ref (max 8 (2 * Bytes.length t.data)) in
+      while t.len + n > !cap do
+        cap := 2 * !cap
+      done;
+      let data = Bytes.create !cap in
+      Bytes.blit t.data 0 data 0 t.len;
+      t.data <- data
+    end;
+    Bytes.blit_string s 0 t.data t.len n;
+    t.len <- t.len + n
+
+  (* matches the channel path: a stream that ends without a trailing
+     newline still delivers its tail bytes as one final line *)
+  let finish t = if t.len > t.pos then feed t "\n"
+
+  let in_frame t = t.cur <> None
+  let buffered t = t.len - t.pos
+
+  let next_line t =
+    let rec find i =
+      if i >= t.len then None
+      else if Bytes.get t.data i = '\n' then Some i
+      else find (i + 1)
+    in
+    match find t.pos with
+    | None -> None
+    | Some i ->
+        let line = Bytes.sub_string t.data t.pos (i - t.pos) in
+        t.pos <- i + 1;
+        Some (String.trim line)
+
+  let rec next_frame t =
+    match next_line t with
+    | None -> None
+    | Some line -> (
+        match t.cur with
+        | None ->
+            (* blank lines between frames are ignored, like read_header *)
+            if line = "" then next_frame t
+            else begin
+              t.cur <- Some (line, []);
+              next_frame t
+            end
+        | Some (header, lines) ->
+            if line = "end" then begin
+              t.cur <- None;
+              Some { fheader = header; fbody = List.rev lines }
+            end
+            else begin
+              t.cur <- Some (header, line :: lines);
+              next_frame t
+            end)
+
+  let truncated_error = "truncated frame: missing \"end\" terminator"
+end
 
 let read_request ic =
   match read_incoming ic with
@@ -778,93 +848,89 @@ let write_session_request oc (r : session_request) =
 
 (* --- responses ---------------------------------------------------------- *)
 
-let write_response oc response =
-  output_string oc response_header;
-  output_char oc '\n';
+let response_to_string response =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf response_header;
+  Buffer.add_char buf '\n';
+  let payload body =
+    Buffer.add_string buf "payload\n";
+    Buffer.add_string buf body;
+    if body <> "" && body.[String.length body - 1] <> '\n' then
+      Buffer.add_char buf '\n'
+  in
   (match response with
   | Error message ->
-      output_string oc "status error\n";
+      Buffer.add_string buf "status error\n";
       (* the message must stay a single line to preserve framing *)
       let message =
         String.map (fun c -> if c = '\n' || c = '\r' then ' ' else c) message
       in
-      Printf.fprintf oc "error %s\n" message
+      Printf.bprintf buf "error %s\n" message
   | Stats_reply { format; body } ->
-      output_string oc "status stats\n";
-      Printf.fprintf oc "format %s\n" (stats_format_to_string format);
+      Buffer.add_string buf "status stats\n";
+      Printf.bprintf buf "format %s\n" (stats_format_to_string format);
       (* the payload is raw exposition text: its lines never consist of
          the bare word "end" (Prometheus lines carry a space, JSON lines
          punctuation), so the frame terminator stays unambiguous *)
-      output_string oc "payload\n";
-      output_string oc body;
-      if body <> "" && body.[String.length body - 1] <> '\n' then
-        output_char oc '\n'
+      payload body
   | Events_reply { body } ->
-      output_string oc "status events\n";
+      Buffer.add_string buf "status events\n";
       (* each payload line is a JSON object starting with '{', never the
          bare frame terminator *)
-      output_string oc "payload\n";
-      output_string oc body;
-      if body <> "" && body.[String.length body - 1] <> '\n' then
-        output_char oc '\n'
+      payload body
   | Health_reply { body } ->
-      output_string oc "status health\n";
+      Buffer.add_string buf "status health\n";
       (* each payload line starts with a known key (status, meter, slo,
          heartbeat, ...) followed by a space, never the bare "end" *)
-      output_string oc "payload\n";
-      output_string oc body;
-      if body <> "" && body.[String.length body - 1] <> '\n' then
-        output_char oc '\n'
+      payload body
   | Explain_reply { body } ->
-      output_string oc "status explain\n";
+      Buffer.add_string buf "status explain\n";
       (* each payload line starts with a known key ([trace] or [phase])
          followed by a space, never the bare "end" *)
-      output_string oc "payload\n";
-      output_string oc body;
-      if body <> "" && body.[String.length body - 1] <> '\n' then
-        output_char oc '\n'
+      payload body
   | Profile_reply { body } ->
-      output_string oc "status profile\n";
+      Buffer.add_string buf "status profile\n";
       (* each payload line carries a space (collapsed lines are "stack
          weight", status lines "key k=v ...", JSON objects punctuation),
          never the bare "end" terminator *)
-      output_string oc "payload\n";
-      output_string oc body;
-      if body <> "" && body.[String.length body - 1] <> '\n' then
-        output_char oc '\n'
+      payload body
   | Session_reply s ->
-      output_string oc "status session\n";
-      Printf.fprintf oc "id %s\n" s.sid;
-      Printf.fprintf oc "op %s\n" s.op;
+      Buffer.add_string buf "status session\n";
+      Printf.bprintf buf "id %s\n" s.sid;
+      Printf.bprintf buf "op %s\n" s.op;
       (* one trace line per response: the echo lives on the session
          record, the embedded solve reply (when present) rides along *)
-      Option.iter (fun tr -> Printf.fprintf oc "trace %s\n" tr) s.trace;
-      Printf.fprintf oc "generation %d\n" s.generation;
-      Printf.fprintf oc "jobs %d\n" s.jobs;
-      Option.iter (fun m -> Printf.fprintf oc "mode %s\n" m) s.mode;
+      Option.iter (fun tr -> Printf.bprintf buf "trace %s\n" tr) s.trace;
+      Printf.bprintf buf "generation %d\n" s.generation;
+      Printf.bprintf buf "jobs %d\n" s.jobs;
+      Option.iter (fun m -> Printf.bprintf buf "mode %s\n" m) s.mode;
       Option.iter
         (fun (r : reply) ->
-          Printf.fprintf oc "solver %s\n" r.solver;
-          Printf.fprintf oc "cache %s\n" (if r.cache_hit then "hit" else "miss");
-          Printf.fprintf oc "degraded %b\n" r.degraded;
-          Printf.fprintf oc "makespan %g\n" r.makespan;
-          Printf.fprintf oc "elapsed_us %d\n" r.elapsed_us;
-          output_string oc "assignment";
-          Array.iter (fun i -> Printf.fprintf oc " %d" i) r.assignment;
-          output_char oc '\n')
+          Printf.bprintf buf "solver %s\n" r.solver;
+          Printf.bprintf buf "cache %s\n" (if r.cache_hit then "hit" else "miss");
+          Printf.bprintf buf "degraded %b\n" r.degraded;
+          Printf.bprintf buf "makespan %g\n" r.makespan;
+          Printf.bprintf buf "elapsed_us %d\n" r.elapsed_us;
+          Buffer.add_string buf "assignment";
+          Array.iter (fun i -> Printf.bprintf buf " %d" i) r.assignment;
+          Buffer.add_char buf '\n')
         s.solve
   | Reply r ->
-      output_string oc "status ok\n";
-      Option.iter (fun tr -> Printf.fprintf oc "trace %s\n" tr) r.trace;
-      Printf.fprintf oc "solver %s\n" r.solver;
-      Printf.fprintf oc "cache %s\n" (if r.cache_hit then "hit" else "miss");
-      Printf.fprintf oc "degraded %b\n" r.degraded;
-      Printf.fprintf oc "makespan %g\n" r.makespan;
-      Printf.fprintf oc "elapsed_us %d\n" r.elapsed_us;
-      output_string oc "assignment";
-      Array.iter (fun i -> Printf.fprintf oc " %d" i) r.assignment;
-      output_char oc '\n');
-  output_string oc "end\n";
+      Buffer.add_string buf "status ok\n";
+      Option.iter (fun tr -> Printf.bprintf buf "trace %s\n" tr) r.trace;
+      Printf.bprintf buf "solver %s\n" r.solver;
+      Printf.bprintf buf "cache %s\n" (if r.cache_hit then "hit" else "miss");
+      Printf.bprintf buf "degraded %b\n" r.degraded;
+      Printf.bprintf buf "makespan %g\n" r.makespan;
+      Printf.bprintf buf "elapsed_us %d\n" r.elapsed_us;
+      Buffer.add_string buf "assignment";
+      Array.iter (fun i -> Printf.bprintf buf " %d" i) r.assignment;
+      Buffer.add_char buf '\n');
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let write_response oc response =
+  output_string oc (response_to_string response);
   flush oc
 
 let parse_reply fields =
@@ -916,6 +982,96 @@ let parse_reply fields =
   let trace = find "trace" in
   Ok { solver; cache_hit; degraded; makespan; elapsed_us; assignment; trace }
 
+let bad_response_header header =
+  Printf.sprintf "bad response header %S (expected %S)" header response_header
+
+(* the payload is every line after the marker, verbatim; the writer
+   guarantees a trailing newline, restored here so bodies roundtrip *)
+let payload_after_marker body =
+  let rec after = function
+    | [] -> None
+    | "payload" :: rest -> Some rest
+    | _ :: rest -> after rest
+  in
+  match after body with
+  | None -> None
+  | Some [] -> Some ""
+  | Some ls -> Some (String.concat "\n" ls ^ "\n")
+
+let response_of_frame { fheader = header; fbody = body } =
+  if header <> response_header then Result.Error (bad_response_header header)
+  else
+    let fields = List.map split_first body in
+    match List.assoc_opt "status" fields with
+    | Some "error" ->
+        Ok
+          (Error
+             (Option.value ~default:"unspecified error"
+                (List.assoc_opt "error" fields)))
+    | Some "ok" -> (
+        match parse_reply fields with
+        | Ok r -> Ok (Reply r)
+        | Result.Error e -> Result.Error e)
+    | Some "stats" -> (
+        let format =
+          Option.bind (List.assoc_opt "format" fields) stats_format_of_string
+        in
+        match format with
+        | None -> Result.Error "stats response missing format"
+        | Some format -> (
+            (* the payload is every line after the marker, verbatim *)
+            match payload_after_marker body with
+            | None -> Result.Error "stats response missing payload"
+            | Some body -> Ok (Stats_reply { format; body })))
+    | Some "events" -> (
+        match payload_after_marker body with
+        | None -> Result.Error "events response missing payload"
+        | Some body -> Ok (Events_reply { body }))
+    | Some "health" -> (
+        match payload_after_marker body with
+        | None -> Result.Error "health response missing payload"
+        | Some body -> Ok (Health_reply { body }))
+    | Some "explain" -> (
+        match payload_after_marker body with
+        | None -> Result.Error "explain response missing payload"
+        | Some body -> Ok (Explain_reply { body }))
+    | Some "profile" -> (
+        match payload_after_marker body with
+        | None -> Result.Error "profile response missing payload"
+        | Some body -> Ok (Profile_reply { body }))
+    | Some "session" ->
+        let ( let* ) = Result.bind in
+        let require key =
+          match List.assoc_opt key fields with
+          | Some v -> Ok v
+          | None ->
+              Result.Error
+                (Printf.sprintf "session response missing field %S" key)
+        in
+        let int_field key =
+          let* v = require key in
+          match int_of_string_opt v with
+          | Some x -> Ok x
+          | None ->
+              Result.Error
+                (Printf.sprintf "%s: expected an integer, got %S" key v)
+        in
+        let* sid = require "id" in
+        let* op = require "op" in
+        let* generation = int_field "generation" in
+        let* jobs = int_field "jobs" in
+        let mode = List.assoc_opt "mode" fields in
+        let trace = List.assoc_opt "trace" fields in
+        let* solve =
+          if mode = None then Ok None
+          else
+            let* r = parse_reply fields in
+            Ok (Some r)
+        in
+        Ok (Session_reply { sid; op; generation; jobs; mode; solve; trace })
+    | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
+    | None -> Result.Error "response missing status"
+
 let read_response ic =
   match read_header ic with
   | None -> Ok None
@@ -923,144 +1079,9 @@ let read_response ic =
       match read_body ic with
       | Result.Error _ as e -> e
       | Ok body -> (
-          let fields = List.map split_first body in
-          match List.assoc_opt "status" fields with
-          | Some "error" ->
-              Ok
-                (Some
-                   (Error
-                      (Option.value ~default:"unspecified error"
-                         (List.assoc_opt "error" fields))))
-          | Some "ok" -> (
-              match parse_reply fields with
-              | Ok r -> Ok (Some (Reply r))
-              | Result.Error e -> Result.Error e)
-          | Some "stats" -> (
-              let format =
-                Option.bind (List.assoc_opt "format" fields)
-                  stats_format_of_string
-              in
-              match format with
-              | None -> Result.Error "stats response missing format"
-              | Some format -> (
-                  (* the payload is every line after the marker, verbatim *)
-                  let rec after_marker = function
-                    | [] -> None
-                    | "payload" :: rest -> Some rest
-                    | _ :: rest -> after_marker rest
-                  in
-                  match after_marker body with
-                  | None -> Result.Error "stats response missing payload"
-                  | Some lines ->
-                      (* the writer guarantees the payload ends in a
-                         newline; restore it so the body roundtrips *)
-                      let body =
-                        match lines with
-                        | [] -> ""
-                        | ls -> String.concat "\n" ls ^ "\n"
-                      in
-                      Ok (Some (Stats_reply { format; body }))))
-          | Some "events" -> (
-              let rec after_marker = function
-                | [] -> None
-                | "payload" :: rest -> Some rest
-                | _ :: rest -> after_marker rest
-              in
-              match after_marker body with
-              | None -> Result.Error "events response missing payload"
-              | Some lines ->
-                  let body =
-                    match lines with
-                    | [] -> ""
-                    | ls -> String.concat "\n" ls ^ "\n"
-                  in
-                  Ok (Some (Events_reply { body })))
-          | Some "health" -> (
-              let rec after_marker = function
-                | [] -> None
-                | "payload" :: rest -> Some rest
-                | _ :: rest -> after_marker rest
-              in
-              match after_marker body with
-              | None -> Result.Error "health response missing payload"
-              | Some lines ->
-                  let body =
-                    match lines with
-                    | [] -> ""
-                    | ls -> String.concat "\n" ls ^ "\n"
-                  in
-                  Ok (Some (Health_reply { body })))
-          | Some "explain" -> (
-              let rec after_marker = function
-                | [] -> None
-                | "payload" :: rest -> Some rest
-                | _ :: rest -> after_marker rest
-              in
-              match after_marker body with
-              | None -> Result.Error "explain response missing payload"
-              | Some lines ->
-                  let body =
-                    match lines with
-                    | [] -> ""
-                    | ls -> String.concat "\n" ls ^ "\n"
-                  in
-                  Ok (Some (Explain_reply { body })))
-          | Some "profile" -> (
-              let rec after_marker = function
-                | [] -> None
-                | "payload" :: rest -> Some rest
-                | _ :: rest -> after_marker rest
-              in
-              match after_marker body with
-              | None -> Result.Error "profile response missing payload"
-              | Some lines ->
-                  let body =
-                    match lines with
-                    | [] -> ""
-                    | ls -> String.concat "\n" ls ^ "\n"
-                  in
-                  Ok (Some (Profile_reply { body })))
-          | Some "session" -> (
-              let ( let* ) = Result.bind in
-              let require key =
-                match List.assoc_opt key fields with
-                | Some v -> Ok v
-                | None ->
-                    Result.Error
-                      (Printf.sprintf "session response missing field %S" key)
-              in
-              let int_field key =
-                let* v = require key in
-                match int_of_string_opt v with
-                | Some x -> Ok x
-                | None ->
-                    Result.Error
-                      (Printf.sprintf "%s: expected an integer, got %S" key v)
-              in
-              let parsed =
-                let* sid = require "id" in
-                let* op = require "op" in
-                let* generation = int_field "generation" in
-                let* jobs = int_field "jobs" in
-                let mode = List.assoc_opt "mode" fields in
-                let trace = List.assoc_opt "trace" fields in
-                let* solve =
-                  if mode = None then Ok None
-                  else
-                    let* r = parse_reply fields in
-                    Ok (Some r)
-                in
-                Ok
-                  (Session_reply
-                     { sid; op; generation; jobs; mode; solve; trace })
-              in
-              match parsed with
-              | Ok r -> Ok (Some r)
-              | Result.Error e -> Result.Error e)
-          | Some v -> Result.Error (Printf.sprintf "unknown status %S" v)
-          | None -> Result.Error "response missing status"))
+          match response_of_frame { fheader = header; fbody = body } with
+          | Ok response -> Ok (Some response)
+          | Result.Error _ as e -> e))
   | Some header ->
       drain_frame ic;
-      Result.Error
-        (Printf.sprintf "bad response header %S (expected %S)" header
-           response_header)
+      Result.Error (bad_response_header header)

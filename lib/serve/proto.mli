@@ -341,6 +341,60 @@ val session_op_name : session_op -> string
 (** Wire name of an op: [create], [add-jobs], [drop-jobs], [resolve] or
     [close]. *)
 
+type frame = { fheader : string; fbody : string list }
+(** One assembled frame, transport-agnostic: the header line plus the
+    body lines up to (excluding) the [end] terminator. The channel
+    readers and {!Incremental} both reduce to this before dispatching on
+    the header, so every transport shares one parse path. *)
+
+val incoming_of_frame : frame -> (incoming, string) result
+(** Decode an assembled frame as a request/admin frame; [Error] on an
+    unknown header or a malformed body. *)
+
+val response_of_frame : frame -> (response, string) result
+(** Decode an assembled frame as a response; [Error] on a header other
+    than [response v1] or a malformed body. *)
+
+val response_to_string : response -> string
+(** Serialize a response to its exact wire bytes (the bytes
+    {!write_response} writes), for transports that own their output
+    buffers. *)
+
+(** Incremental frame assembly for readiness-driven transports (the mux
+    event loop): bytes arrive in arbitrary chunks, possibly splitting a
+    line — or the [payload] marker — anywhere. The parser accumulates
+    bytes and re-assembles the same trimmed-line stream
+    [input_line]+[String.trim] would produce, so decode and resync
+    behavior are identical to the channel path by construction. *)
+module Incremental : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> string -> unit
+  (** Append a chunk of received bytes (any split is fine). *)
+
+  val next_frame : t -> frame option
+  (** Pop the next complete frame, if the buffer holds one. Call in a
+      loop after each {!feed} — one chunk can complete several pipelined
+      frames. *)
+
+  val finish : t -> unit
+  (** Signal end-of-stream: a tail without a trailing newline is
+      delivered as a final line, matching [input_line]. *)
+
+  val in_frame : t -> bool
+  (** A frame header has been read but its [end] terminator has not —
+      after {!finish} + a draining {!next_frame} loop, this means the
+      stream was cut mid-frame ({!truncated_error}). *)
+
+  val buffered : t -> int
+  (** Bytes received but not yet consumed into frames. *)
+
+  val truncated_error : string
+  (** The channel path's message for a frame cut before [end]. *)
+end
+
 val read_incoming : in_channel -> (incoming option, string) result
 (** Read one frame of either kind. [Ok None] is clean end-of-stream (no
     frame started); [Error] is a malformed frame — the stream is

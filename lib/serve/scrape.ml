@@ -6,21 +6,57 @@
 
 type conn = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
 
-let connect path =
-  match
-    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-    (try Unix.connect fd (Unix.ADDR_UNIX path)
-     with e ->
-       Unix.close fd;
-       raise e);
-    fd
-  with
-  | exception Unix.Unix_error (err, _, _) ->
-      Error
-        (Printf.sprintf "cannot connect to %s: %s" path
-           (Unix.error_message err))
-  | fd ->
-      Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+(* A target is HOST:PORT (TCP) when it ends in a colon-separated port
+   number, a Unix-domain socket path otherwise — so every client-side
+   command (`metrics --watch`, `top`, `profile`, `loadgen`) reaches TCP
+   servers through the same --socket-style argument. *)
+let resolve target =
+  let tcp =
+    match String.rindex_opt target ':' with
+    | None -> None
+    | Some i -> (
+        let host = String.sub target 0 i in
+        let port = String.sub target (i + 1) (String.length target - i - 1) in
+        match int_of_string_opt port with
+        | Some p when p >= 0 && p < 65536 && host <> "" -> Some (host, p)
+        | Some _ | None -> None)
+  in
+  match tcp with
+  | None -> Ok (Unix.PF_UNIX, Unix.ADDR_UNIX target)
+  | Some (host, port) -> (
+      match
+        Unix.getaddrinfo host (string_of_int port)
+          [ Unix.AI_SOCKTYPE Unix.SOCK_STREAM; Unix.AI_FAMILY Unix.PF_INET ]
+      with
+      | { Unix.ai_addr; _ } :: _ -> Ok (Unix.PF_INET, ai_addr)
+      | [] -> Error (Printf.sprintf "cannot resolve %s" target)
+      | exception Not_found -> Error (Printf.sprintf "cannot resolve %s" target))
+
+let connect target =
+  match resolve target with
+  | Error _ as e -> e
+  | Ok (domain, addr) -> (
+      match
+        let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+        (try
+           Unix.connect fd addr;
+           if domain = Unix.PF_INET then Unix.setsockopt fd Unix.TCP_NODELAY true
+         with e ->
+           Unix.close fd;
+           raise e);
+        fd
+      with
+      | exception Unix.Unix_error (err, _, _) ->
+          Error
+            (Printf.sprintf "cannot connect to %s: %s" target
+               (Unix.error_message err))
+      | fd ->
+          Ok
+            {
+              fd;
+              ic = Unix.in_channel_of_descr fd;
+              oc = Unix.out_channel_of_descr fd;
+            })
 
 let close conn = try Unix.close conn.fd with Unix.Unix_error _ -> ()
 

@@ -8,8 +8,15 @@
 
 type conn
 
+val resolve : string -> (Unix.socket_domain * Unix.sockaddr, string) result
+(** Interpret a target string: [HOST:PORT] (with a numeric port and a
+    nonempty host) resolves to a TCP address, anything else is a
+    Unix-domain socket path. Shared with the shard router's backend
+    addressing. *)
+
 val connect : string -> (conn, string) result
-(** Connect to a Unix-domain socket path. *)
+(** Connect to a Unix-domain socket path or a TCP [HOST:PORT] target
+    (see {!resolve}; TCP connections get [TCP_NODELAY]). *)
 
 val close : conn -> unit
 

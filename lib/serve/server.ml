@@ -35,6 +35,7 @@ type config = {
   task_budget_s : float;
   watchdog_interval_s : float option;
   session : Session.config;
+  prehash_cap : int;
 }
 
 let default_config =
@@ -51,6 +52,7 @@ let default_config =
        deltas nondeterministic; [schedtool serve] turns it on *)
     watchdog_interval_s = None;
     session = Session.default_config;
+    prehash_cap = 65_536;
   }
 
 (* Cached results live in canonical labeling; each hit is translated back
@@ -80,26 +82,38 @@ type t = {
      pre-hash absent here proves the cache cannot hold the incoming
      instance, so the lookup-side canonicalization is skipped *)
   prehash_mutex : Mutex.t;
-  prehash_seen : (int, unit) Hashtbl.t;
+  mutable prehash_cur : (int, unit) Hashtbl.t;
+  mutable prehash_prev : (int, unit) Hashtbl.t;
 }
 
-(* Bounding the fingerprint set: a reset drops fingerprints of entries
-   that may still be cached, so later relabelings of those entries
-   re-solve instead of hitting — wasted work at worst, never wrong
-   answers (the skip path still solves and replies correctly). *)
-let prehash_cap = 65_536
+(* Bounding the fingerprint set generationally: fingerprints live in two
+   half-cap tables; when the current one fills, it becomes the previous
+   generation and a fresh table takes over, so an overflow retires only
+   the older half of the working set instead of dropping all of it at
+   once. A retired fingerprint of a still-cached entry costs a re-solve
+   of later relabelings — wasted work at worst, never wrong answers (the
+   skip path still solves and replies correctly). *)
+let c_prehash_rotations = Obs.Counter.make "serve.canon.prehash_rotations"
 
 let prehash_seen t ph =
   Mutex.lock t.prehash_mutex;
-  let seen = Hashtbl.mem t.prehash_seen ph in
+  let seen = Hashtbl.mem t.prehash_cur ph || Hashtbl.mem t.prehash_prev ph in
   Mutex.unlock t.prehash_mutex;
   seen
 
 let record_prehash t ph =
   Mutex.lock t.prehash_mutex;
-  if Hashtbl.length t.prehash_seen >= prehash_cap then
-    Hashtbl.reset t.prehash_seen;
-  Hashtbl.replace t.prehash_seen ph ();
+  let half = max 1 (t.config.prehash_cap / 2) in
+  if Hashtbl.length t.prehash_cur >= half
+     && not (Hashtbl.mem t.prehash_cur ph)
+  then begin
+    Obs.Counter.incr c_prehash_rotations;
+    t.prehash_prev <- t.prehash_cur;
+    t.prehash_cur <- Hashtbl.create (min half 256)
+  end;
+  (* recording always lands in the current generation, so a fingerprint
+     that keeps being cached keeps surviving rotations *)
+  Hashtbl.replace t.prehash_cur ph ();
   Mutex.unlock t.prehash_mutex
 
 (* Rate-bounded flight-recorder dump shared by the slow-request path and
@@ -220,7 +234,8 @@ let create config =
       ticker = None;
       created_us = Obs.Sink.now_us ();
       prehash_mutex = Mutex.create ();
-      prehash_seen = Hashtbl.create 256;
+      prehash_cur = Hashtbl.create 256;
+      prehash_prev = Hashtbl.create 0;
     }
   in
   register_health t;
@@ -556,6 +571,39 @@ let handle_profile (pr : Proto.profile_request) =
           Obs.Profile.stop ();
           Proto.Profile_reply { body })
 
+(* One incoming frame, one response — the dispatch shared by every
+   transport (blocking channels here, the mux event loop's parsed
+   frames). Solve and session frames carry their own heartbeats inside
+   their request context; admin frames beat here. *)
+let handle_incoming t (incoming : Proto.incoming) =
+  match incoming with
+  | Proto.Solve req -> handle_request t req
+  | Proto.Stats format ->
+      Obs.Health.beat ();
+      handle_stats format
+  | Proto.Events { count; min_level } ->
+      Obs.Health.beat ();
+      handle_events ?count ~min_level ()
+  | Proto.Health ->
+      Obs.Health.beat ();
+      handle_health t
+  | Proto.Explain id ->
+      Obs.Health.beat ();
+      handle_explain id
+  | Proto.Session sreq -> handle_session t sreq
+  | Proto.Profile pr ->
+      Obs.Health.beat ();
+      handle_profile pr
+
+(* A frame that failed to parse still gets exactly one response; it
+   counts as an error in the request family like any other failure. *)
+let protocol_error msg =
+  Obs.Counter.incr c_errors;
+  Obs.Labeled.incr c_req_error;
+  Proto.Error msg
+
+let pool t = t.pool
+
 let serve_channels t ic oc =
   let respond response =
     Proto.write_response oc response;
@@ -566,36 +614,11 @@ let serve_channels t ic oc =
   let rec loop () =
     match Proto.read_incoming ic with
     | Ok None -> ()
-    | Ok (Some (Proto.Solve req)) ->
-        respond (handle_request t req);
-        loop ()
-    | Ok (Some (Proto.Stats format)) ->
-        Obs.Health.beat ();
-        respond (handle_stats format);
-        loop ()
-    | Ok (Some (Proto.Events { count; min_level })) ->
-        Obs.Health.beat ();
-        respond (handle_events ?count ~min_level ());
-        loop ()
-    | Ok (Some Proto.Health) ->
-        Obs.Health.beat ();
-        respond (handle_health t);
-        loop ()
-    | Ok (Some (Proto.Explain id)) ->
-        Obs.Health.beat ();
-        respond (handle_explain id);
-        loop ()
-    | Ok (Some (Proto.Session sreq)) ->
-        respond (handle_session t sreq);
-        loop ()
-    | Ok (Some (Proto.Profile pr)) ->
-        Obs.Health.beat ();
-        respond (handle_profile pr);
+    | Ok (Some incoming) ->
+        respond (handle_incoming t incoming);
         loop ()
     | Error msg ->
-        Obs.Counter.incr c_errors;
-        Obs.Labeled.incr c_req_error;
-        respond (Proto.Error msg);
+        respond (protocol_error msg);
         loop ()
   in
   loop ()

@@ -92,6 +92,11 @@ type config = {
   session : Session.config;
       (** session-registry knobs: live-session cap, idle timeout,
           repair-drift fallback ratio, polish budget *)
+  prehash_cap : int;
+      (** fingerprint-set bound (default 65536): fingerprints live in two
+          half-cap generations; filling the current one retires the
+          older half ([serve.canon.prehash_rotations]) instead of
+          dropping the whole set *)
 }
 
 val default_config : config
@@ -112,6 +117,20 @@ val handle_request : t -> Proto.request -> Proto.response
     [serve.canon.prehash_hits]). Cached schedules are translated back
     through the request's labeling. Used directly by the bench
     harness. *)
+
+val handle_incoming : t -> Proto.incoming -> Proto.response
+(** Dispatch one parsed frame of any kind to its handler — the shared
+    core of every transport ({!serve_channels} and the mux event loop).
+    Admin frames stamp a health heartbeat here; solve/session frames
+    carry their own inside their request context. *)
+
+val protocol_error : string -> Proto.response
+(** The response for a frame that failed to parse: counts the failure in
+    the request-error metrics and returns the [status error] reply. *)
+
+val pool : t -> Parallel.Pool.t
+(** The server's worker pool, for transports that submit work
+    themselves (the mux event loop). *)
 
 val serve_channels : t -> in_channel -> out_channel -> unit
 (** Run one session until end-of-stream: read requests, write exactly one

@@ -1,0 +1,131 @@
+Multiplexed TCP serving: one readiness-driven event loop owns every
+socket, feeds bytes to the incremental frame parser, and dispatches
+solves onto the worker pool behind a bounded admission queue.
+
+  $ schedtool gen --env uniform -n 10 -m 3 -k 3 --seed 5 -o inst.txt
+  wrote inst.txt
+
+Bind an ephemeral port; the stderr banner carries the kernel-chosen
+address:
+
+  $ schedtool serve --tcp 127.0.0.1:0 > server.log 2>&1 & pid=$!
+  $ for i in $(seq 200); do grep -q 'serving on' server.log 2>/dev/null && break; sleep 0.05; done
+  $ addr=$(grep -o 'serving on [0-9.:]*' server.log | head -1 | awk '{print $3}')
+
+TCP round-trip: loadgen accepts HOST:PORT through the same --socket
+argument, and the canonicalizing cache behaves exactly like the
+blocking transport (latency is wall time and therefore filtered):
+
+  $ schedtool loadgen --socket "$addr" -n 4 --permute --seed 3 inst.txt \
+  >   | grep -v 'latency us'
+  requests  4
+  hits      3
+  misses    1
+  errors    0
+  degraded  0
+  last makespan 109.175
+
+A pipelined burst on one connection: every request is written before
+any response is read; replies come back in request order, all served
+from the now-warm cache:
+
+  $ schedtool loadgen --socket "$addr" -n 6 --pipeline inst.txt \
+  >   | grep -v 'latency us'
+  requests  6
+  hits      6
+  misses    0
+  errors    0
+  degraded  0
+  last makespan 109.175
+
+The admin surface scrapes over TCP too, and the mux exports its own
+counters and gauges (two loadgen connections plus this scrape's):
+
+  $ schedtool metrics --socket "$addr" \
+  >   | grep -E '^serve_mux_(accepted|conn_rejected|connections|queue_depth) '
+  serve_mux_accepted 3
+  serve_mux_conn_rejected 0
+  serve_mux_connections 1
+  serve_mux_queue_depth 0
+
+  $ kill $pid 2>/dev/null
+  $ wait $pid 2>/dev/null || true
+
+Overload: one pool worker (-j 2) and a queue of 4. A pipelined burst of
+9 identical requests lands while the first (a ~100ms exact solve) is
+still running: 1 misses, 4 queue behind it (and hit the cache it
+fills), 4 overflow the queue and are shed with degraded fast-path
+replies — every frame answered, none dropped:
+
+  $ schedtool gen --env uniform -n 20 -m 5 -k 4 --seed 7 -o hard.txt
+  wrote hard.txt
+  $ schedtool serve --tcp 127.0.0.1:0 -j 2 --max-pending 4 > server2.log 2>&1 & pid=$!
+  $ for i in $(seq 200); do grep -q 'serving on' server2.log 2>/dev/null && break; sleep 0.05; done
+  $ addr=$(grep -o 'serving on [0-9.:]*' server2.log | head -1 | awk '{print $3}')
+  $ schedtool loadgen --socket "$addr" -n 9 --pipeline --solver exact hard.txt \
+  >   | grep -vE 'latency us|last makespan'
+  requests  9
+  hits      4
+  misses    5
+  errors    0
+  degraded  4
+
+The queue stayed bounded (high-water mark = --max-pending) and the
+admission ledger accounts for every solver-bound frame:
+
+  $ schedtool metrics --socket "$addr" | grep -E '^serve_mux_queue_(depth|peak) '
+  serve_mux_queue_depth 0
+  serve_mux_queue_peak 4
+  $ schedtool metrics --socket "$addr" | grep -E '^serve_mux_admission'
+  serve_mux_admission{outcome="admitted"} 5
+  serve_mux_admission{outcome="shed_deadline"} 0
+  serve_mux_admission{outcome="shed_pressure"} 0
+  serve_mux_admission{outcome="shed_queue_full"} 4
+
+A held-open slow client (partial frame, never completed) occupies one
+connection while a full burst on other connections is served untouched:
+
+  $ schedtool loadgen --socket "$addr" --connections 2 --hold-open \
+  >   --hold-seconds 30 inst.txt > hold.log 2>&1 & hpid=$!
+  $ for i in $(seq 200); do grep -q 'holding' hold.log 2>/dev/null && break; sleep 0.05; done
+  $ schedtool loadgen --socket "$addr" -n 6 --connections 3 inst.txt \
+  >   | grep -v 'latency us'
+  connections 3
+  requests  6
+  hits      5
+  misses    1
+  errors    0
+  degraded  0
+  last makespan 109.175
+  $ kill $hpid 2>/dev/null
+  $ wait $hpid 2>/dev/null || true
+  $ kill $pid 2>/dev/null
+  $ wait $pid 2>/dev/null || true
+
+Shard routing: a router consistent-hashes frames across two backend
+servers by the relabeling-invariant instance fingerprint, so permuted
+replays keep their shard affinity (and its warm cache) through the
+proxy:
+
+  $ schedtool serve --socket b0.sock > b0.log 2>&1 & bpid0=$!
+  $ schedtool serve --socket b1.sock > b1.log 2>&1 & bpid1=$!
+  $ for i in $(seq 200); do [ -S b0.sock ] && [ -S b1.sock ] && break; sleep 0.05; done
+  $ schedtool serve --router --backends b0.sock,b1.sock --socket router.sock \
+  >   > router.log 2>&1 & rpid=$!
+  $ for i in $(seq 200); do [ -S router.sock ] && break; sleep 0.05; done
+  $ schedtool loadgen --socket router.sock -n 4 --permute --seed 3 inst.txt \
+  >   | grep -v 'latency us'
+  requests  4
+  hits      3
+  misses    1
+  errors    0
+  degraded  0
+  last makespan 109.175
+
+Admin frames have no shard affinity and pin to backend 0, whose
+exposition answers through the router:
+
+  $ schedtool metrics --socket router.sock | grep -c '^serve_requests{'
+  3
+  $ kill $rpid $bpid0 $bpid1 2>/dev/null
+  $ wait 2>/dev/null || true

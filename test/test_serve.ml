@@ -1555,6 +1555,433 @@ let test_session_idle_eviction () =
   Alcotest.(check int) "sweep evicts" 1 (Serve.Session.evict_idle sessions);
   Alcotest.(check int) "registry empty" 0 (Serve.Session.count sessions)
 
+(* --- incremental frame parser -------------------------------------------- *)
+
+(* oracle: what the channel path decodes from a byte stream *)
+let channel_incomings text =
+  roundtrip_via_file
+    (fun oc -> output_string oc text)
+    (fun ic ->
+      let rec go acc =
+        match Serve.Proto.read_incoming ic with
+        | Ok None -> List.rev acc
+        | Ok (Some x) -> go (Ok x :: acc)
+        | Error msg -> go (Error msg :: acc)
+      in
+      go [])
+
+let channel_responses text =
+  roundtrip_via_file
+    (fun oc -> output_string oc text)
+    (fun ic ->
+      let rec go acc =
+        match Serve.Proto.read_response ic with
+        | Ok None -> List.rev acc
+        | Ok (Some x) -> go (Ok x :: acc)
+        | Error msg -> go (Error msg :: acc)
+      in
+      go [])
+
+(* feed [text] to the incremental parser in the given chunks and decode
+   every completed frame with [of_frame] *)
+let incremental_decode of_frame chunks =
+  let p = Serve.Proto.Incremental.create () in
+  let out = ref [] in
+  let drain () =
+    let rec go () =
+      match Serve.Proto.Incremental.next_frame p with
+      | None -> ()
+      | Some frame ->
+          out := of_frame frame :: !out;
+          go ()
+    in
+    go ()
+  in
+  List.iter
+    (fun chunk ->
+      Serve.Proto.Incremental.feed p chunk;
+      drain ())
+    chunks;
+  Serve.Proto.Incremental.finish p;
+  drain ();
+  List.rev !out
+
+let show_incoming = function
+  | Error msg -> "error: " ^ msg
+  | Ok (Serve.Proto.Solve req) ->
+      Printf.sprintf "solve %s %s\n%s"
+        (Option.value ~default:"-" req.Serve.Proto.solver)
+        (match req.Serve.Proto.deadline_ms with
+        | Some d -> string_of_float d
+        | None -> "-")
+        (Core.Instance_io.to_string req.Serve.Proto.instance)
+  | Ok (Serve.Proto.Stats Serve.Proto.Prometheus) -> "stats prometheus"
+  | Ok (Serve.Proto.Stats Serve.Proto.Json) -> "stats json"
+  | Ok (Serve.Proto.Events { count; min_level }) ->
+      Printf.sprintf "events %s %s"
+        (match count with Some n -> string_of_int n | None -> "-")
+        (Obs.Event.level_to_string min_level)
+  | Ok Serve.Proto.Health -> "health"
+  | Ok (Serve.Proto.Explain id) -> "explain " ^ id
+  | Ok (Serve.Proto.Session { sid; _ }) -> "session " ^ sid
+  | Ok (Serve.Proto.Profile _) -> "profile"
+
+let show_response = function
+  | Error msg -> "error: " ^ msg
+  | Ok r -> Serve.Proto.response_to_string r
+
+(* a stream that exercises every resync path: good frames, an unknown
+   header, a bad body, admin frames *)
+let incoming_stream () =
+  let inst = Workloads.Gen.identical (rng 41) ~n:5 ~m:2 ~k:2 () in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "request v1\ndeadline_ms 12.5\ninstance\n";
+  Buffer.add_string buf (Core.Instance_io.to_string inst);
+  Buffer.add_string buf "end\n";
+  Buffer.add_string buf "banana v9\nsolver exact\nend\n";
+  Buffer.add_string buf "request v1\ninstance\nnot a keyword\nend\n";
+  Buffer.add_string buf "stats v1\nformat json\nend\n";
+  Buffer.add_string buf "\n\nevents v1\ncount 7\nend\n";
+  Buffer.add_string buf "health v1\nend\n";
+  Buffer.add_string buf "explain v1\nid lg1.2\nend\n";
+  Buffer.contents buf
+
+(* payload-bearing responses, so chunk splits land inside the [payload]
+   marker and inside payload bodies *)
+let response_stream () =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun r -> Buffer.add_string buf (Serve.Proto.response_to_string r))
+    [
+      Serve.Proto.Reply
+        {
+          solver = "exact";
+          cache_hit = false;
+          degraded = false;
+          makespan = 17.5;
+          elapsed_us = 42;
+          assignment = [| 0; 1; 1 |];
+          trace = Some "lg1.1";
+        };
+      Serve.Proto.Stats_reply
+        {
+          format = Serve.Proto.Prometheus;
+          body = "# TYPE serve_requests counter\nserve_requests 3\n";
+        };
+      Serve.Proto.Error "boom";
+      Serve.Proto.Health_reply { body = "status ok\nliveness ok\n" };
+    ]
+  |> ignore;
+  Buffer.add_string buf "response v9\nstatus ok\nend\n";
+  Buffer.contents buf
+
+let chop_bytes s = List.init (String.length s) (fun i -> String.sub s i 1)
+
+let test_incremental_byte_at_a_time () =
+  let text = incoming_stream () in
+  let oracle = List.map show_incoming (channel_incomings text) in
+  let whole =
+    List.map show_incoming
+      (incremental_decode
+         (fun f -> Serve.Proto.incoming_of_frame f)
+         [ text ])
+  in
+  Alcotest.(check (list string)) "whole feed matches channel" oracle whole;
+  let bytewise =
+    List.map show_incoming
+      (incremental_decode
+         (fun f -> Serve.Proto.incoming_of_frame f)
+         (chop_bytes text))
+  in
+  Alcotest.(check (list string)) "byte-at-a-time matches channel" oracle
+    bytewise
+
+let test_incremental_every_split () =
+  (* every two-chunk split of a payload-bearing response stream decodes
+     identically — including splits inside the [payload] marker *)
+  let text = response_stream () in
+  let oracle = List.map show_response (channel_responses text) in
+  Alcotest.(check (list string))
+    "whole feed matches channel" oracle
+    (List.map show_response
+       (incremental_decode
+          (fun f -> Serve.Proto.response_of_frame f)
+          [ text ]));
+  for k = 0 to String.length text do
+    let chunks =
+      [ String.sub text 0 k; String.sub text k (String.length text - k) ]
+    in
+    let got =
+      List.map show_response
+        (incremental_decode
+           (fun f -> Serve.Proto.response_of_frame f)
+           chunks)
+    in
+    if got <> oracle then
+      Alcotest.failf "split at byte %d diverges from the channel path" k
+  done
+
+let test_incremental_truncation () =
+  let p = Serve.Proto.Incremental.create () in
+  Serve.Proto.Incremental.feed p "request v1\nsolver exact";
+  Alcotest.(check bool) "nothing complete yet" true
+    (Serve.Proto.Incremental.next_frame p = None);
+  (* stream ends mid-frame: finish delivers the dangling line, and the
+     open frame is detectable for a truncated-frame error reply *)
+  Serve.Proto.Incremental.finish p;
+  Alcotest.(check bool) "still no frame" true
+    (Serve.Proto.Incremental.next_frame p = None);
+  Alcotest.(check bool) "open frame detected" true
+    (Serve.Proto.Incremental.in_frame p);
+  Alcotest.(check int) "all bytes consumed" 0
+    (Serve.Proto.Incremental.buffered p);
+  Alcotest.(check bool) "error names the terminator" true
+    (Astring.String.is_infix ~affix:"end"
+       Serve.Proto.Incremental.truncated_error)
+
+(* --- generational prehash ------------------------------------------------- *)
+
+let test_server_prehash_rotation () =
+  (* prehash_cap 4 → generations of 2: the filter must retain the most
+     recent half across a rotation instead of forgetting everything *)
+  let server =
+    Serve.Server.create
+      {
+        Serve.Server.default_config with
+        cache_capacity = 64;
+        jobs = 2;
+        prehash_cap = 4;
+      }
+  in
+  Fun.protect ~finally:(fun () -> Serve.Server.shutdown server) @@ fun () ->
+  let r = rng 43 in
+  let mk n = Workloads.Gen.identical (rng (100 + n)) ~n:(4 + n) ~m:2 ~k:2 () in
+  let ask inst =
+    match
+      Serve.Server.handle_request server
+        {
+          Serve.Proto.solver = Some "exact";
+          deadline_ms = None;
+          instance = inst;
+          trace = None;
+        }
+    with
+    | Serve.Proto.Reply rep -> rep
+    | Serve.Proto.Error msg -> Alcotest.fail msg
+    | _ -> Alcotest.fail "unexpected admin reply"
+  in
+  let rot0 = counter "serve.canon.prehash_rotations" in
+  let i1 = mk 1 and i2 = mk 2 and i3 = mk 3 in
+  let i4 = mk 4 and i5 = mk 5 in
+  ignore (ask i1);
+  ignore (ask i2);
+  (* current generation full: the next distinct fingerprint rotates *)
+  ignore (ask i3);
+  Alcotest.(check int) "one rotation" (rot0 + 1)
+    (counter "serve.canon.prehash_rotations");
+  (* i2 now lives in the previous generation — a relabeling still hits *)
+  Alcotest.(check bool) "previous generation hits" true
+    (ask (Serve.Canon.shuffle r i2)).Serve.Proto.cache_hit;
+  ignore (ask i4);
+  ignore (ask i5);
+  Alcotest.(check int) "two rotations" (rot0 + 2)
+    (counter "serve.canon.prehash_rotations");
+  (* after two rotations the recent half survives, the oldest does not *)
+  Alcotest.(check bool) "recent half survives" true
+    (ask (Serve.Canon.shuffle r i3)).Serve.Proto.cache_hit;
+  Alcotest.(check bool) "evicted fingerprint re-solves" false
+    (ask (Serve.Canon.shuffle r i1)).Serve.Proto.cache_hit
+
+(* --- shard router --------------------------------------------------------- *)
+
+let test_router_ring () =
+  let keys = List.init 2048 (fun i -> Printf.sprintf "key-%d" i) in
+  let ring = Serve.Router.Ring.make 4 in
+  let again = Serve.Router.Ring.make 4 in
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun k ->
+      let s = Serve.Router.Ring.shard ring k in
+      Alcotest.(check int) "deterministic" s (Serve.Router.Ring.shard again k);
+      Alcotest.(check bool) "in range" true (s >= 0 && s < 4);
+      counts.(s) <- counts.(s) + 1)
+    keys;
+  Array.iteri
+    (fun i c ->
+      if c * 16 < List.length keys then
+        Alcotest.failf "backend %d owns only %d of %d keys" i c
+          (List.length keys))
+    counts;
+  (* removing the last backend must not remap keys the others own: the
+     surviving backends' ring points are identical in both rings *)
+  let smaller = Serve.Router.Ring.make 3 in
+  List.iter
+    (fun k ->
+      let s = Serve.Router.Ring.shard ring k in
+      if s < 3 then
+        Alcotest.(check int) "surviving arcs stable" s
+          (Serve.Router.Ring.shard smaller k))
+    keys;
+  (* and the lost backend's share is roughly a quarter, not the world *)
+  Alcotest.(check bool) "lost share is bounded" true
+    (counts.(3) * 2 < List.length keys)
+
+let test_router_affinity () =
+  let router = Serve.Router.create ~jobs:1 [ "a"; "b"; "c"; "d" ] in
+  Fun.protect ~finally:(fun () -> Serve.Router.shutdown router) @@ fun () ->
+  let r = rng 17 in
+  let inst = Workloads.Gen.uniform r ~n:8 ~m:3 ~k:2 () in
+  let solve inst =
+    Serve.Proto.Solve
+      { Serve.Proto.solver = None; deadline_ms = None; instance = inst; trace = None }
+  in
+  let s0 = Serve.Router.shard_of_incoming router (solve inst) in
+  (* relabelings share Canon.prehash, so they keep their shard (and its
+     warm canonical cache) *)
+  for _ = 1 to 8 do
+    Alcotest.(check int) "relabeling keeps its shard" s0
+      (Serve.Router.shard_of_incoming router
+         (solve (Serve.Canon.shuffle r inst)))
+  done;
+  let sess sid =
+    Serve.Proto.Session { Serve.Proto.sid; op = Serve.Proto.S_close; trace = None }
+  in
+  Alcotest.(check int) "session id pins its shard"
+    (Serve.Router.shard_of_incoming router (sess "s-1"))
+    (Serve.Router.shard_of_incoming router (sess "s-1"));
+  Alcotest.(check int) "admin frames go to shard 0" 0
+    (Serve.Router.shard_of_incoming router
+       (Serve.Proto.Stats Serve.Proto.Prometheus))
+
+(* --- mux event loop ------------------------------------------------------- *)
+
+let mux_connect port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt fd Unix.TCP_NODELAY true;
+  (fd, Unix.in_channel_of_descr fd, Unix.out_channel_of_descr fd)
+
+let test_mux_tcp_pipeline () =
+  (* pipelined frames on one TCP connection answer in order, through the
+     same cache as the blocking transport; a malformed frame gets an
+     error reply and the connection survives *)
+  let server =
+    Serve.Server.create
+      { Serve.Server.default_config with cache_capacity = 8; jobs = 1 }
+  in
+  let mux = Serve.Mux.create server in
+  let port =
+    match Serve.Mux.add_tcp mux ~host:"127.0.0.1" ~port:0 with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> Alcotest.fail "expected a TCP address"
+  in
+  let runner = Domain.spawn (fun () -> Serve.Mux.run mux) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Mux.stop mux;
+      Domain.join runner;
+      Serve.Server.shutdown server)
+  @@ fun () ->
+  let inst = Workloads.Gen.identical (rng 47) ~n:6 ~m:2 ~k:2 () in
+  let fd, ic, oc = mux_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (* write the whole burst before reading anything *)
+  for i = 1 to 3 do
+    Serve.Proto.write_request oc
+      {
+        Serve.Proto.solver = Some "exact";
+        deadline_ms = None;
+        instance = inst;
+        trace = Some { Serve.Proto.tid = Printf.sprintf "mx.%d" i; parent = None };
+      }
+  done;
+  output_string oc "banana v9\nend\n";
+  Serve.Proto.write_stats_request oc Serve.Proto.Prometheus;
+  let replies =
+    List.init 3 (fun _ ->
+        match Serve.Proto.read_response ic with
+        | Ok (Some (Serve.Proto.Reply r)) -> r
+        | Ok (Some (Serve.Proto.Error msg)) -> Alcotest.fail msg
+        | _ -> Alcotest.fail "expected a solve reply")
+  in
+  List.iteri
+    (fun i (r : Serve.Proto.reply) ->
+      Alcotest.(check (option string)) "replies arrive in request order"
+        (Some (Printf.sprintf "mx.%d" (i + 1)))
+        r.Serve.Proto.trace;
+      Alcotest.(check bool) "cache behaves like the blocking path" (i > 0)
+        r.Serve.Proto.cache_hit)
+    replies;
+  (match Serve.Proto.read_response ic with
+  | Ok (Some (Serve.Proto.Error msg)) ->
+      Alcotest.(check bool) "bad header is answered in sequence" true
+        (Astring.String.is_infix ~affix:"banana" msg)
+  | _ -> Alcotest.fail "expected an error reply for the bad frame");
+  match Serve.Proto.read_response ic with
+  | Ok (Some (Serve.Proto.Stats_reply { body; _ })) ->
+      Alcotest.(check bool) "admin frame still answered inline" true
+        (Astring.String.is_infix ~affix:"serve_requests" body)
+  | _ -> Alcotest.fail "expected a stats reply after the error"
+
+let test_mux_sheds_under_overload () =
+  (* one pool worker, a queue of 2: a pipelined burst of 7 identical
+     requests admits 1 (dispatched) + 2 (queued), sheds 4 with degraded
+     replies — and every frame still gets exactly one in-order answer *)
+  let server =
+    Serve.Server.create
+      { Serve.Server.default_config with cache_capacity = 8; jobs = 2 }
+  in
+  let mux =
+    Serve.Mux.create
+      ~config:{ Serve.Mux.default_config with max_pending = 2 }
+      server
+  in
+  let port =
+    match Serve.Mux.add_tcp mux ~host:"127.0.0.1" ~port:0 with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> Alcotest.fail "expected a TCP address"
+  in
+  let runner = Domain.spawn (fun () -> Serve.Mux.run mux) in
+  Fun.protect
+    ~finally:(fun () ->
+      Serve.Mux.stop mux;
+      Domain.join runner;
+      Serve.Server.shutdown server)
+  @@ fun () ->
+  (* big enough that the exact solve outlives the burst's arrival *)
+  let inst = Workloads.Gen.uniform (rng 53) ~n:12 ~m:4 ~k:3 () in
+  let fd, ic, oc = mux_connect port in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let n = 7 in
+  for i = 1 to n do
+    Serve.Proto.write_request oc
+      {
+        Serve.Proto.solver = Some "exact";
+        deadline_ms = None;
+        instance = inst;
+        trace = Some { Serve.Proto.tid = Printf.sprintf "ov.%d" i; parent = None };
+      }
+  done;
+  let degraded = ref 0 and served = ref 0 in
+  for i = 1 to n do
+    match Serve.Proto.read_response ic with
+    | Ok (Some (Serve.Proto.Reply r)) ->
+        Alcotest.(check (option string)) "in order"
+          (Some (Printf.sprintf "ov.%d" i))
+          r.Serve.Proto.trace;
+        if r.Serve.Proto.degraded then incr degraded else incr served
+    | Ok (Some (Serve.Proto.Error msg)) -> Alcotest.fail msg
+    | _ -> Alcotest.fail "expected a solve reply"
+  done;
+  Alcotest.(check int) "every frame answered" n (!degraded + !served);
+  (* the queue meter feeds the health lattice, which halves capacity as
+     the queue fills — so 2 or 3 frames are admitted (head-of-line plus
+     one or two queued), and at least 4 of the 7 are shed degraded *)
+  Alcotest.(check bool) "overload sheds degraded replies" true (!degraded >= 4);
+  Alcotest.(check bool) "admitted frames get full answers" true (!served >= 2)
+
 let () =
   Alcotest.run "serve"
     [
@@ -1611,6 +2038,12 @@ let () =
             test_proto_session_roundtrip;
           Alcotest.test_case "session malformed resync" `Quick
             test_proto_session_resync;
+          Alcotest.test_case "incremental byte-at-a-time" `Quick
+            test_incremental_byte_at_a_time;
+          Alcotest.test_case "incremental every split point" `Quick
+            test_incremental_every_split;
+          Alcotest.test_case "incremental truncation" `Quick
+            test_incremental_truncation;
         ] );
       ( "server",
         [
@@ -1626,6 +2059,19 @@ let () =
           Alcotest.test_case "explain acceptance" `Quick
             test_server_explain_acceptance;
           Alcotest.test_case "events filter" `Quick test_server_events_filter;
+          Alcotest.test_case "generational prehash rotation" `Quick
+            test_server_prehash_rotation;
+        ] );
+      ( "mux",
+        [
+          Alcotest.test_case "tcp pipelining" `Quick test_mux_tcp_pipeline;
+          Alcotest.test_case "overload shedding" `Quick
+            test_mux_sheds_under_overload;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "consistent-hash ring" `Quick test_router_ring;
+          Alcotest.test_case "shard affinity" `Quick test_router_affinity;
         ] );
       ( "session",
         [
